@@ -1,0 +1,130 @@
+//! Versioned cluster-wide configuration documents.
+//!
+//! PerfIso reads its static limits "from cluster-wide configuration files
+//! distributed through the Autopilot environment", and resource limits "can
+//! be altered independently at runtime by issuing a command" (§4). The
+//! store keeps one JSON document per key with a monotonically increasing
+//! version so pollers can detect changes cheaply.
+
+use std::collections::BTreeMap;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// A versioned key→JSON document store.
+///
+/// # Examples
+///
+/// ```
+/// use autopilot::ConfigStore;
+///
+/// let mut c = ConfigStore::new();
+/// c.put("perfiso", &serde_json::json!({"buffer_cores": 8})).unwrap();
+/// let (v, doc): (u64, serde_json::Value) = c.get("perfiso").unwrap();
+/// assert_eq!(v, 1);
+/// assert_eq!(doc["buffer_cores"], 8);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ConfigStore {
+    docs: BTreeMap<String, (u64, serde_json::Value)>,
+}
+
+impl ConfigStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ConfigStore::default()
+    }
+
+    /// Writes a document, bumping its version.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serialization error if `doc` cannot be converted to JSON.
+    pub fn put<T: Serialize>(&mut self, key: &str, doc: &T) -> Result<u64, serde_json::Error> {
+        let value = serde_json::to_value(doc)?;
+        let entry = self.docs.entry(key.to_string()).or_insert((0, serde_json::Value::Null));
+        entry.0 += 1;
+        entry.1 = value;
+        Ok(entry.0)
+    }
+
+    /// Reads a document and its version.
+    pub fn get<T: DeserializeOwned>(&self, key: &str) -> Option<(u64, T)> {
+        let (v, doc) = self.docs.get(key)?;
+        serde_json::from_value(doc.clone()).ok().map(|t| (*v, t))
+    }
+
+    /// The current version of a key (0 when absent).
+    pub fn version(&self, key: &str) -> u64 {
+        self.docs.get(key).map(|(v, _)| *v).unwrap_or(0)
+    }
+
+    /// Returns the document only if its version is newer than `seen`.
+    pub fn get_if_newer<T: DeserializeOwned>(&self, key: &str, seen: u64) -> Option<(u64, T)> {
+        if self.version(key) > seen {
+            self.get(key)
+        } else {
+            None
+        }
+    }
+
+    /// All keys, sorted.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.docs.keys().map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Limits {
+        disk_mb_s: u64,
+    }
+
+    #[test]
+    fn put_bumps_version() {
+        let mut c = ConfigStore::new();
+        assert_eq!(c.version("k"), 0);
+        assert_eq!(c.put("k", &Limits { disk_mb_s: 20 }).unwrap(), 1);
+        assert_eq!(c.put("k", &Limits { disk_mb_s: 60 }).unwrap(), 2);
+        let (v, l): (u64, Limits) = c.get("k").unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(l, Limits { disk_mb_s: 60 });
+    }
+
+    #[test]
+    fn get_if_newer_polling() {
+        let mut c = ConfigStore::new();
+        c.put("k", &Limits { disk_mb_s: 20 }).unwrap();
+        let (v, _): (u64, Limits) = c.get_if_newer("k", 0).unwrap();
+        assert_eq!(v, 1);
+        assert!(c.get_if_newer::<Limits>("k", 1).is_none());
+        c.put("k", &Limits { disk_mb_s: 30 }).unwrap();
+        assert!(c.get_if_newer::<Limits>("k", 1).is_some());
+    }
+
+    #[test]
+    fn missing_key_is_none() {
+        let c = ConfigStore::new();
+        assert!(c.get::<Limits>("nope").is_none());
+    }
+
+    #[test]
+    fn type_mismatch_is_none() {
+        let mut c = ConfigStore::new();
+        c.put("k", &serde_json::json!("a string")).unwrap();
+        assert!(c.get::<Limits>("k").is_none());
+    }
+
+    #[test]
+    fn keys_sorted() {
+        let mut c = ConfigStore::new();
+        c.put("b", &1u32).unwrap();
+        c.put("a", &2u32).unwrap();
+        let keys: Vec<&str> = c.keys().collect();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+}

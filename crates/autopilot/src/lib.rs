@@ -1,0 +1,22 @@
+//! Autopilot-style cluster management substrate.
+//!
+//! The paper deploys PerfIso under Autopilot (§4.2): Autopilot distributes
+//! cluster-wide configuration files, tracks which services run with which
+//! process ids (sparing PerfIso from PID discovery), and restarts crashed
+//! services — PerfIso "is fully recoverable ... in the event of a crash,
+//! Autopilot will bring it up again, and PerfIso will resume its function by
+//! loading its state from disk."
+//!
+//! This crate reproduces that substrate in-memory:
+//!
+//! - [`ServiceRegistry`] — the list of running services and their PIDs.
+//! - [`ConfigStore`] — versioned cluster-wide configuration documents.
+//! - [`ServiceManager`] — crash reporting and restart with bounded backoff.
+
+pub mod config_store;
+pub mod manager;
+pub mod registry;
+
+pub use config_store::ConfigStore;
+pub use manager::{RestartDecision, ServiceManager};
+pub use registry::{ServiceInfo, ServiceKind, ServiceRegistry, ServiceState};

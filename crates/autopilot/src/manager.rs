@@ -1,0 +1,136 @@
+//! Crash handling and restart policy.
+//!
+//! Autopilot restarts failed services. A bounded exponential backoff guards
+//! against crash loops; after too many failures in a window the service is
+//! left down for operator attention (with PerfIso's kill switch, §4.2, that
+//! is the safe state: secondaries simply stay unrestricted or get stopped).
+
+use serde::{Deserialize, Serialize};
+
+use crate::registry::{ServiceRegistry, ServiceState};
+
+/// The manager's verdict after a crash report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RestartDecision {
+    /// Restart after the given backoff (milliseconds of wall time).
+    RestartAfterMs(u64),
+    /// Crash-looping: give up and page an operator.
+    GiveUp,
+}
+
+/// Restart policy parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RestartPolicy {
+    /// Initial backoff in milliseconds.
+    pub base_backoff_ms: u64,
+    /// Backoff multiplier per consecutive failure.
+    pub multiplier: u32,
+    /// Give up after this many consecutive failures.
+    pub max_failures: u32,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy { base_backoff_ms: 1_000, multiplier: 2, max_failures: 5 }
+    }
+}
+
+/// Tracks consecutive failures per service and applies the restart policy.
+///
+/// # Examples
+///
+/// ```
+/// use autopilot::{RestartDecision, ServiceKind, ServiceManager, ServiceRegistry};
+///
+/// let mut reg = ServiceRegistry::new();
+/// reg.register("perfiso", ServiceKind::Infrastructure, vec![77]);
+/// let mut mgr = ServiceManager::new(Default::default());
+/// let d = mgr.report_crash(&mut reg, "perfiso");
+/// assert_eq!(d, RestartDecision::RestartAfterMs(1_000));
+/// mgr.report_started(&mut reg, "perfiso", vec![78]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ServiceManager {
+    policy: RestartPolicy,
+    consecutive_failures: std::collections::BTreeMap<String, u32>,
+}
+
+impl ServiceManager {
+    /// Creates a manager with the given policy.
+    pub fn new(policy: RestartPolicy) -> Self {
+        ServiceManager { policy, consecutive_failures: Default::default() }
+    }
+
+    /// Records a crash; marks the service failed and returns the decision.
+    pub fn report_crash(&mut self, registry: &mut ServiceRegistry, name: &str) -> RestartDecision {
+        registry.set_state(name, ServiceState::Failed);
+        let count = self.consecutive_failures.entry(name.to_string()).or_insert(0);
+        *count += 1;
+        if *count > self.policy.max_failures {
+            return RestartDecision::GiveUp;
+        }
+        let backoff = self
+            .policy
+            .base_backoff_ms
+            .saturating_mul((self.policy.multiplier as u64).saturating_pow(*count - 1));
+        RestartDecision::RestartAfterMs(backoff)
+    }
+
+    /// Records a successful (re)start with fresh PIDs; resets the failure
+    /// counter.
+    pub fn report_started(&mut self, registry: &mut ServiceRegistry, name: &str, pids: Vec<u32>) {
+        self.consecutive_failures.remove(name);
+        registry.update_pids(name, pids);
+        registry.set_state(name, ServiceState::Running);
+    }
+
+    /// Consecutive failure count for a service.
+    pub fn failure_count(&self, name: &str) -> u32 {
+        self.consecutive_failures.get(name).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ServiceKind;
+
+    fn setup() -> (ServiceRegistry, ServiceManager) {
+        let mut reg = ServiceRegistry::new();
+        reg.register("perfiso", ServiceKind::Infrastructure, vec![1]);
+        (reg, ServiceManager::new(RestartPolicy::default()))
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let (mut reg, mut mgr) = setup();
+        assert_eq!(mgr.report_crash(&mut reg, "perfiso"), RestartDecision::RestartAfterMs(1_000));
+        assert_eq!(mgr.report_crash(&mut reg, "perfiso"), RestartDecision::RestartAfterMs(2_000));
+        assert_eq!(mgr.report_crash(&mut reg, "perfiso"), RestartDecision::RestartAfterMs(4_000));
+        assert_eq!(reg.get("perfiso").unwrap().state, ServiceState::Failed);
+    }
+
+    #[test]
+    fn gives_up_after_max_failures() {
+        let (mut reg, mut mgr) = setup();
+        for _ in 0..5 {
+            assert!(matches!(
+                mgr.report_crash(&mut reg, "perfiso"),
+                RestartDecision::RestartAfterMs(_)
+            ));
+        }
+        assert_eq!(mgr.report_crash(&mut reg, "perfiso"), RestartDecision::GiveUp);
+    }
+
+    #[test]
+    fn successful_start_resets_counter() {
+        let (mut reg, mut mgr) = setup();
+        mgr.report_crash(&mut reg, "perfiso");
+        mgr.report_crash(&mut reg, "perfiso");
+        mgr.report_started(&mut reg, "perfiso", vec![42]);
+        assert_eq!(mgr.failure_count("perfiso"), 0);
+        assert_eq!(reg.get("perfiso").unwrap().state, ServiceState::Running);
+        assert_eq!(reg.get("perfiso").unwrap().pids, vec![42]);
+        assert_eq!(mgr.report_crash(&mut reg, "perfiso"), RestartDecision::RestartAfterMs(1_000));
+    }
+}

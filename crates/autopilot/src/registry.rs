@@ -1,0 +1,200 @@
+//! The service registry: which services run on this machine, with which
+//! process ids and tenant role.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// The role of a service on a colocated machine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ServiceKind {
+    /// The latency-sensitive primary tenant (runs unrestricted).
+    Primary,
+    /// A best-effort secondary tenant (managed by PerfIso).
+    Secondary,
+    /// Infrastructure (PerfIso itself, Autopilot agents, HDFS daemons).
+    Infrastructure,
+}
+
+/// Lifecycle state of a registered service.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ServiceState {
+    /// Running normally.
+    Running,
+    /// Stopped on purpose.
+    Stopped,
+    /// Crashed; awaiting a restart decision.
+    Failed,
+}
+
+/// A registered service.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServiceInfo {
+    /// Unique service name ("indexserve", "yarn-nodemanager", ...).
+    pub name: String,
+    /// Role on this machine.
+    pub kind: ServiceKind,
+    /// Process ids belonging to the service.
+    pub pids: Vec<u32>,
+    /// Current lifecycle state.
+    pub state: ServiceState,
+}
+
+/// The per-machine service registry.
+///
+/// PerfIso reads secondary-tenant PIDs from here instead of scanning the
+/// process table — "Autopilot eases this task by keeping a list of running
+/// services and their respective information" (§4).
+///
+/// # Examples
+///
+/// ```
+/// use autopilot::{ServiceKind, ServiceRegistry};
+///
+/// let mut r = ServiceRegistry::new();
+/// r.register("indexserve", ServiceKind::Primary, vec![100]);
+/// r.register("spark-executor", ServiceKind::Secondary, vec![200, 201]);
+/// assert_eq!(r.secondary_pids(), vec![200, 201]);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ServiceRegistry {
+    services: BTreeMap<String, ServiceInfo>,
+}
+
+impl ServiceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ServiceRegistry::default()
+    }
+
+    /// Registers (or replaces) a service in the `Running` state.
+    pub fn register(&mut self, name: &str, kind: ServiceKind, pids: Vec<u32>) {
+        self.services.insert(
+            name.to_string(),
+            ServiceInfo { name: name.to_string(), kind, pids, state: ServiceState::Running },
+        );
+    }
+
+    /// Removes a service; returns whether it existed.
+    pub fn deregister(&mut self, name: &str) -> bool {
+        self.services.remove(name).is_some()
+    }
+
+    /// Looks up a service.
+    pub fn get(&self, name: &str) -> Option<&ServiceInfo> {
+        self.services.get(name)
+    }
+
+    /// Updates the PID list of a service (task churn in YARN/Spark).
+    ///
+    /// Returns false if the service is unknown.
+    pub fn update_pids(&mut self, name: &str, pids: Vec<u32>) -> bool {
+        match self.services.get_mut(name) {
+            Some(s) => {
+                s.pids = pids;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Sets a service's lifecycle state. Returns false if unknown.
+    pub fn set_state(&mut self, name: &str, state: ServiceState) -> bool {
+        match self.services.get_mut(name) {
+            Some(s) => {
+                s.state = state;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// All services, sorted by name.
+    pub fn list(&self) -> impl Iterator<Item = &ServiceInfo> {
+        self.services.values()
+    }
+
+    /// All PIDs of running secondary-tenant services — the set PerfIso
+    /// places in its managed job object.
+    pub fn secondary_pids(&self) -> Vec<u32> {
+        let mut pids: Vec<u32> = self
+            .services
+            .values()
+            .filter(|s| s.kind == ServiceKind::Secondary && s.state == ServiceState::Running)
+            .flat_map(|s| s.pids.iter().copied())
+            .collect();
+        pids.sort_unstable();
+        pids
+    }
+
+    /// The primary service, if registered and unique.
+    pub fn primary(&self) -> Option<&ServiceInfo> {
+        let mut it = self.services.values().filter(|s| s.kind == ServiceKind::Primary);
+        let first = it.next();
+        if it.next().is_some() {
+            return None;
+        }
+        first
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut r = ServiceRegistry::new();
+        r.register("indexserve", ServiceKind::Primary, vec![10]);
+        assert_eq!(r.get("indexserve").unwrap().pids, vec![10]);
+        assert!(r.get("nope").is_none());
+    }
+
+    #[test]
+    fn secondary_pids_filter_running_secondaries() {
+        let mut r = ServiceRegistry::new();
+        r.register("indexserve", ServiceKind::Primary, vec![10]);
+        r.register("spark", ServiceKind::Secondary, vec![30, 20]);
+        r.register("hdfs-datanode", ServiceKind::Infrastructure, vec![40]);
+        r.register("yarn-task", ServiceKind::Secondary, vec![50]);
+        r.set_state("yarn-task", ServiceState::Stopped);
+        assert_eq!(r.secondary_pids(), vec![20, 30]);
+    }
+
+    #[test]
+    fn update_pids_tracks_churn() {
+        let mut r = ServiceRegistry::new();
+        r.register("spark", ServiceKind::Secondary, vec![1]);
+        assert!(r.update_pids("spark", vec![2, 3]));
+        assert_eq!(r.secondary_pids(), vec![2, 3]);
+        assert!(!r.update_pids("ghost", vec![9]));
+    }
+
+    #[test]
+    fn primary_must_be_unique() {
+        let mut r = ServiceRegistry::new();
+        assert!(r.primary().is_none());
+        r.register("a", ServiceKind::Primary, vec![1]);
+        assert_eq!(r.primary().unwrap().name, "a");
+        r.register("b", ServiceKind::Primary, vec![2]);
+        assert!(r.primary().is_none(), "two primaries is a config error");
+    }
+
+    #[test]
+    fn deregister_removes() {
+        let mut r = ServiceRegistry::new();
+        r.register("x", ServiceKind::Secondary, vec![1]);
+        assert!(r.deregister("x"));
+        assert!(!r.deregister("x"));
+        assert!(r.secondary_pids().is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut r = ServiceRegistry::new();
+        r.register("indexserve", ServiceKind::Primary, vec![10]);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ServiceRegistry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.get("indexserve").unwrap().pids, vec![10]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Ablation — buffer-core sweep (beyond the paper's 4-vs-8 comparison).
+//!
+//! Sweeps B ∈ {0, 2, 4, 8, 12, 16} at both loads to expose the tradeoff
+//! blind isolation navigates: too few buffer cores and bursts queue (tail
+//! degradation); too many and the secondary is starved (lost progress).
+//! §6.1.3 picks 8 for IndexServe-class machines.
+
+use perfiso_bench::section;
+use scenarios::{blind_isolation, standalone, Scale};
+use telemetry::table::{ms, pct, Table};
+
+fn main() {
+    let scale = Scale::bench();
+    let seed = 42;
+    let base2k = standalone(2_000.0, seed, scale);
+    let base4k = standalone(4_000.0, seed, scale);
+
+    section("Ablation: buffer-core sweep (high bully)");
+    let mut t = Table::new(&[
+        "buffer",
+        "qps",
+        "d-p99 (ms)",
+        "p99 (ms)",
+        "secondary CPU",
+        "SLO met",
+    ]);
+    for buffer in [0u32, 2, 4, 8, 12, 16] {
+        for (qps, base) in [(2_000.0, &base2k), (4_000.0, &base4k)] {
+            let r = blind_isolation(buffer, qps, seed, scale);
+            let d = r.latency.p99.saturating_sub(base.latency.p99);
+            let slo = telemetry::slo::RelativeSlo::paper_default(base.latency.p99)
+                .check(r.latency.p99);
+            t.row_owned(vec![
+                format!("{buffer}"),
+                format!("{qps:.0}"),
+                ms(d),
+                ms(r.latency.p99),
+                pct(r.breakdown.fraction(telemetry::TenantClass::Secondary)),
+                if slo.met { "yes".into() } else { "NO".into() },
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    println!("\npaper: 8 buffer cores suffice for IndexServe's 99th-percentile SLO (Sec 6.1.3)");
+}

@@ -1,0 +1,38 @@
+//! Figure 4 — single-machine IndexServe standalone vs. colocated with an
+//! unrestricted secondary (mid = 24 threads, high = 48 threads).
+//!
+//! Paper result (shape): standalone p50 ≈ 4 ms / p99 ≈ 12 ms at both loads;
+//! a mid secondary lifts p99 to 15–18 ms (up to +42 %); a high secondary
+//! collapses it to ~349–354 ms (29×) with 11–32 % of queries dropped, and
+//! the primary's own CPU share inflates as it compensates.
+
+use perfiso_bench::{cpu_row, cpu_table, latency_row, latency_table, section};
+use scenarios::{no_isolation, standalone, Scale};
+use workloads::BullyIntensity;
+
+fn main() {
+    let scale = Scale::bench();
+    let seed = 42;
+    section("Fig 4a: query response latency (no isolation)");
+    let mut lat = latency_table();
+    let mut cpu = cpu_table();
+    for qps in [2_000.0, 4_000.0] {
+        let r = standalone(qps, seed, scale);
+        lat.row_owned(latency_row("standalone", qps, &r));
+        cpu.row_owned(cpu_row("standalone", qps, &r));
+    }
+    for qps in [2_000.0, 4_000.0] {
+        let r = no_isolation(BullyIntensity::Mid, qps, seed, scale);
+        lat.row_owned(latency_row("mid secondary (24 thr)", qps, &r));
+        cpu.row_owned(cpu_row("mid secondary (24 thr)", qps, &r));
+    }
+    for qps in [2_000.0, 4_000.0] {
+        let r = no_isolation(BullyIntensity::High, qps, seed, scale);
+        lat.row_owned(latency_row("high secondary (48 thr)", qps, &r));
+        cpu.row_owned(cpu_row("high secondary (48 thr)", qps, &r));
+    }
+    print!("{}", lat.render());
+    section("Fig 4b: CPU utilization");
+    print!("{}", cpu.render());
+    println!("\npaper: standalone p99 = 12 ms; mid p99 = 15-18 ms; high p99 = 349-354 ms (29x), 11-32% dropped");
+}

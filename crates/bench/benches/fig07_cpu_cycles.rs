@@ -1,0 +1,43 @@
+//! Figure 7 — statically restricting the secondary's CPU cycles (45 %,
+//! 25 %, 5 % of machine CPU) against a high CPU bully.
+//!
+//! Paper result (shape): cycle capping fails. Even 5 % causes visible
+//! degradation and ~1 % drops; at 45 % the latency difference reaches
+//! hundreds of milliseconds and up to ~50 % of queries drop. The mechanism:
+//! duty-cycle enforcement lets the bully occupy *all* cores at the start of
+//! every period, so freshly woken primary workers queue behind it — the
+//! cascade §6.1.4 describes.
+
+use perfiso_bench::{cpu_row, cpu_table, section};
+use scenarios::{cycle_cap, standalone, Scale};
+use telemetry::table::{ms, pct, Table};
+
+fn main() {
+    let scale = Scale::bench();
+    let seed = 42;
+    let base2k = standalone(2_000.0, seed, scale);
+    let base4k = standalone(4_000.0, seed, scale);
+
+    section("Fig 7a/7c: latency degradation and dropped queries (CPU-cycle caps)");
+    let mut lat =
+        Table::new(&["cycle cap", "qps", "d-p50 (ms)", "d-p95 (ms)", "d-p99 (ms)", "dropped"]);
+    let mut cpu = cpu_table();
+    for cap in [0.45, 0.25, 0.05] {
+        for (qps, base) in [(2_000.0, &base2k), (4_000.0, &base4k)] {
+            let r = cycle_cap(cap, qps, seed, scale);
+            lat.row_owned(vec![
+                format!("{:.0}%", cap * 100.0),
+                format!("{qps:.0}"),
+                ms(r.latency.p50.saturating_sub(base.latency.p50)),
+                ms(r.latency.p95.saturating_sub(base.latency.p95)),
+                ms(r.latency.p99.saturating_sub(base.latency.p99)),
+                pct(r.drop_ratio()),
+            ]);
+            cpu.row_owned(cpu_row(&format!("{:.0}% cycles", cap * 100.0), qps, &r));
+        }
+    }
+    print!("{}", lat.render());
+    section("Fig 7b: CPU utilization");
+    print!("{}", cpu.render());
+    println!("\npaper: cycle caps always drop queries (50% down to ~1%); even 5% degrades the tail");
+}

@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks for the PerfIso controller's hot path.
+//!
+//! Blind isolation polls "in a tight loop" (§4.1): the per-tick cost of
+//! reading the idle mask and computing the target set bounds how tight that
+//! loop can be. These benches measure the controller's decision latency and
+//! the DWRR bookkeeping, in isolation from the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perfiso::blind::BlindIsolation;
+use perfiso::dwrr::{DwrrConfig, DwrrThrottler, TenantIoConfig};
+use perfiso::system::IoTenant;
+use simcore::{CoreMask, SimRng};
+use std::hint::black_box;
+
+fn bench_blind_update(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blind_isolation");
+    g.bench_function("update_steady_state", |b| {
+        let mut blind = BlindIsolation::new(8, 48);
+        blind.update(CoreMask::all(48), CoreMask::EMPTY);
+        let idle = CoreMask::all(48).difference(blind.secondary());
+        b.iter(|| black_box(blind.update(black_box(idle), CoreMask::EMPTY)));
+    });
+    g.bench_function("update_oscillating", |b| {
+        let mut blind = BlindIsolation::new(8, 48);
+        let mut rng = SimRng::seed_from_u64(7);
+        b.iter(|| {
+            let idle = CoreMask(rng.next_u64()).intersection(CoreMask::all(48));
+            black_box(blind.update(black_box(idle), CoreMask::EMPTY))
+        });
+    });
+    g.finish();
+}
+
+fn bench_mask_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("core_mask");
+    let a = CoreMask::range(3, 37);
+    let m = CoreMask::all(48);
+    g.bench_function("take_highest", |b| b.iter(|| black_box(m.difference(a).take_highest(8))));
+    g.bench_function("count_iter", |b| {
+        b.iter(|| {
+            let mut n = 0u32;
+            for core in black_box(a).iter() {
+                n += core.0 as u32;
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+fn bench_dwrr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dwrr");
+    g.bench_function("observe_and_step_8_tenants", |b| {
+        let mut d = DwrrThrottler::new(DwrrConfig::default());
+        for i in 0..8 {
+            d.configure_tenant(
+                IoTenant(i),
+                TenantIoConfig { weight: 1.0 + i as f64, min_iops: 50.0 },
+            );
+        }
+        b.iter(|| {
+            d.observe(black_box(750.0));
+            black_box(d.step())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_blind_update, bench_mask_ops, bench_dwrr);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks for the simulation substrate.
+//!
+//! Event throughput of the DES engine and the machine scheduler bounds how
+//! much experiment the harness can afford; regressions here silently stretch
+//! every figure's runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simcore::{EventQueue, SimDuration, SimTime};
+use simcpu::programs::ComputeLoop;
+use simcpu::{CoreMask, Machine, MachineConfig};
+use std::hint::black_box;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use telemetry::TenantClass;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.bench_function("push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(1024);
+            for i in 0..1_000u64 {
+                q.push(SimTime::from_nanos((i * 7919) % 10_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine");
+    g.sample_size(20);
+    g.bench_function("advance_100ms_48core_busy", |b| {
+        b.iter(|| {
+            let mut m = Machine::with_seed(MachineConfig::paper_server(), 11);
+            let job = m.create_job(TenantClass::Secondary, CoreMask::all(48));
+            for i in 0..48 {
+                let p = Arc::new(AtomicU64::new(0));
+                m.spawn_thread(
+                    SimTime::ZERO,
+                    job,
+                    Box::new(ComputeLoop::new(SimDuration::from_micros(100), p)),
+                    i,
+                );
+            }
+            m.advance_to(SimTime::from_millis(100));
+            black_box(m.breakdown())
+        })
+    });
+    g.bench_function("idle_core_mask", |b| {
+        let mut m = Machine::with_seed(MachineConfig::paper_server(), 12);
+        let job = m.create_job(TenantClass::Primary, CoreMask::all(48));
+        for i in 0..20 {
+            let p = Arc::new(AtomicU64::new(0));
+            m.spawn_thread(
+                SimTime::ZERO,
+                job,
+                Box::new(ComputeLoop::new(SimDuration::from_millis(10), p)),
+                i,
+            );
+        }
+        b.iter(|| black_box(m.idle_core_mask()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_machine);
+criterion_main!(benches);

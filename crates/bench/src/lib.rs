@@ -1,0 +1,63 @@
+//! Shared formatting helpers for the benchmark harness.
+//!
+//! Each bench target (`benches/fig*.rs`) regenerates one table or figure
+//! from the paper's evaluation and prints it in a layout that can be read
+//! side-by-side with the original. See EXPERIMENTS.md for the mapping and
+//! the recorded paper-vs-measured comparison.
+
+use indexserve::BoxReport;
+use telemetry::table::{ms, pct, Table};
+use telemetry::TenantClass;
+
+/// Standard latency columns for a single-box report row.
+pub fn latency_row(label: &str, qps: f64, r: &BoxReport) -> Vec<String> {
+    vec![
+        label.to_string(),
+        format!("{qps:.0}"),
+        ms(r.latency.p50),
+        ms(r.latency.p95),
+        ms(r.latency.p99),
+        pct(r.drop_ratio()),
+    ]
+}
+
+/// Standard CPU-utilization columns for a single-box report row
+/// (primary/secondary/OS/idle, as in the paper's stacked bars).
+pub fn cpu_row(label: &str, qps: f64, r: &BoxReport) -> Vec<String> {
+    vec![
+        label.to_string(),
+        format!("{qps:.0}"),
+        pct(r.breakdown.fraction(TenantClass::Primary)),
+        pct(r.breakdown.fraction(TenantClass::Secondary)),
+        pct(r.breakdown.fraction(TenantClass::Os)),
+        pct(r.breakdown.idle_fraction()),
+    ]
+}
+
+/// A fresh latency table.
+pub fn latency_table() -> Table {
+    Table::new(&["case", "qps", "p50 (ms)", "p95 (ms)", "p99 (ms)", "dropped"])
+}
+
+/// A fresh CPU-utilization table.
+pub fn cpu_table() -> Table {
+    Table::new(&["case", "qps", "primary", "secondary", "os", "idle"])
+}
+
+/// Prints a bench section header.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_have_expected_columns() {
+        let t = latency_table();
+        assert!(t.render().contains("p99"));
+        let t = cpu_table();
+        assert!(t.render().contains("secondary"));
+    }
+}

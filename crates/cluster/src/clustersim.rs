@@ -1,0 +1,483 @@
+//! The 75-machine cluster simulation (Fig 9).
+
+use std::collections::HashMap;
+
+use indexserve::{BoxConfig, BoxEvent, BoxSim, SecondaryKind, ServiceConfig};
+use perfiso::PerfIsoConfig;
+use qtrace::{OpenLoopClient, QuerySpec, TraceConfig, TraceGenerator};
+use simcore::dist::{LogNormal, Sample};
+use simcore::{SimDuration, SimRng, SimTime};
+use simcpu::MachineConfig;
+use simnet::{NetConfig, NetSim, NodeId, TrafficClass};
+use telemetry::{CpuBreakdown, LatencyRecorder};
+
+use crate::report::{ClusterReport, LayerStats};
+use crate::topology::Topology;
+
+/// Cluster experiment configuration.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Cluster shape.
+    pub topology: Topology,
+    /// Per-index-machine hardware.
+    pub machine: MachineConfig,
+    /// Service model on each index machine.
+    pub service: ServiceConfig,
+    /// Secondary tenants on each index machine.
+    pub secondary: SecondaryKind,
+    /// PerfIso configuration per index machine.
+    pub perfiso: Option<PerfIsoConfig>,
+    /// Total offered load across the cluster (the paper uses 8 000 QPS,
+    /// landing ~4 000 QPS on each machine of each row).
+    pub qps_total: f64,
+    /// Warm-up excluded from statistics.
+    pub warmup: SimDuration,
+    /// Measured window.
+    pub measure: SimDuration,
+    /// Median MLA aggregation cost (runs on the MLA's machine and contends
+    /// with its colocated secondary).
+    pub mla_agg_cost_us: f64,
+    /// Fixed TLA processing cost per request (TLA machines run clean).
+    pub tla_cost: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// The paper's §5.3 setup with the given secondary.
+    pub fn paper_cluster(secondary: SecondaryKind, seed: u64) -> Self {
+        ClusterConfig {
+            topology: Topology::paper_cluster(),
+            machine: MachineConfig::paper_server(),
+            service: ServiceConfig::default(),
+            secondary,
+            perfiso: Some(PerfIsoConfig::paper_cluster()),
+            qps_total: 8_000.0,
+            warmup: SimDuration::from_millis(400),
+            measure: SimDuration::from_millis(1_200),
+            mla_agg_cost_us: 260.0,
+            tla_cost: SimDuration::from_micros(80),
+            seed,
+        }
+    }
+}
+
+const KIND_SHIFT: u32 = 60;
+const REQ_SHIFT: u32 = 16;
+const DROP_FLAG: u64 = 0x8000;
+
+fn msg_token(kind: u64, req: u64, aux: u64) -> u64 {
+    (kind << KIND_SHIFT) | (req << REQ_SHIFT) | aux
+}
+
+fn parse_token(token: u64) -> (u64, u64, u64) {
+    (
+        token >> KIND_SHIFT,
+        (token >> REQ_SHIFT) & ((1 << (KIND_SHIFT - REQ_SHIFT)) - 1),
+        token & 0xFFFF,
+    )
+}
+
+#[derive(Debug)]
+struct RequestState {
+    tla: u32,
+    tla_arrival: SimTime,
+    mla_arrival: SimTime,
+    row: u32,
+    mla_col: u32,
+    pending_cols: u32,
+    degraded: bool,
+    done: bool,
+    measured: bool,
+}
+
+/// The cluster simulator.
+pub struct ClusterSim {
+    cfg: ClusterConfig,
+    boxes: Vec<BoxSim>,
+    net: NetSim,
+    requests: Vec<RequestState>,
+    /// Per-box map from local query index to request id.
+    qmap: Vec<HashMap<u64, u64>>,
+    /// Specs awaiting fan-out deliveries, with a remaining-use count.
+    specs: HashMap<u64, (QuerySpec, u32)>,
+    rr_tla: u32,
+    rr_row: u32,
+    rr_mla: Vec<u32>,
+    agg_dist: LogNormal,
+    rng: SimRng,
+    local_lat: LatencyRecorder,
+    mla_lat: LatencyRecorder,
+    tla_lat: LatencyRecorder,
+    completed: u64,
+    degraded: u64,
+    now: SimTime,
+}
+
+impl ClusterSim {
+    /// Builds all machines and the fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid topology.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        cfg.topology.validate().expect("valid topology");
+        let n_index = cfg.topology.index_machines();
+        let boxes: Vec<BoxSim> = (0..n_index)
+            .map(|i| {
+                BoxSim::new(BoxConfig {
+                    machine: cfg.machine,
+                    service: cfg.service.clone(),
+                    secondary: cfg.secondary.clone(),
+                    perfiso: cfg.perfiso.clone(),
+                    seed: cfg.seed ^ (0x9E37 * (i as u64 + 1)),
+                })
+            })
+            .collect();
+        let net =
+            NetSim::new(NetConfig::default(), cfg.topology.total_machines(), cfg.seed ^ 0x7E7);
+        let qmap = (0..n_index).map(|_| HashMap::new()).collect();
+        ClusterSim {
+            agg_dist: LogNormal::from_median(cfg.mla_agg_cost_us, 0.4),
+            rr_mla: vec![0; cfg.topology.rows as usize],
+            boxes,
+            net,
+            requests: Vec::new(),
+            qmap,
+            specs: HashMap::new(),
+            rr_tla: 0,
+            rr_row: 0,
+            rng: SimRng::seed_from_u64(cfg.seed ^ 0xC1B5),
+            local_lat: LatencyRecorder::new(),
+            mla_lat: LatencyRecorder::new(),
+            tla_lat: LatencyRecorder::new(),
+            completed: 0,
+            degraded: 0,
+            now: SimTime::ZERO,
+            cfg,
+        }
+    }
+
+    /// Runs the experiment and produces the Fig 9-style report.
+    pub fn run(self) -> ClusterReport {
+        self.run_impl(None)
+    }
+
+    /// Like [`ClusterSim::run`] but reports loop progress to stderr every
+    /// `every` iterations (diagnostic aid).
+    pub fn run_traced(self, every: u64) -> ClusterReport {
+        self.run_impl(Some(every.max(1)))
+    }
+
+    fn run_impl(mut self, trace_every: Option<u64>) -> ClusterReport {
+        let total = self.cfg.warmup + self.cfg.measure;
+        let end = SimTime::ZERO + total;
+        let n_queries = (self.cfg.qps_total * total.as_secs_f64() * 1.02) as usize + 8;
+        let trace =
+            TraceGenerator::new(TraceConfig { queries: n_queries, ..TraceConfig::default() })
+                .generate(self.cfg.seed ^ 0x7ACE);
+        let mut client = OpenLoopClient::new(trace, self.cfg.qps_total, self.cfg.seed ^ 0xC1);
+
+        let mut warm_bd: Option<Vec<CpuBreakdown>> = None;
+        let warmup_end = SimTime::ZERO + self.cfg.warmup;
+        let mut iters = 0u64;
+
+        loop {
+            let mut t = client.next_arrival_time().unwrap_or(SimTime::MAX);
+            if let Some(n) = self.next_any_event() {
+                t = t.min(n);
+            }
+            if t > end || t == SimTime::MAX {
+                break;
+            }
+            if warm_bd.is_none() && t >= warmup_end {
+                warm_bd = Some(self.boxes.iter().map(|b| b.breakdown()).collect());
+            }
+            self.now = t;
+            while client.next_arrival_time() == Some(t) {
+                let (_, spec) = client.pop().expect("peeked");
+                self.on_client_arrival(t, spec);
+            }
+            self.step_components(t);
+            iters += 1;
+            if let Some(every) = trace_every {
+                if iters % every == 0 {
+                    let box_next: Vec<String> = self
+                        .boxes
+                        .iter()
+                        .map(|b| format!("{:?}", b.next_event_time()))
+                        .collect();
+                    eprintln!(
+                        "main loop: iter={iters} now={t} completed={} arrival={:?} net={:?} boxes={:?}",
+                        self.completed,
+                        client.next_arrival_time(),
+                        self.net.next_timer_at(),
+                        box_next
+                    );
+                }
+            }
+        }
+
+        // Drain the tail: requests in flight resolve within one timeout.
+        let drain_until = end + self.cfg.service.timeout + SimDuration::from_millis(50);
+        while let Some(t) = self.next_any_event().filter(|&t| t <= drain_until) {
+            self.now = t;
+            self.step_components(t);
+            iters += 1;
+            if let Some(every) = trace_every {
+                if iters % every == 0 {
+                    eprintln!("drain loop: iter={iters} now={t} completed={}", self.completed);
+                }
+            }
+        }
+
+        let warm = warm_bd.unwrap_or_else(|| self.boxes.iter().map(|b| b.breakdown()).collect());
+        let mut agg = CpuBreakdown::default();
+        for (b, w) in self.boxes.iter().zip(warm.iter()) {
+            agg.merge(&b.breakdown().since(w));
+        }
+        ClusterReport {
+            local: LayerStats::from_recorder(&mut self.local_lat),
+            mla: LayerStats::from_recorder(&mut self.mla_lat),
+            tla: LayerStats::from_recorder(&mut self.tla_lat),
+            completed: self.completed,
+            degraded: self.degraded,
+            mean_utilization: agg.utilization(),
+            breakdown: agg,
+        }
+    }
+
+    /// Advances network and boxes to `t` and routes everything due.
+    fn step_components(&mut self, t: SimTime) {
+        self.net.advance_to(t);
+        let deliveries = self.net.drain_deliveries();
+        for d in deliveries {
+            self.on_delivery(t, d.to, d.token);
+        }
+        for i in 0..self.boxes.len() {
+            if self.boxes[i].next_event_time().is_some_and(|n| n <= t) {
+                self.boxes[i].advance_to(t);
+                self.drain_box(i, t);
+            }
+        }
+    }
+
+    fn next_any_event(&self) -> Option<SimTime> {
+        let mut t: Option<SimTime> = self.net.next_timer_at();
+        for b in &self.boxes {
+            if let Some(n) = b.next_event_time() {
+                t = Some(t.map_or(n, |x: SimTime| x.min(n)));
+            }
+        }
+        t
+    }
+
+    fn on_client_arrival(&mut self, now: SimTime, spec: QuerySpec) {
+        let topo = self.cfg.topology;
+        let tla = self.rr_tla % topo.tlas;
+        self.rr_tla += 1;
+        let row = self.rr_row % topo.rows;
+        self.rr_row += 1;
+        let mla_col = self.rr_mla[row as usize] % topo.columns;
+        self.rr_mla[row as usize] += 1;
+
+        let req = self.requests.len() as u64;
+        self.requests.push(RequestState {
+            tla,
+            tla_arrival: now,
+            mla_arrival: SimTime::ZERO,
+            row,
+            mla_col,
+            pending_cols: topo.columns,
+            degraded: false,
+            done: false,
+            measured: now >= SimTime::ZERO + self.cfg.warmup,
+        });
+        // One use at the MLA plus one per remote column.
+        self.specs.insert(req, (spec, topo.columns));
+        self.net.send(
+            now + self.cfg.tla_cost,
+            topo.tla_node(tla),
+            topo.index_node(row, mla_col),
+            1 << 10,
+            TrafficClass::High,
+            msg_token(1, req, 0),
+        );
+    }
+
+    fn take_spec(&mut self, req: u64) -> QuerySpec {
+        let entry = self.specs.get_mut(&req).expect("spec recorded");
+        entry.1 -= 1;
+        if entry.1 == 0 {
+            self.specs.remove(&req).expect("present").0
+        } else {
+            entry.0.clone()
+        }
+    }
+
+    fn on_delivery(&mut self, now: SimTime, to: NodeId, token: u64) {
+        let (kind, req, aux) = parse_token(token);
+        let topo = self.cfg.topology;
+        match kind {
+            // TLA → MLA: fan out to every column of the row.
+            1 => {
+                let (row, _) = topo.index_position(to).expect("MLA is an index machine");
+                self.requests[req as usize].mla_arrival = now;
+                for col in 0..topo.columns {
+                    let node = topo.index_node(row, col);
+                    if node == to {
+                        let spec = self.take_spec(req);
+                        let flat = topo.index_flat(row, col);
+                        let qidx = self.boxes[flat].inject_query(now, spec);
+                        self.qmap[flat].insert(qidx, req);
+                        self.drain_box(flat, now);
+                    } else {
+                        self.net.send(
+                            now,
+                            to,
+                            node,
+                            512,
+                            TrafficClass::High,
+                            msg_token(2, req, col as u64),
+                        );
+                    }
+                }
+            }
+            // MLA → column: process the query locally.
+            2 => {
+                let spec = self.take_spec(req);
+                let (row, col) = topo.index_position(to).expect("column is an index machine");
+                let flat = topo.index_flat(row, col);
+                let qidx = self.boxes[flat].inject_query(now, spec);
+                self.qmap[flat].insert(qidx, req);
+                self.drain_box(flat, now);
+            }
+            // Column → MLA: one shard response.
+            3 => {
+                let dropped = aux & DROP_FLAG != 0;
+                let (pending, row, mla_col) = {
+                    let r = &mut self.requests[req as usize];
+                    if dropped {
+                        r.degraded = true;
+                    }
+                    r.pending_cols = r.pending_cols.saturating_sub(1);
+                    (r.pending_cols, r.row, r.mla_col)
+                };
+                if pending == 0 && !self.requests[req as usize].done {
+                    let cost = SimDuration::from_micros_f64(self.agg_dist.sample(&mut self.rng));
+                    let flat = topo.index_flat(row, mla_col);
+                    self.boxes[flat].spawn_primary_aux(now, cost, req);
+                    self.drain_box(flat, now);
+                }
+            }
+            // MLA → TLA: the response is ready after the TLA's own cost.
+            4 => {
+                let done_at = now + self.cfg.tla_cost;
+                let r = &mut self.requests[req as usize];
+                r.done = true;
+                self.completed += 1;
+                if r.degraded {
+                    self.degraded += 1;
+                }
+                if r.measured {
+                    self.tla_lat.record(done_at.since(r.tla_arrival));
+                }
+            }
+            _ => unreachable!("unknown message kind {kind}"),
+        }
+    }
+
+    /// Drains one box's events and routes them.
+    fn drain_box(&mut self, flat: usize, now: SimTime) {
+        let topo = self.cfg.topology;
+        let events = self.boxes[flat].drain_events();
+        for ev in events {
+            match ev {
+                BoxEvent::QueryDone(out) => {
+                    let Some(req) = self.qmap[flat].remove(&out.qidx) else { continue };
+                    let (measured, row, mla_col) = {
+                        let r = &self.requests[req as usize];
+                        (r.measured, r.row, r.mla_col)
+                    };
+                    if measured {
+                        if out.dropped {
+                            self.local_lat.record_dropped();
+                        } else {
+                            self.local_lat.record(out.latency);
+                        }
+                    }
+                    let mla = topo.index_node(row, mla_col);
+                    let from = NodeId(flat as u32);
+                    let aux = if out.dropped { DROP_FLAG } else { 0 };
+                    self.net.send(now, from, mla, 2 << 10, TrafficClass::High, msg_token(3, req, aux));
+                }
+                BoxEvent::AuxDone(req) => {
+                    let (measured, mla_arrival, row, mla_col, tla) = {
+                        let r = &self.requests[req as usize];
+                        (r.measured, r.mla_arrival, r.row, r.mla_col, r.tla)
+                    };
+                    if measured {
+                        self.mla_lat.record(now.since(mla_arrival));
+                    }
+                    let mla = topo.index_node(row, mla_col);
+                    self.net.send(
+                        now,
+                        mla,
+                        topo.tla_node(tla),
+                        4 << 10,
+                        TrafficClass::High,
+                        msg_token(4, req, 0),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(secondary: SecondaryKind, seed: u64) -> ClusterConfig {
+        ClusterConfig {
+            topology: Topology::small(),
+            qps_total: 600.0,
+            warmup: SimDuration::from_millis(200),
+            measure: SimDuration::from_millis(600),
+            ..ClusterConfig::paper_cluster(secondary, seed)
+        }
+    }
+
+    #[test]
+    fn small_cluster_completes_requests() {
+        let report = ClusterSim::new(small_config(SecondaryKind::none(), 3)).run();
+        assert!(report.completed > 300, "completed {}", report.completed);
+        assert_eq!(report.degraded, 0, "no drops in an idle cluster");
+        // Layering: local <= MLA <= TLA on averages.
+        assert!(report.mla.avg >= report.local.avg);
+        assert!(report.tla.avg >= report.mla.avg);
+        assert!(report.tla.p99 < SimDuration::from_millis(60), "tla p99 {}", report.tla.p99);
+    }
+
+    #[test]
+    fn blind_isolation_holds_in_cluster() {
+        let base = ClusterSim::new(small_config(SecondaryKind::none(), 5)).run();
+        let colo = ClusterSim::new(small_config(
+            SecondaryKind {
+                cpu_bully: Some(workloads::BullyIntensity::High),
+                disk_bully: None,
+                hdfs: true,
+            },
+            5,
+        ))
+        .run();
+        let degr = colo.tla.p99.saturating_sub(base.tla.p99);
+        assert!(
+            degr < SimDuration::from_millis(4),
+            "cluster TLA p99 degradation {degr} (colo {} vs base {})",
+            colo.tla.p99,
+            base.tla.p99
+        );
+        assert!(colo.mean_utilization > base.mean_utilization + 0.2);
+    }
+}

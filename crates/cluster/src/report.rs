@@ -1,0 +1,63 @@
+//! Cluster measurement reports.
+
+use simcore::SimDuration;
+use telemetry::recorder::PercentileSummary;
+use telemetry::{CpuBreakdown, LatencyRecorder};
+
+/// Latency statistics for one aggregation layer (Fig 9's bar groups).
+#[derive(Clone, Debug, Default)]
+pub struct LayerStats {
+    /// Average latency.
+    pub avg: SimDuration,
+    /// 95th percentile.
+    pub p95: SimDuration,
+    /// 99th percentile.
+    pub p99: SimDuration,
+    /// Sample count.
+    pub count: u64,
+}
+
+impl LayerStats {
+    /// Builds layer stats from a recorder.
+    pub fn from_recorder(r: &mut LatencyRecorder) -> Self {
+        let s: PercentileSummary = r.summary();
+        LayerStats { avg: s.mean, p95: s.p95, p99: s.p99, count: s.count }
+    }
+}
+
+/// One cluster run's measurements.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterReport {
+    /// Local IndexServe latency across all index machines.
+    pub local: LayerStats,
+    /// Mid-level aggregator latency (MLA receipt → response sent).
+    pub mla: LayerStats,
+    /// Top-level aggregator latency (TLA receipt → response ready).
+    pub tla: LayerStats,
+    /// Requests completed end-to-end.
+    pub completed: u64,
+    /// Requests that lost at least one column to a timeout.
+    pub degraded: u64,
+    /// Mean CPU utilization across index machines.
+    pub mean_utilization: f64,
+    /// Mean CPU breakdown across index machines.
+    pub breakdown: CpuBreakdown,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimDuration;
+
+    #[test]
+    fn layer_stats_from_recorder() {
+        let mut r = LatencyRecorder::new();
+        for i in 1..=100u64 {
+            r.record(SimDuration::from_millis(i));
+        }
+        let s = LayerStats::from_recorder(&mut r);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p99.as_millis(), 99);
+        assert!(s.avg > SimDuration::from_millis(49));
+    }
+}

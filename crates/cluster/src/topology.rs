@@ -1,0 +1,116 @@
+//! The cluster layout: rows, columns, TLAs, and node numbering.
+
+use serde::{Deserialize, Serialize};
+use simnet::NodeId;
+
+/// The cluster shape (paper default: 22 columns × 2 rows + 31 TLAs = 75).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Topology {
+    /// Index partitions per row.
+    pub columns: u32,
+    /// Replicated rows.
+    pub rows: u32,
+    /// Top-level aggregator machines.
+    pub tlas: u32,
+}
+
+impl Topology {
+    /// The paper's 75-machine cluster.
+    pub fn paper_cluster() -> Self {
+        Topology { columns: 22, rows: 2, tlas: 31 }
+    }
+
+    /// A small topology for tests.
+    pub fn small() -> Self {
+        Topology { columns: 4, rows: 2, tlas: 2 }
+    }
+
+    /// Validates the shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for degenerate shapes.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.columns == 0 || self.rows == 0 || self.tlas == 0 {
+            return Err("topology needs at least one column, row, and TLA".into());
+        }
+        Ok(())
+    }
+
+    /// Total index-serving machines.
+    pub fn index_machines(&self) -> u32 {
+        self.columns * self.rows
+    }
+
+    /// Total machines (index + TLA).
+    pub fn total_machines(&self) -> u32 {
+        self.index_machines() + self.tlas
+    }
+
+    /// Network node id of the index machine at `(row, column)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn index_node(&self, row: u32, column: u32) -> NodeId {
+        assert!(row < self.rows && column < self.columns, "({row},{column}) out of range");
+        NodeId(row * self.columns + column)
+    }
+
+    /// Network node id of TLA machine `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn tla_node(&self, t: u32) -> NodeId {
+        assert!(t < self.tlas, "tla {t} out of range");
+        NodeId(self.index_machines() + t)
+    }
+
+    /// Reverse lookup: `(row, column)` of an index node id.
+    pub fn index_position(&self, node: NodeId) -> Option<(u32, u32)> {
+        if node.0 < self.index_machines() {
+            Some((node.0 / self.columns, node.0 % self.columns))
+        } else {
+            None
+        }
+    }
+
+    /// Index-machine flat id (0-based over all index machines).
+    pub fn index_flat(&self, row: u32, column: u32) -> usize {
+        (row * self.columns + column) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_is_75_machines() {
+        let t = Topology::paper_cluster();
+        assert_eq!(t.index_machines(), 44);
+        assert_eq!(t.total_machines(), 75);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn node_numbering_roundtrip() {
+        let t = Topology::paper_cluster();
+        for row in 0..t.rows {
+            for col in 0..t.columns {
+                let n = t.index_node(row, col);
+                assert_eq!(t.index_position(n), Some((row, col)));
+            }
+        }
+        assert_eq!(t.index_position(t.tla_node(0)), None);
+        assert_eq!(t.tla_node(30).0, 74);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_position_panics() {
+        let t = Topology::small();
+        let _ = t.index_node(5, 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Deficit-weighted round-robin I/O throttling (§4.1).
+//!
+//! The OS reports only *per-device* I/O statistics, so PerfIso cannot read
+//! any process's consumption directly. Instead it estimates each process's
+//! fair *demand* share of the measured device IOPS from configured weights,
+//! computes a *deficit* against the process's guaranteed minimum, and nudges
+//! I/O priorities accordingly. From the paper, with `w_i^t` the weight of
+//! process `i` and `curr^t` the device IOPS measured at time `t`:
+//!
+//! ```text
+//! D_i^t   = Σ_{t'=t−Δ..t}  w_i^{t'} · curr^{t'} / Σ_j w_j^{t'}
+//! Def_i^t = (curr^t − min(lim_i, D_i^t)) / min(lim_i, D_i^t)
+//! ```
+//!
+//! A large positive deficit means the drive is serving far more traffic
+//! than process `i`'s guaranteed share — `i` is being crowded out and its
+//! priority is raised; a negative deficit lowers it.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::system::IoTenant;
+
+/// Static DWRR parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DwrrConfig {
+    /// Number of samples in the moving-average window Δ.
+    pub window: usize,
+    /// Raise priority when the deficit exceeds this.
+    pub raise_threshold: f64,
+    /// Lower priority when the deficit falls below this.
+    pub lower_threshold: f64,
+}
+
+impl Default for DwrrConfig {
+    fn default() -> Self {
+        DwrrConfig { window: 10, raise_threshold: 0.5, lower_threshold: -0.25 }
+    }
+}
+
+/// Per-tenant DWRR configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TenantIoConfig {
+    /// Scheduling weight (higher priority ⇒ larger weight).
+    pub weight: f64,
+    /// Guaranteed minimum IOPS (`lim_i`).
+    pub min_iops: f64,
+}
+
+#[derive(Clone, Debug, Default)]
+struct TenantState {
+    cfg: Option<TenantIoConfig>,
+    /// Window of per-sample demand terms `w_i · curr / Σw`.
+    demand_terms: VecDeque<f64>,
+}
+
+/// A priority adjustment decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrioAdjust {
+    /// Raise the tenant's priority one step.
+    Raise,
+    /// Lower the tenant's priority one step.
+    Lower,
+    /// Leave it unchanged.
+    Hold,
+}
+
+/// The DWRR throttling controller.
+///
+/// # Examples
+///
+/// ```
+/// use perfiso::dwrr::{DwrrConfig, DwrrThrottler, TenantIoConfig};
+/// use perfiso::system::IoTenant;
+///
+/// let mut d = DwrrThrottler::new(DwrrConfig::default());
+/// d.configure_tenant(IoTenant(1), TenantIoConfig { weight: 1.0, min_iops: 100.0 });
+/// d.observe(400.0);
+/// assert!((d.demand(IoTenant(1)) - 400.0).abs() < 1e-9); // sole tenant: full share
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DwrrThrottler {
+    cfg: DwrrConfig,
+    tenants: BTreeMap<IoTenant, TenantState>,
+    last_curr: f64,
+}
+
+impl DwrrThrottler {
+    /// Creates a throttler.
+    pub fn new(cfg: DwrrConfig) -> Self {
+        DwrrThrottler { cfg, tenants: BTreeMap::new(), last_curr: 0.0 }
+    }
+
+    /// Registers or reconfigures a tenant.
+    pub fn configure_tenant(&mut self, tenant: IoTenant, cfg: TenantIoConfig) {
+        let st = self.tenants.entry(tenant).or_default();
+        st.cfg = Some(cfg);
+    }
+
+    /// Removes a tenant.
+    pub fn remove_tenant(&mut self, tenant: IoTenant) {
+        self.tenants.remove(&tenant);
+    }
+
+    /// Managed tenants.
+    pub fn tenants(&self) -> Vec<IoTenant> {
+        self.tenants.keys().copied().collect()
+    }
+
+    /// Feeds one per-device IOPS sample (`curr^t`), updating every tenant's
+    /// demand window.
+    pub fn observe(&mut self, curr_iops: f64) {
+        self.last_curr = curr_iops.max(0.0);
+        let total_weight: f64 =
+            self.tenants.values().filter_map(|t| t.cfg.map(|c| c.weight)).sum();
+        if total_weight <= 0.0 {
+            return;
+        }
+        let window = self.cfg.window;
+        for st in self.tenants.values_mut() {
+            let Some(cfg) = st.cfg else { continue };
+            let term = cfg.weight * self.last_curr / total_weight;
+            st.demand_terms.push_back(term);
+            while st.demand_terms.len() > window {
+                st.demand_terms.pop_front();
+            }
+        }
+    }
+
+    /// The accumulated demand `D_i^t` over the window.
+    pub fn demand(&self, tenant: IoTenant) -> f64 {
+        self.tenants
+            .get(&tenant)
+            .map(|t| t.demand_terms.iter().sum())
+            .unwrap_or(0.0)
+    }
+
+    /// The deficit `Def_i^t` given the latest `curr` sample.
+    ///
+    /// Returns 0 for unknown or unconfigured tenants, and when the guarantee
+    /// floor is zero (no meaningful ratio).
+    pub fn deficit(&self, tenant: IoTenant) -> f64 {
+        let Some(st) = self.tenants.get(&tenant) else { return 0.0 };
+        let Some(cfg) = st.cfg else { return 0.0 };
+        let d: f64 = st.demand_terms.iter().sum();
+        let floor = cfg.min_iops.min(d);
+        if floor <= 0.0 {
+            return 0.0;
+        }
+        (self.last_curr - floor) / floor
+    }
+
+    /// One controller step: the per-tenant priority adjustments.
+    pub fn step(&self) -> Vec<(IoTenant, PrioAdjust)> {
+        self.tenants
+            .keys()
+            .map(|&t| {
+                let def = self.deficit(t);
+                let adj = if def > self.cfg.raise_threshold {
+                    PrioAdjust::Raise
+                } else if def < self.cfg.lower_threshold {
+                    PrioAdjust::Lower
+                } else {
+                    PrioAdjust::Hold
+                };
+                (t, adj)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(weight: f64, min_iops: f64) -> TenantIoConfig {
+        TenantIoConfig { weight, min_iops }
+    }
+
+    #[test]
+    fn demand_is_weighted_share_over_window() {
+        let mut d = DwrrThrottler::new(DwrrConfig { window: 3, ..Default::default() });
+        d.configure_tenant(IoTenant(1), cfg(1.0, 50.0));
+        d.configure_tenant(IoTenant(2), cfg(3.0, 50.0));
+        d.observe(100.0);
+        d.observe(200.0);
+        // D_1 = (1/4)*100 + (1/4)*200 = 75 ; D_2 = (3/4)*300 = 225.
+        assert!((d.demand(IoTenant(1)) - 75.0).abs() < 1e-9);
+        assert!((d.demand(IoTenant(2)) - 225.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut d = DwrrThrottler::new(DwrrConfig { window: 2, ..Default::default() });
+        d.configure_tenant(IoTenant(1), cfg(1.0, 50.0));
+        d.observe(100.0);
+        d.observe(100.0);
+        d.observe(100.0);
+        // Only the last 2 samples count.
+        assert!((d.demand(IoTenant(1)) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deficit_formula_matches_paper() {
+        let mut d = DwrrThrottler::new(DwrrConfig { window: 10, ..Default::default() });
+        d.configure_tenant(IoTenant(1), cfg(1.0, 100.0));
+        d.observe(400.0);
+        // D_1 = 400 (sole tenant); floor = min(lim=100, D=400) = 100.
+        // Def = (400 - 100) / 100 = 3.
+        assert!((d.deficit(IoTenant(1)) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deficit_uses_demand_when_below_limit() {
+        let mut d = DwrrThrottler::new(DwrrConfig { window: 10, ..Default::default() });
+        d.configure_tenant(IoTenant(1), cfg(1.0, 1_000.0));
+        d.observe(50.0);
+        // D = 50 < lim: floor = 50, Def = (50 - 50)/50 = 0.
+        assert!(d.deficit(IoTenant(1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crowded_out_tenant_gets_raised() {
+        let mut d = DwrrThrottler::new(DwrrConfig::default());
+        d.configure_tenant(IoTenant(1), cfg(1.0, 100.0));
+        d.configure_tenant(IoTenant(2), cfg(10.0, 1_000.0));
+        for _ in 0..10 {
+            d.observe(2_000.0);
+        }
+        let steps: BTreeMap<IoTenant, PrioAdjust> = d.step().into_iter().collect();
+        // Tenant 1's floor is its 100-IOPS guarantee while the drive does
+        // 2000: strongly positive deficit => raise.
+        assert_eq!(steps[&IoTenant(1)], PrioAdjust::Raise);
+    }
+
+    #[test]
+    fn idle_device_holds_priorities() {
+        let mut d = DwrrThrottler::new(DwrrConfig::default());
+        d.configure_tenant(IoTenant(1), cfg(1.0, 100.0));
+        d.observe(0.0);
+        assert_eq!(d.step()[0].1, PrioAdjust::Hold);
+    }
+
+    #[test]
+    fn unknown_tenant_is_zero() {
+        let d = DwrrThrottler::new(DwrrConfig::default());
+        assert_eq!(d.demand(IoTenant(9)), 0.0);
+        assert_eq!(d.deficit(IoTenant(9)), 0.0);
+    }
+
+    #[test]
+    fn remove_tenant_stops_tracking() {
+        let mut d = DwrrThrottler::new(DwrrConfig::default());
+        d.configure_tenant(IoTenant(1), cfg(1.0, 10.0));
+        d.observe(100.0);
+        d.remove_tenant(IoTenant(1));
+        assert!(d.tenants().is_empty());
+        assert_eq!(d.demand(IoTenant(1)), 0.0);
+    }
+}

@@ -1,0 +1,354 @@
+//! Real-Linux backend for the PerfIso controller (feature `host`).
+//!
+//! The paper implements PerfIso as a Windows user-mode service on top of
+//! Job Objects and the idle-core system call. On Linux the same controller
+//! logic maps to:
+//!
+//! - **idle-core sensing** — sampling `/proc/stat` per-CPU counters; a core
+//!   whose busy jiffies did not advance between two samples is idle. This is
+//!   coarser than the Windows syscall (jiffy granularity), which is exactly
+//!   the kind of OS-portability wrinkle the paper's black-box design
+//!   tolerates: the controller only consumes a [`CoreMask`].
+//! - **affinity actuation** — `sched_setaffinity(2)` on every PID of the
+//!   secondary job (PIDs come from the Autopilot-style registry).
+//! - **memory sensing** — `/proc/meminfo`.
+//!
+//! The [`HostSystem`] here implements the sensing half and per-PID affinity
+//! actuation; cycle caps and I/O priorities would map to cgroup v2
+//! `cpu.max` and `ioprio_set(2)` and are reported as unsupported no-ops so
+//! the daemon degrades gracefully on locked-down hosts.
+
+use std::collections::HashMap;
+
+use simcore::{CoreId, CoreMask};
+
+use crate::system::{IoLimit, IoTenant, IoTenantStats, SystemInterface};
+
+/// One CPU's cumulative busy jiffies parsed from `/proc/stat`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CpuSample {
+    /// CPU index.
+    pub cpu: u32,
+    /// Busy jiffies (user + nice + system + irq + softirq + steal).
+    pub busy: u64,
+    /// Idle jiffies (idle + iowait).
+    pub idle: u64,
+}
+
+/// Parses `/proc/stat` content into per-CPU samples.
+///
+/// Unknown lines are skipped; the aggregate `cpu ` line is ignored.
+pub fn parse_proc_stat(content: &str) -> Vec<CpuSample> {
+    let mut out = Vec::new();
+    for line in content.lines() {
+        let Some(rest) = line.strip_prefix("cpu") else { continue };
+        // The aggregate "cpu " line has no index digit; skip it.
+        if !rest.starts_with(|c: char| c.is_ascii_digit()) {
+            continue;
+        }
+        let mut fields = rest.split_whitespace();
+        let Some(first) = fields.next() else { continue };
+        let Ok(cpu) = first.parse::<u32>() else { continue };
+        let vals: Vec<u64> = fields.filter_map(|f| f.parse().ok()).collect();
+        if vals.len() < 7 {
+            continue;
+        }
+        // user nice system idle iowait irq softirq [steal ...]
+        let busy = vals[0] + vals[1] + vals[2] + vals[5] + vals[6] + vals.get(7).unwrap_or(&0);
+        let idle = vals[3] + vals[4];
+        out.push(CpuSample { cpu, busy, idle });
+    }
+    out
+}
+
+/// Derives the idle-core mask from two consecutive `/proc/stat` samples: a
+/// core is idle if its busy counter did not advance.
+pub fn idle_mask_from_samples(prev: &[CpuSample], curr: &[CpuSample]) -> CoreMask {
+    let prev_map: HashMap<u32, u64> = prev.iter().map(|s| (s.cpu, s.busy)).collect();
+    let mut mask = CoreMask::EMPTY;
+    for s in curr {
+        if s.cpu >= 64 {
+            continue;
+        }
+        match prev_map.get(&s.cpu) {
+            Some(&b) if s.busy == b => mask = mask.with(CoreId(s.cpu as u16)),
+            None => {}
+            _ => {}
+        }
+    }
+    mask
+}
+
+/// Parses `MemTotal`/`MemAvailable` (bytes) from `/proc/meminfo` content.
+pub fn parse_meminfo(content: &str) -> Option<(u64, u64)> {
+    let mut total = None;
+    let mut available = None;
+    for line in content.lines() {
+        let mut it = line.split_whitespace();
+        match it.next()? {
+            "MemTotal:" => total = it.next()?.parse::<u64>().ok().map(|kb| kb * 1024),
+            "MemAvailable:" => available = it.next()?.parse::<u64>().ok().map(|kb| kb * 1024),
+            _ => {}
+        }
+        if total.is_some() && available.is_some() {
+            break;
+        }
+    }
+    Some((total?, available?))
+}
+
+/// Sets the CPU affinity of one process via `sched_setaffinity(2)`.
+///
+/// # Errors
+///
+/// Returns the OS error on failure (e.g. permission, dead PID).
+#[cfg(target_os = "linux")]
+pub fn set_pid_affinity(pid: i32, mask: CoreMask) -> std::io::Result<()> {
+    // SAFETY: cpu_set_t is a plain bitset; zeroed is a valid empty set.
+    let mut set: libc::cpu_set_t = unsafe { std::mem::zeroed() };
+    for core in mask.iter() {
+        // SAFETY: CPU_SET writes within the fixed-size set for ids < CPU_SETSIZE.
+        unsafe { libc::CPU_SET(core.0 as usize, &mut set) };
+    }
+    // SAFETY: set is a valid cpu_set_t and the size argument matches.
+    let rc = unsafe {
+        libc::sched_setaffinity(pid, std::mem::size_of::<libc::cpu_set_t>(), &set)
+    };
+    if rc == 0 {
+        Ok(())
+    } else {
+        Err(std::io::Error::last_os_error())
+    }
+}
+
+/// Reads the CPU affinity of one process via `sched_getaffinity(2)`.
+///
+/// # Errors
+///
+/// Returns the OS error on failure.
+#[cfg(target_os = "linux")]
+pub fn get_pid_affinity(pid: i32) -> std::io::Result<CoreMask> {
+    // SAFETY: zeroed cpu_set_t is a valid out-parameter.
+    let mut set: libc::cpu_set_t = unsafe { std::mem::zeroed() };
+    // SAFETY: set is valid and the size matches.
+    let rc = unsafe {
+        libc::sched_getaffinity(pid, std::mem::size_of::<libc::cpu_set_t>(), &mut set)
+    };
+    if rc != 0 {
+        return Err(std::io::Error::last_os_error());
+    }
+    let mut mask = CoreMask::EMPTY;
+    for i in 0..64u16 {
+        // SAFETY: CPU_ISSET reads within the fixed-size set.
+        if unsafe { libc::CPU_ISSET(i as usize, &set) } {
+            mask = mask.with(CoreId(i));
+        }
+    }
+    Ok(mask)
+}
+
+/// A [`SystemInterface`] over a live Linux host.
+///
+/// Secondary PIDs are supplied by the caller (in production: the Autopilot
+/// registry). Idle-core sensing samples `/proc/stat` on each call.
+#[cfg(target_os = "linux")]
+pub struct HostSystem {
+    cores: u32,
+    secondary_pids: Vec<i32>,
+    last_sample: Vec<CpuSample>,
+    applied_affinity: CoreMask,
+}
+
+#[cfg(target_os = "linux")]
+impl HostSystem {
+    /// Creates a host backend managing the given secondary PIDs.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `/proc/stat` is unreadable.
+    pub fn new(secondary_pids: Vec<i32>) -> std::io::Result<Self> {
+        let stat = std::fs::read_to_string("/proc/stat")?;
+        let sample = parse_proc_stat(&stat);
+        let cores = (sample.len() as u32).clamp(1, 64);
+        Ok(HostSystem {
+            cores,
+            secondary_pids,
+            last_sample: sample,
+            applied_affinity: CoreMask::all(cores),
+        })
+    }
+
+    /// Replaces the managed PID set (service churn).
+    pub fn set_secondary_pids(&mut self, pids: Vec<i32>) {
+        self.secondary_pids = pids;
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl SystemInterface for HostSystem {
+    fn total_cores(&self) -> u32 {
+        self.cores
+    }
+
+    fn idle_cores(&mut self) -> CoreMask {
+        let Ok(stat) = std::fs::read_to_string("/proc/stat") else {
+            return CoreMask::EMPTY;
+        };
+        let curr = parse_proc_stat(&stat);
+        let mask = idle_mask_from_samples(&self.last_sample, &curr);
+        self.last_sample = curr;
+        mask
+    }
+
+    fn set_secondary_affinity(&mut self, mask: CoreMask) {
+        // An empty mask is not settable on Linux; park on the highest core.
+        let effective = if mask.is_empty() {
+            CoreMask::all(self.cores).take_highest(1)
+        } else {
+            mask
+        };
+        for &pid in &self.secondary_pids {
+            // Dead PIDs are expected under task churn; ignore failures.
+            let _ = set_pid_affinity(pid, effective);
+        }
+        self.applied_affinity = mask;
+    }
+
+    fn secondary_affinity(&self) -> CoreMask {
+        self.applied_affinity
+    }
+
+    fn set_secondary_cycle_cap(&mut self, _cap: Option<f64>) {
+        // Would map to cgroup v2 `cpu.max`; not required for blind isolation.
+    }
+
+    fn memory_total(&self) -> u64 {
+        std::fs::read_to_string("/proc/meminfo")
+            .ok()
+            .and_then(|s| parse_meminfo(&s))
+            .map(|(t, _)| t)
+            .unwrap_or(0)
+    }
+
+    fn memory_used(&self) -> u64 {
+        std::fs::read_to_string("/proc/meminfo")
+            .ok()
+            .and_then(|s| parse_meminfo(&s))
+            .map(|(t, a)| t.saturating_sub(a))
+            .unwrap_or(0)
+    }
+
+    fn secondary_memory_used(&self) -> u64 {
+        // Would sum /proc/<pid>/smaps_rollup; refinement left to deployments.
+        0
+    }
+
+    fn kill_secondary_processes(&mut self) {
+        for &pid in &self.secondary_pids {
+            // SAFETY: plain kill(2) call; failure (ESRCH/EPERM) is ignored.
+            unsafe {
+                libc::kill(pid, libc::SIGKILL);
+            }
+        }
+    }
+
+    fn io_tenants(&self) -> Vec<IoTenant> {
+        Vec::new()
+    }
+
+    fn io_stats(&mut self, _tenant: IoTenant) -> IoTenantStats {
+        IoTenantStats::default()
+    }
+
+    fn shared_volume_iops(&mut self) -> f64 {
+        // Would parse /proc/diskstats; not needed for CPU-only deployments.
+        0.0
+    }
+
+    fn set_io_priority(&mut self, _tenant: IoTenant, _priority: u8) {}
+
+    fn io_priority(&self, _tenant: IoTenant) -> u8 {
+        0
+    }
+
+    fn set_io_limit(&mut self, _tenant: IoTenant, _limit: Option<IoLimit>) {}
+
+    fn set_egress_low_rate(&mut self, _rate: Option<u64>) {
+        // Would map to tc/HTB or eBPF shaping.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE_STAT: &str = "\
+cpu  100 0 100 1000 10 5 5 0 0 0
+cpu0 50 0 50 500 5 3 2 0 0 0
+cpu1 50 0 50 500 5 2 3 0 0 0
+intr 12345
+ctxt 999
+";
+
+    #[test]
+    fn parses_per_cpu_lines_only() {
+        let s = parse_proc_stat(SAMPLE_STAT);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].cpu, 0);
+        assert_eq!(s[0].busy, 50 + 0 + 50 + 3 + 2 + 0);
+        assert_eq!(s[0].idle, 505);
+    }
+
+    #[test]
+    fn idle_mask_detects_stalled_counters() {
+        let prev = parse_proc_stat(SAMPLE_STAT);
+        let mut curr = prev.clone();
+        curr[1].busy += 10; // cpu1 did work; cpu0 idle.
+        let mask = idle_mask_from_samples(&prev, &curr);
+        assert!(mask.contains(CoreId(0)));
+        assert!(!mask.contains(CoreId(1)));
+    }
+
+    #[test]
+    fn meminfo_parses_bytes() {
+        let content = "MemTotal:       16384 kB\nMemFree:        1024 kB\nMemAvailable:   8192 kB\n";
+        let (total, avail) = parse_meminfo(content).unwrap();
+        assert_eq!(total, 16384 * 1024);
+        assert_eq!(avail, 8192 * 1024);
+    }
+
+    #[test]
+    fn meminfo_missing_fields_is_none() {
+        assert!(parse_meminfo("MemTotal: 1 kB\n").is_none());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn live_proc_stat_parses() {
+        let stat = std::fs::read_to_string("/proc/stat").unwrap();
+        let samples = parse_proc_stat(&stat);
+        assert!(!samples.is_empty());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn own_affinity_roundtrip() {
+        // PID 0 = calling thread. Read, narrow to one core, restore.
+        let original = get_pid_affinity(0).unwrap();
+        assert!(!original.is_empty());
+        let one = original.take_lowest(1);
+        set_pid_affinity(0, one).unwrap();
+        assert_eq!(get_pid_affinity(0).unwrap(), one);
+        set_pid_affinity(0, original).unwrap();
+        assert_eq!(get_pid_affinity(0).unwrap(), original);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn host_system_senses() {
+        let mut h = HostSystem::new(vec![]).unwrap();
+        assert!(h.total_cores() >= 1);
+        let _ = h.idle_cores();
+        assert!(h.memory_total() > 0);
+    }
+}

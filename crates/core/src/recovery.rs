@@ -1,0 +1,119 @@
+//! Crash recovery (§4.2).
+//!
+//! "PerfIso is fully recoverable, since all parameters are stored in the
+//! cluster-wide configuration files. In the event of a crash, Autopilot
+//! will bring it up again, and PerfIso will resume its function by loading
+//! its state from disk." The snapshot carries the dynamic state (current
+//! secondary mask, enablement, I/O priorities); static parameters re-arrive
+//! via configuration.
+
+use std::io::Write;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use simcore::CoreMask;
+
+/// The dynamic controller state persisted across crashes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ControllerState {
+    /// Kill-switch state: whether isolation is active.
+    pub enabled: bool,
+    /// The secondary core set at snapshot time.
+    pub secondary_mask: CoreMask,
+    /// Per-tenant I/O priorities `(tenant id, priority)`.
+    pub io_priorities: Vec<(u32, u8)>,
+}
+
+impl ControllerState {
+    /// Serialises to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialisation failures.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Deserialises from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse failures.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Writes the snapshot atomically (write-then-rename) to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and serialisation failures.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let json = self.to_json().map_err(std::io::Error::other)?;
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(json.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads a snapshot from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and parse failures.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let data = std::fs::read_to_string(path)?;
+        Self::from_json(&data).map_err(std::io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ControllerState {
+        ControllerState {
+            enabled: true,
+            secondary_mask: CoreMask::range(8, 48),
+            io_priorities: vec![(1, 2), (2, 5)],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let s = sample();
+        let j = s.to_json().unwrap();
+        let back = ControllerState::from_json(&j).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("perfiso-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.json");
+        let s = sample();
+        s.save(&path).unwrap();
+        let back = ControllerState::load(&path).unwrap();
+        assert_eq!(back, s);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_file_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("perfiso-test-c-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.json");
+        std::fs::write(&path, "not json").unwrap();
+        assert!(ControllerState::load(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(ControllerState::load(Path::new("/nonexistent/perfiso.json")).is_err());
+    }
+}

@@ -1,0 +1,959 @@
+//! The single-machine simulation driver.
+//!
+//! Composes one production server exactly as §5.2–5.3 describes it: a
+//! 48-logical-core machine, a striped SSD volume exclusive to IndexServe, a
+//! striped HDD volume shared between primary logging and secondary batch
+//! I/O, the IndexServe service, optional secondary tenants (CPU bully, disk
+//! bully, HDFS traffic), and the PerfIso controller polling on its own
+//! timers.
+//!
+//! [`BoxSim`] is an embeddable component (the cluster simulator runs 44 of
+//! them); [`run_standalone`] wraps it with an open-loop client and produces
+//! the per-figure measurements.
+
+use perfiso::controller::ControllerStats;
+use perfiso::system::{IoLimit, IoTenant, IoTenantStats, SystemInterface};
+use perfiso::{PerfIso, PerfIsoConfig};
+use qtrace::{OpenLoopClient, QuerySpec, TraceConfig, TraceGenerator};
+use simcore::{CoreMask, EventQueue, SimDuration, SimRng, SimTime};
+use simcpu::machine::MachineStats;
+use simcpu::{CpuRateQuota, JobId, Machine, MachineConfig, MachineOutput, ThreadId};
+use simdisk::{AccessPattern, DiskSim, IoKind, IoPriority, OwnerId, RateLimit, VolumeId, VolumeSpec};
+use telemetry::recorder::PercentileSummary;
+use telemetry::{CpuBreakdown, LatencyRecorder, TenantClass};
+use workloads::cpu_bully::{CpuBully, CpuBullyHandle};
+use workloads::disk_bully::{DiskBully, DISK_BULLY_TAG_BASE};
+use workloads::hdfs::{HdfsCpuProgram, HdfsNode, HDFS_TAG_BASE};
+use workloads::BullyIntensity;
+
+use crate::service::{IndexServe, QueryOutcome, ServiceConfig};
+use crate::tags::{parse_stage_tag, parse_wake_token, wake_token, FIRE_AND_FORGET};
+
+/// Which secondary tenants run on the box.
+#[derive(Clone, Debug, Default)]
+pub struct SecondaryKind {
+    /// A CPU bully with the given intensity.
+    pub cpu_bully: Option<BullyIntensity>,
+    /// A DiskSPD-style disk bully on the shared HDD volume.
+    pub disk_bully: Option<DiskBully>,
+    /// HDFS DataNode + client traffic (always present on cluster machines).
+    pub hdfs: bool,
+}
+
+impl SecondaryKind {
+    /// No secondary at all (the standalone baseline).
+    pub fn none() -> Self {
+        SecondaryKind::default()
+    }
+
+    /// Just a CPU bully.
+    pub fn cpu(intensity: BullyIntensity) -> Self {
+        SecondaryKind { cpu_bully: Some(intensity), ..Default::default() }
+    }
+
+    /// Just a disk bully.
+    pub fn disk(bully: DiskBully) -> Self {
+        SecondaryKind { disk_bully: Some(bully), ..Default::default() }
+    }
+}
+
+/// Full configuration of one simulated box.
+#[derive(Clone, Debug)]
+pub struct BoxConfig {
+    /// Machine parameters.
+    pub machine: MachineConfig,
+    /// Service-model parameters.
+    pub service: ServiceConfig,
+    /// Secondary tenants.
+    pub secondary: SecondaryKind,
+    /// PerfIso configuration (`None` = controller absent; note that
+    /// "no isolation" is expressed as a *policy*, not by omitting the
+    /// controller, so kill-switch experiments can toggle it).
+    pub perfiso: Option<PerfIsoConfig>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BoxConfig {
+    /// The paper's server with the given secondary and PerfIso config.
+    pub fn paper_box(secondary: SecondaryKind, perfiso: Option<PerfIsoConfig>, seed: u64) -> Self {
+        BoxConfig {
+            machine: MachineConfig::paper_server(),
+            service: ServiceConfig::default(),
+            secondary,
+            perfiso,
+            seed,
+        }
+    }
+}
+
+/// Events a [`BoxSim`] reports to its embedder.
+#[derive(Clone, Copy, Debug)]
+pub enum BoxEvent {
+    /// A query finished (successfully or dropped).
+    QueryDone(QueryOutcome),
+    /// An auxiliary primary thread (see [`BoxSim::spawn_primary_aux`])
+    /// finished; carries the user value from [`crate::tags::aux_tag`].
+    AuxDone(u64),
+}
+
+#[derive(Debug)]
+enum AppEvent {
+    Timeout(u64),
+    CpuPoll,
+    IoPoll,
+    MemPoll,
+    HdfsReplication,
+    HdfsClient,
+}
+
+/// I/O owner table for the shared HDD volume.
+#[derive(Clone, Copy, Debug)]
+struct Owners {
+    primary_log: OwnerId,
+    disk_bully: OwnerId,
+    hdfs_repl: OwnerId,
+    hdfs_client: OwnerId,
+}
+
+/// One simulated production server.
+pub struct BoxSim {
+    cfg: BoxConfig,
+    machine: Machine,
+    disk: DiskSim,
+    ssd: VolumeId,
+    hdd: VolumeId,
+    service: IndexServe,
+    primary_job: JobId,
+    secondary_job: JobId,
+    owners: Owners,
+    controller: Option<PerfIso>,
+    app: EventQueue<AppEvent>,
+    bully: Option<CpuBullyHandle>,
+    hdfs_repl: HdfsNode,
+    hdfs_client: HdfsNode,
+    rng: SimRng,
+    events: Vec<BoxEvent>,
+    now: SimTime,
+    secondary_killed: bool,
+    /// Tracks secondary threads for kill-on-memory-pressure.
+    secondary_tids: Vec<ThreadId>,
+}
+
+impl BoxSim {
+    /// Builds the box, spawns secondaries, installs PerfIso, and arms the
+    /// poll timers.
+    pub fn new(cfg: BoxConfig) -> Self {
+        let mut machine = Machine::with_seed(cfg.machine, cfg.seed);
+        let mut disk = DiskSim::new(cfg.seed ^ 0xD15C);
+        let ssd = disk.add_volume(VolumeSpec::paper_ssd_volume());
+        let hdd = disk.add_volume(VolumeSpec::paper_hdd_volume());
+        let total = CoreMask::all(cfg.machine.cores);
+        let primary_job = machine.create_job(TenantClass::Primary, total);
+        let secondary_job = machine.create_job(TenantClass::Secondary, total);
+        // IndexServe's fixed working set: index cache + process overhead.
+        machine.set_job_memory(primary_job, 110 * (1 << 30) + (6 << 30));
+
+        let owners = Owners {
+            primary_log: disk.register_owner(IoPriority::HIGH),
+            disk_bully: disk.register_owner(IoPriority::LOW),
+            hdfs_repl: disk.register_owner(IoPriority::LOW),
+            hdfs_client: disk.register_owner(IoPriority::LOW),
+        };
+        let service = IndexServe::new(cfg.service.clone(), primary_job, cfg.seed ^ 0x5E47);
+        let mut rng = SimRng::seed_from_u64(cfg.seed ^ 0xB0);
+        let mut app = EventQueue::with_capacity(256);
+
+        let mut sim = BoxSim {
+            cfg: cfg.clone(),
+            machine,
+            disk,
+            ssd,
+            hdd,
+            service,
+            primary_job,
+            secondary_job,
+            owners,
+            controller: None,
+            app: EventQueue::new(),
+            bully: None,
+            hdfs_repl: HdfsNode::replication(),
+            hdfs_client: HdfsNode::client(),
+            rng: SimRng::seed_from_u64(cfg.seed ^ 0xB1),
+            events: Vec::new(),
+            now: SimTime::ZERO,
+            secondary_killed: false,
+            secondary_tids: Vec::new(),
+        };
+
+        // Secondary tenants.
+        if let Some(intensity) = cfg.secondary.cpu_bully {
+            let bully = CpuBully::new(intensity, cfg.machine.cores);
+            let handle = bully.spawn(&mut sim.machine, sim.secondary_job, SimTime::ZERO);
+            sim.secondary_tids.extend(handle.tids.iter().copied());
+            sim.bully = Some(handle);
+            sim.machine.set_job_memory(sim.secondary_job, 2 << 30);
+        }
+        if let Some(db) = &cfg.secondary.disk_bully {
+            for i in 0..db.depth {
+                let tid = sim.machine.spawn_thread(
+                    SimTime::ZERO,
+                    sim.secondary_job,
+                    Box::new(db.worker_program(i)),
+                    DISK_BULLY_TAG_BASE + i as u64,
+                );
+                sim.secondary_tids.push(tid);
+            }
+        }
+        if cfg.secondary.hdfs {
+            // Daemon CPU footprint: two duty-cycle threads ≈ a few percent.
+            for i in 0..2 {
+                let tid = sim.machine.spawn_thread(
+                    SimTime::ZERO,
+                    sim.secondary_job,
+                    Box::new(HdfsCpuProgram::new(0.6)),
+                    HDFS_TAG_BASE + i,
+                );
+                sim.secondary_tids.push(tid);
+            }
+            let (t1, _) = sim.hdfs_repl.next_submission(SimTime::ZERO, &mut rng);
+            let (t2, _) = sim.hdfs_client.next_submission(SimTime::ZERO, &mut rng);
+            app.push(t1, AppEvent::HdfsReplication);
+            app.push(t2, AppEvent::HdfsClient);
+        }
+
+        // PerfIso.
+        if let Some(pcfg) = &cfg.perfiso {
+            let mut ctl = PerfIso::new(pcfg.clone());
+            {
+                let mut sys = SysAdapter {
+                    now: SimTime::ZERO,
+                    machine: &mut sim.machine,
+                    disk: &mut sim.disk,
+                    hdd: sim.hdd,
+                    secondary_job: sim.secondary_job,
+                    owners: sim.owners,
+                    secondary_tids: &mut sim.secondary_tids,
+                    secondary_killed: &mut sim.secondary_killed,
+                };
+                ctl.install(&mut sys);
+                // Register the batch I/O tenants for DWRR + static caps.
+                ctl.register_io_tenant(
+                    &mut sys,
+                    IoTenant(0),
+                    perfiso::TenantIoConfig { weight: 1.0, min_iops: 50.0 },
+                    None,
+                    IoPriority::LOW.0,
+                );
+                ctl.register_io_tenant(
+                    &mut sys,
+                    IoTenant(1),
+                    perfiso::TenantIoConfig { weight: 1.0, min_iops: 20.0 },
+                    Some(IoLimit { bytes_per_sec: Some(20 << 20), iops: None }),
+                    IoPriority::LOW.0,
+                );
+                ctl.register_io_tenant(
+                    &mut sys,
+                    IoTenant(2),
+                    perfiso::TenantIoConfig { weight: 2.0, min_iops: 40.0 },
+                    Some(IoLimit { bytes_per_sec: Some(60 << 20), iops: None }),
+                    IoPriority::LOW.0,
+                );
+            }
+            app.push(SimTime::ZERO + pcfg.cpu_poll_interval, AppEvent::CpuPoll);
+            app.push(SimTime::ZERO + pcfg.io_poll_interval, AppEvent::IoPoll);
+            app.push(SimTime::ZERO + pcfg.memory_poll_interval, AppEvent::MemPoll);
+            sim.controller = Some(ctl);
+        }
+        sim.app = app;
+        sim.rng = rng;
+        sim
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The service instance (for inspection).
+    pub fn service(&self) -> &IndexServe {
+        &self.service
+    }
+
+    /// The primary tenant's job id on the machine.
+    pub fn primary_job(&self) -> JobId {
+        self.primary_job
+    }
+
+    /// The secondary tenants' job id on the machine.
+    pub fn secondary_job(&self) -> JobId {
+        self.secondary_job
+    }
+
+    /// CPU breakdown so far (including in-flight slices).
+    pub fn breakdown(&self) -> CpuBreakdown {
+        self.machine.breakdown()
+    }
+
+    /// Secondary job CPU time (covers every secondary workload).
+    pub fn secondary_cpu_time(&self) -> SimDuration {
+        self.machine.job_cpu_time(self.secondary_job)
+    }
+
+    /// Machine scheduler counters.
+    pub fn machine_stats(&self) -> MachineStats {
+        self.machine.stats()
+    }
+
+    /// Controller counters, when PerfIso runs.
+    pub fn controller_stats(&self) -> Option<ControllerStats> {
+        self.controller.as_ref().map(|c| c.stats)
+    }
+
+    /// Issues a runtime command to the controller (kill switch etc.).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no controller is installed.
+    pub fn controller_command(&mut self, cmd: perfiso::Command) {
+        let mut ctl = self.controller.take().expect("no controller installed");
+        {
+            let mut sys = SysAdapter {
+                now: self.now,
+                machine: &mut self.machine,
+                disk: &mut self.disk,
+                hdd: self.hdd,
+                secondary_job: self.secondary_job,
+                owners: self.owners,
+                secondary_tids: &mut self.secondary_tids,
+                secondary_killed: &mut self.secondary_killed,
+            };
+            ctl.command(cmd, &mut sys);
+        }
+        self.controller = Some(ctl);
+    }
+
+    /// Whether the memory watchdog killed the secondary.
+    pub fn secondary_killed(&self) -> bool {
+        self.secondary_killed
+    }
+
+    /// Snapshots the controller's dynamic state for crash recovery (§4.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no controller is installed.
+    pub fn controller_snapshot(&mut self) -> perfiso::recovery::ControllerState {
+        let ctl = self.controller.take().expect("no controller installed");
+        let state = {
+            let sys = SysAdapter {
+                now: self.now,
+                machine: &mut self.machine,
+                disk: &mut self.disk,
+                hdd: self.hdd,
+                secondary_job: self.secondary_job,
+                owners: self.owners,
+                secondary_tids: &mut self.secondary_tids,
+                secondary_killed: &mut self.secondary_killed,
+            };
+            ctl.snapshot(&sys)
+        };
+        self.controller = Some(ctl);
+        state
+    }
+
+    /// Replaces the controller with a freshly constructed one (simulating a
+    /// crash-restart under Autopilot) and restores the given dynamic state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the box was built without a PerfIso configuration.
+    pub fn controller_restart_with(&mut self, state: &perfiso::recovery::ControllerState) {
+        let pcfg = self.cfg.perfiso.clone().expect("no PerfIso configuration");
+        let mut ctl = PerfIso::new(pcfg);
+        {
+            let mut sys = SysAdapter {
+                now: self.now,
+                machine: &mut self.machine,
+                disk: &mut self.disk,
+                hdd: self.hdd,
+                secondary_job: self.secondary_job,
+                owners: self.owners,
+                secondary_tids: &mut self.secondary_tids,
+                secondary_killed: &mut self.secondary_killed,
+            };
+            ctl.install(&mut sys);
+            ctl.restore(state, &mut sys);
+        }
+        self.controller = Some(ctl);
+    }
+
+    /// Mutable access to the machine plus the secondary job id, for
+    /// spawning custom secondary workloads (e.g. the fleet experiment's ML
+    /// trainer).
+    pub fn secondary_spawn_access(&mut self) -> (&mut Machine, JobId) {
+        (&mut self.machine, self.secondary_job)
+    }
+
+    /// Registers externally spawned secondary threads so kill actions
+    /// (memory watchdog) cover them.
+    pub fn track_secondary_threads(&mut self, tids: &[ThreadId]) {
+        self.secondary_tids.extend_from_slice(tids);
+    }
+
+    /// Declares the secondary job's memory footprint (for watchdog tests).
+    pub fn set_secondary_memory(&mut self, bytes: u64) {
+        self.machine.set_job_memory(self.secondary_job, bytes);
+    }
+
+    /// Injects a query arriving now; schedules its deadline. Returns the
+    /// box-local query index echoed in [`BoxEvent::QueryDone`].
+    pub fn inject_query(&mut self, now: SimTime, spec: QuerySpec) -> u64 {
+        self.advance_to(now);
+        let qidx = self.service.on_arrival(now, spec, &mut self.machine);
+        self.app.push(now + self.cfg.service.timeout, AppEvent::Timeout(qidx));
+        self.settle();
+        qidx
+    }
+
+    /// Spawns an auxiliary primary-tenant compute thread (MLA aggregation
+    /// work); [`BoxEvent::AuxDone`] fires with `user` when it completes.
+    ///
+    /// The thread contends for CPU exactly like IndexServe's own threads,
+    /// so colocated bullies degrade aggregation latency too — the effect
+    /// the paper measures at the MLA layer (Fig 9).
+    pub fn spawn_primary_aux(&mut self, now: SimTime, compute: SimDuration, user: u64) {
+        self.advance_to(now);
+        self.machine.spawn_thread(
+            now,
+            self.primary_job,
+            Box::new(simcpu::programs::ComputeOnce::new(compute)),
+            crate::tags::aux_tag(user),
+        );
+        self.settle();
+    }
+
+    /// Takes accumulated events.
+    pub fn drain_events(&mut self) -> Vec<BoxEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Time of the next internal event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        let mut next: Option<SimTime> = None;
+        for cand in
+            [self.machine.next_timer_at(), self.disk.next_timer_at(), self.app.peek_time()]
+        {
+            if let Some(c) = cand {
+                next = Some(next.map_or(c, |n: SimTime| n.min(c)));
+            }
+        }
+        next
+    }
+
+    /// Advances virtual time to `t`, processing everything due.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "time went backwards");
+        loop {
+            let Some(next) = self.next_event_time().filter(|&n| n <= t) else { break };
+            self.now = next;
+            self.machine.advance_to(next);
+            self.disk.advance_to(next);
+            while let Some(at) = self.app.peek_time() {
+                if at > next {
+                    break;
+                }
+                let (_, ev) = self.app.pop().expect("peeked");
+                self.handle_app_event(ev);
+            }
+            self.settle();
+        }
+        self.now = t;
+        self.machine.advance_to(t);
+        self.disk.advance_to(t);
+        self.settle();
+    }
+
+    /// Routes machine outputs and disk completions until quiescent at the
+    /// current instant.
+    fn settle(&mut self) {
+        loop {
+            let outs = self.machine.drain_outputs();
+            let comps = self.disk.drain_completions();
+            if outs.is_empty() && comps.is_empty() {
+                break;
+            }
+            for o in outs {
+                self.route_machine_output(o);
+            }
+            for c in comps {
+                if let Some(tid) = parse_wake_token(c.token) {
+                    self.machine.wake(self.now, tid);
+                }
+            }
+            // Collect service outcomes produced by routing.
+            for outcome in self.service.drain_outcomes() {
+                if !outcome.dropped {
+                    // Asynchronous query log on the shared HDD volume.
+                    self.disk.submit(
+                        self.now,
+                        self.hdd,
+                        self.owners.primary_log,
+                        IoKind::Write,
+                        self.cfg.service.log_write_bytes,
+                        AccessPattern::Sequential,
+                        FIRE_AND_FORGET,
+                    );
+                }
+                self.events.push(BoxEvent::QueryDone(outcome));
+            }
+        }
+    }
+
+    fn route_machine_output(&mut self, out: MachineOutput) {
+        match out {
+            MachineOutput::ThreadBlocked { tid, tag, .. } => {
+                if parse_stage_tag(tag).is_some() {
+                    // Primary index read on the exclusive SSD volume.
+                    self.disk.submit(
+                        self.now,
+                        self.ssd,
+                        self.owners.primary_log, // same process identity
+                        IoKind::Read,
+                        self.cfg.service.index_read_bytes,
+                        AccessPattern::Random,
+                        wake_token(tid),
+                    );
+                } else if tag >= DISK_BULLY_TAG_BASE && tag < DISK_BULLY_TAG_BASE + (1 << 16) {
+                    let op = self
+                        .cfg
+                        .secondary
+                        .disk_bully
+                        .as_ref()
+                        .expect("disk bully configured")
+                        .sample_op(&mut self.rng);
+                    self.disk.submit(
+                        self.now,
+                        self.hdd,
+                        self.owners.disk_bully,
+                        op.kind,
+                        op.bytes,
+                        op.access,
+                        wake_token(tid),
+                    );
+                } else {
+                    // Unknown blocker: wake immediately rather than hang.
+                    self.machine.wake(self.now, tid);
+                }
+            }
+            MachineOutput::ThreadExited { tag, .. } => {
+                if let Some((stage, qidx, _)) = parse_stage_tag(tag) {
+                    self.service.on_stage_exited(self.now, stage, qidx, &mut self.machine);
+                } else if let Some(user) = crate::tags::parse_aux_tag(tag) {
+                    self.events.push(BoxEvent::AuxDone(user));
+                }
+                // Secondary exits need no routing.
+            }
+        }
+    }
+
+    fn handle_app_event(&mut self, ev: AppEvent) {
+        match ev {
+            AppEvent::Timeout(qidx) => {
+                self.service.on_timeout(self.now, qidx, &mut self.machine);
+            }
+            AppEvent::CpuPoll => {
+                self.with_controller(|ctl, sys, now| {
+                    ctl.poll_cpu(now, sys);
+                });
+                if let Some(p) = self.cfg.perfiso.as_ref() {
+                    self.app.push(self.now + p.cpu_poll_interval, AppEvent::CpuPoll);
+                }
+            }
+            AppEvent::IoPoll => {
+                self.with_controller(|ctl, sys, now| {
+                    ctl.poll_io(now, sys);
+                });
+                if let Some(p) = self.cfg.perfiso.as_ref() {
+                    self.app.push(self.now + p.io_poll_interval, AppEvent::IoPoll);
+                }
+            }
+            AppEvent::MemPoll => {
+                self.with_controller(|ctl, sys, now| {
+                    ctl.poll_memory(now, sys);
+                });
+                if let Some(p) = self.cfg.perfiso.as_ref() {
+                    self.app.push(self.now + p.memory_poll_interval, AppEvent::MemPoll);
+                }
+            }
+            AppEvent::HdfsReplication => {
+                let (next, op) = self.hdfs_repl.next_submission(self.now, &mut self.rng);
+                self.disk.submit(
+                    self.now,
+                    self.hdd,
+                    self.owners.hdfs_repl,
+                    op.kind,
+                    op.bytes,
+                    op.access,
+                    FIRE_AND_FORGET,
+                );
+                self.app.push(next, AppEvent::HdfsReplication);
+            }
+            AppEvent::HdfsClient => {
+                let (next, op) = self.hdfs_client.next_submission(self.now, &mut self.rng);
+                self.disk.submit(
+                    self.now,
+                    self.hdd,
+                    self.owners.hdfs_client,
+                    op.kind,
+                    op.bytes,
+                    op.access,
+                    FIRE_AND_FORGET,
+                );
+                self.app.push(next, AppEvent::HdfsClient);
+            }
+        }
+    }
+
+    fn with_controller(
+        &mut self,
+        f: impl FnOnce(&mut PerfIso, &mut SysAdapter<'_>, SimTime),
+    ) {
+        let Some(mut ctl) = self.controller.take() else { return };
+        {
+            let mut sys = SysAdapter {
+                now: self.now,
+                machine: &mut self.machine,
+                disk: &mut self.disk,
+                hdd: self.hdd,
+                secondary_job: self.secondary_job,
+                owners: self.owners,
+                secondary_tids: &mut self.secondary_tids,
+                secondary_killed: &mut self.secondary_killed,
+            };
+            f(&mut ctl, &mut sys, self.now);
+        }
+        self.controller = Some(ctl);
+    }
+}
+
+/// The [`SystemInterface`] over a simulated box.
+struct SysAdapter<'a> {
+    now: SimTime,
+    machine: &'a mut Machine,
+    disk: &'a mut DiskSim,
+    hdd: VolumeId,
+    secondary_job: JobId,
+    owners: Owners,
+    secondary_tids: &'a mut Vec<ThreadId>,
+    secondary_killed: &'a mut bool,
+}
+
+impl SysAdapter<'_> {
+    fn owner_of(&self, tenant: IoTenant) -> OwnerId {
+        match tenant.0 {
+            0 => self.owners.disk_bully,
+            1 => self.owners.hdfs_repl,
+            _ => self.owners.hdfs_client,
+        }
+    }
+}
+
+impl SystemInterface for SysAdapter<'_> {
+    fn total_cores(&self) -> u32 {
+        self.machine.config().cores
+    }
+
+    fn idle_cores(&mut self) -> CoreMask {
+        self.machine.idle_core_mask()
+    }
+
+    fn set_secondary_affinity(&mut self, mask: CoreMask) {
+        self.machine.set_job_affinity(self.now, self.secondary_job, mask);
+    }
+
+    fn secondary_affinity(&self) -> CoreMask {
+        self.machine.job_affinity(self.secondary_job)
+    }
+
+    fn set_secondary_cycle_cap(&mut self, cap: Option<f64>) {
+        let quota = cap.map(|c| CpuRateQuota::percent(c * 100.0));
+        self.machine.set_job_quota(self.now, self.secondary_job, quota);
+    }
+
+    fn memory_total(&self) -> u64 {
+        self.machine.memory_total()
+    }
+
+    fn memory_used(&self) -> u64 {
+        self.machine.memory_used()
+    }
+
+    fn secondary_memory_used(&self) -> u64 {
+        self.machine.job_memory(self.secondary_job)
+    }
+
+    fn kill_secondary_processes(&mut self) {
+        for tid in self.secondary_tids.drain(..) {
+            self.machine.kill_thread(self.now, tid);
+        }
+        self.machine.set_job_memory(self.secondary_job, 0);
+        *self.secondary_killed = true;
+    }
+
+    fn io_tenants(&self) -> Vec<IoTenant> {
+        vec![IoTenant(0), IoTenant(1), IoTenant(2)]
+    }
+
+    fn io_stats(&mut self, tenant: IoTenant) -> IoTenantStats {
+        let owner = self.owner_of(tenant);
+        let s = self.disk.owner_stats(self.now, owner);
+        IoTenantStats { window_iops: s.window_iops, window_bytes_per_sec: s.window_bytes_per_sec }
+    }
+
+    fn shared_volume_iops(&mut self) -> f64 {
+        self.disk.volume_iops(self.now, self.hdd)
+    }
+
+    fn set_io_priority(&mut self, tenant: IoTenant, priority: u8) {
+        let owner = self.owner_of(tenant);
+        self.disk.set_owner_priority(owner, IoPriority(priority.min(7)));
+    }
+
+    fn io_priority(&self, tenant: IoTenant) -> u8 {
+        self.disk.owner_priority(self.owner_of(tenant)).0
+    }
+
+    fn set_io_limit(&mut self, tenant: IoTenant, limit: Option<IoLimit>) {
+        let owner = self.owner_of(tenant);
+        self.disk.set_owner_limit(
+            self.now,
+            owner,
+            limit.map(|l| RateLimit { bytes_per_sec: l.bytes_per_sec, iops: l.iops }),
+        );
+    }
+
+    fn set_egress_low_rate(&mut self, _rate: Option<u64>) {
+        // Single-box runs have no network; the cluster simulator applies
+        // egress caps on its NetSim.
+    }
+}
+
+/// The replay plan for a standalone run.
+#[derive(Clone, Debug)]
+pub struct RunPlan {
+    /// Offered load in queries/second.
+    pub qps: f64,
+    /// Warm-up period excluded from statistics.
+    pub warmup: SimDuration,
+    /// Measured period.
+    pub measure: SimDuration,
+    /// Trace-generation parameters (the query count is derived).
+    pub trace: TraceConfig,
+}
+
+impl RunPlan {
+    /// A plan replaying at `qps` for the given measured duration after a
+    /// proportional warm-up.
+    pub fn at_qps(qps: f64, measure: SimDuration) -> Self {
+        RunPlan {
+            qps,
+            warmup: SimDuration::from_millis(500),
+            measure,
+            trace: TraceConfig::default(),
+        }
+    }
+}
+
+/// What a standalone run measured (one bar group of a paper figure).
+#[derive(Clone, Debug)]
+pub struct BoxReport {
+    /// Offered load.
+    pub qps: f64,
+    /// Completed-query latency statistics (measured window only).
+    pub latency: PercentileSummary,
+    /// CPU breakdown over the measured window.
+    pub breakdown: CpuBreakdown,
+    /// Secondary CPU time over the measured window — the "absolute
+    /// progress" of the batch job (a pure-compute bully's progress is
+    /// proportional to its CPU time).
+    pub secondary_cpu: SimDuration,
+    /// Fan-out workers spawned per query on average.
+    pub avg_fanout: f64,
+    /// Machine scheduler counters (whole run).
+    pub machine: MachineStats,
+    /// Controller counters, when PerfIso ran.
+    pub controller: Option<ControllerStats>,
+}
+
+impl BoxReport {
+    /// Drop ratio over the measured window.
+    pub fn drop_ratio(&self) -> f64 {
+        self.latency.drop_ratio()
+    }
+}
+
+/// Runs one standalone single-box experiment.
+pub fn run_standalone(cfg: BoxConfig, plan: &RunPlan) -> BoxReport {
+    let total = plan.warmup + plan.measure;
+    let n_queries = (plan.qps * total.as_secs_f64() * 1.05) as usize + 16;
+    let trace = TraceGenerator::new(TraceConfig { queries: n_queries, ..plan.trace.clone() })
+        .generate(cfg.seed ^ 0x7ACE);
+    let mut client = OpenLoopClient::new(trace, plan.qps, cfg.seed ^ 0xC1);
+    let mut sim = BoxSim::new(cfg);
+
+    let warmup_end = SimTime::ZERO + plan.warmup;
+    let end = SimTime::ZERO + total;
+    let mut recorder = LatencyRecorder::new();
+    let mut warm_snapshot: Option<(CpuBreakdown, SimDuration)> = None;
+    let mut queries_measured = 0u64;
+    let mut workers_at_warm = 0u64;
+
+    let record_events = |sim: &mut BoxSim, recorder: &mut LatencyRecorder| {
+        for ev in sim.drain_events() {
+            if let BoxEvent::QueryDone(out) = ev {
+                if out.arrival >= warmup_end {
+                    if out.dropped {
+                        recorder.record_dropped();
+                    } else {
+                        recorder.record(out.latency);
+                    }
+                }
+            }
+        }
+    };
+
+    while let Some(at) = client.next_arrival_time() {
+        if at > end {
+            break;
+        }
+        if warm_snapshot.is_none() && at >= warmup_end {
+            sim.advance_to(warmup_end);
+            record_events(&mut sim, &mut recorder);
+            warm_snapshot = Some((sim.breakdown(), sim.secondary_cpu_time()));
+            workers_at_warm = sim.service().workers_spawned;
+        }
+        let (_, spec) = client.pop().expect("peeked");
+        sim.inject_query(at, spec);
+        record_events(&mut sim, &mut recorder);
+        if at >= warmup_end {
+            queries_measured += 1;
+        }
+    }
+    if warm_snapshot.is_none() {
+        sim.advance_to(warmup_end);
+        record_events(&mut sim, &mut recorder);
+        warm_snapshot = Some((sim.breakdown(), sim.secondary_cpu_time()));
+        workers_at_warm = sim.service().workers_spawned;
+    }
+    // Let the tail drain one timeout beyond the end so nothing hangs.
+    sim.advance_to(end + sim.cfg.service.timeout);
+    record_events(&mut sim, &mut recorder);
+
+    let (warm_bd, warm_sec_cpu) = warm_snapshot.expect("snapshot taken");
+    let final_bd = sim.breakdown();
+    BoxReport {
+        qps: plan.qps,
+        latency: recorder.summary(),
+        breakdown: final_bd.since(&warm_bd),
+        secondary_cpu: sim.secondary_cpu_time().saturating_sub(warm_sec_cpu),
+        avg_fanout: if queries_measured == 0 {
+            0.0
+        } else {
+            (sim.service().workers_spawned - workers_at_warm) as f64 / queries_measured as f64
+        },
+        machine: sim.machine_stats(),
+        controller: sim.controller_stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_plan(qps: f64) -> RunPlan {
+        RunPlan {
+            qps,
+            warmup: SimDuration::from_millis(300),
+            measure: SimDuration::from_millis(1_500),
+            trace: TraceConfig::default(),
+        }
+    }
+
+    #[test]
+    fn standalone_box_completes_queries() {
+        let cfg = BoxConfig::paper_box(SecondaryKind::none(), None, 42);
+        let r = run_standalone(cfg, &quick_plan(2_000.0));
+        assert!(r.latency.count > 2_000, "completed {}", r.latency.count);
+        assert!(r.drop_ratio() < 0.005, "drops {}", r.drop_ratio());
+        // Standalone at 2000 QPS: mostly idle machine.
+        assert!(r.breakdown.idle_fraction() > 0.6, "{}", r.breakdown.to_percent_string());
+        assert!(r.latency.p50 > SimDuration::from_micros(500));
+        assert!(r.latency.p50 < SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn bully_without_isolation_hurts_tail() {
+        let base = run_standalone(
+            BoxConfig::paper_box(SecondaryKind::none(), None, 7),
+            &quick_plan(2_000.0),
+        );
+        let colo = run_standalone(
+            BoxConfig::paper_box(SecondaryKind::cpu(BullyIntensity::High), None, 7),
+            &quick_plan(2_000.0),
+        );
+        assert!(
+            colo.latency.p99 > base.latency.p99 + SimDuration::from_millis(3),
+            "colocated p99 {} vs standalone {}",
+            colo.latency.p99,
+            base.latency.p99
+        );
+        assert!(colo.secondary_cpu > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn blind_isolation_protects_tail() {
+        let base = run_standalone(
+            BoxConfig::paper_box(SecondaryKind::none(), None, 9),
+            &quick_plan(2_000.0),
+        );
+        let iso = run_standalone(
+            BoxConfig::paper_box(
+                SecondaryKind::cpu(BullyIntensity::High),
+                Some(PerfIsoConfig::default()),
+                9,
+            ),
+            &quick_plan(2_000.0),
+        );
+        let degradation = iso.latency.p99.saturating_sub(base.latency.p99);
+        assert!(
+            degradation < SimDuration::from_millis(2),
+            "blind isolation degradation {degradation} (iso {} base {})",
+            iso.latency.p99,
+            base.latency.p99
+        );
+        // And the secondary still makes progress: with B=8 on a mostly-idle
+        // 48-core machine it should soak tens of core-seconds per second.
+        assert!(
+            iso.secondary_cpu > SimDuration::from_secs(10),
+            "secondary cpu {}",
+            iso.secondary_cpu
+        );
+    }
+
+    #[test]
+    fn disk_bully_box_runs() {
+        let cfg = BoxConfig::paper_box(
+            SecondaryKind::disk(DiskBully::default()),
+            Some(PerfIsoConfig::paper_cluster()),
+            11,
+        );
+        let r = run_standalone(cfg, &quick_plan(1_000.0));
+        assert!(r.latency.count > 1_000);
+        assert!(r.drop_ratio() < 0.01);
+    }
+}

@@ -1,0 +1,68 @@
+//! The in-memory index cache model.
+//!
+//! IndexServe keeps ~110 GB of a 569 GB index slice cached (§5.3) and
+//! manages its cache explicitly. With Zipf-popular documents, caching the
+//! hottest fraction of the index captures most references; workers touching
+//! cached documents rarely go to the SSD.
+
+use serde::{Deserialize, Serialize};
+
+/// Maps a query's document rank to an SSD miss probability.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CacheModel {
+    /// Number of distinct documents in the index slice.
+    pub documents: usize,
+    /// Fraction of the index that fits in memory.
+    pub cached_fraction: f64,
+    /// Miss probability per worker round when the query's documents are
+    /// hot (metadata still occasionally misses).
+    pub hot_miss_prob: f64,
+    /// Miss probability per worker round for cold documents.
+    pub cold_miss_prob: f64,
+}
+
+impl CacheModel {
+    /// The paper's setup: 110 GB cache over a 569 GB slice.
+    pub fn paper_default(documents: usize) -> Self {
+        CacheModel {
+            documents,
+            cached_fraction: 110.0 / 569.0,
+            hot_miss_prob: 0.12,
+            cold_miss_prob: 0.55,
+        }
+    }
+
+    /// Highest document rank that stays resident.
+    pub fn cached_ranks(&self) -> u32 {
+        (self.documents as f64 * self.cached_fraction).round() as u32
+    }
+
+    /// Miss probability for a query on document `rank`.
+    pub fn miss_prob(&self, rank: u32) -> f64 {
+        if rank <= self.cached_ranks() {
+            self.hot_miss_prob
+        } else {
+            self.cold_miss_prob
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fraction() {
+        let c = CacheModel::paper_default(200_000);
+        assert_eq!(c.cached_ranks(), 38_664);
+        assert!(c.miss_prob(1) < c.miss_prob(100_000));
+    }
+
+    #[test]
+    fn boundary_rank() {
+        let c = CacheModel::paper_default(100);
+        let k = c.cached_ranks();
+        assert_eq!(c.miss_prob(k), c.hot_miss_prob);
+        assert_eq!(c.miss_prob(k + 1), c.cold_miss_prob);
+    }
+}

@@ -1,0 +1,578 @@
+//! The IndexServe query state machine.
+//!
+//! The service is passive: the machine driver ([`crate::boxsim::BoxSim`] or
+//! the cluster simulator) feeds it arrivals, thread-exit notifications and
+//! timeout events; it spawns stage threads on the simulated machine and
+//! emits query outcomes.
+
+use std::collections::VecDeque;
+
+use qtrace::QuerySpec;
+use serde::{Deserialize, Serialize};
+use simcore::dist::{LogNormal, Sample};
+use simcore::{SimDuration, SimRng, SimTime};
+use simcpu::programs::Script;
+use simcpu::{JobId, Machine, Step, ThreadId};
+
+use crate::cache::CacheModel;
+use crate::tags::{stage_tag, Stage};
+
+/// Service-model parameters (calibrated to the paper's standalone profile).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Query deadline; exceeding it drops the query (the paper reports
+    /// 11–32 % timeouts under an unrestricted bully).
+    pub timeout: SimDuration,
+    /// Median parse-stage CPU burst (µs).
+    pub parse_cost_us: f64,
+    /// Lognormal sigma multiplying each worker round's trace burst.
+    pub worker_jitter_sigma: f64,
+    /// Rank-stage rounds (CPU burst + index read each).
+    pub rank_rounds: u8,
+    /// Median rank-stage burst per round (µs).
+    pub rank_burst_us: f64,
+    /// Median aggregation burst (µs).
+    pub agg_cost_us: f64,
+    /// Lognormal sigma for parse/rank/agg bursts.
+    pub stage_sigma: f64,
+    /// Index read size per SSD access.
+    pub index_read_bytes: u64,
+    /// Admission bound on concurrently processed queries.
+    pub max_concurrent: u32,
+    /// Minimum remaining deadline budget required to *start* a query.
+    ///
+    /// A query that spent most of its deadline waiting for admission is
+    /// shed instead of started: it would almost surely time out anyway,
+    /// and starting it would steal CPU from queries that can still make
+    /// it. This is what keeps an overloaded server completing the
+    /// fraction of queries it has capacity for (the paper's 11–32 %
+    /// timeout band, §6.1.2) instead of missing every deadline by a hair.
+    pub min_start_budget: SimDuration,
+    /// Admission-queue length above which parallelism compensation starts.
+    pub comp_threshold: u32,
+    /// Extra fan-out fraction per queued query of excess pressure.
+    pub comp_scale: f64,
+    /// Maximum fan-out multiplier.
+    pub comp_max: f64,
+    /// The cache model.
+    pub cache: CacheModel,
+    /// Per-query log write to the shared HDD volume.
+    pub log_write_bytes: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        // Calibrated against the paper's standalone profile (p50 ≈ 4 ms,
+        // p99 ≈ 12 ms, idle ≈ 80 %/60 % at 2 000/4 000 QPS) and its
+        // colocation shapes. The timeout is set just above the 349/354 ms
+        // p99 the paper reports for the unrestricted high bully: those runs
+        // are shed-stabilized saturation, so completed-query p99 pins just
+        // below the drop deadline.
+        ServiceConfig {
+            timeout: SimDuration::from_millis(360),
+            parse_cost_us: 120.0,
+            worker_jitter_sigma: 0.30,
+            rank_rounds: 6,
+            rank_burst_us: 200.0,
+            agg_cost_us: 400.0,
+            stage_sigma: 0.50,
+            index_read_bytes: 64 << 10,
+            max_concurrent: 128,
+            min_start_budget: SimDuration::from_millis(120),
+            comp_threshold: 4,
+            comp_scale: 0.05,
+            comp_max: 1.5,
+            cache: CacheModel::paper_default(200_000),
+            log_write_bytes: 4 << 10,
+        }
+    }
+}
+
+/// The outcome of one query.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryOutcome {
+    /// Dense query index assigned at arrival.
+    pub qidx: u64,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// End-to-end latency (valid when not dropped).
+    pub latency: SimDuration,
+    /// True when the query timed out.
+    pub dropped: bool,
+}
+
+#[derive(Debug)]
+struct QueryState {
+    spec: QuerySpec,
+    arrival: SimTime,
+    started: bool,
+    finished: bool,
+    pending_workers: u32,
+    live_tids: Vec<ThreadId>,
+}
+
+/// The per-machine IndexServe instance.
+#[derive(Debug)]
+pub struct IndexServe {
+    cfg: ServiceConfig,
+    job: JobId,
+    queries: Vec<QueryState>,
+    admission_queue: VecDeque<u64>,
+    in_flight: u32,
+    outcomes: Vec<QueryOutcome>,
+    rng: SimRng,
+    /// Total fan-out workers spawned (for burst statistics).
+    pub workers_spawned: u64,
+    /// Queries admitted immediately vs queued.
+    pub queued_admissions: u64,
+    /// Queries shed at admission for lack of remaining deadline budget.
+    pub shed_admissions: u64,
+}
+
+impl IndexServe {
+    /// Creates a service bound to the primary `job` on the machine.
+    pub fn new(cfg: ServiceConfig, job: JobId, seed: u64) -> Self {
+        IndexServe {
+            cfg,
+            job,
+            queries: Vec::new(),
+            admission_queue: VecDeque::new(),
+            in_flight: 0,
+            outcomes: Vec::new(),
+            rng: SimRng::seed_from_u64(seed ^ 0x1D5),
+            workers_spawned: 0,
+            queued_admissions: 0,
+            shed_admissions: 0,
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Queries currently being processed (admitted, not finished).
+    pub fn in_flight(&self) -> u32 {
+        self.in_flight
+    }
+
+    /// Arrivals waiting for admission.
+    pub fn admission_queue_len(&self) -> usize {
+        self.admission_queue.len()
+    }
+
+    /// Takes accumulated outcomes.
+    pub fn drain_outcomes(&mut self) -> Vec<QueryOutcome> {
+        std::mem::take(&mut self.outcomes)
+    }
+
+    /// Handles a query arrival; returns the dense query index (schedule the
+    /// timeout for `arrival + cfg.timeout` against it).
+    pub fn on_arrival(&mut self, now: SimTime, spec: QuerySpec, machine: &mut Machine) -> u64 {
+        let qidx = self.queries.len() as u64;
+        self.queries.push(QueryState {
+            spec,
+            arrival: now,
+            started: false,
+            finished: false,
+            pending_workers: 0,
+            live_tids: Vec::new(),
+        });
+        if self.in_flight < self.cfg.max_concurrent {
+            self.start_query(now, qidx, machine);
+        } else {
+            self.queued_admissions += 1;
+            self.admission_queue.push_back(qidx);
+        }
+        qidx
+    }
+
+    fn start_query(&mut self, now: SimTime, qidx: u64, machine: &mut Machine) {
+        self.in_flight += 1;
+        let q = &mut self.queries[qidx as usize];
+        q.started = true;
+        // Stage 1: parse.
+        let burst = LogNormal::from_median(self.cfg.parse_cost_us, self.cfg.stage_sigma)
+            .sample(&mut self.rng);
+        let tid = machine.spawn_thread(
+            now,
+            self.job,
+            Box::new(Script::new(vec![Step::Compute(SimDuration::from_micros_f64(burst))])),
+            stage_tag(Stage::Parse, qidx, 0),
+        );
+        self.queries[qidx as usize].live_tids.push(tid);
+    }
+
+    /// The compensation multiplier at current pressure.
+    ///
+    /// "IndexServe tries to compensate for the increase in pending queries
+    /// by starting more workers" (§6.1.2). Pending means *queued for
+    /// admission*: a backlog only forms once the in-flight cap is hit, so
+    /// ordinary load changes (2 000 → 4 000 QPS standalone) never trigger
+    /// compensation, while genuine overload raises per-query parallelism —
+    /// which is exactly what "ultimately aggravates CPU contention".
+    fn compensation(&self) -> f64 {
+        let excess = self.admission_queue.len() as f64 - self.cfg.comp_threshold as f64;
+        if excess <= 0.0 {
+            1.0
+        } else {
+            (1.0 + excess * self.cfg.comp_scale).min(self.cfg.comp_max)
+        }
+    }
+
+    /// Handles a primary-stage thread exit. Returns `Some(outcome)` when
+    /// the query completed.
+    pub fn on_stage_exited(
+        &mut self,
+        now: SimTime,
+        stage: Stage,
+        qidx: u64,
+        machine: &mut Machine,
+    ) -> Option<QueryOutcome> {
+        if self.queries[qidx as usize].finished {
+            return None;
+        }
+        match stage {
+            Stage::Parse => {
+                self.spawn_fanout(now, qidx, machine);
+                None
+            }
+            Stage::Worker => {
+                let q = &mut self.queries[qidx as usize];
+                q.pending_workers = q.pending_workers.saturating_sub(1);
+                if q.pending_workers == 0 {
+                    self.spawn_rank(now, qidx, machine);
+                }
+                None
+            }
+            Stage::Rank => {
+                self.spawn_agg(now, qidx, machine);
+                None
+            }
+            Stage::Aggregate => Some(self.complete(now, qidx, machine)),
+        }
+    }
+
+    fn spawn_fanout(&mut self, now: SimTime, qidx: u64, machine: &mut Machine) {
+        // Compensation re-partitions the query across more workers: the
+        // total work is conserved (per-worker bursts shrink by the same
+        // factor), shortening the critical path at the cost of a burstier
+        // thread fan-out — "starting more workers... ultimately aggravates
+        // CPU contention" (§6.1.2).
+        let comp = self.compensation();
+        let (fanout, rounds, base_burst_ns, miss_prob) = {
+            let q = &self.queries[qidx as usize];
+            (
+                ((q.spec.fanout as f64 * comp).round() as u32).max(1),
+                q.spec.rounds,
+                q.spec.burst_ns as f64 / comp,
+                self.cfg.cache.miss_prob(q.spec.doc_rank),
+            )
+        };
+        self.queries[qidx as usize].pending_workers = fanout;
+        self.workers_spawned += fanout as u64;
+        let jitter = LogNormal::from_median(1.0, self.cfg.worker_jitter_sigma);
+        for w in 0..fanout {
+            // Pre-sample the worker's whole script: per-round burst jitter
+            // and cache misses.
+            let mut steps = Vec::with_capacity(rounds as usize * 2);
+            for round in 0..rounds {
+                let burst = base_burst_ns * jitter.sample(&mut self.rng);
+                steps.push(Step::Compute(SimDuration::from_nanos(burst as u64)));
+                if self.rng.bernoulli(miss_prob) {
+                    steps.push(Step::Block { token: round as u64 });
+                }
+            }
+            let tid = machine.spawn_thread(
+                now,
+                self.job,
+                Box::new(Script::new(steps)),
+                stage_tag(Stage::Worker, qidx, w as u16),
+            );
+            self.queries[qidx as usize].live_tids.push(tid);
+        }
+    }
+
+    fn spawn_rank(&mut self, now: SimTime, qidx: u64, machine: &mut Machine) {
+        let heavy = self.queries[qidx as usize].spec.heavy;
+        let rounds = if heavy { self.cfg.rank_rounds * 3 } else { self.cfg.rank_rounds };
+        let dist = LogNormal::from_median(self.cfg.rank_burst_us, self.cfg.stage_sigma);
+        let mut steps = Vec::with_capacity(rounds as usize * 2);
+        for round in 0..rounds {
+            let burst = dist.sample(&mut self.rng);
+            steps.push(Step::Compute(SimDuration::from_micros_f64(burst)));
+            steps.push(Step::Block { token: round as u64 });
+        }
+        // Rank is a continuation of in-flight work (a pool thread woken by
+        // the last worker's completion), so it carries the wake boost —
+        // only the initial fan-out pays the back-of-queue price.
+        let tid = machine.spawn_thread_with(
+            now,
+            self.job,
+            Box::new(Script::new(steps)),
+            stage_tag(Stage::Rank, qidx, 0),
+            true,
+        );
+        self.queries[qidx as usize].live_tids.push(tid);
+    }
+
+    fn spawn_agg(&mut self, now: SimTime, qidx: u64, machine: &mut Machine) {
+        let burst = LogNormal::from_median(self.cfg.agg_cost_us, self.cfg.stage_sigma)
+            .sample(&mut self.rng);
+        // A continuation, like rank.
+        let tid = machine.spawn_thread_with(
+            now,
+            self.job,
+            Box::new(Script::new(vec![Step::Compute(SimDuration::from_micros_f64(burst))])),
+            stage_tag(Stage::Aggregate, qidx, 0),
+            true,
+        );
+        self.queries[qidx as usize].live_tids.push(tid);
+    }
+
+    fn complete(&mut self, now: SimTime, qidx: u64, machine: &mut Machine) -> QueryOutcome {
+        let arrival = self.queries[qidx as usize].arrival;
+        let outcome = QueryOutcome {
+            qidx,
+            arrival,
+            latency: now.since(arrival),
+            dropped: false,
+        };
+        self.finish(now, qidx, machine);
+        self.outcomes.push(outcome);
+        outcome
+    }
+
+    /// Handles the query's deadline. Returns an outcome when the query was
+    /// actually dropped (still live at the deadline).
+    pub fn on_timeout(
+        &mut self,
+        now: SimTime,
+        qidx: u64,
+        machine: &mut Machine,
+    ) -> Option<QueryOutcome> {
+        let q = &self.queries[qidx as usize];
+        if q.finished {
+            return None;
+        }
+        let arrival = q.arrival;
+        let was_started = q.started;
+        // Abandon: kill whatever is still running for this query.
+        let tids: Vec<ThreadId> = self.queries[qidx as usize].live_tids.clone();
+        for tid in tids {
+            machine.kill_thread(now, tid);
+        }
+        if was_started {
+            self.finish(now, qidx, machine);
+        } else {
+            // Still waiting for admission: remove from the queue.
+            self.queries[qidx as usize].finished = true;
+            self.admission_queue.retain(|&x| x != qidx);
+        }
+        let outcome = QueryOutcome {
+            qidx,
+            arrival,
+            latency: now.since(arrival),
+            dropped: true,
+        };
+        self.outcomes.push(outcome);
+        Some(outcome)
+    }
+
+    /// True when the query has burned too much of its deadline waiting to
+    /// be worth starting.
+    fn past_start_budget(&self, now: SimTime, qidx: u64) -> bool {
+        let elapsed = now.since(self.queries[qidx as usize].arrival);
+        elapsed + self.cfg.min_start_budget > self.cfg.timeout
+    }
+
+    /// Sheds an unstarted query: emits the dropped outcome immediately and
+    /// lets the (stale) timeout event no-op later.
+    fn shed(&mut self, now: SimTime, qidx: u64) {
+        let q = &mut self.queries[qidx as usize];
+        debug_assert!(!q.started && !q.finished);
+        q.finished = true;
+        self.shed_admissions += 1;
+        let arrival = q.arrival;
+        self.outcomes.push(QueryOutcome {
+            qidx,
+            arrival,
+            latency: now.since(arrival),
+            dropped: true,
+        });
+    }
+
+    /// Marks a query done, releases its admission slot, and starts the next
+    /// queued arrival that still has deadline budget, shedding the rest.
+    fn finish(&mut self, now: SimTime, qidx: u64, machine: &mut Machine) {
+        let q = &mut self.queries[qidx as usize];
+        debug_assert!(!q.finished);
+        q.finished = true;
+        q.live_tids.clear();
+        self.in_flight = self.in_flight.saturating_sub(1);
+        while let Some(next) = self.admission_queue.pop_front() {
+            if self.queries[next as usize].finished {
+                continue;
+            }
+            if self.past_start_budget(now, next) {
+                self.shed(now, next);
+                continue;
+            }
+            self.start_query(now, next, machine);
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::CoreMask;
+    use simcpu::{MachineConfig, MachineOutput};
+    use telemetry::TenantClass;
+
+    use crate::tags::parse_stage_tag;
+
+    fn spec(id: u64) -> QuerySpec {
+        QuerySpec { id, fanout: 10, rounds: 4, burst_ns: 90_000, doc_rank: 1, heavy: false }
+    }
+
+    /// Drives machine outputs back into the service until quiescent,
+    /// waking blocked threads immediately (zero-latency "disk").
+    fn settle(m: &mut Machine, s: &mut IndexServe, upto: SimTime) {
+        loop {
+            // Drain everything pending at the current instant first, so
+            // outputs produced by wakes are handled at the right time.
+            let now = m.now();
+            let outs = m.drain_outputs();
+            if !outs.is_empty() {
+                for o in outs {
+                    match o {
+                        MachineOutput::ThreadBlocked { tid, .. } => {
+                            m.wake(now, tid);
+                        }
+                        MachineOutput::ThreadExited { tag, .. } => {
+                            if let Some((stage, q, _)) = parse_stage_tag(tag) {
+                                s.on_stage_exited(now, stage, q, m);
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+            match m.next_timer_at().filter(|&t| t <= upto) {
+                Some(t) => m.advance_to(t),
+                None => {
+                    // No pending outputs and no timers in range: quiescent.
+                    m.advance_to(upto);
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_completes_through_all_stages() {
+        let mut m = Machine::new(MachineConfig::small(16));
+        let job = m.create_job(TenantClass::Primary, CoreMask::all(16));
+        let mut s = IndexServe::new(ServiceConfig::default(), job, 1);
+        s.on_arrival(SimTime::ZERO, spec(0), &mut m);
+        settle(&mut m, &mut s, SimTime::from_millis(100));
+        let outcomes = s.drain_outcomes();
+        assert_eq!(outcomes.len(), 1);
+        assert!(!outcomes[0].dropped);
+        assert!(outcomes[0].latency > SimDuration::from_micros(300));
+        assert!(outcomes[0].latency < SimDuration::from_millis(20));
+        assert_eq!(s.in_flight(), 0);
+        assert_eq!(s.workers_spawned, 10);
+    }
+
+    #[test]
+    fn fanout_workers_spawn_together() {
+        let mut m = Machine::new(MachineConfig::small(16));
+        let job = m.create_job(TenantClass::Primary, CoreMask::all(16));
+        let mut s = IndexServe::new(ServiceConfig::default(), job, 2);
+        s.on_arrival(SimTime::ZERO, spec(0), &mut m);
+        // Run just past the parse stage.
+        let t = m.next_timer_at().unwrap();
+        m.advance_to(t);
+        for o in m.drain_outputs() {
+            if let MachineOutput::ThreadExited { tag, .. } = o {
+                let (stage, q, _) = parse_stage_tag(tag).unwrap();
+                assert_eq!(stage, Stage::Parse);
+                s.on_stage_exited(t, stage, q, &mut m);
+            }
+        }
+        // All 10 workers are now live simultaneously: the burst.
+        assert_eq!(m.idle_core_mask().count(), 16 - 10);
+    }
+
+    #[test]
+    fn admission_control_queues_excess() {
+        let mut m = Machine::new(MachineConfig::small(4));
+        let job = m.create_job(TenantClass::Primary, CoreMask::all(4));
+        let cfg = ServiceConfig { max_concurrent: 2, ..Default::default() };
+        let mut s = IndexServe::new(cfg, job, 3);
+        for i in 0..5 {
+            s.on_arrival(SimTime::ZERO, spec(i), &mut m);
+        }
+        assert_eq!(s.in_flight(), 2);
+        assert_eq!(s.admission_queue_len(), 3);
+        settle(&mut m, &mut s, SimTime::from_secs(1));
+        assert_eq!(s.drain_outcomes().len(), 5);
+        assert_eq!(s.in_flight(), 0);
+    }
+
+    #[test]
+    fn compensation_raises_fanout_under_pressure() {
+        let mut m = Machine::new(MachineConfig::small(4));
+        let job = m.create_job(TenantClass::Primary, CoreMask::all(4));
+        let cfg = ServiceConfig {
+            max_concurrent: 2,
+            comp_threshold: 2,
+            comp_scale: 0.25,
+            ..Default::default()
+        };
+        let comp_max = cfg.comp_max;
+        let mut s = IndexServe::new(cfg, job, 4);
+        // Pile up arrivals past the admission cap without driving the
+        // machine: the backlog builds until the multiplier saturates.
+        for i in 0..12 {
+            s.on_arrival(SimTime::ZERO, spec(i), &mut m);
+        }
+        assert_eq!(s.admission_queue_len(), 10);
+        assert!(s.compensation() > 1.2, "compensation {}", s.compensation());
+        assert!(
+            (s.compensation() - comp_max).abs() < 1e-9,
+            "10 queued past threshold 2 at scale 0.25 saturates the cap"
+        );
+    }
+
+    #[test]
+    fn timeout_drops_and_kills() {
+        let mut m = Machine::new(MachineConfig::small(2));
+        let job = m.create_job(TenantClass::Primary, CoreMask::all(2));
+        let mut s = IndexServe::new(ServiceConfig::default(), job, 5);
+        let q = s.on_arrival(SimTime::ZERO, spec(0), &mut m);
+        // Fire the deadline while the query is still mid-flight.
+        m.advance_to(SimTime::from_micros(200));
+        let out = s.on_timeout(SimTime::from_micros(200), q, &mut m).unwrap();
+        assert!(out.dropped);
+        // Machine drains without the query ever completing.
+        m.advance_to(SimTime::from_millis(50));
+        assert_eq!(s.in_flight(), 0);
+        let dropped: Vec<_> = s.drain_outcomes();
+        assert_eq!(dropped.len(), 1);
+    }
+
+    #[test]
+    fn timeout_after_completion_is_noop() {
+        let mut m = Machine::new(MachineConfig::small(16));
+        let job = m.create_job(TenantClass::Primary, CoreMask::all(16));
+        let mut s = IndexServe::new(ServiceConfig::default(), job, 6);
+        let q = s.on_arrival(SimTime::ZERO, spec(0), &mut m);
+        settle(&mut m, &mut s, SimTime::from_millis(100));
+        assert_eq!(s.drain_outcomes().len(), 1);
+        assert!(s.on_timeout(SimTime::from_millis(500), q, &mut m).is_none());
+    }
+}

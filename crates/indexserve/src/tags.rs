@@ -1,0 +1,128 @@
+//! Thread-tag and I/O-token encodings used by the machine driver.
+//!
+//! Machine outputs carry a `u64` user tag per thread; disk completions echo
+//! a `u64` token. These helpers pack stage/query/worker identifiers and
+//! wakeable thread handles into those words.
+
+use simcpu::ThreadId;
+
+/// Query pipeline stages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Query parsing.
+    Parse,
+    /// A fan-out matcher worker.
+    Worker,
+    /// The ranking stage.
+    Rank,
+    /// Final aggregation.
+    Aggregate,
+}
+
+const STAGE_SHIFT: u32 = 56;
+const QUERY_SHIFT: u32 = 16;
+const PRIMARY_BIT: u64 = 1 << 62;
+
+/// Packs a primary-tenant stage tag.
+pub fn stage_tag(stage: Stage, query_idx: u64, worker_idx: u16) -> u64 {
+    let s = match stage {
+        Stage::Parse => 1u64,
+        Stage::Worker => 2,
+        Stage::Rank => 3,
+        Stage::Aggregate => 4,
+    };
+    PRIMARY_BIT | (s << STAGE_SHIFT) | (query_idx << QUERY_SHIFT) | worker_idx as u64
+}
+
+/// Unpacks a primary stage tag; `None` for non-primary tags.
+pub fn parse_stage_tag(tag: u64) -> Option<(Stage, u64, u16)> {
+    if tag & PRIMARY_BIT == 0 {
+        return None;
+    }
+    let stage = match (tag >> STAGE_SHIFT) & 0xF {
+        1 => Stage::Parse,
+        2 => Stage::Worker,
+        3 => Stage::Rank,
+        4 => Stage::Aggregate,
+        _ => return None,
+    };
+    let query = (tag >> QUERY_SHIFT) & ((1 << (STAGE_SHIFT - QUERY_SHIFT - 2)) - 1);
+    Some((stage, query, (tag & 0xFFFF) as u16))
+}
+
+/// Packs a thread handle into a disk-completion token that requests a wake.
+pub fn wake_token(tid: ThreadId) -> u64 {
+    (1 << 63) | ((tid.index as u64) << 32) | tid.gen as u64
+}
+
+/// Decodes a wake token; `None` for fire-and-forget tokens.
+pub fn parse_wake_token(token: u64) -> Option<ThreadId> {
+    if token & (1 << 63) == 0 {
+        return None;
+    }
+    Some(ThreadId { index: ((token >> 32) & 0x7FFF_FFFF) as u32, gen: token as u32 })
+}
+
+/// A fire-and-forget token (logging writes, background HDFS traffic).
+pub const FIRE_AND_FORGET: u64 = 0;
+
+/// Tag base for auxiliary primary-tenant threads (e.g. MLA aggregation work
+/// the cluster layer runs on an index machine).
+pub const AUX_TAG_BASE: u64 = 1 << 46;
+
+/// Builds an auxiliary-thread tag carrying a user value below `1 << 40`.
+pub fn aux_tag(user: u64) -> u64 {
+    debug_assert!(user < (1 << 40));
+    AUX_TAG_BASE | user
+}
+
+/// Extracts the user value from an auxiliary tag, if it is one.
+pub fn parse_aux_tag(tag: u64) -> Option<u64> {
+    // Primary stage tags carry bit 62; bully tags sit at bits 40..44.
+    if tag & AUX_TAG_BASE != 0 && tag & (1 << 62) == 0 {
+        Some(tag & ((1 << 40) - 1))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_tag_roundtrip() {
+        for (stage, q, w) in [
+            (Stage::Parse, 0u64, 0u16),
+            (Stage::Worker, 123_456, 14),
+            (Stage::Rank, 999_999, 0),
+            (Stage::Aggregate, 1, 65_535),
+        ] {
+            let tag = stage_tag(stage, q, w);
+            let (s2, q2, w2) = parse_stage_tag(tag).unwrap();
+            assert_eq!(s2, stage);
+            assert_eq!(q2, q);
+            assert_eq!(w2, w);
+        }
+    }
+
+    #[test]
+    fn non_primary_tags_rejected() {
+        assert!(parse_stage_tag(0).is_none());
+        assert!(parse_stage_tag(workloads::cpu_bully::CPU_BULLY_TAG_BASE).is_none());
+    }
+
+    #[test]
+    fn wake_token_roundtrip() {
+        let tid = ThreadId { index: 77, gen: 3 };
+        assert_eq!(parse_wake_token(wake_token(tid)), Some(tid));
+        assert_eq!(parse_wake_token(FIRE_AND_FORGET), None);
+    }
+
+    #[test]
+    fn tag_spaces_disjoint() {
+        let t = stage_tag(Stage::Worker, 42, 1);
+        assert_ne!(t & workloads::cpu_bully::CPU_BULLY_TAG_BASE, t);
+        assert!(parse_stage_tag(workloads::disk_bully::DISK_BULLY_TAG_BASE).is_none());
+    }
+}

@@ -1,0 +1,120 @@
+//! Diurnal load curves for fleet-scale experiments (Fig 10).
+//!
+//! The production run in the paper shows live QPS varying over an hour
+//! while CPU utilization averages ~70 %. We model the load as a smooth
+//! base + sinusoid with optional surge windows, sampled per minute.
+
+use serde::{Deserialize, Serialize};
+
+/// A deterministic per-minute load curve.
+///
+/// # Examples
+///
+/// ```
+/// use qtrace::DiurnalCurve;
+///
+/// let c = DiurnalCurve::paper_hour();
+/// let qps: Vec<f64> = (0..60).map(|m| c.qps_at_minute(m)).collect();
+/// assert!(qps.iter().all(|&q| q > 0.0));
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DiurnalCurve {
+    /// Baseline QPS per machine.
+    pub base_qps: f64,
+    /// Sinusoidal amplitude (fraction of base).
+    pub amplitude: f64,
+    /// Sinusoid period in minutes.
+    pub period_min: f64,
+    /// Surge windows: `(start_minute, end_minute, multiplier)`.
+    pub surges: Vec<(u32, u32, f64)>,
+}
+
+impl DiurnalCurve {
+    /// A one-hour curve resembling the paper's Fig 10 window: load drifting
+    /// between ~1 500 and ~2 900 QPS per machine with a mid-hour surge.
+    pub fn paper_hour() -> Self {
+        DiurnalCurve {
+            base_qps: 2_200.0,
+            amplitude: 0.25,
+            period_min: 45.0,
+            surges: vec![(28, 36, 1.18)],
+        }
+    }
+
+    /// A flat curve (useful as a control).
+    pub fn flat(qps: f64) -> Self {
+        DiurnalCurve { base_qps: qps, amplitude: 0.0, period_min: 60.0, surges: Vec::new() }
+    }
+
+    /// QPS at the given minute.
+    pub fn qps_at_minute(&self, minute: u32) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * minute as f64 / self.period_min;
+        let mut qps = self.base_qps * (1.0 + self.amplitude * phase.sin());
+        for &(start, end, mult) in &self.surges {
+            if (start..end).contains(&minute) {
+                qps *= mult;
+            }
+        }
+        qps.max(0.0)
+    }
+
+    /// Mean QPS over `[0, minutes)`.
+    pub fn mean_qps(&self, minutes: u32) -> f64 {
+        if minutes == 0 {
+            return 0.0;
+        }
+        (0..minutes).map(|m| self.qps_at_minute(m)).sum::<f64>() / minutes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_is_flat() {
+        let c = DiurnalCurve::flat(1_000.0);
+        for m in 0..120 {
+            assert_eq!(c.qps_at_minute(m), 1_000.0);
+        }
+    }
+
+    #[test]
+    fn paper_hour_varies_within_bounds() {
+        let c = DiurnalCurve::paper_hour();
+        let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+        for m in 0..60 {
+            let q = c.qps_at_minute(m);
+            lo = lo.min(q);
+            hi = hi.max(q);
+        }
+        assert!(lo > 1_200.0 && lo < 2_000.0, "lo {lo}");
+        assert!(hi > 2_600.0 && hi < 3_400.0, "hi {hi}");
+    }
+
+    #[test]
+    fn surge_applies_only_in_window() {
+        let c = DiurnalCurve {
+            base_qps: 100.0,
+            amplitude: 0.0,
+            period_min: 60.0,
+            surges: vec![(10, 20, 2.0)],
+        };
+        assert_eq!(c.qps_at_minute(9), 100.0);
+        assert_eq!(c.qps_at_minute(10), 200.0);
+        assert_eq!(c.qps_at_minute(19), 200.0);
+        assert_eq!(c.qps_at_minute(20), 100.0);
+    }
+
+    #[test]
+    fn mean_reflects_surges() {
+        let c = DiurnalCurve {
+            base_qps: 100.0,
+            amplitude: 0.0,
+            period_min: 60.0,
+            surges: vec![(0, 30, 2.0)],
+        };
+        assert!((c.mean_qps(60) - 150.0).abs() < 1e-9);
+        assert_eq!(c.mean_qps(0), 0.0);
+    }
+}

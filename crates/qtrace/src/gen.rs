@@ -1,0 +1,189 @@
+//! Synthetic query-trace generation.
+
+use serde::{Deserialize, Serialize};
+use simcore::dist::{LogNormal, Sample, ZipfTable};
+use simcore::SimRng;
+
+/// The work profile of one query, fixed at trace-generation time so every
+/// replay (and every isolation policy) sees identical offered work.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct QuerySpec {
+    /// Trace-unique query id.
+    pub id: u64,
+    /// Number of parallel worker threads the query wakes (8–15; the paper
+    /// measured up to 15 threads ready within 5 µs).
+    pub fanout: u8,
+    /// CPU+I/O rounds per worker.
+    pub rounds: u8,
+    /// Per-round CPU burst in nanoseconds for each worker round,
+    /// pre-sampled (lognormal).
+    pub burst_ns: u32,
+    /// Zipf rank of the hottest document touched (drives cache hits).
+    pub doc_rank: u32,
+    /// Whether this is a heavy query (~3× the rounds).
+    pub heavy: bool,
+}
+
+/// Trace-generation parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Number of queries.
+    pub queries: usize,
+    /// Minimum fan-out (inclusive).
+    pub fanout_min: u8,
+    /// Maximum fan-out (inclusive).
+    pub fanout_max: u8,
+    /// Base CPU+I/O rounds per worker.
+    pub rounds: u8,
+    /// Median per-round CPU burst in microseconds.
+    pub burst_median_us: f64,
+    /// Lognormal sigma of the burst distribution.
+    pub burst_sigma: f64,
+    /// Fraction of heavy queries (3× rounds).
+    pub heavy_fraction: f64,
+    /// Number of distinct documents (Zipf universe).
+    pub documents: usize,
+    /// Zipf exponent for document popularity.
+    pub zipf_s: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        // Calibrated so IndexServe standalone hits the paper's profile
+        // (p50 ≈ 4 ms, p99 ≈ 12 ms, CPU ≈ 20 % at 2 000 QPS on 48 cores).
+        TraceConfig {
+            queries: 10_000,
+            fanout_min: 8,
+            fanout_max: 15,
+            rounds: 4,
+            burst_median_us: 62.0,
+            burst_sigma: 0.55,
+            heavy_fraction: 0.03,
+            documents: 200_000,
+            zipf_s: 0.9,
+        }
+    }
+}
+
+/// Generates reproducible synthetic traces.
+///
+/// # Examples
+///
+/// ```
+/// use qtrace::{TraceConfig, TraceGenerator};
+///
+/// let trace = TraceGenerator::new(TraceConfig { queries: 100, ..Default::default() })
+///     .generate(42);
+/// assert_eq!(trace.len(), 100);
+/// assert!(trace.iter().all(|q| (8..=15).contains(&q.fanout)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TraceGenerator {
+    cfg: TraceConfig,
+}
+
+impl TraceGenerator {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration.
+    pub fn new(cfg: TraceConfig) -> Self {
+        assert!(cfg.queries > 0, "empty trace");
+        assert!(cfg.fanout_min >= 1 && cfg.fanout_min <= cfg.fanout_max, "bad fanout range");
+        assert!(cfg.rounds >= 1, "need at least one round");
+        assert!(cfg.documents > 0, "need documents");
+        assert!((0.0..=1.0).contains(&cfg.heavy_fraction), "bad heavy fraction");
+        TraceGenerator { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TraceConfig {
+        &self.cfg
+    }
+
+    /// Generates the trace for a seed. Identical seeds yield identical
+    /// traces.
+    pub fn generate(&self, seed: u64) -> Vec<QuerySpec> {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let burst = LogNormal::from_median(self.cfg.burst_median_us * 1_000.0, self.cfg.burst_sigma);
+        let zipf = ZipfTable::new(self.cfg.documents, self.cfg.zipf_s);
+        (0..self.cfg.queries as u64)
+            .map(|id| {
+                let heavy = rng.bernoulli(self.cfg.heavy_fraction);
+                let rounds =
+                    if heavy { self.cfg.rounds.saturating_mul(3) } else { self.cfg.rounds };
+                QuerySpec {
+                    id,
+                    fanout: rng
+                        .range_inclusive(self.cfg.fanout_min as u64, self.cfg.fanout_max as u64)
+                        as u8,
+                    rounds,
+                    burst_ns: burst.sample(&mut rng).max(1_000.0).min(4.0e6) as u32,
+                    doc_rank: zipf.sample_rank(&mut rng) as u32,
+                    heavy,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = TraceGenerator::new(TraceConfig { queries: 500, ..Default::default() });
+        let a = g.generate(7);
+        let b = g.generate(7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.fanout, y.fanout);
+            assert_eq!(x.burst_ns, y.burst_ns);
+            assert_eq!(x.doc_rank, y.doc_rank);
+        }
+        let c = g.generate(8);
+        assert!(a.iter().zip(c.iter()).any(|(x, y)| x.burst_ns != y.burst_ns));
+    }
+
+    #[test]
+    fn heavy_fraction_approximate() {
+        let g = TraceGenerator::new(TraceConfig {
+            queries: 20_000,
+            heavy_fraction: 0.03,
+            ..Default::default()
+        });
+        let t = g.generate(1);
+        let heavy = t.iter().filter(|q| q.heavy).count() as f64 / t.len() as f64;
+        assert!((heavy - 0.03).abs() < 0.005, "heavy {heavy}");
+        // Heavy queries have triple the rounds.
+        let hq = t.iter().find(|q| q.heavy).unwrap();
+        let lq = t.iter().find(|q| !q.heavy).unwrap();
+        assert_eq!(hq.rounds, lq.rounds * 3);
+    }
+
+    #[test]
+    fn burst_median_close_to_config() {
+        let g = TraceGenerator::new(TraceConfig { queries: 20_000, ..Default::default() });
+        let mut bursts: Vec<u32> = g.generate(2).iter().map(|q| q.burst_ns).collect();
+        bursts.sort_unstable();
+        let median = bursts[bursts.len() / 2] as f64 / 1_000.0;
+        assert!((median - 62.0).abs() < 5.0, "median {median}us");
+    }
+
+    #[test]
+    fn popular_docs_dominate() {
+        let g = TraceGenerator::new(TraceConfig { queries: 50_000, ..Default::default() });
+        let t = g.generate(3);
+        let top_decile = (g.config().documents / 10) as u32;
+        let hot = t.iter().filter(|q| q.doc_rank <= top_decile).count() as f64 / t.len() as f64;
+        assert!(hot > 0.5, "Zipf 0.9: top 10% of docs should get >50% of hits, got {hot}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn zero_queries_rejected() {
+        let _ = TraceGenerator::new(TraceConfig { queries: 0, ..Default::default() });
+    }
+}

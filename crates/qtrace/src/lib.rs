@@ -1,0 +1,22 @@
+//! Query traces and load generation.
+//!
+//! The paper replays "a trace of 500k real-world queries from early 2017"
+//! in an open loop, "according to a Poisson process distribution" (§5.3),
+//! after a 100k-query warm-up at 300 QPS. Real Bing traces are proprietary,
+//! so [`TraceGenerator`] synthesises traces whose *work profile* matches the
+//! published latency distribution: per-query fan-out, per-worker rounds, a
+//! heavy-query mixture for the p99/p50 ≈ 3 ratio, and Zipf-popular document
+//! targets driving the cache model.
+//!
+//! [`OpenLoopClient`] replays any trace at a configurable rate — open loop,
+//! so a struggling server keeps receiving queries and the backlog grows,
+//! which is exactly how production overload behaves. [`diurnal`] provides
+//! the hour-scale load curve for the Fig 10 fleet experiment.
+
+pub mod client;
+pub mod diurnal;
+pub mod gen;
+
+pub use client::OpenLoopClient;
+pub use diurnal::DiurnalCurve;
+pub use gen::{QuerySpec, TraceConfig, TraceGenerator};

@@ -1,0 +1,61 @@
+//! Calibration probe: prints the standalone profile and the headline
+//! colocation numbers so the service model can be tuned against the paper's
+//! published figures (p50 = 4 ms, p99 = 12 ms, idle 80 %/60 %).
+
+use scenarios::{blind_isolation, no_isolation, standalone, static_cores, cycle_cap, Scale};
+use telemetry::table::{ms, pct, Table};
+use workloads::BullyIntensity;
+
+fn main() {
+    let scale = Scale::bench();
+    let mut t = Table::new(&[
+        "case", "qps", "p50", "p95", "p99", "drops", "idle", "prim", "sec", "os", "fanout",
+    ]);
+    let mut add = |name: &str, qps: f64, r: &indexserve::BoxReport| {
+        t.row_owned(vec![
+            name.to_string(),
+            format!("{qps:.0}"),
+            ms(r.latency.p50),
+            ms(r.latency.p95),
+            ms(r.latency.p99),
+            pct(r.drop_ratio()),
+            pct(r.breakdown.idle_fraction()),
+            pct(r.breakdown.fraction(telemetry::TenantClass::Primary)),
+            pct(r.breakdown.fraction(telemetry::TenantClass::Secondary)),
+            pct(r.breakdown.fraction(telemetry::TenantClass::Os)),
+            format!("{:.1}", r.avg_fanout),
+        ]);
+    };
+
+    for qps in [2_000.0, 4_000.0] {
+        let r = standalone(qps, 42, scale);
+        add("standalone", qps, &r);
+    }
+    for qps in [2_000.0, 4_000.0] {
+        let r = no_isolation(BullyIntensity::Mid, qps, 42, scale);
+        add("none+mid", qps, &r);
+    }
+    for qps in [2_000.0, 4_000.0] {
+        let r = no_isolation(BullyIntensity::High, qps, 42, scale);
+        add("none+high", qps, &r);
+    }
+    for buffer in [4, 8] {
+        for qps in [2_000.0, 4_000.0] {
+            let r = blind_isolation(buffer, qps, 42, scale);
+            add(&format!("blind(B={buffer})"), qps, &r);
+        }
+    }
+    for cores in [24, 16, 8] {
+        for qps in [2_000.0, 4_000.0] {
+            let r = static_cores(cores, qps, 42, scale);
+            add(&format!("static({cores})"), qps, &r);
+        }
+    }
+    for pct in [0.45, 0.25, 0.05] {
+        for qps in [2_000.0, 4_000.0] {
+            let r = cycle_cap(pct, qps, 42, scale);
+            add(&format!("cycles({}%)", (pct * 100.0) as u32), qps, &r);
+        }
+    }
+    println!("{}", t.render());
+}

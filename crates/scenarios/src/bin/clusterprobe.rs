@@ -1,0 +1,19 @@
+//! Diagnostic: step the small-cluster baseline manually and report where
+//! virtual time stops advancing.
+
+use cluster::{ClusterConfig, ClusterSim, Topology};
+use indexserve::SecondaryKind;
+use simcore::SimDuration;
+
+fn main() {
+    let cfg = ClusterConfig {
+        topology: Topology::small(),
+        qps_total: 600.0,
+        warmup: SimDuration::from_millis(200),
+        measure: SimDuration::from_millis(600),
+        ..ClusterConfig::paper_cluster(SecondaryKind::none(), 3)
+    };
+    eprintln!("running small cluster: {:?}", cfg.topology);
+    let report = ClusterSim::new(cfg).run_traced(50_000);
+    eprintln!("completed={} degraded={}", report.completed, report.degraded);
+}

@@ -1,0 +1,59 @@
+//! Diagnostic probe for the saturated no-isolation cells: prints the
+//! service-level counters that the calibration table hides.
+
+use indexserve::boxsim::{BoxConfig, BoxSim, SecondaryKind};
+use qtrace::{OpenLoopClient, TraceConfig, TraceGenerator};
+use simcore::{SimDuration, SimTime};
+use workloads::BullyIntensity;
+
+fn main() {
+    let qps: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4_000.0);
+    let total = SimDuration::from_millis(2_000);
+    let n = (qps * total.as_secs_f64() * 1.05) as usize + 16;
+    let trace = TraceGenerator::new(TraceConfig { queries: n, ..Default::default() }).generate(1);
+    let mut client = OpenLoopClient::new(trace, qps, 2);
+    let mut sim = BoxSim::new(BoxConfig::paper_box(
+        SecondaryKind::cpu(BullyIntensity::High),
+        None,
+        1,
+    ));
+    let end = SimTime::ZERO + total;
+    let mut completed = 0u64;
+    let mut dropped = 0u64;
+    let mut next_report = SimTime::from_millis(250);
+    while let Some(at) = client.next_arrival_time() {
+        if at > end {
+            break;
+        }
+        let (_, spec) = client.pop().expect("peeked");
+        sim.inject_query(at, spec);
+        for ev in sim.drain_events() {
+            if let indexserve::BoxEvent::QueryDone(o) = ev {
+                if o.dropped {
+                    dropped += 1;
+                } else {
+                    completed += 1;
+                }
+            }
+        }
+        if at >= next_report {
+            next_report = next_report + SimDuration::from_millis(250);
+            let s = sim.service();
+            let bd = sim.breakdown();
+            println!(
+                "t={:>6} in_flight={:>4} adm_q={:>5} shed={:>6} done={:>6} drop={:>6} \
+                 prim={:>5.1}% sec={:>5.1}% idle={:>5.1}% spawned={}",
+                format!("{}", at),
+                s.in_flight(),
+                s.admission_queue_len(),
+                s.shed_admissions,
+                completed,
+                dropped,
+                bd.fraction(telemetry::TenantClass::Primary) * 100.0,
+                bd.fraction(telemetry::TenantClass::Secondary) * 100.0,
+                bd.idle_fraction() * 100.0,
+                s.workers_spawned,
+            );
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Experiment drivers shared by the integration tests, examples, and the
+//! benchmark harness.
+//!
+//! Each function runs one *bar group* of a paper figure and returns a
+//! [`indexserve::BoxReport`] (or a cluster report); the bench targets format
+//! them into the tables printed by `cargo bench`.
+//!
+//! Runs are scaled by [`Scale`]: the default keeps test runtimes modest;
+//! `Scale::paper()` (or setting the `PERFISO_SCALE` environment variable to
+//! a multiplier) lengthens the measured windows for tighter percentiles.
+
+pub mod policies;
+pub mod singlebox;
+
+pub use policies::Policy;
+pub use singlebox::{
+    blind_isolation, cycle_cap, no_isolation, run_with_policy, standalone, static_cores, Scale,
+};

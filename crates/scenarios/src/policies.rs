@@ -1,0 +1,83 @@
+//! The isolation policies compared across the paper's figures.
+
+use perfiso::{CpuPolicy, PerfIsoConfig};
+
+/// One of the evaluated isolation configurations (§6.1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Policy {
+    /// Primary alone on the machine (no secondary at all).
+    Standalone,
+    /// Colocated, no isolation whatsoever.
+    NoIsolation,
+    /// CPU blind isolation with the given buffer-core count.
+    Blind {
+        /// Idle cores reserved for primary bursts.
+        buffer_cores: u32,
+    },
+    /// Static core restriction: the secondary may use only this many cores.
+    StaticCores(u32),
+    /// Static CPU-cycle cap as a fraction of machine CPU in `(0, 1]`.
+    CycleCap(f64),
+}
+
+impl Policy {
+    /// The PerfIso configuration implementing this policy (`None` when no
+    /// controller should run).
+    pub fn perfiso_config(&self) -> Option<PerfIsoConfig> {
+        match *self {
+            Policy::Standalone | Policy::NoIsolation => None,
+            Policy::Blind { buffer_cores } => Some(PerfIsoConfig {
+                cpu: CpuPolicy::Blind { buffer_cores },
+                ..PerfIsoConfig::default()
+            }),
+            Policy::StaticCores(n) => Some(PerfIsoConfig {
+                cpu: CpuPolicy::StaticCores(n),
+                ..PerfIsoConfig::default()
+            }),
+            Policy::CycleCap(f) => Some(PerfIsoConfig {
+                cpu: CpuPolicy::CycleCap(f),
+                ..PerfIsoConfig::default()
+            }),
+        }
+    }
+
+    /// Short label used in tables.
+    pub fn label(&self) -> String {
+        match *self {
+            Policy::Standalone => "standalone".into(),
+            Policy::NoIsolation => "no-isolation".into(),
+            Policy::Blind { buffer_cores } => format!("blind(B={buffer_cores})"),
+            Policy::StaticCores(n) => format!("static-cores({n})"),
+            Policy::CycleCap(f) => format!("cycle-cap({:.0}%)", f * 100.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let policies = [
+            Policy::Standalone,
+            Policy::NoIsolation,
+            Policy::Blind { buffer_cores: 8 },
+            Policy::StaticCores(8),
+            Policy::CycleCap(0.05),
+        ];
+        let labels: std::collections::HashSet<String> =
+            policies.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), policies.len());
+    }
+
+    #[test]
+    fn configs_match_policies() {
+        assert!(Policy::Standalone.perfiso_config().is_none());
+        assert!(Policy::NoIsolation.perfiso_config().is_none());
+        let c = Policy::Blind { buffer_cores: 4 }.perfiso_config().unwrap();
+        assert_eq!(c.cpu, CpuPolicy::Blind { buffer_cores: 4 });
+        let c = Policy::CycleCap(0.45).perfiso_config().unwrap();
+        assert_eq!(c.cpu, CpuPolicy::CycleCap(0.45));
+    }
+}

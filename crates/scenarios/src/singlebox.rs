@@ -1,0 +1,119 @@
+//! Single-machine experiment drivers (Figs 4–8).
+
+use indexserve::{BoxConfig, BoxReport, SecondaryKind};
+use simcore::SimDuration;
+use workloads::{BullyIntensity, DiskBully};
+
+use crate::policies::Policy;
+
+/// Run-length scaling.
+///
+/// The measured window trades percentile resolution for wall-clock time;
+/// integration tests use [`Scale::quick`], benches default to
+/// [`Scale::bench`] and honour the `PERFISO_SCALE` environment variable as
+/// an extra multiplier.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Warm-up excluded from statistics.
+    pub warmup: SimDuration,
+    /// Measured window.
+    pub measure: SimDuration,
+}
+
+impl Scale {
+    /// Short runs for tests (~2 s simulated).
+    pub fn quick() -> Self {
+        Scale { warmup: SimDuration::from_millis(400), measure: SimDuration::from_millis(1_600) }
+    }
+
+    /// Bench default (~6 s simulated), times the `PERFISO_SCALE` env var.
+    pub fn bench() -> Self {
+        let mult: f64 = std::env::var("PERFISO_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1.0);
+        Scale {
+            warmup: SimDuration::from_millis(500),
+            measure: SimDuration::from_millis((6_000.0 * mult.max(0.1)) as u64),
+        }
+    }
+
+    fn plan(&self, qps: f64) -> indexserve::boxsim::RunPlan {
+        indexserve::boxsim::RunPlan {
+            qps,
+            warmup: self.warmup,
+            measure: self.measure,
+            trace: qtrace::TraceConfig::default(),
+        }
+    }
+}
+
+/// Runs one policy × bully-intensity × load cell.
+pub fn run_with_policy(
+    policy: Policy,
+    intensity: BullyIntensity,
+    qps: f64,
+    seed: u64,
+    scale: Scale,
+) -> BoxReport {
+    let secondary = match policy {
+        Policy::Standalone => SecondaryKind::none(),
+        _ => SecondaryKind::cpu(intensity),
+    };
+    let cfg = BoxConfig::paper_box(secondary, policy.perfiso_config(), seed);
+    indexserve::boxsim::run_standalone(cfg, &scale.plan(qps))
+}
+
+/// The standalone baseline (Fig 4, first bar group).
+pub fn standalone(qps: f64, seed: u64, scale: Scale) -> BoxReport {
+    run_with_policy(Policy::Standalone, BullyIntensity::High, qps, seed, scale)
+}
+
+/// Colocation without isolation (Fig 4).
+pub fn no_isolation(intensity: BullyIntensity, qps: f64, seed: u64, scale: Scale) -> BoxReport {
+    run_with_policy(Policy::NoIsolation, intensity, qps, seed, scale)
+}
+
+/// CPU blind isolation (Fig 5): high bully, given buffer cores.
+pub fn blind_isolation(buffer_cores: u32, qps: f64, seed: u64, scale: Scale) -> BoxReport {
+    run_with_policy(Policy::Blind { buffer_cores }, BullyIntensity::High, qps, seed, scale)
+}
+
+/// Static core restriction (Fig 6): high bully on `cores` cores.
+pub fn static_cores(cores: u32, qps: f64, seed: u64, scale: Scale) -> BoxReport {
+    run_with_policy(Policy::StaticCores(cores), BullyIntensity::High, qps, seed, scale)
+}
+
+/// Static cycle cap (Fig 7): high bully at `pct` of machine CPU.
+pub fn cycle_cap(pct: f64, qps: f64, seed: u64, scale: Scale) -> BoxReport {
+    run_with_policy(Policy::CycleCap(pct), BullyIntensity::High, qps, seed, scale)
+}
+
+/// A disk-bound secondary under full PerfIso (cluster-style settings).
+pub fn disk_bully_with_perfiso(qps: f64, seed: u64, scale: Scale) -> BoxReport {
+    let cfg = BoxConfig::paper_box(
+        SecondaryKind::disk(DiskBully::default()),
+        Some(perfiso::PerfIsoConfig::paper_cluster()),
+        seed,
+    );
+    indexserve::boxsim::run_standalone(cfg, &scale.plan(qps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_env_var_is_honoured() {
+        // No env var: default 6s.
+        let s = Scale::bench();
+        assert!(s.measure >= SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn policy_to_secondary_mapping() {
+        let s = Scale { warmup: SimDuration::from_millis(200), measure: SimDuration::from_millis(400) };
+        let r = standalone(500.0, 1, s);
+        assert_eq!(r.secondary_cpu, SimDuration::ZERO, "standalone has no bully");
+    }
+}

@@ -1,0 +1,389 @@
+//! Statistical distributions used by the workload models.
+//!
+//! Implemented in-house (rather than via `rand_distr`) so that sampling is
+//! deterministic under our own [`SimRng`] and auditable: each sampler is a
+//! few lines of classic textbook math with unit tests pinning its moments.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// Samples from a distribution using the simulation RNG.
+pub trait Sample {
+    /// Draws one value.
+    fn sample(&self, rng: &mut SimRng) -> f64;
+}
+
+/// Exponential distribution with the given rate `lambda` (mean `1/lambda`).
+#[derive(Clone, Copy, Debug)]
+pub struct Exp {
+    rate: f64,
+}
+
+impl Exp {
+    /// Creates an exponential distribution with rate `lambda` per unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is finite and strictly positive.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive: {rate}");
+        Exp { rate }
+    }
+
+    /// Creates an exponential distribution from its mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean` is finite and strictly positive.
+    pub fn from_mean(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive: {mean}");
+        Exp { rate: 1.0 / mean }
+    }
+}
+
+impl Sample for Exp {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        -rng.next_f64_open().ln() / self.rate
+    }
+}
+
+/// Standard normal variate via the Box–Muller transform.
+pub fn standard_normal(rng: &mut SimRng) -> f64 {
+    let u1 = rng.next_f64_open();
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal distribution `N(mean, std^2)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal {
+    mean: f64,
+    std: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `std` is finite and non-negative.
+    pub fn new(mean: f64, std: f64) -> Self {
+        assert!(std.is_finite() && std >= 0.0, "std must be non-negative: {std}");
+        Normal { mean, std }
+    }
+}
+
+impl Sample for Normal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.mean + self.std * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution parameterised by its *median* and shape `sigma`.
+///
+/// If `X ~ LogNormal(median, sigma)` then `ln X ~ N(ln median, sigma^2)`,
+/// so `P50 = median` and `P99 ≈ median · exp(2.326 · sigma)`. This is the
+/// workhorse for service-time modelling: the paper's standalone profile
+/// (p50 = 4 ms, p99 = 12 ms) pins `sigma = ln(3)/2.326 ≈ 0.47`.
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal {
+    ln_median: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution from its median and shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `median > 0` and `sigma >= 0`, both finite.
+    pub fn from_median(median: f64, sigma: f64) -> Self {
+        assert!(median.is_finite() && median > 0.0, "median must be positive: {median}");
+        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be non-negative: {sigma}");
+        LogNormal { ln_median: median.ln(), sigma }
+    }
+
+    /// The distribution mean, `median · exp(sigma^2 / 2)`.
+    pub fn mean(&self) -> f64 {
+        (self.ln_median + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    /// The `q`-quantile (`q` in `(0,1)`), via the probit approximation.
+    pub fn quantile(&self, q: f64) -> f64 {
+        (self.ln_median + self.sigma * probit(q)).exp()
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        (self.ln_median + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Acklam's rational approximation to the standard normal quantile function.
+fn probit(p: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p) && p > 0.0, "p must be in (0,1): {p}");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -probit(1.0 - p)
+    }
+}
+
+/// Pareto distribution with scale `x_min` and shape `alpha`.
+#[derive(Clone, Copy, Debug)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are finite and strictly positive.
+    pub fn new(x_min: f64, alpha: f64) -> Self {
+        assert!(x_min.is_finite() && x_min > 0.0, "x_min must be positive: {x_min}");
+        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive: {alpha}");
+        Pareto { x_min, alpha }
+    }
+}
+
+impl Sample for Pareto {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.x_min / rng.next_f64_open().powf(1.0 / self.alpha)
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`, via an exact CDF
+/// table (binary search per sample).
+///
+/// Used for web-index document popularity, which drives the primary's cache
+/// hit ratio.
+#[derive(Clone, Debug)]
+pub struct ZipfTable {
+    cdf: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Builds the table for `n` ranks and exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not finite and non-negative.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be non-negative: {s}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfTable { cdf }
+    }
+
+    /// Samples a rank in `1..=n` (rank 1 is the most popular).
+    pub fn sample_rank(&self, rng: &mut SimRng) -> usize {
+        let u = rng.next_f64();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite")) {
+            Ok(i) => i + 1,
+            Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false: the constructor rejects `n == 0`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Probability mass of the top `k` ranks (a cache of the `k` hottest
+    /// items yields this hit ratio under independent reference).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn top_k_mass(&self, k: usize) -> f64 {
+        assert!(k > 0, "k must be positive");
+        self.cdf[(k - 1).min(self.cdf.len() - 1)]
+    }
+}
+
+/// A Poisson arrival process: exponential inter-arrival gaps at `rate_per_sec`.
+#[derive(Clone, Copy, Debug)]
+pub struct PoissonProcess {
+    exp: Exp,
+}
+
+impl PoissonProcess {
+    /// Creates a process with the given arrival rate (events per second).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate_per_sec` is finite and strictly positive.
+    pub fn new(rate_per_sec: f64) -> Self {
+        PoissonProcess { exp: Exp::new(rate_per_sec) }
+    }
+
+    /// Samples the next inter-arrival gap.
+    pub fn next_gap(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(self.exp.sample(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn moments(d: &impl Sample, seed: u64, n: usize) -> (f64, f64) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn exp_mean_and_variance() {
+        let d = Exp::new(2.0);
+        let (mean, var) = moments(&d, 17, 200_000);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn exp_from_mean() {
+        let d = Exp::from_mean(3.0);
+        let (mean, _) = moments(&d, 23, 200_000);
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(10.0, 2.0);
+        let (mean, var) = moments(&d, 29, 200_000);
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_and_p99() {
+        let d = LogNormal::from_median(4.0, 0.4723);
+        let mut rng = SimRng::seed_from_u64(31);
+        let mut xs: Vec<f64> = (0..200_000).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p50 = xs[xs.len() / 2];
+        let p99 = xs[(xs.len() as f64 * 0.99) as usize];
+        assert!((p50 - 4.0).abs() < 0.1, "p50 {p50}");
+        // exp(0.4723 * 2.326) ≈ 3.0, so p99 ≈ 12.
+        assert!((p99 - 12.0).abs() < 0.5, "p99 {p99}");
+    }
+
+    #[test]
+    fn lognormal_quantile_matches_samples() {
+        let d = LogNormal::from_median(1.0, 0.8);
+        assert!((d.quantile(0.5) - 1.0).abs() < 1e-9);
+        let q99 = d.quantile(0.99);
+        assert!((q99 - (0.8f64 * 2.3263).exp()).abs() / q99 < 0.01);
+    }
+
+    #[test]
+    fn pareto_tail_is_heavy() {
+        let d = Pareto::new(1.0, 2.0);
+        let (mean, _) = moments(&d, 37, 200_000);
+        // Mean of Pareto(1, 2) is alpha/(alpha-1) = 2.
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_rank_one_is_most_popular() {
+        let z = ZipfTable::new(1_000, 1.0);
+        let mut rng = SimRng::seed_from_u64(41);
+        let mut counts = vec![0u32; 1_001];
+        for _ in 0..100_000 {
+            counts[z.sample_rank(&mut rng)] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[10]);
+        // Rank-1 mass for n=1000, s=1 is 1/H(1000) ≈ 0.1336.
+        let p1 = counts[1] as f64 / 100_000.0;
+        assert!((p1 - 0.1336).abs() < 0.01, "p1 {p1}");
+    }
+
+    #[test]
+    fn zipf_top_k_mass_is_monotone() {
+        let z = ZipfTable::new(100, 0.9);
+        let mut last = 0.0;
+        for k in 1..=100 {
+            let m = z.top_k_mass(k);
+            assert!(m >= last);
+            last = m;
+        }
+        assert!((z.top_k_mass(100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_process_rate() {
+        let p = PoissonProcess::new(2_000.0);
+        let mut rng = SimRng::seed_from_u64(43);
+        let n = 100_000;
+        let total: f64 = (0..n).map(|_| p.next_gap(&mut rng).as_secs_f64()).sum();
+        let rate = n as f64 / total;
+        assert!((rate - 2_000.0).abs() < 30.0, "rate {rate}");
+    }
+
+    #[test]
+    fn probit_symmetry() {
+        assert!((probit(0.5)).abs() < 1e-9);
+        assert!((probit(0.99) + probit(0.01)).abs() < 1e-6);
+        assert!((probit(0.99) - 2.3263).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,40 @@
+//! Identifier types for cores, jobs, and threads.
+
+use serde::{Deserialize, Serialize};
+
+/// A logical core index (0-based, below 64).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct CoreId(pub u16);
+
+/// A job (process group / Job Object) identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct JobId(pub u32);
+
+/// A thread handle: slot index plus generation.
+///
+/// Thread slots are recycled after exit; the generation distinguishes a live
+/// thread from a stale handle to an exited one, so `wake`/`kill` on a stale
+/// handle is a detectable no-op rather than corruption.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct ThreadId {
+    /// Slot index in the machine's thread table.
+    pub index: u32,
+    /// Generation of the slot at handle creation.
+    pub gen: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(ThreadId { index: 1, gen: 0 });
+        assert!(s.contains(&ThreadId { index: 1, gen: 0 }));
+        assert!(!s.contains(&ThreadId { index: 1, gen: 1 }));
+        assert!(CoreId(3) < CoreId(4));
+        assert!(JobId(1) < JobId(2));
+    }
+}

@@ -1,0 +1,303 @@
+//! Core bitmask arithmetic.
+//!
+//! The idle-core system call that blind isolation polls (§3.1.1 of the
+//! paper) "returns a bit mask with the bits corresponding to the idle CPUs'
+//! ids set"; affinity restriction takes the same shape. Machines are capped
+//! at 64 logical cores, which covers the paper's 48-core servers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::CoreId;
+
+/// A set of logical cores, stored as a 64-bit mask.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::CoreMask;
+///
+/// let all = CoreMask::all(8);
+/// let low = CoreMask::range(0, 4);
+/// assert_eq!(all.count(), 8);
+/// assert_eq!(all.difference(low).count(), 4);
+/// assert!(low.contains(simcore::CoreId(3)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct CoreMask(pub u64);
+
+impl CoreMask {
+    /// The empty set.
+    pub const EMPTY: CoreMask = CoreMask(0);
+
+    /// A mask with the lowest `n` cores set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn all(n: u32) -> CoreMask {
+        assert!(n <= 64, "at most 64 cores supported: {n}");
+        if n == 64 {
+            CoreMask(u64::MAX)
+        } else {
+            CoreMask((1u64 << n) - 1)
+        }
+    }
+
+    /// A mask with cores `lo..hi` set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi > 64` or `lo > hi`.
+    pub fn range(lo: u32, hi: u32) -> CoreMask {
+        assert!(hi <= 64 && lo <= hi, "bad core range {lo}..{hi}");
+        CoreMask(Self::all(hi).0 & !Self::all(lo).0)
+    }
+
+    /// A mask containing exactly one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core.0 >= 64`.
+    pub fn single(core: CoreId) -> CoreMask {
+        assert!(core.0 < 64, "core id out of range: {}", core.0);
+        CoreMask(1u64 << core.0)
+    }
+
+    /// Builds a mask from core ids.
+    pub fn from_cores(cores: &[CoreId]) -> CoreMask {
+        let mut m = CoreMask::EMPTY;
+        for &c in cores {
+            m = m.with(c);
+        }
+        m
+    }
+
+    /// Number of cores in the set.
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True when `core` is in the set.
+    pub fn contains(self, core: CoreId) -> bool {
+        core.0 < 64 && self.0 & (1u64 << core.0) != 0
+    }
+
+    /// Returns the set plus `core`.
+    pub fn with(self, core: CoreId) -> CoreMask {
+        CoreMask(self.0 | CoreMask::single(core).0)
+    }
+
+    /// Returns the set minus `core`.
+    pub fn without(self, core: CoreId) -> CoreMask {
+        CoreMask(self.0 & !CoreMask::single(core).0)
+    }
+
+    /// Set intersection.
+    pub fn intersection(self, other: CoreMask) -> CoreMask {
+        CoreMask(self.0 & other.0)
+    }
+
+    /// Set union.
+    pub fn union(self, other: CoreMask) -> CoreMask {
+        CoreMask(self.0 | other.0)
+    }
+
+    /// Set difference (`self` minus `other`).
+    pub fn difference(self, other: CoreMask) -> CoreMask {
+        CoreMask(self.0 & !other.0)
+    }
+
+    /// The lowest-numbered core in the set, if any.
+    pub fn lowest(self) -> Option<CoreId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(CoreId(self.0.trailing_zeros() as u16))
+        }
+    }
+
+    /// The highest-numbered core in the set, if any.
+    pub fn highest(self) -> Option<CoreId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(CoreId(63 - self.0.leading_zeros() as u16))
+        }
+    }
+
+    /// The `n` lowest-numbered cores of the set (all of them if fewer).
+    pub fn take_lowest(self, n: u32) -> CoreMask {
+        let mut out = CoreMask::EMPTY;
+        let mut rest = self;
+        for _ in 0..n {
+            match rest.lowest() {
+                Some(c) => {
+                    out = out.with(c);
+                    rest = rest.without(c);
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// The `n` highest-numbered cores of the set (all of them if fewer).
+    pub fn take_highest(self, n: u32) -> CoreMask {
+        let mut out = CoreMask::EMPTY;
+        let mut rest = self;
+        for _ in 0..n {
+            match rest.highest() {
+                Some(c) => {
+                    out = out.with(c);
+                    rest = rest.without(c);
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Iterates core ids in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = CoreId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let c = bits.trailing_zeros() as u16;
+                bits &= bits - 1;
+                Some(CoreId(c))
+            }
+        })
+    }
+}
+
+impl std::fmt::Debug for CoreMask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CoreMask({:#018x}, n={})", self.0, self.count())
+    }
+}
+
+impl std::fmt::Display for CoreMask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for c in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", c.0)?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn all_and_range() {
+        assert_eq!(CoreMask::all(0), CoreMask::EMPTY);
+        assert_eq!(CoreMask::all(64).count(), 64);
+        assert_eq!(CoreMask::all(48).count(), 48);
+        assert_eq!(CoreMask::range(4, 8).count(), 4);
+        assert!(CoreMask::range(4, 8).contains(CoreId(4)));
+        assert!(!CoreMask::range(4, 8).contains(CoreId(8)));
+    }
+
+    #[test]
+    fn with_without_roundtrip() {
+        let m = CoreMask::EMPTY.with(CoreId(5)).with(CoreId(9));
+        assert_eq!(m.count(), 2);
+        assert!(m.contains(CoreId(5)));
+        assert_eq!(m.without(CoreId(5)).count(), 1);
+        assert_eq!(m.without(CoreId(5)).without(CoreId(9)), CoreMask::EMPTY);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = CoreMask::range(0, 8);
+        let b = CoreMask::range(4, 12);
+        assert_eq!(a.intersection(b), CoreMask::range(4, 8));
+        assert_eq!(a.union(b), CoreMask::range(0, 12));
+        assert_eq!(a.difference(b), CoreMask::range(0, 4));
+    }
+
+    #[test]
+    fn lowest_highest() {
+        let m = CoreMask::from_cores(&[CoreId(3), CoreId(17), CoreId(42)]);
+        assert_eq!(m.lowest(), Some(CoreId(3)));
+        assert_eq!(m.highest(), Some(CoreId(42)));
+        assert_eq!(CoreMask::EMPTY.lowest(), None);
+    }
+
+    #[test]
+    fn take_lowest_highest() {
+        let m = CoreMask::range(0, 10);
+        assert_eq!(m.take_lowest(3), CoreMask::range(0, 3));
+        assert_eq!(m.take_highest(3), CoreMask::range(7, 10));
+        assert_eq!(m.take_lowest(100), m);
+    }
+
+    #[test]
+    fn iteration_ascending() {
+        let m = CoreMask::from_cores(&[CoreId(9), CoreId(1), CoreId(4)]);
+        let ids: Vec<u16> = m.iter().map(|c| c.0).collect();
+        assert_eq!(ids, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn display_lists_cores() {
+        let m = CoreMask::from_cores(&[CoreId(0), CoreId(2)]);
+        assert_eq!(format!("{m}"), "{0,2}");
+    }
+
+    proptest! {
+        /// Union/intersection/difference behave like sets of indices.
+        #[test]
+        fn prop_set_semantics(a in any::<u64>(), b in any::<u64>()) {
+            let (ma, mb) = (CoreMask(a), CoreMask(b));
+            for i in 0..64u16 {
+                let c = CoreId(i);
+                prop_assert_eq!(ma.union(mb).contains(c), ma.contains(c) || mb.contains(c));
+                prop_assert_eq!(ma.intersection(mb).contains(c), ma.contains(c) && mb.contains(c));
+                prop_assert_eq!(ma.difference(mb).contains(c), ma.contains(c) && !mb.contains(c));
+            }
+        }
+
+        /// take_lowest returns exactly min(n, count) of the smallest members.
+        #[test]
+        fn prop_take_lowest(bits in any::<u64>(), n in 0u32..70) {
+            let m = CoreMask(bits);
+            let t = m.take_lowest(n);
+            prop_assert_eq!(t.count(), n.min(m.count()));
+            prop_assert_eq!(t.intersection(m), t);
+            // Every non-member of t that is a member of m is larger than all of t.
+            if let Some(hi) = t.highest() {
+                for c in m.difference(t).iter() {
+                    prop_assert!(c.0 > hi.0);
+                }
+            }
+        }
+
+        /// Iteration visits each set bit exactly once, in order.
+        #[test]
+        fn prop_iter_matches_count(bits in any::<u64>()) {
+            let m = CoreMask(bits);
+            let v: Vec<u16> = m.iter().map(|c| c.0).collect();
+            prop_assert_eq!(v.len() as u32, m.count());
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted, v);
+        }
+    }
+}

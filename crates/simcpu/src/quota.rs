@@ -1,0 +1,187 @@
+//! Per-job CPU-rate quotas (Job Object CPU rate control / cgroups quota).
+//!
+//! This is the "restricting CPU cycles" alternative the paper evaluates in
+//! §6.1.4 and finds harmful: the job may consume at most
+//! `rate × period × cores` of core-time per period; once the budget is
+//! exhausted, *every* thread of the job is descheduled until the next period
+//! boundary. The duty-cycle bursts this creates — the job monopolising all
+//! allowed cores early in each period — are exactly the cascade that delays
+//! the primary's worker threads.
+
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+
+/// A CPU-rate cap: fraction of total machine CPU time per period.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CpuRateQuota {
+    /// Allowed fraction of total machine CPU time, in `(0, 1]`.
+    pub rate: f64,
+    /// Enforcement period (cgroups defaults to 100 ms).
+    pub period: SimDuration,
+}
+
+impl CpuRateQuota {
+    /// Creates a quota.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < rate <= 1` and `period > 0`.
+    pub fn new(rate: f64, period: SimDuration) -> Self {
+        assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0,1]: {rate}");
+        assert!(!period.is_zero(), "period must be positive");
+        CpuRateQuota { rate, period }
+    }
+
+    /// The classic cgroups-style default: the given rate over 100 ms periods.
+    pub fn percent(pct: f64) -> Self {
+        CpuRateQuota::new(pct / 100.0, SimDuration::from_millis(100))
+    }
+
+    /// Core-time budget per period on a machine with `cores` cores.
+    pub fn budget(&self, cores: u32) -> SimDuration {
+        self.period.mul_f64(self.rate * cores as f64)
+    }
+}
+
+/// Runtime state of quota enforcement for one job.
+#[derive(Clone, Debug)]
+pub(crate) struct QuotaState {
+    pub quota: CpuRateQuota,
+    /// Core-time remaining in the current period.
+    pub remaining: SimDuration,
+    /// Whether the job is currently descheduled.
+    pub throttled: bool,
+    /// Time of the last consumption settlement.
+    pub last_settle: SimTime,
+    /// Number of threads of this job currently on cores.
+    pub running: u32,
+    /// Generation for invalidating stale exhaustion timers.
+    pub exhaust_gen: u64,
+}
+
+impl QuotaState {
+    pub fn new(quota: CpuRateQuota, cores: u32, now: SimTime) -> Self {
+        QuotaState {
+            quota,
+            remaining: quota.budget(cores),
+            throttled: false,
+            last_settle: now,
+            running: 0,
+            exhaust_gen: 0,
+        }
+    }
+
+    /// Charges consumption since the last settlement at the current
+    /// parallelism, and updates the settlement point.
+    pub fn settle(&mut self, now: SimTime) {
+        if self.running > 0 {
+            let elapsed = now.since(self.last_settle);
+            let consumed = SimDuration::from_nanos(
+                elapsed.as_nanos().saturating_mul(self.running as u64),
+            );
+            self.remaining = self.remaining.saturating_sub(consumed);
+        }
+        self.last_settle = now;
+    }
+
+    /// When the budget will run out at current parallelism (`None` if it
+    /// will not, i.e. nothing is running or budget is infinite for now).
+    pub fn projected_exhaustion(&self, now: SimTime) -> Option<SimTime> {
+        if self.running == 0 || self.throttled {
+            return None;
+        }
+        if self.effectively_exhausted() {
+            return Some(now);
+        }
+        // Ceiling division: the projection must land strictly in the future
+        // whenever usable budget remains, or the exhaustion timer would
+        // re-fire at `now` forever (settle charges zero elapsed time, the
+        // budget never drains, and the simulation livelocks).
+        Some(now + self.remaining.div_ceil(self.running as u64))
+    }
+
+    /// True when the remaining budget is too small to cover even one
+    /// nanosecond of each running thread, i.e. it can never be charged off
+    /// by a future settlement at the current parallelism.
+    pub fn effectively_exhausted(&self) -> bool {
+        self.remaining.as_nanos() < self.running.max(1) as u64
+    }
+
+    /// Refills the budget at a period boundary.
+    pub fn refill(&mut self, cores: u32, now: SimTime) {
+        self.remaining = self.quota.budget(cores);
+        self.throttled = false;
+        self.last_settle = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_scales_with_cores_and_rate() {
+        let q = CpuRateQuota::percent(5.0);
+        assert_eq!(q.budget(48), SimDuration::from_millis(240));
+        let q = CpuRateQuota::percent(45.0);
+        assert_eq!(q.budget(48), SimDuration::from_millis(2_160));
+    }
+
+    #[test]
+    fn settle_charges_parallelism() {
+        let mut s = QuotaState::new(CpuRateQuota::percent(50.0), 4, SimTime::ZERO);
+        // Budget: 0.5 * 100ms * 4 = 200ms of core-time.
+        s.running = 4;
+        s.settle(SimTime::from_millis(10));
+        assert_eq!(s.remaining, SimDuration::from_millis(160));
+        s.running = 2;
+        s.settle(SimTime::from_millis(20));
+        assert_eq!(s.remaining, SimDuration::from_millis(140));
+    }
+
+    #[test]
+    fn exhaustion_projection() {
+        let mut s = QuotaState::new(CpuRateQuota::percent(10.0), 10, SimTime::ZERO);
+        // Budget 100ms core-time; 5 threads burn it in 20ms wall.
+        s.running = 5;
+        assert_eq!(s.projected_exhaustion(SimTime::ZERO), Some(SimTime::from_millis(20)));
+        s.running = 0;
+        assert_eq!(s.projected_exhaustion(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn refill_restores() {
+        let mut s = QuotaState::new(CpuRateQuota::percent(10.0), 10, SimTime::ZERO);
+        s.running = 5;
+        s.settle(SimTime::from_millis(20));
+        assert_eq!(s.remaining, SimDuration::ZERO);
+        s.throttled = true;
+        s.refill(10, SimTime::from_millis(100));
+        assert!(!s.throttled);
+        assert_eq!(s.remaining, SimDuration::from_millis(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in")]
+    fn bad_rate_rejected() {
+        let _ = CpuRateQuota::new(1.5, SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn projection_always_lands_strictly_in_the_future() {
+        // Regression: when `remaining < running` nanos, truncating division
+        // projected exhaustion at `now`, the settle there charged zero, and
+        // the timer re-fired at `now` forever.
+        let mut s = QuotaState::new(CpuRateQuota::percent(10.0), 10, SimTime::ZERO);
+        s.remaining = SimDuration::from_nanos(3);
+        s.running = 5;
+        assert!(s.effectively_exhausted(), "3ns over 5 threads is unusable budget");
+        assert_eq!(s.projected_exhaustion(SimTime::ZERO), Some(SimTime::ZERO));
+
+        // 7ns over 2 threads is usable; the projection must round up.
+        s.remaining = SimDuration::from_nanos(7);
+        s.running = 2;
+        assert!(!s.effectively_exhausted());
+        assert_eq!(s.projected_exhaustion(SimTime::ZERO), Some(SimTime::from_nanos(4)));
+    }
+}

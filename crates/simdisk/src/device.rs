@@ -1,0 +1,166 @@
+//! Device service-time models.
+//!
+//! Two device families matter to the paper: SSDs (the primary's index
+//! volume, low-latency random reads, channel parallelism) and HDDs (the
+//! shared batch volume, seek-dominated random access, decent sequential
+//! bandwidth).
+
+use serde::{Deserialize, Serialize};
+use simcore::{dist::LogNormal, dist::Sample, SimDuration, SimRng};
+
+use crate::request::{AccessPattern, IoKind};
+
+/// The family-specific performance parameters of one device.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// A solid-state drive: fixed access latency, high internal parallelism.
+    Ssd {
+        /// Base access latency for reads.
+        read_latency: SimDuration,
+        /// Base access latency for writes.
+        write_latency: SimDuration,
+        /// Sustained transfer bandwidth in bytes/second.
+        bandwidth: u64,
+        /// Concurrent in-flight operations the device sustains.
+        channels: u32,
+    },
+    /// A spinning disk: seek + rotational latency for random access.
+    Hdd {
+        /// Average seek time for random access.
+        seek: SimDuration,
+        /// Average rotational latency for random access.
+        rotational: SimDuration,
+        /// Sustained transfer bandwidth in bytes/second.
+        bandwidth: u64,
+    },
+}
+
+/// A device specification (kind + service-time jitter).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Performance parameters.
+    pub kind: DeviceKind,
+    /// Log-normal sigma applied multiplicatively to each service time.
+    pub jitter_sigma: f64,
+}
+
+impl DeviceSpec {
+    /// A datacenter SATA SSD (~500 GB class, as in the paper's servers).
+    pub fn datacenter_ssd() -> Self {
+        DeviceSpec {
+            kind: DeviceKind::Ssd {
+                read_latency: SimDuration::from_micros(80),
+                write_latency: SimDuration::from_micros(50),
+                bandwidth: 450 * 1024 * 1024,
+                channels: 8,
+            },
+            jitter_sigma: 0.15,
+        }
+    }
+
+    /// A 2 TB 7200rpm datacenter HDD.
+    pub fn datacenter_hdd() -> Self {
+        DeviceSpec {
+            kind: DeviceKind::Hdd {
+                seek: SimDuration::from_millis(6),
+                rotational: SimDuration::from_micros(4_100),
+                bandwidth: 160 * 1024 * 1024,
+            },
+            jitter_sigma: 0.2,
+        }
+    }
+
+    /// Concurrent operations this device sustains.
+    pub fn channels(&self) -> u32 {
+        match self.kind {
+            DeviceKind::Ssd { channels, .. } => channels,
+            DeviceKind::Hdd { .. } => 1,
+        }
+    }
+
+    /// Samples the service time of one request.
+    pub fn service_time(
+        &self,
+        kind: IoKind,
+        access: AccessPattern,
+        bytes: u64,
+        rng: &mut SimRng,
+    ) -> SimDuration {
+        let base = match self.kind {
+            DeviceKind::Ssd { read_latency, write_latency, bandwidth, .. } => {
+                let lat = match kind {
+                    IoKind::Read => read_latency,
+                    IoKind::Write => write_latency,
+                };
+                lat + transfer_time(bytes, bandwidth)
+            }
+            DeviceKind::Hdd { seek, rotational, bandwidth } => {
+                let positioning = match access {
+                    AccessPattern::Random => seek + rotational,
+                    // Sequential I/O still pays a small per-op overhead.
+                    AccessPattern::Sequential => SimDuration::from_micros(300),
+                };
+                positioning + transfer_time(bytes, bandwidth)
+            }
+        };
+        if self.jitter_sigma <= 0.0 {
+            return base;
+        }
+        let mult = LogNormal::from_median(1.0, self.jitter_sigma).sample(rng);
+        base.mul_f64(mult)
+    }
+}
+
+fn transfer_time(bytes: u64, bandwidth: u64) -> SimDuration {
+    SimDuration::from_secs_f64(bytes as f64 / bandwidth as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ssd_random_read_is_fast() {
+        let spec = DeviceSpec::datacenter_ssd();
+        let mut rng = SimRng::seed_from_u64(1);
+        let t = spec.service_time(IoKind::Read, AccessPattern::Random, 32 * 1024, &mut rng);
+        assert!(t < SimDuration::from_millis(1), "ssd read took {t}");
+        assert!(t > SimDuration::from_micros(50), "ssd read took {t}");
+    }
+
+    #[test]
+    fn hdd_random_is_seek_dominated() {
+        let spec = DeviceSpec::datacenter_hdd();
+        let mut rng = SimRng::seed_from_u64(2);
+        let t = spec.service_time(IoKind::Read, AccessPattern::Random, 8 * 1024, &mut rng);
+        assert!(t > SimDuration::from_millis(5), "hdd random read took {t}");
+    }
+
+    #[test]
+    fn hdd_sequential_avoids_seek() {
+        let spec = DeviceSpec::datacenter_hdd();
+        let mut rng = SimRng::seed_from_u64(3);
+        let seq = spec.service_time(IoKind::Write, AccessPattern::Sequential, 1 << 20, &mut rng);
+        let rnd = spec.service_time(IoKind::Write, AccessPattern::Random, 1 << 20, &mut rng);
+        assert!(seq < rnd, "seq {seq} must beat random {rnd}");
+    }
+
+    #[test]
+    fn larger_transfers_take_longer() {
+        let spec = DeviceSpec::datacenter_ssd();
+        let mut rng = SimRng::seed_from_u64(4);
+        let mut small_total = SimDuration::ZERO;
+        let mut big_total = SimDuration::ZERO;
+        for _ in 0..64 {
+            small_total += spec.service_time(IoKind::Read, AccessPattern::Random, 4 << 10, &mut rng);
+            big_total += spec.service_time(IoKind::Read, AccessPattern::Random, 4 << 20, &mut rng);
+        }
+        assert!(big_total > small_total);
+    }
+
+    #[test]
+    fn channels_reflect_kind() {
+        assert_eq!(DeviceSpec::datacenter_ssd().channels(), 8);
+        assert_eq!(DeviceSpec::datacenter_hdd().channels(), 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! I/O request and completion types.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+
+/// Identifies a volume within a [`crate::DiskSim`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct VolumeId(pub u32);
+
+/// Identifies an I/O owner (a process, in the paper's terms).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct OwnerId(pub u32);
+
+/// Read or write.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum IoKind {
+    /// A read request.
+    Read,
+    /// A write request.
+    Write,
+}
+
+/// Sequential or random access, which matters enormously for HDDs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Sequential access: no seek penalty on HDDs.
+    Sequential,
+    /// Random access: full seek + rotational latency on HDDs.
+    Random,
+}
+
+/// Service priority of an owner's requests; higher is served first.
+///
+/// PerfIso's DWRR throttler nudges these up and down based on computed
+/// deficits (§4.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct IoPriority(pub u8);
+
+impl IoPriority {
+    /// Highest priority.
+    pub const MAX: IoPriority = IoPriority(7);
+    /// Default priority for latency-sensitive owners.
+    pub const HIGH: IoPriority = IoPriority(6);
+    /// Default priority for best-effort owners.
+    pub const LOW: IoPriority = IoPriority(2);
+    /// Lowest priority.
+    pub const MIN: IoPriority = IoPriority(0);
+
+    /// Priority one step higher, saturating at [`IoPriority::MAX`].
+    pub fn raise(self) -> IoPriority {
+        IoPriority((self.0 + 1).min(Self::MAX.0))
+    }
+
+    /// Priority one step lower, saturating at [`IoPriority::MIN`].
+    pub fn lower(self) -> IoPriority {
+        IoPriority(self.0.saturating_sub(1))
+    }
+}
+
+/// A pending request inside the simulator.
+#[derive(Clone, Debug)]
+pub(crate) struct PendingIo {
+    pub owner: OwnerId,
+    pub kind: IoKind,
+    pub bytes: u64,
+    pub access: AccessPattern,
+    pub token: u64,
+    pub submitted: SimTime,
+}
+
+/// A completed request, delivered to the driver.
+#[derive(Clone, Copy, Debug)]
+pub struct IoCompletion {
+    /// The owner that issued the request.
+    pub owner: OwnerId,
+    /// The opaque token passed at submission.
+    pub token: u64,
+    /// Completion time.
+    pub at: SimTime,
+    /// End-to-end latency (queueing + service).
+    pub latency: simcore::SimDuration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_raise_lower_saturate() {
+        assert_eq!(IoPriority::MAX.raise(), IoPriority::MAX);
+        assert_eq!(IoPriority::MIN.lower(), IoPriority::MIN);
+        assert_eq!(IoPriority(3).raise(), IoPriority(4));
+        assert_eq!(IoPriority(3).lower(), IoPriority(2));
+        assert!(IoPriority::HIGH > IoPriority::LOW);
+    }
+}

@@ -1,0 +1,127 @@
+//! Sliding-window counters for per-owner I/O statistics.
+//!
+//! The DWRR controller (§4.1) uses "the number of completed I/O requests
+//! per second (or IOPS) per drive, and ... a moving average". This module
+//! provides the moving window: a ring of fixed-width buckets rotated by
+//! virtual time.
+
+use simcore::{SimDuration, SimTime};
+
+/// A sliding-window event counter with fixed-width buckets.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::{SimDuration, SimTime};
+/// use simdisk::window::WindowCounter;
+///
+/// let mut w = WindowCounter::new(SimDuration::from_millis(100), 10);
+/// w.add(SimTime::from_millis(50), 1.0);
+/// w.add(SimTime::from_millis(150), 2.0);
+/// assert_eq!(w.sum(SimTime::from_millis(200)), 3.0);
+/// // After the window slides past the first bucket, only 2.0 remains.
+/// assert_eq!(w.sum(SimTime::from_millis(1_050)), 2.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct WindowCounter {
+    bucket_width: SimDuration,
+    buckets: Vec<f64>,
+    /// Absolute index of the bucket currently at `head`.
+    head_bucket: u64,
+    head: usize,
+}
+
+impl WindowCounter {
+    /// Creates a window of `n_buckets` buckets of `bucket_width` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero or `n_buckets` is zero.
+    pub fn new(bucket_width: SimDuration, n_buckets: usize) -> Self {
+        assert!(!bucket_width.is_zero(), "bucket width must be positive");
+        assert!(n_buckets > 0, "need at least one bucket");
+        WindowCounter {
+            bucket_width,
+            buckets: vec![0.0; n_buckets],
+            head_bucket: 0,
+            head: 0,
+        }
+    }
+
+    /// Total window span.
+    pub fn span(&self) -> SimDuration {
+        SimDuration::from_nanos(self.bucket_width.as_nanos() * self.buckets.len() as u64)
+    }
+
+    fn rotate_to(&mut self, now: SimTime) {
+        let target = now.as_nanos() / self.bucket_width.as_nanos();
+        if target <= self.head_bucket {
+            return;
+        }
+        let steps = (target - self.head_bucket).min(self.buckets.len() as u64);
+        for _ in 0..steps {
+            self.head = (self.head + 1) % self.buckets.len();
+            self.buckets[self.head] = 0.0;
+        }
+        self.head_bucket = target;
+    }
+
+    /// Adds `amount` at time `now`.
+    pub fn add(&mut self, now: SimTime, amount: f64) {
+        self.rotate_to(now);
+        self.buckets[self.head] += amount;
+    }
+
+    /// Sum over the window as of `now`.
+    pub fn sum(&mut self, now: SimTime) -> f64 {
+        self.rotate_to(now);
+        self.buckets.iter().sum()
+    }
+
+    /// Windowed per-second rate as of `now`.
+    pub fn rate_per_sec(&mut self, now: SimTime) -> f64 {
+        let s = self.sum(now);
+        s / self.span().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_within_window() {
+        let mut w = WindowCounter::new(SimDuration::from_millis(100), 10);
+        for i in 0..10 {
+            w.add(SimTime::from_millis(i * 100 + 1), 1.0);
+        }
+        assert_eq!(w.sum(SimTime::from_millis(999)), 10.0);
+    }
+
+    #[test]
+    fn old_buckets_expire() {
+        let mut w = WindowCounter::new(SimDuration::from_millis(100), 10);
+        w.add(SimTime::from_millis(0), 5.0);
+        assert_eq!(w.sum(SimTime::from_millis(900)), 5.0);
+        assert_eq!(w.sum(SimTime::from_millis(1_100)), 0.0);
+    }
+
+    #[test]
+    fn rate_is_per_second() {
+        let mut w = WindowCounter::new(SimDuration::from_millis(100), 10);
+        for i in 0..100 {
+            w.add(SimTime::from_millis(i * 10), 1.0);
+        }
+        let r = w.rate_per_sec(SimTime::from_millis(999));
+        assert!((r - 100.0).abs() < 1.0, "rate {r}");
+    }
+
+    #[test]
+    fn long_gaps_clear_everything() {
+        let mut w = WindowCounter::new(SimDuration::from_millis(100), 4);
+        w.add(SimTime::from_millis(0), 7.0);
+        assert_eq!(w.sum(SimTime::from_secs(100)), 0.0);
+        w.add(SimTime::from_secs(100), 3.0);
+        assert_eq!(w.sum(SimTime::from_secs(100)), 3.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! HDR-style log-bucketed histogram.
+//!
+//! For streaming contexts (long fleet runs) where keeping every sample is
+//! wasteful, [`LogHistogram`] buckets values logarithmically: 64 sub-buckets
+//! per power of two, bounding relative quantile error to about 1.6 %.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+const SUB_BUCKET_BITS: u32 = 6;
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS; // 64
+const OCTAVES: usize = 44; // covers 1ns .. ~4.8 hours
+const NUM_BUCKETS: usize = OCTAVES * SUB_BUCKETS;
+
+/// A fixed-memory histogram with ~1.6 % relative error on quantiles.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::SimDuration;
+/// use telemetry::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for ms in 1..=1000u64 {
+///     h.record(SimDuration::from_millis(ms));
+/// }
+/// let p50 = h.percentile(0.5).as_millis() as f64;
+/// assert!((p50 - 500.0).abs() / 500.0 < 0.02);
+/// ```
+#[derive(Clone, Serialize, Deserialize)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    max_ns: u64,
+    min_ns: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("total", &self.total)
+            .field("min_ns", &self.min_ns)
+            .field("max_ns", &self.max_ns)
+            .finish()
+    }
+}
+
+fn bucket_index(value_ns: u64) -> usize {
+    let v = value_ns.max(1);
+    let msb = 63 - v.leading_zeros();
+    if msb < SUB_BUCKET_BITS {
+        // Small values map directly into the first octave's sub-buckets.
+        return v as usize;
+    }
+    let octave = (msb - SUB_BUCKET_BITS + 1) as usize;
+    let sub = (v >> (octave as u32 - 1)) as usize & (SUB_BUCKETS - 1);
+    let idx = octave * SUB_BUCKETS + sub;
+    idx.min(NUM_BUCKETS - 1)
+}
+
+fn bucket_midpoint(idx: usize) -> u64 {
+    if idx < SUB_BUCKETS {
+        return idx as u64;
+    }
+    let octave = idx / SUB_BUCKETS;
+    let sub = idx % SUB_BUCKETS;
+    let base = (SUB_BUCKETS as u64 + sub as u64) << (octave as u32 - 1);
+    let width = 1u64 << (octave as u32 - 1);
+    base + width / 2
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram { counts: vec![0; NUM_BUCKETS], total: 0, max_ns: 0, min_ns: u64::MAX }
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        let ns = d.as_nanos();
+        self.counts[bucket_index(ns)] += 1;
+        self.total += 1;
+        self.max_ns = self.max_ns.max(ns);
+        self.min_ns = self.min_ns.min(ns);
+    }
+
+    /// Total recorded count.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Estimated `q`-quantile; zero when empty.
+    pub fn percentile(&self, q: f64) -> SimDuration {
+        if self.total == 0 {
+            return SimDuration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut acc = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                let mid = bucket_midpoint(idx);
+                return SimDuration::from_nanos(mid.clamp(self.min_ns, self.max_ns));
+            }
+        }
+        SimDuration::from_nanos(self.max_ns)
+    }
+
+    /// The exact maximum recorded value (zero when empty).
+    pub fn max(&self) -> SimDuration {
+        if self.total == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.max_ns)
+        }
+    }
+
+    /// The exact minimum recorded value (zero when empty).
+    pub fn min(&self) -> SimDuration {
+        if self.total == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.min_ns)
+        }
+    }
+
+    /// Merges `other` into `self`.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(0.99), SimDuration::ZERO);
+        assert_eq!(h.max(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut h = LogHistogram::new();
+        h.record(SimDuration::from_micros(123));
+        assert_eq!(h.count(), 1);
+        let p = h.percentile(0.5).as_nanos() as f64;
+        assert!((p - 123_000.0).abs() / 123_000.0 < 0.02, "p {p}");
+    }
+
+    #[test]
+    fn quantile_error_bounded() {
+        let mut h = LogHistogram::new();
+        for i in 1..=100_000u64 {
+            h.record(SimDuration::from_micros(i));
+        }
+        for q in [0.5, 0.9, 0.95, 0.99, 0.999] {
+            let exact = (q * 100_000.0) as f64 * 1_000.0;
+            let est = h.percentile(q).as_nanos() as f64;
+            let err = (est - exact).abs() / exact;
+            assert!(err < 0.02, "q={q} exact={exact} est={est} err={err}");
+        }
+    }
+
+    #[test]
+    fn min_max_exact() {
+        let mut h = LogHistogram::new();
+        h.record(SimDuration::from_nanos(17));
+        h.record(SimDuration::from_millis(250));
+        assert_eq!(h.min().as_nanos(), 17);
+        assert_eq!(h.max().as_millis(), 250);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for i in 1..=1000u64 {
+            a.record(SimDuration::from_micros(i));
+            b.record(SimDuration::from_micros(i + 1000));
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 2000);
+        let p50 = a.percentile(0.5).as_micros() as f64;
+        assert!((p50 - 1000.0).abs() / 1000.0 < 0.03, "p50 {p50}");
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow() {
+        let mut h = LogHistogram::new();
+        h.record(SimDuration::from_secs(10_000));
+        assert!(h.percentile(1.0).as_secs_f64() > 0.0);
+    }
+
+    proptest! {
+        /// Bucket index is monotone non-decreasing in the value.
+        #[test]
+        fn prop_bucket_monotone(a in 1u64..u64::MAX / 2) {
+            prop_assert!(bucket_index(a) <= bucket_index(a + 1));
+        }
+
+        /// A bucket's midpoint maps back into the same bucket.
+        #[test]
+        fn prop_midpoint_roundtrip(v in 1u64..1_000_000_000_000u64) {
+            let idx = bucket_index(v);
+            let mid = bucket_midpoint(idx);
+            prop_assert_eq!(bucket_index(mid.max(1)), idx);
+        }
+
+        /// Quantile relative error stays within 2% for wide-ranging data.
+        #[test]
+        fn prop_quantile_error(vals in proptest::collection::vec(1_000u64..10_000_000_000u64, 10..500)) {
+            let mut h = LogHistogram::new();
+            let mut sorted = vals.clone();
+            for &v in &vals {
+                h.record(SimDuration::from_nanos(v));
+            }
+            sorted.sort_unstable();
+            let q = 0.9;
+            let n = sorted.len();
+            let rank = (((q * n as f64).ceil() as usize).clamp(1, n)) - 1;
+            let exact = sorted[rank] as f64;
+            let est = h.percentile(q).as_nanos() as f64;
+            prop_assert!((est - exact).abs() / exact < 0.02, "exact {} est {}", exact, est);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Measurement and reporting toolkit for the PerfIso reproduction.
+//!
+//! Everything the paper's evaluation reports flows through this crate:
+//!
+//! - [`LatencyRecorder`] — exact query-latency percentiles (p50/p95/p99).
+//! - [`LogHistogram`] — HDR-style log-bucketed histogram for streaming use.
+//! - [`CpuBreakdown`] — the Primary/Secondary/OS/Idle utilization split shown
+//!   in every CPU-utilization bar chart (Figs 4b–8b).
+//! - [`TimeSeries`] — bucketed series for the Fig 10 production timeline.
+//! - [`RunStats`] — mean/std/CI across repeated runs (the paper runs each
+//!   cluster experiment 8 times).
+//! - [`table::Table`] — plain-text tables for the bench harness output.
+//! - [`slo`] — the paper's SLO definition: p99 within 1 ms of standalone.
+
+pub mod accounting;
+pub mod histogram;
+pub mod recorder;
+pub mod runstats;
+pub mod series;
+pub mod slo;
+pub mod table;
+
+pub use accounting::{CpuBreakdown, TenantClass};
+pub use histogram::LogHistogram;
+pub use recorder::LatencyRecorder;
+pub use runstats::RunStats;
+pub use series::TimeSeries;

@@ -1,0 +1,259 @@
+//! Exact latency percentile recording.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+/// Collects latency samples and reports exact percentiles.
+///
+/// Samples are kept in full (the experiments record at most a few hundred
+/// thousand queries), so percentiles are exact order statistics rather than
+/// histogram estimates. Dropped (timed-out) queries are counted separately
+/// and excluded from the latency distribution, matching the paper's
+/// methodology (completed-query percentiles plus a dropped-query ratio).
+///
+/// # Examples
+///
+/// ```
+/// use simcore::SimDuration;
+/// use telemetry::LatencyRecorder;
+///
+/// let mut r = LatencyRecorder::new();
+/// for ms in [1u64, 2, 3, 4, 100] {
+///     r.record(SimDuration::from_millis(ms));
+/// }
+/// assert_eq!(r.percentile(0.5).as_millis(), 3);
+/// assert_eq!(r.max().as_millis(), 100);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LatencyRecorder {
+    samples_ns: Vec<u64>,
+    dropped: u64,
+    #[serde(skip)]
+    sorted: bool,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        LatencyRecorder { samples_ns: Vec::new(), dropped: 0, sorted: true }
+    }
+
+    /// Records a completed-query latency.
+    pub fn record(&mut self, latency: SimDuration) {
+        self.samples_ns.push(latency.as_nanos());
+        self.sorted = false;
+    }
+
+    /// Records a dropped (timed-out) query.
+    pub fn record_dropped(&mut self) {
+        self.dropped += 1;
+    }
+
+    /// Number of completed samples.
+    pub fn len(&self) -> usize {
+        self.samples_ns.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_ns.is_empty()
+    }
+
+    /// Number of dropped queries.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Fraction of queries dropped, in `[0, 1]`.
+    pub fn drop_ratio(&self) -> f64 {
+        let total = self.samples_ns.len() as u64 + self.dropped;
+        if total == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / total as f64
+        }
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples_ns.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The exact `q`-quantile (`0 <= q <= 1`) of completed latencies.
+    ///
+    /// Returns [`SimDuration::ZERO`] when empty. Uses the nearest-rank
+    /// method: `ceil(q * n)`-th smallest sample.
+    pub fn percentile(&mut self, q: f64) -> SimDuration {
+        if self.samples_ns.is_empty() {
+            return SimDuration::ZERO;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let n = self.samples_ns.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        SimDuration::from_nanos(self.samples_ns[rank - 1])
+    }
+
+    /// Mean of completed latencies (zero when empty).
+    pub fn mean(&self) -> SimDuration {
+        if self.samples_ns.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let sum: u128 = self.samples_ns.iter().map(|&x| x as u128).sum();
+        SimDuration::from_nanos((sum / self.samples_ns.len() as u128) as u64)
+    }
+
+    /// Largest completed latency (zero when empty).
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(self.samples_ns.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Merges another recorder's samples into this one.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples_ns.extend_from_slice(&other.samples_ns);
+        self.dropped += other.dropped;
+        self.sorted = false;
+    }
+
+    /// Convenience: (p50, p95, p99) in one call.
+    pub fn summary(&mut self) -> PercentileSummary {
+        PercentileSummary {
+            count: self.len() as u64,
+            dropped: self.dropped,
+            mean: self.mean(),
+            p50: self.percentile(0.50),
+            p95: self.percentile(0.95),
+            p99: self.percentile(0.99),
+            max: self.max(),
+        }
+    }
+}
+
+/// A snapshot of the standard latency statistics.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct PercentileSummary {
+    /// Completed-query count.
+    pub count: u64,
+    /// Dropped-query count.
+    pub dropped: u64,
+    /// Mean latency.
+    pub mean: SimDuration,
+    /// Median latency.
+    pub p50: SimDuration,
+    /// 95th percentile latency.
+    pub p95: SimDuration,
+    /// 99th percentile latency — the paper's headline metric.
+    pub p99: SimDuration,
+    /// Maximum observed latency.
+    pub max: SimDuration,
+}
+
+impl PercentileSummary {
+    /// Fraction of queries dropped.
+    pub fn drop_ratio(&self) -> f64 {
+        let total = self.count + self.dropped;
+        if total == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_is_zero() {
+        let mut r = LatencyRecorder::new();
+        assert!(r.is_empty());
+        assert_eq!(r.percentile(0.99), SimDuration::ZERO);
+        assert_eq!(r.mean(), SimDuration::ZERO);
+        assert_eq!(r.drop_ratio(), 0.0);
+    }
+
+    #[test]
+    fn exact_percentiles() {
+        let mut r = LatencyRecorder::new();
+        for i in 1..=100u64 {
+            r.record(SimDuration::from_millis(i));
+        }
+        assert_eq!(r.percentile(0.50).as_millis(), 50);
+        assert_eq!(r.percentile(0.95).as_millis(), 95);
+        assert_eq!(r.percentile(0.99).as_millis(), 99);
+        assert_eq!(r.percentile(1.0).as_millis(), 100);
+        assert_eq!(r.percentile(0.0).as_millis(), 1);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let mut r = LatencyRecorder::new();
+        for i in (1..=10u64).rev() {
+            r.record(SimDuration::from_millis(i));
+        }
+        assert_eq!(r.percentile(0.5).as_millis(), 5);
+        r.record(SimDuration::from_millis(100));
+        assert_eq!(r.max().as_millis(), 100);
+    }
+
+    #[test]
+    fn drop_ratio_counts() {
+        let mut r = LatencyRecorder::new();
+        r.record(SimDuration::from_millis(1));
+        r.record_dropped();
+        r.record_dropped();
+        r.record_dropped();
+        assert!((r.drop_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyRecorder::new();
+        let mut b = LatencyRecorder::new();
+        a.record(SimDuration::from_millis(1));
+        b.record(SimDuration::from_millis(3));
+        b.record_dropped();
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.dropped(), 1);
+        assert_eq!(a.percentile(1.0).as_millis(), 3);
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let mut r = LatencyRecorder::new();
+        for i in 1..=1000u64 {
+            r.record(SimDuration::from_micros(i));
+        }
+        let s = r.summary();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.p50.as_micros(), 500);
+        assert_eq!(s.p99.as_micros(), 990);
+        assert_eq!(s.max.as_micros(), 1000);
+    }
+
+    proptest! {
+        /// Percentiles are monotone in q and bounded by min/max.
+        #[test]
+        fn prop_percentile_monotone(mut xs in proptest::collection::vec(1u64..1_000_000, 1..300)) {
+            let mut r = LatencyRecorder::new();
+            for &x in &xs {
+                r.record(SimDuration::from_nanos(x));
+            }
+            xs.sort_unstable();
+            let mut last = SimDuration::ZERO;
+            for i in 0..=20 {
+                let q = i as f64 / 20.0;
+                let p = r.percentile(q);
+                prop_assert!(p >= last);
+                prop_assert!(p.as_nanos() <= *xs.last().unwrap());
+                last = p;
+            }
+            prop_assert_eq!(r.percentile(1.0).as_nanos(), *xs.last().unwrap());
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Statistics across repeated experiment runs.
+//!
+//! The paper's cluster experiments are run 8 times each; we report mean,
+//! standard deviation, and a normal-approximation 95 % confidence interval.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates scalar results across runs.
+///
+/// # Examples
+///
+/// ```
+/// use telemetry::RunStats;
+///
+/// let mut s = RunStats::new();
+/// for x in [10.0, 12.0, 11.0, 9.0] {
+///     s.add(x);
+/// }
+/// assert_eq!(s.mean(), 10.5);
+/// assert!(s.std() > 0.0);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RunStats {
+    values: Vec<f64>,
+}
+
+impl RunStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunStats { values: Vec::new() }
+    }
+
+    /// Adds one run's result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not finite.
+    pub fn add(&mut self, v: f64) {
+        assert!(v.is_finite(), "run result must be finite: {v}");
+        self.values.push(v);
+    }
+
+    /// Number of runs recorded.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no runs have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Mean across runs (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Sample standard deviation (0 with fewer than two runs).
+    pub fn std(&self) -> f64 {
+        let n = self.values.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let ss: f64 = self.values.iter().map(|v| (v - m) * (v - m)).sum();
+        (ss / (n as f64 - 1.0)).sqrt()
+    }
+
+    /// Half-width of the 95 % confidence interval (normal approximation).
+    pub fn ci95(&self) -> f64 {
+        let n = self.values.len();
+        if n < 2 {
+            return 0.0;
+        }
+        1.96 * self.std() / (n as f64).sqrt()
+    }
+
+    /// Minimum recorded value (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Maximum recorded value (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    /// All recorded values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// `mean ± ci95` rendered for reports.
+    pub fn to_ci_string(&self) -> String {
+        format!("{:.2} ± {:.2}", self.mean(), self.ci95())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let mut s = RunStats::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.add(v);
+        }
+        assert_eq!(s.mean(), 5.0);
+        assert!((s.std() - 2.138).abs() < 0.01);
+        assert!(s.ci95() > 0.0);
+    }
+
+    #[test]
+    fn single_run_has_zero_spread() {
+        let mut s = RunStats::new();
+        s.add(42.0);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.std(), 0.0);
+        assert_eq!(s.ci95(), 0.0);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let s = RunStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn max_tracks() {
+        let mut s = RunStats::new();
+        s.add(1.0);
+        s.add(3.0);
+        s.add(2.0);
+        assert_eq!(s.max(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        let mut s = RunStats::new();
+        s.add(f64::NAN);
+    }
+}

@@ -1,0 +1,163 @@
+//! Fixed-bucket time series, used for the Fig 10 production timeline
+//! (QPS, p99 latency, and CPU utilization over one hour).
+
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+
+/// One bucket of an aggregated series.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct Bucket {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Maximum sample (meaningless when `count == 0`).
+    pub max: f64,
+}
+
+impl Bucket {
+    /// Mean of the bucket, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A time series aggregated into fixed-width buckets.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::{SimDuration, SimTime};
+/// use telemetry::TimeSeries;
+///
+/// let mut s = TimeSeries::new(SimDuration::from_secs(60));
+/// s.record(SimTime::from_secs(30), 10.0);
+/// s.record(SimTime::from_secs(45), 20.0);
+/// s.record(SimTime::from_secs(70), 5.0);
+/// assert_eq!(s.bucket(0).unwrap().mean(), 15.0);
+/// assert_eq!(s.bucket(1).unwrap().mean(), 5.0);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TimeSeries {
+    width: SimDuration,
+    buckets: Vec<Bucket>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(width: SimDuration) -> Self {
+        assert!(!width.is_zero(), "bucket width must be positive");
+        TimeSeries { width, buckets: Vec::new() }
+    }
+
+    /// Bucket width.
+    pub fn width(&self) -> SimDuration {
+        self.width
+    }
+
+    /// Records a sample at virtual time `t`.
+    pub fn record(&mut self, t: SimTime, value: f64) {
+        let idx = (t.as_nanos() / self.width.as_nanos()) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, Bucket::default());
+        }
+        let b = &mut self.buckets[idx];
+        b.count += 1;
+        b.sum += value;
+        b.max = if b.count == 1 { value } else { b.max.max(value) };
+    }
+
+    /// Number of buckets (up to the latest recorded sample).
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Returns bucket `idx` if it exists.
+    pub fn bucket(&self, idx: usize) -> Option<&Bucket> {
+        self.buckets.get(idx)
+    }
+
+    /// Iterates `(bucket_start_time, bucket)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &Bucket)> {
+        let w = self.width;
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(move |(i, b)| (SimTime::from_nanos(i as u64 * w.as_nanos()), b))
+    }
+
+    /// Mean of all bucket means that contain data.
+    pub fn overall_mean(&self) -> f64 {
+        let non_empty: Vec<f64> =
+            self.buckets.iter().filter(|b| b.count > 0).map(|b| b.mean()).collect();
+        if non_empty.is_empty() {
+            0.0
+        } else {
+            non_empty.iter().sum::<f64>() / non_empty.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_assign_by_time() {
+        let mut s = TimeSeries::new(SimDuration::from_millis(10));
+        s.record(SimTime::from_millis(0), 1.0);
+        s.record(SimTime::from_millis(9), 2.0);
+        s.record(SimTime::from_millis(10), 3.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.bucket(0).unwrap().count, 2);
+        assert_eq!(s.bucket(1).unwrap().count, 1);
+    }
+
+    #[test]
+    fn bucket_stats() {
+        let mut s = TimeSeries::new(SimDuration::from_secs(1));
+        s.record(SimTime::from_millis(100), 5.0);
+        s.record(SimTime::from_millis(200), 15.0);
+        let b = s.bucket(0).unwrap();
+        assert_eq!(b.mean(), 10.0);
+        assert_eq!(b.max, 15.0);
+    }
+
+    #[test]
+    fn gaps_are_empty_buckets() {
+        let mut s = TimeSeries::new(SimDuration::from_secs(1));
+        s.record(SimTime::from_secs(5), 1.0);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.bucket(2).unwrap().count, 0);
+        assert_eq!(s.bucket(2).unwrap().mean(), 0.0);
+    }
+
+    #[test]
+    fn overall_mean_skips_empty() {
+        let mut s = TimeSeries::new(SimDuration::from_secs(1));
+        s.record(SimTime::from_secs(0), 10.0);
+        s.record(SimTime::from_secs(5), 20.0);
+        assert_eq!(s.overall_mean(), 15.0);
+    }
+
+    #[test]
+    fn iter_yields_start_times() {
+        let mut s = TimeSeries::new(SimDuration::from_secs(60));
+        s.record(SimTime::from_secs(90), 1.0);
+        let times: Vec<u64> = s.iter().map(|(t, _)| t.as_millis() / 1000).collect();
+        assert_eq!(times, vec![0, 60]);
+    }
+}

@@ -1,0 +1,105 @@
+//! The paper's service-level objective.
+//!
+//! IndexServe's SLO (§2.1): *"the 99th percentile must stay within a
+//! 1-millisecond limit of its expected value (i.e., without colocation)"*.
+//! PerfIso never sees this number — it is blind — but the evaluation grades
+//! every isolation policy against it.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+/// The default SLO margin from the paper: 1 ms over standalone p99.
+pub const DEFAULT_MARGIN: SimDuration = SimDuration::from_millis(1);
+
+/// An SLO defined relative to a standalone (no-colocation) baseline.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RelativeSlo {
+    /// The standalone p99 this service exhibits without colocation.
+    pub baseline_p99: SimDuration,
+    /// Allowed degradation over the baseline.
+    pub margin: SimDuration,
+}
+
+impl RelativeSlo {
+    /// Creates the paper's SLO: baseline p99 + 1 ms.
+    pub fn paper_default(baseline_p99: SimDuration) -> Self {
+        RelativeSlo { baseline_p99, margin: DEFAULT_MARGIN }
+    }
+
+    /// The absolute latency bound.
+    pub fn bound(&self) -> SimDuration {
+        self.baseline_p99 + self.margin
+    }
+
+    /// Checks a measured p99 against the SLO.
+    pub fn check(&self, measured_p99: SimDuration) -> SloVerdict {
+        let degradation = measured_p99.saturating_sub(self.baseline_p99);
+        SloVerdict { measured_p99, degradation, met: measured_p99 <= self.bound() }
+    }
+}
+
+/// The outcome of an SLO check.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SloVerdict {
+    /// The measured p99.
+    pub measured_p99: SimDuration,
+    /// Degradation over the baseline (saturating at zero).
+    pub degradation: SimDuration,
+    /// Whether the SLO was met.
+    pub met: bool,
+}
+
+impl std::fmt::Display for SloVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "p99={} (+{}) SLO {}",
+            self.measured_p99,
+            self.degradation,
+            if self.met { "MET" } else { "VIOLATED" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn met_within_margin() {
+        let slo = RelativeSlo::paper_default(SimDuration::from_millis(12));
+        let v = slo.check(SimDuration::from_micros(12_800));
+        assert!(v.met);
+        assert_eq!(v.degradation, SimDuration::from_micros(800));
+    }
+
+    #[test]
+    fn violated_beyond_margin() {
+        let slo = RelativeSlo::paper_default(SimDuration::from_millis(12));
+        let v = slo.check(SimDuration::from_millis(15));
+        assert!(!v.met);
+        assert_eq!(v.degradation, SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn boundary_is_met() {
+        let slo = RelativeSlo::paper_default(SimDuration::from_millis(12));
+        assert!(slo.check(SimDuration::from_millis(13)).met);
+        assert!(!slo.check(SimDuration::from_nanos(13_000_001)).met);
+    }
+
+    #[test]
+    fn faster_than_baseline_is_zero_degradation() {
+        let slo = RelativeSlo::paper_default(SimDuration::from_millis(12));
+        let v = slo.check(SimDuration::from_millis(10));
+        assert!(v.met);
+        assert_eq!(v.degradation, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        let slo = RelativeSlo::paper_default(SimDuration::from_millis(12));
+        let s = format!("{}", slo.check(SimDuration::from_millis(20)));
+        assert!(s.contains("VIOLATED"), "{s}");
+    }
+}

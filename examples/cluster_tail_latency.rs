@@ -1,0 +1,69 @@
+//! Scenario: verify end-to-end tail latency across an aggregation tree.
+//!
+//! "In such multi-layered systems, the slowest server dictates the response
+//! time" (§1). This example runs a scaled-down IndexServe cluster (8
+//! columns × 2 rows + 4 TLAs), colocates a CPU bully + HDFS on every index
+//! machine under PerfIso, and prints latency at all three layers —
+//! demonstrating that per-machine blind isolation composes into end-to-end
+//! SLO protection.
+//!
+//! Run with: `cargo run --release --example cluster_tail_latency`
+
+use cluster::{ClusterConfig, ClusterSim, Topology};
+use indexserve::SecondaryKind;
+use simcore::SimDuration;
+use telemetry::table::{ms, Table};
+use workloads::BullyIntensity;
+
+fn scaled(secondary: SecondaryKind, seed: u64) -> ClusterConfig {
+    ClusterConfig {
+        topology: Topology { columns: 8, rows: 2, tlas: 4 },
+        qps_total: 2_000.0,
+        warmup: SimDuration::from_millis(300),
+        measure: SimDuration::from_millis(900),
+        ..ClusterConfig::paper_cluster(secondary, seed)
+    }
+}
+
+fn main() {
+    println!("Scaled cluster: 8 columns x 2 rows + 4 TLAs, 2000 QPS total\n");
+
+    let base = ClusterSim::new(scaled(
+        SecondaryKind { hdfs: true, ..SecondaryKind::none() },
+        3,
+    ))
+    .run();
+    let colo = ClusterSim::new(scaled(
+        SecondaryKind {
+            cpu_bully: Some(BullyIntensity::High),
+            disk_bully: None,
+            hdfs: true,
+        },
+        3,
+    ))
+    .run();
+
+    let mut t = Table::new(&["layer", "baseline p99 (ms)", "colocated p99 (ms)", "delta (ms)"]);
+    for (name, b, c) in [
+        ("local IndexServe", &base.local, &colo.local),
+        ("MLA", &base.mla, &colo.mla),
+        ("TLA (end-to-end)", &base.tla, &colo.tla),
+    ] {
+        t.row_owned(vec![
+            name.to_string(),
+            ms(b.p99),
+            ms(c.p99),
+            format!("{:+.2}", c.p99.as_millis_f64() - b.p99.as_millis_f64()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "cluster CPU utilization: baseline {:.0}% -> colocated {:.0}%  ({} requests, {} degraded)",
+        base.mean_utilization * 100.0,
+        colo.mean_utilization * 100.0,
+        colo.completed,
+        colo.degraded,
+    );
+    println!("\nBlind isolation on every machine keeps each layer's tail close to baseline,");
+    println!("so the end-to-end SLO holds without any component knowing the SLO.");
+}

@@ -1,0 +1,116 @@
+//! Cluster-level integration tests (Fig 3 topology, Fig 9 behaviour) on a
+//! scaled-down TLA/MLA/IndexServe cluster.
+
+use cluster::{ClusterConfig, ClusterSim, Topology};
+use indexserve::SecondaryKind;
+use simcore::SimDuration;
+use workloads::BullyIntensity;
+
+fn small(secondary: SecondaryKind, seed: u64) -> ClusterConfig {
+    ClusterConfig {
+        topology: Topology::small(),
+        qps_total: 600.0,
+        warmup: SimDuration::from_millis(200),
+        measure: SimDuration::from_millis(800),
+        ..ClusterConfig::paper_cluster(secondary, seed)
+    }
+}
+
+#[test]
+fn layers_aggregate_in_order() {
+    // A request is measured at the local IndexServe, the MLA, and the TLA;
+    // each layer's latency must dominate the one below (Fig 9's structure).
+    let r = ClusterSim::new(small(SecondaryKind::none(), 3)).run();
+    assert!(r.completed > 300, "completed {}", r.completed);
+    assert_eq!(r.degraded, 0);
+    assert!(r.local.avg <= r.mla.avg, "local {} vs mla {}", r.local.avg, r.mla.avg);
+    assert!(r.mla.avg <= r.tla.avg, "mla {} vs tla {}", r.mla.avg, r.tla.avg);
+    assert!(r.local.count > 0 && r.mla.count > 0 && r.tla.count > 0);
+}
+
+#[test]
+fn cpu_bound_secondary_stays_within_band_under_perfiso() {
+    // Fig 9b: per-layer p99 deltas vs the baseline stay within ~1 ms.
+    let base = ClusterSim::new(small(SecondaryKind::none(), 5)).run();
+    let colo = ClusterSim::new(small(
+        SecondaryKind { cpu_bully: Some(BullyIntensity::High), disk_bully: None, hdfs: true },
+        5,
+    ))
+    .run();
+    for (name, b, c) in [
+        ("local", &base.local, &colo.local),
+        ("mla", &base.mla, &colo.mla),
+        ("tla", &base.tla, &colo.tla),
+    ] {
+        let d = c.p99.saturating_sub(b.p99);
+        assert!(
+            d < SimDuration::from_millis(3),
+            "{name} p99 degradation {d} (colo {} base {})",
+            c.p99,
+            b.p99
+        );
+    }
+    assert!(
+        colo.mean_utilization > base.mean_utilization + 0.2,
+        "colocation must lift utilization: {} -> {}",
+        base.mean_utilization,
+        colo.mean_utilization
+    );
+}
+
+#[test]
+fn disk_bound_secondary_stays_within_band_under_perfiso() {
+    // Fig 9c: the DiskSPD-style bully on the shared HDD volume.
+    let base = ClusterSim::new(small(SecondaryKind::none(), 7)).run();
+    let colo = ClusterSim::new(small(
+        SecondaryKind {
+            cpu_bully: None,
+            disk_bully: Some(workloads::DiskBully::default()),
+            hdfs: true,
+        },
+        7,
+    ))
+    .run();
+    let d = colo.tla.p99.saturating_sub(base.tla.p99);
+    assert!(d < SimDuration::from_millis(3), "tla p99 degradation {d}");
+}
+
+#[test]
+fn topology_math_checks_out() {
+    let t = Topology::paper_cluster();
+    assert_eq!(t.columns, 22);
+    assert_eq!(t.rows, 2);
+    assert_eq!(t.tlas, 31);
+    assert_eq!(t.index_machines(), 44);
+    assert_eq!(t.total_machines(), 75, "the paper's 75-machine cluster");
+    t.validate().expect("paper topology is valid");
+    // Round-trips between flat indices and (row, column) positions.
+    for row in 0..t.rows {
+        for col in 0..t.columns {
+            let node = t.index_node(row, col);
+            assert_eq!(t.index_position(node), Some((row, col)));
+        }
+    }
+    // TLA nodes are distinct from index nodes.
+    for i in 0..t.tlas {
+        assert!(t.index_position(t.tla_node(i)).is_none());
+    }
+}
+
+#[test]
+fn unprotected_cluster_degrades() {
+    // Without PerfIso the same CPU bully wrecks the end-to-end tail — the
+    // cluster inherits the single-box no-isolation behaviour.
+    let base = ClusterSim::new(small(SecondaryKind::none(), 11)).run();
+    let mut cfg = small(
+        SecondaryKind { cpu_bully: Some(BullyIntensity::High), disk_bully: None, hdfs: false },
+        11,
+    );
+    cfg.perfiso = None;
+    let colo = ClusterSim::new(cfg).run();
+    let d = colo.tla.p99.saturating_sub(base.tla.p99);
+    assert!(
+        d > SimDuration::from_millis(5),
+        "unprotected cluster should degrade clearly, got {d}"
+    );
+}

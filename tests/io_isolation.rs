@@ -1,0 +1,107 @@
+//! Disk-side isolation integration tests: the disk bully, HDFS static
+//! caps, DWRR priority adjustment, and the SSD/HDD placement split
+//! (§3.2, §4.1, §5.3).
+
+use indexserve::boxsim::{run_standalone, RunPlan};
+use indexserve::{BoxConfig, SecondaryKind};
+use perfiso::PerfIsoConfig;
+use simcore::SimDuration;
+use workloads::{DiskBully, HdfsNode};
+
+fn plan(qps: f64) -> RunPlan {
+    RunPlan {
+        qps,
+        warmup: SimDuration::from_millis(400),
+        measure: SimDuration::from_millis(1_600),
+        trace: qtrace::TraceConfig::default(),
+    }
+}
+
+#[test]
+fn disk_bully_on_shared_hdd_leaves_primary_tail_intact() {
+    // The primary's index reads live on the exclusive SSD volume; the disk
+    // bully hammers the shared HDD volume. With PerfIso's I/O management
+    // the query tail must stay within the paper's cluster band (±1.2 ms).
+    let seed = 19;
+    let base = run_standalone(BoxConfig::paper_box(SecondaryKind::none(), None, seed), &plan(2_000.0));
+    let colo = run_standalone(
+        BoxConfig::paper_box(
+            SecondaryKind::disk(DiskBully::default()),
+            Some(PerfIsoConfig::paper_cluster()),
+            seed,
+        ),
+        &plan(2_000.0),
+    );
+    let d = colo.latency.p99.saturating_sub(base.latency.p99);
+    assert!(
+        d < SimDuration::from_millis(2),
+        "disk bully degradation {d} (colo {} base {})",
+        colo.latency.p99,
+        base.latency.p99
+    );
+    assert!(colo.drop_ratio() < 0.005, "drops {}", colo.drop_ratio());
+}
+
+#[test]
+fn hdfs_traffic_is_capped_and_harmless() {
+    // §5.3: replication capped at 20 MB/s, clients at 60 MB/s. With the
+    // caps installed the HDFS side-traffic must not move the tail.
+    let seed = 23;
+    let base = run_standalone(BoxConfig::paper_box(SecondaryKind::none(), None, seed), &plan(2_000.0));
+    let hdfs = run_standalone(
+        BoxConfig::paper_box(
+            SecondaryKind { hdfs: true, ..SecondaryKind::none() },
+            Some(PerfIsoConfig::paper_cluster()),
+            seed,
+        ),
+        &plan(2_000.0),
+    );
+    let d = hdfs.latency.p99.saturating_sub(base.latency.p99);
+    assert!(d < SimDuration::from_millis(2), "hdfs degradation {d}");
+}
+
+#[test]
+fn hdfs_node_generators_produce_plausible_ops() {
+    // The replication node writes sequentially; the client mixes reads and
+    // writes. Both must stay within their configured submission rates.
+    let mut rng = simcore::SimRng::seed_from_u64(5);
+    let mut repl = HdfsNode::replication();
+    let mut t = simcore::SimTime::ZERO;
+    let mut bytes = 0u64;
+    let horizon = simcore::SimTime::from_secs(2);
+    while t < horizon {
+        let (next, op) = repl.next_submission(t, &mut rng);
+        assert!(next > t, "submissions advance time");
+        bytes += op.bytes;
+        t = next;
+    }
+    let rate = bytes as f64 / 2.0;
+    // The replication stream offers ~40 MB/s before the 20 MB/s token
+    // bucket downstream; allow generous sampling noise either side.
+    assert!(rate < 60.0 * 1024.0 * 1024.0, "replication offered {rate} B/s");
+    assert!(rate > 10.0 * 1024.0 * 1024.0, "replication offered {rate} B/s too low");
+}
+
+#[test]
+fn controller_raises_crowded_tenant_priority() {
+    // End-to-end DWRR: a disk bully saturates the HDD volume; the HDFS
+    // client's guaranteed IOPS floor is crowded out, so PerfIso must raise
+    // its I/O priority within a few controller rounds.
+    let seed = 29;
+    let cfg = BoxConfig::paper_box(
+        SecondaryKind {
+            disk_bully: Some(DiskBully { depth: 16, ..DiskBully::default() }),
+            hdfs: true,
+            cpu_bully: None,
+        },
+        Some(PerfIsoConfig::paper_cluster()),
+        seed,
+    );
+    let r = run_standalone(cfg, &plan(500.0));
+    let stats = r.controller.expect("controller ran");
+    assert!(stats.io_rounds > 5, "io controller must have run: {}", stats.io_rounds);
+    assert!(
+        stats.io_adjustments >= 1,
+        "saturated volume must trigger at least one priority adjustment"
+    );
+}
