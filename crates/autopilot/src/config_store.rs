@@ -42,7 +42,10 @@ impl ConfigStore {
     /// Returns the serialization error if `doc` cannot be converted to JSON.
     pub fn put<T: Serialize>(&mut self, key: &str, doc: &T) -> Result<u64, serde_json::Error> {
         let value = serde_json::to_value(doc)?;
-        let entry = self.docs.entry(key.to_string()).or_insert((0, serde_json::Value::Null));
+        let entry = self
+            .docs
+            .entry(key.to_string())
+            .or_insert((0, serde_json::Value::Null));
         entry.0 += 1;
         entry.1 = value;
         Ok(entry.0)

@@ -31,7 +31,11 @@ pub struct RestartPolicy {
 
 impl Default for RestartPolicy {
     fn default() -> Self {
-        RestartPolicy { base_backoff_ms: 1_000, multiplier: 2, max_failures: 5 }
+        RestartPolicy {
+            base_backoff_ms: 1_000,
+            multiplier: 2,
+            max_failures: 5,
+        }
     }
 }
 
@@ -58,13 +62,19 @@ pub struct ServiceManager {
 impl ServiceManager {
     /// Creates a manager with the given policy.
     pub fn new(policy: RestartPolicy) -> Self {
-        ServiceManager { policy, consecutive_failures: Default::default() }
+        ServiceManager {
+            policy,
+            consecutive_failures: Default::default(),
+        }
     }
 
     /// Records a crash; marks the service failed and returns the decision.
     pub fn report_crash(&mut self, registry: &mut ServiceRegistry, name: &str) -> RestartDecision {
         registry.set_state(name, ServiceState::Failed);
-        let count = self.consecutive_failures.entry(name.to_string()).or_insert(0);
+        let count = self
+            .consecutive_failures
+            .entry(name.to_string())
+            .or_insert(0);
         *count += 1;
         if *count > self.policy.max_failures {
             return RestartDecision::GiveUp;
@@ -104,9 +114,18 @@ mod tests {
     #[test]
     fn backoff_grows_exponentially() {
         let (mut reg, mut mgr) = setup();
-        assert_eq!(mgr.report_crash(&mut reg, "perfiso"), RestartDecision::RestartAfterMs(1_000));
-        assert_eq!(mgr.report_crash(&mut reg, "perfiso"), RestartDecision::RestartAfterMs(2_000));
-        assert_eq!(mgr.report_crash(&mut reg, "perfiso"), RestartDecision::RestartAfterMs(4_000));
+        assert_eq!(
+            mgr.report_crash(&mut reg, "perfiso"),
+            RestartDecision::RestartAfterMs(1_000)
+        );
+        assert_eq!(
+            mgr.report_crash(&mut reg, "perfiso"),
+            RestartDecision::RestartAfterMs(2_000)
+        );
+        assert_eq!(
+            mgr.report_crash(&mut reg, "perfiso"),
+            RestartDecision::RestartAfterMs(4_000)
+        );
         assert_eq!(reg.get("perfiso").unwrap().state, ServiceState::Failed);
     }
 
@@ -119,7 +138,10 @@ mod tests {
                 RestartDecision::RestartAfterMs(_)
             ));
         }
-        assert_eq!(mgr.report_crash(&mut reg, "perfiso"), RestartDecision::GiveUp);
+        assert_eq!(
+            mgr.report_crash(&mut reg, "perfiso"),
+            RestartDecision::GiveUp
+        );
     }
 
     #[test]
@@ -131,6 +153,9 @@ mod tests {
         assert_eq!(mgr.failure_count("perfiso"), 0);
         assert_eq!(reg.get("perfiso").unwrap().state, ServiceState::Running);
         assert_eq!(reg.get("perfiso").unwrap().pids, vec![42]);
-        assert_eq!(mgr.report_crash(&mut reg, "perfiso"), RestartDecision::RestartAfterMs(1_000));
+        assert_eq!(
+            mgr.report_crash(&mut reg, "perfiso"),
+            RestartDecision::RestartAfterMs(1_000)
+        );
     }
 }

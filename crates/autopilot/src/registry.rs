@@ -71,7 +71,12 @@ impl ServiceRegistry {
     pub fn register(&mut self, name: &str, kind: ServiceKind, pids: Vec<u32>) {
         self.services.insert(
             name.to_string(),
-            ServiceInfo { name: name.to_string(), kind, pids, state: ServiceState::Running },
+            ServiceInfo {
+                name: name.to_string(),
+                kind,
+                pids,
+                state: ServiceState::Running,
+            },
         );
     }
 
@@ -129,7 +134,10 @@ impl ServiceRegistry {
 
     /// The primary service, if registered and unique.
     pub fn primary(&self) -> Option<&ServiceInfo> {
-        let mut it = self.services.values().filter(|s| s.kind == ServiceKind::Primary);
+        let mut it = self
+            .services
+            .values()
+            .filter(|s| s.kind == ServiceKind::Primary);
         let first = it.next();
         if it.next().is_some() {
             return None;

@@ -28,8 +28,8 @@ fn main() {
         for (qps, base) in [(2_000.0, &base2k), (4_000.0, &base4k)] {
             let r = blind_isolation(buffer, qps, seed, scale);
             let d = r.latency.p99.saturating_sub(base.latency.p99);
-            let slo = telemetry::slo::RelativeSlo::paper_default(base.latency.p99)
-                .check(r.latency.p99);
+            let slo =
+                telemetry::slo::RelativeSlo::paper_default(base.latency.p99).check(r.latency.p99);
             t.row_owned(vec![
                 format!("{buffer}"),
                 format!("{qps:.0}"),

@@ -18,8 +18,14 @@ fn main() {
     let base4k = standalone(4_000.0, seed, scale);
 
     section("Fig 5a: query latency degradation vs standalone (blind isolation)");
-    let mut lat =
-        Table::new(&["buffer", "qps", "d-p50 (ms)", "d-p95 (ms)", "d-p99 (ms)", "p99 (ms)"]);
+    let mut lat = Table::new(&[
+        "buffer",
+        "qps",
+        "d-p50 (ms)",
+        "d-p95 (ms)",
+        "d-p99 (ms)",
+        "p99 (ms)",
+    ]);
     let mut cpu = cpu_table();
     let mut util_2k_colocated = 0.0;
     for buffer in [4u32, 8] {

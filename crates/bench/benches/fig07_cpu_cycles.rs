@@ -19,8 +19,14 @@ fn main() {
     let base4k = standalone(4_000.0, seed, scale);
 
     section("Fig 7a/7c: latency degradation and dropped queries (CPU-cycle caps)");
-    let mut lat =
-        Table::new(&["cycle cap", "qps", "d-p50 (ms)", "d-p95 (ms)", "d-p99 (ms)", "dropped"]);
+    let mut lat = Table::new(&[
+        "cycle cap",
+        "qps",
+        "d-p50 (ms)",
+        "d-p95 (ms)",
+        "d-p99 (ms)",
+        "dropped",
+    ]);
     let mut cpu = cpu_table();
     for cap in [0.45, 0.25, 0.05] {
         for (qps, base) in [(2_000.0, &base2k), (4_000.0, &base4k)] {
@@ -39,5 +45,7 @@ fn main() {
     print!("{}", lat.render());
     section("Fig 7b: CPU utilization");
     print!("{}", cpu.render());
-    println!("\npaper: cycle caps always drop queries (50% down to ~1%); even 5% degrades the tail");
+    println!(
+        "\npaper: cycle caps always drop queries (50% down to ~1%); even 5% degrades the tail"
+    );
 }

@@ -26,8 +26,13 @@ fn main() {
     ];
 
     section("Fig 8: comparison at 2000 QPS, high secondary");
-    let mut t =
-        Table::new(&["policy", "p99 (ms)", "idle CPU", "bully progress (cpu-s)", "dropped"]);
+    let mut t = Table::new(&[
+        "policy",
+        "p99 (ms)",
+        "idle CPU",
+        "bully progress (cpu-s)",
+        "dropped",
+    ]);
     let mut cpu_unrestricted_2k = 0.0f64;
     for p in policies {
         let r = run_with_policy(p, BullyIntensity::High, 2_000.0, seed, scale);
@@ -46,11 +51,20 @@ fn main() {
 
     section("Sec 6.1.4: secondary progress relative to unrestricted");
     let mut rel = Table::new(&["policy", "2000 QPS", "4000 QPS"]);
-    let cpu_unrestricted_4k =
-        run_with_policy(Policy::NoIsolation, BullyIntensity::High, 4_000.0, seed, scale)
-            .secondary_cpu
-            .as_secs_f64();
-    for p in [Policy::Blind { buffer_cores: 8 }, Policy::StaticCores(8), Policy::CycleCap(0.05)] {
+    let cpu_unrestricted_4k = run_with_policy(
+        Policy::NoIsolation,
+        BullyIntensity::High,
+        4_000.0,
+        seed,
+        scale,
+    )
+    .secondary_cpu
+    .as_secs_f64();
+    for p in [
+        Policy::Blind { buffer_cores: 8 },
+        Policy::StaticCores(8),
+        Policy::CycleCap(0.05),
+    ] {
         let r2 = run_with_policy(p, BullyIntensity::High, 2_000.0, seed, scale);
         let r4 = run_with_policy(p, BullyIntensity::High, 4_000.0, seed, scale);
         rel.row_owned(vec![

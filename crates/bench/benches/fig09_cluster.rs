@@ -16,13 +16,20 @@ use telemetry::RunStats;
 use workloads::{BullyIntensity, DiskBully};
 
 fn runs() -> u64 {
-    std::env::var("PERFISO_CLUSTER_RUNS").ok().and_then(|v| v.parse().ok()).unwrap_or(2)
+    std::env::var("PERFISO_CLUSTER_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
 }
 
 /// The `PERFISO_SCALE` multiplier applied to the measured window (the
 /// 75-machine cluster is by far the heaviest bench target).
 fn scale() -> f64 {
-    std::env::var("PERFISO_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0f64).max(0.1)
+    std::env::var("PERFISO_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0f64)
+        .max(0.1)
 }
 
 struct Layered {
@@ -54,9 +61,11 @@ fn run_case(secondary: SecondaryKind, label: &str, t: &mut Table) -> Layered {
         }
         acc.util.add(report.mean_utilization);
     }
-    for (layer_name, s) in
-        [("local IndexServe", &acc.local), ("MLA", &acc.mla), ("TLA", &acc.tla)]
-    {
+    for (layer_name, s) in [
+        ("local IndexServe", &acc.local),
+        ("MLA", &acc.mla),
+        ("TLA", &acc.tla),
+    ] {
         t.row_owned(vec![
             label.to_string(),
             layer_name.to_string(),
@@ -69,24 +78,48 @@ fn run_case(secondary: SecondaryKind, label: &str, t: &mut Table) -> Layered {
 }
 
 fn main() {
-    section(&format!("Fig 9: 75-machine cluster, 8000 QPS total, {} runs/case", runs()));
+    section(&format!(
+        "Fig 9: 75-machine cluster, 8000 QPS total, {} runs/case",
+        runs()
+    ));
     let mut t = Table::new(&["secondary", "layer", "avg (ms)", "p95 (ms)", "p99 (ms)"]);
 
-    let base = run_case(SecondaryKind { hdfs: true, ..SecondaryKind::none() }, "none (baseline)", &mut t);
+    let base = run_case(
+        SecondaryKind {
+            hdfs: true,
+            ..SecondaryKind::none()
+        },
+        "none (baseline)",
+        &mut t,
+    );
     let cpu = run_case(
-        SecondaryKind { cpu_bully: Some(BullyIntensity::High), disk_bully: None, hdfs: true },
+        SecondaryKind {
+            cpu_bully: Some(BullyIntensity::High),
+            disk_bully: None,
+            hdfs: true,
+        },
         "CPU-bound",
         &mut t,
     );
     let disk = run_case(
-        SecondaryKind { cpu_bully: None, disk_bully: Some(DiskBully::default()), hdfs: true },
+        SecondaryKind {
+            cpu_bully: None,
+            disk_bully: Some(DiskBully::default()),
+            hdfs: true,
+        },
         "disk-bound",
         &mut t,
     );
     print!("{}", t.render());
 
     section("p99 degradation vs baseline (per layer)");
-    let mut d = Table::new(&["secondary", "d-local (ms)", "d-MLA (ms)", "d-TLA (ms)", "mean util"]);
+    let mut d = Table::new(&[
+        "secondary",
+        "d-local (ms)",
+        "d-MLA (ms)",
+        "d-TLA (ms)",
+        "mean util",
+    ]);
     for (label, case) in [("CPU-bound", &cpu), ("disk-bound", &disk)] {
         d.row_owned(vec![
             label.to_string(),

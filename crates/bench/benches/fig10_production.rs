@@ -17,8 +17,10 @@ fn main() {
     // `PERFISO_SCALE` shrinks the per-minute DES slice (and samples a
     // single machine) so the hour-long series stays affordable on small
     // machines; the diurnal shape is unaffected.
-    let scale: f64 =
-        std::env::var("PERFISO_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0);
+    let scale: f64 = std::env::var("PERFISO_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
     let mut cfg = FleetConfig::default();
     if scale < 1.0 {
         cfg.slice = cfg.slice.mul_f64(scale.max(0.2));
@@ -30,15 +32,25 @@ fn main() {
     ));
     let report = run_fleet(&cfg);
 
-    let mut t = Table::new(&["minute", "qps/machine", "p99 (ms)", "cpu util", "trainer mb/min"]);
+    let mut t = Table::new(&[
+        "minute",
+        "qps/machine",
+        "p99 (ms)",
+        "cpu util",
+        "trainer mb/min",
+    ]);
     for (i, ((qb, pb), (ub, gb))) in report
         .qps
         .iter()
         .zip(report.p99_ms.iter())
         .map(|((_, q), (_, p))| (q, p))
-        .zip(report.utilization_pct.iter().zip(report.trainer_progress.iter()).map(
-            |((_, u), (_, g))| (u, g),
-        ))
+        .zip(
+            report
+                .utilization_pct
+                .iter()
+                .zip(report.trainer_progress.iter())
+                .map(|((_, u), (_, g))| (u, g)),
+        )
         .enumerate()
     {
         // Print every fifth minute to keep the table readable.

@@ -35,7 +35,9 @@ fn bench_mask_ops(c: &mut Criterion) {
     let mut g = c.benchmark_group("core_mask");
     let a = CoreMask::range(3, 37);
     let m = CoreMask::all(48);
-    g.bench_function("take_highest", |b| b.iter(|| black_box(m.difference(a).take_highest(8))));
+    g.bench_function("take_highest", |b| {
+        b.iter(|| black_box(m.difference(a).take_highest(8)))
+    });
     g.bench_function("count_iter", |b| {
         b.iter(|| {
             let mut n = 0u32;
@@ -55,7 +57,10 @@ fn bench_dwrr(c: &mut Criterion) {
         for i in 0..8 {
             d.configure_tenant(
                 IoTenant(i),
-                TenantIoConfig { weight: 1.0 + i as f64, min_iops: 50.0 },
+                TenantIoConfig {
+                    weight: 1.0 + i as f64,
+                    min_iops: 50.0,
+                },
             );
         }
         b.iter(|| {

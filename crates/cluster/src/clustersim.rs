@@ -1,4 +1,12 @@
 //! The 75-machine cluster simulation (Fig 9).
+//!
+//! The main loop is a coupled DES: boxes interact through the fabric, so
+//! event routing stays serial and deterministic. The expensive part —
+//! advancing many independent boxes to the same instant — fans out across
+//! [`ClusterConfig::threads`] worker threads whenever enough boxes are due
+//! at once (controller poll ticks line up on every machine); each box's
+//! evolution between routed deliveries is independent, so the parallel run
+//! is bit-identical to the serial one.
 
 use std::collections::HashMap;
 
@@ -8,7 +16,7 @@ use qtrace::{OpenLoopClient, QuerySpec, TraceConfig, TraceGenerator};
 use simcore::dist::{LogNormal, Sample};
 use simcore::{SimDuration, SimRng, SimTime};
 use simcpu::MachineConfig;
-use simnet::{NetConfig, NetSim, NodeId, TrafficClass};
+use simnet::{Delivery, NetConfig, NetSim, NodeId, TrafficClass};
 use telemetry::{CpuBreakdown, LatencyRecorder};
 
 use crate::report::{ClusterReport, LayerStats};
@@ -41,6 +49,9 @@ pub struct ClusterConfig {
     pub tla_cost: SimDuration,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for advancing boxes in parallel: `0` = all available
+    /// cores, `1` = serial. Results are bit-identical across thread counts.
+    pub threads: usize,
 }
 
 impl ClusterConfig {
@@ -58,6 +69,7 @@ impl ClusterConfig {
             mla_agg_cost_us: 260.0,
             tla_cost: SimDuration::from_micros(80),
             seed,
+            threads: 0,
         }
     }
 }
@@ -112,7 +124,15 @@ pub struct ClusterSim {
     completed: u64,
     degraded: u64,
     now: SimTime,
+    workers: usize,
+    /// Reusable buffers for the per-step fabric drain and box drains.
+    scratch_deliveries: Vec<Delivery>,
+    scratch_events: Vec<BoxEvent>,
 }
+
+/// Minimum number of simultaneously-due boxes before the advance fans out
+/// to worker threads; below this the spawn overhead beats the win.
+const PARALLEL_ADVANCE_THRESHOLD: usize = 8;
 
 impl ClusterSim {
     /// Builds all machines and the fabric.
@@ -123,19 +143,26 @@ impl ClusterSim {
     pub fn new(cfg: ClusterConfig) -> Self {
         cfg.topology.validate().expect("valid topology");
         let n_index = cfg.topology.index_machines();
+        // One Arc per run: the 44 index boxes share the service and
+        // controller configs instead of cloning them per machine.
+        let service = std::sync::Arc::new(cfg.service.clone());
+        let perfiso = cfg.perfiso.clone().map(std::sync::Arc::new);
         let boxes: Vec<BoxSim> = (0..n_index)
             .map(|i| {
                 BoxSim::new(BoxConfig {
                     machine: cfg.machine,
-                    service: cfg.service.clone(),
+                    service: std::sync::Arc::clone(&service),
                     secondary: cfg.secondary.clone(),
-                    perfiso: cfg.perfiso.clone(),
+                    perfiso: perfiso.clone(),
                     seed: cfg.seed ^ (0x9E37 * (i as u64 + 1)),
                 })
             })
             .collect();
-        let net =
-            NetSim::new(NetConfig::default(), cfg.topology.total_machines(), cfg.seed ^ 0x7E7);
+        let net = NetSim::new(
+            NetConfig::default(),
+            cfg.topology.total_machines(),
+            cfg.seed ^ 0x7E7,
+        );
         let qmap = (0..n_index).map(|_| HashMap::new()).collect();
         ClusterSim {
             agg_dist: LogNormal::from_median(cfg.mla_agg_cost_us, 0.4),
@@ -154,6 +181,9 @@ impl ClusterSim {
             completed: 0,
             degraded: 0,
             now: SimTime::ZERO,
+            workers: crate::fleet::effective_threads(cfg.threads),
+            scratch_deliveries: Vec::with_capacity(64),
+            scratch_events: Vec::with_capacity(64),
             cfg,
         }
     }
@@ -173,9 +203,11 @@ impl ClusterSim {
         let total = self.cfg.warmup + self.cfg.measure;
         let end = SimTime::ZERO + total;
         let n_queries = (self.cfg.qps_total * total.as_secs_f64() * 1.02) as usize + 8;
-        let trace =
-            TraceGenerator::new(TraceConfig { queries: n_queries, ..TraceConfig::default() })
-                .generate(self.cfg.seed ^ 0x7ACE);
+        let trace = TraceGenerator::new(TraceConfig {
+            queries: n_queries,
+            ..TraceConfig::default()
+        })
+        .generate(self.cfg.seed ^ 0x7ACE);
         let mut client = OpenLoopClient::new(trace, self.cfg.qps_total, self.cfg.seed ^ 0xC1);
 
         let mut warm_bd: Option<Vec<CpuBreakdown>> = None;
@@ -201,7 +233,7 @@ impl ClusterSim {
             self.step_components(t);
             iters += 1;
             if let Some(every) = trace_every {
-                if iters % every == 0 {
+                if iters.is_multiple_of(every) {
                     let box_next: Vec<String> = self
                         .boxes
                         .iter()
@@ -225,8 +257,11 @@ impl ClusterSim {
             self.step_components(t);
             iters += 1;
             if let Some(every) = trace_every {
-                if iters % every == 0 {
-                    eprintln!("drain loop: iter={iters} now={t} completed={}", self.completed);
+                if iters.is_multiple_of(every) {
+                    eprintln!(
+                        "drain loop: iter={iters} now={t} completed={}",
+                        self.completed
+                    );
                 }
             }
         }
@@ -250,14 +285,53 @@ impl ClusterSim {
     /// Advances network and boxes to `t` and routes everything due.
     fn step_components(&mut self, t: SimTime) {
         self.net.advance_to(t);
-        let deliveries = self.net.drain_deliveries();
-        for d in deliveries {
+        let mut deliveries = std::mem::take(&mut self.scratch_deliveries);
+        deliveries.clear();
+        self.net.drain_deliveries_into(&mut deliveries);
+        for d in deliveries.drain(..) {
             self.on_delivery(t, d.to, d.token);
         }
+        self.scratch_deliveries = deliveries;
+        self.advance_due_boxes(t);
         for i in 0..self.boxes.len() {
-            if self.boxes[i].next_event_time().is_some_and(|n| n <= t) {
-                self.boxes[i].advance_to(t);
+            if self.boxes[i].has_events() {
                 self.drain_box(i, t);
+            }
+        }
+    }
+
+    /// Advances every box with work due at or before `t`, in parallel when
+    /// enough boxes are due at the same instant (poll ticks line up across
+    /// machines). Boxes evolve independently between routed deliveries, so
+    /// the result is identical to advancing them one by one; the
+    /// subsequent event drain always runs serially in box order.
+    fn advance_due_boxes(&mut self, t: SimTime) {
+        let due = self
+            .boxes
+            .iter()
+            .filter(|b| b.next_event_time().is_some_and(|n| n <= t))
+            .count();
+        if due == 0 {
+            return;
+        }
+        if self.workers > 1 && due >= PARALLEL_ADVANCE_THRESHOLD {
+            let chunk = self.boxes.len().div_ceil(self.workers);
+            std::thread::scope(|scope| {
+                for boxes in self.boxes.chunks_mut(chunk) {
+                    scope.spawn(move || {
+                        for b in boxes {
+                            if b.next_event_time().is_some_and(|n| n <= t) {
+                                b.advance_to(t);
+                            }
+                        }
+                    });
+                }
+            });
+        } else {
+            for b in &mut self.boxes {
+                if b.next_event_time().is_some_and(|n| n <= t) {
+                    b.advance_to(t);
+                }
             }
         }
     }
@@ -390,11 +464,15 @@ impl ClusterSim {
     /// Drains one box's events and routes them.
     fn drain_box(&mut self, flat: usize, now: SimTime) {
         let topo = self.cfg.topology;
-        let events = self.boxes[flat].drain_events();
-        for ev in events {
+        let mut events = std::mem::take(&mut self.scratch_events);
+        events.clear();
+        self.boxes[flat].drain_events_into(&mut events);
+        for ev in events.drain(..) {
             match ev {
                 BoxEvent::QueryDone(out) => {
-                    let Some(req) = self.qmap[flat].remove(&out.qidx) else { continue };
+                    let Some(req) = self.qmap[flat].remove(&out.qidx) else {
+                        continue;
+                    };
                     let (measured, row, mla_col) = {
                         let r = &self.requests[req as usize];
                         (r.measured, r.row, r.mla_col)
@@ -409,7 +487,14 @@ impl ClusterSim {
                     let mla = topo.index_node(row, mla_col);
                     let from = NodeId(flat as u32);
                     let aux = if out.dropped { DROP_FLAG } else { 0 };
-                    self.net.send(now, from, mla, 2 << 10, TrafficClass::High, msg_token(3, req, aux));
+                    self.net.send(
+                        now,
+                        from,
+                        mla,
+                        2 << 10,
+                        TrafficClass::High,
+                        msg_token(3, req, aux),
+                    );
                 }
                 BoxEvent::AuxDone(req) => {
                     let (measured, mla_arrival, row, mla_col, tla) = {
@@ -431,6 +516,7 @@ impl ClusterSim {
                 }
             }
         }
+        self.scratch_events = events;
     }
 }
 
@@ -456,7 +542,11 @@ mod tests {
         // Layering: local <= MLA <= TLA on averages.
         assert!(report.mla.avg >= report.local.avg);
         assert!(report.tla.avg >= report.mla.avg);
-        assert!(report.tla.p99 < SimDuration::from_millis(60), "tla p99 {}", report.tla.p99);
+        assert!(
+            report.tla.p99 < SimDuration::from_millis(60),
+            "tla p99 {}",
+            report.tla.p99
+        );
     }
 
     #[test]

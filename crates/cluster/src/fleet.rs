@@ -10,13 +10,30 @@
 //! that minute's load (from the [`qtrace::DiurnalCurve`]) with the ML
 //! trainer colocated under blind isolation; per-minute results extrapolate
 //! fleet-wide. DESIGN.md documents this substitution.
+//!
+//! # Parallelism
+//!
+//! Every `(minute, machine)` slice is an independent DES run with its own
+//! seed (`cfg.seed ^ (m << 8) ^ s`), so the sweep fans slices out across
+//! [`FleetConfig::threads`] worker threads. Results are collected by slice
+//! index and reduced serially in index order, making the parallel report
+//! **bit-identical** to `threads: 1`: the per-slice computations never
+//! observe each other, and the floating-point reduction happens in one
+//! fixed order regardless of which worker finished first.
+//!
+//! Shared, immutable inputs — the service config, the PerfIso config, and
+//! one pre-generated trace template per minute — cross threads behind
+//! `Arc`, so a slice allocates no config or Zipf-table state of its own.
 
-use indexserve::{BoxConfig, SecondaryKind, ServiceConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use indexserve::{BoxConfig, BoxEvent, BoxSim, SecondaryKind, ServiceConfig};
 use perfiso::PerfIsoConfig;
-use qtrace::{DiurnalCurve, TraceConfig};
+use qtrace::{DiurnalCurve, OpenLoopClient, QuerySpec, TraceConfig, TraceGenerator};
 use simcore::{SimDuration, SimTime};
 use simcpu::MachineConfig;
-use telemetry::TimeSeries;
+use telemetry::{LatencyRecorder, TimeSeries};
 use workloads::MlTrainer;
 
 /// Fleet experiment parameters.
@@ -38,6 +55,9 @@ pub struct FleetConfig {
     pub perfiso: PerfIsoConfig,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for the slice sweep: `0` = all available cores,
+    /// `1` = serial. The report is bit-identical across thread counts.
+    pub threads: usize,
 }
 
 impl Default for FleetConfig {
@@ -56,6 +76,7 @@ impl Default for FleetConfig {
             },
             perfiso: PerfIsoConfig::default(),
             seed: 99,
+            threads: 0,
         }
     }
 }
@@ -75,88 +96,193 @@ pub struct FleetReport {
     pub mean_utilization: f64,
     /// Maximum per-minute p99 (flatness check).
     pub max_p99: SimDuration,
+    /// Machine-minute slices simulated.
+    pub slices: u64,
+    /// Scheduler events processed across all slices (dispatches, context
+    /// switches, IPIs, spawns, exits) — the throughput denominator the
+    /// fleet bench reports as events/second.
+    pub sim_events: u64,
 }
+
+/// One slice's measurements, in reduction order.
+struct SliceResult {
+    utilization: f64,
+    p99: SimDuration,
+    minibatches_per_min: f64,
+    events: u64,
+}
+
+/// Immutable inputs shared by every slice (and every worker thread).
+struct FleetShared {
+    service: Arc<ServiceConfig>,
+    perfiso: Arc<PerfIsoConfig>,
+    /// One trace template per minute, replayed by all of that minute's
+    /// sampled machines under independent arrival processes.
+    templates: Vec<Arc<Vec<QuerySpec>>>,
+    machine: MachineConfig,
+}
+
+/// Resolves a thread-count knob: `0` means all available cores.
+pub(crate) fn effective_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Number of queries to pre-generate for one slice at `qps`.
+fn slice_queries(qps: f64, total: SimDuration) -> usize {
+    (qps * total.as_secs_f64() * 1.05) as usize + 8
+}
+
+const WARMUP: SimDuration = SimDuration::from_millis(250);
 
 /// Runs the fleet experiment.
 pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
-    let minute = SimDuration::from_secs(60);
-    let mut qps_series = TimeSeries::new(minute);
-    let mut p99_series = TimeSeries::new(minute);
-    let mut util_series = TimeSeries::new(minute);
-    let mut prog_series = TimeSeries::new(minute);
-    let mut util_acc = 0.0;
-    let mut max_p99 = SimDuration::ZERO;
+    let total = WARMUP + cfg.slice;
+    let generator = TraceGenerator::new(TraceConfig {
+        queries: 16,
+        ..Default::default()
+    });
+    let shared = FleetShared {
+        service: Arc::new(ServiceConfig::default()),
+        perfiso: Arc::new(cfg.perfiso.clone()),
+        templates: (0..cfg.minutes)
+            .map(|m| {
+                let qps = cfg.curve.qps_at_minute(m);
+                let seed = cfg.seed ^ 0xF1EE7 ^ ((m as u64) << 8);
+                Arc::new(generator.generate_n(seed, slice_queries(qps, total)))
+            })
+            .collect(),
+        machine: MachineConfig::paper_server(),
+    };
 
+    let n_slices = (cfg.minutes * cfg.sampled_machines) as usize;
+    let run_slice = |idx: usize| -> SliceResult {
+        let m = (idx as u32) / cfg.sampled_machines;
+        let s = (idx as u32) % cfg.sampled_machines;
+        run_fleet_slice(cfg, &shared, m, s)
+    };
+
+    let workers = effective_threads(cfg.threads).min(n_slices.max(1));
+    let mut results: Vec<Option<SliceResult>> = Vec::with_capacity(n_slices);
+    results.resize_with(n_slices, || None);
+    if workers <= 1 {
+        for (idx, slot) in results.iter_mut().enumerate() {
+            *slot = Some(run_slice(idx));
+        }
+    } else {
+        // Work-stealing by atomic index: load balance freely, then scatter
+        // results back by slice index so the reduction order is fixed.
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= n_slices {
+                                break;
+                            }
+                            out.push((idx, run_slice(idx)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (idx, r) in handle.join().expect("fleet worker panicked") {
+                    results[idx] = Some(r);
+                }
+            }
+        });
+    }
+
+    // Serial reduction in slice-index order: identical arithmetic to the
+    // fully serial sweep, so parallel output is bit-for-bit the same.
+    let minute = SimDuration::from_secs(60);
+    let mut report = FleetReport {
+        qps: TimeSeries::new(minute),
+        p99_ms: TimeSeries::new(minute),
+        utilization_pct: TimeSeries::new(minute),
+        trainer_progress: TimeSeries::new(minute),
+        mean_utilization: 0.0,
+        max_p99: SimDuration::ZERO,
+        slices: n_slices as u64,
+        sim_events: 0,
+    };
+    let mut util_acc = 0.0;
+    let mut results = results.into_iter();
     for m in 0..cfg.minutes {
         let qps = cfg.curve.qps_at_minute(m);
         let stamp = SimTime::from_secs(m as u64 * 60);
         let mut minute_util = 0.0;
         let mut minute_p99 = SimDuration::ZERO;
         let mut minute_prog = 0.0;
-        for s in 0..cfg.sampled_machines {
-            let box_cfg = BoxConfig {
-                machine: MachineConfig::paper_server(),
-                service: ServiceConfig::default(),
-                // The trainer is spawned via the generic CPU-bully hook:
-                // fleet sampling reuses BoxSim by running the trainer as a
-                // custom secondary below.
-                secondary: SecondaryKind::none(),
-                perfiso: Some(cfg.perfiso.clone()),
-                seed: cfg.seed ^ ((m as u64) << 8) ^ s as u64,
-            };
-            let report = run_fleet_slice(box_cfg, &cfg.trainer, qps, cfg.slice);
-            minute_util += report.0 / cfg.sampled_machines as f64;
-            minute_p99 = minute_p99.max(report.1);
-            minute_prog += report.2 / cfg.sampled_machines as f64;
+        for _ in 0..cfg.sampled_machines {
+            let r = results.next().flatten().expect("slice result present");
+            minute_util += r.utilization / cfg.sampled_machines as f64;
+            minute_p99 = minute_p99.max(r.p99);
+            minute_prog += r.minibatches_per_min / cfg.sampled_machines as f64;
+            report.sim_events += r.events;
         }
-        qps_series.record(stamp, qps);
-        p99_series.record(stamp, minute_p99.as_millis_f64());
-        util_series.record(stamp, minute_util * 100.0);
-        prog_series.record(stamp, minute_prog);
+        report.qps.record(stamp, qps);
+        report.p99_ms.record(stamp, minute_p99.as_millis_f64());
+        report.utilization_pct.record(stamp, minute_util * 100.0);
+        report.trainer_progress.record(stamp, minute_prog);
         util_acc += minute_util;
-        max_p99 = max_p99.max(minute_p99);
+        report.max_p99 = report.max_p99.max(minute_p99);
     }
-
-    FleetReport {
-        qps: qps_series,
-        p99_ms: p99_series,
-        utilization_pct: util_series,
-        trainer_progress: prog_series,
-        mean_utilization: util_acc / cfg.minutes as f64,
-        max_p99,
-    }
+    report.mean_utilization = util_acc / cfg.minutes as f64;
+    report
 }
 
-/// Runs one sampled machine-minute: returns (utilization, p99, minibatches).
-fn run_fleet_slice(
-    cfg: BoxConfig,
-    trainer: &MlTrainer,
-    qps: f64,
-    slice: SimDuration,
-) -> (f64, SimDuration, f64) {
-    use indexserve::BoxSim;
-    use qtrace::OpenLoopClient;
-    use telemetry::LatencyRecorder;
-
-    let warmup = SimDuration::from_millis(250);
-    let total = warmup + slice;
-    let n = (qps * total.as_secs_f64() * 1.05) as usize + 8;
-    let trace = qtrace::TraceGenerator::new(TraceConfig { queries: n, ..Default::default() })
-        .generate(cfg.seed ^ 0xF1EE7);
-    let mut client = OpenLoopClient::new(trace, qps, cfg.seed ^ 0xC1);
-    let mut sim = BoxSim::new(cfg);
+/// Runs one sampled machine-minute.
+fn run_fleet_slice(cfg: &FleetConfig, shared: &FleetShared, m: u32, s: u32) -> SliceResult {
+    let seed = cfg.seed ^ ((m as u64) << 8) ^ s as u64;
+    let qps = cfg.curve.qps_at_minute(m);
+    let box_cfg = BoxConfig {
+        machine: shared.machine,
+        service: Arc::clone(&shared.service),
+        // The trainer is spawned via the generic CPU-bully hook: fleet
+        // sampling reuses BoxSim by running the trainer as a custom
+        // secondary below.
+        secondary: SecondaryKind::none(),
+        perfiso: Some(Arc::clone(&shared.perfiso)),
+        seed,
+    };
+    let mut client =
+        OpenLoopClient::replay_shared(Arc::clone(&shared.templates[m as usize]), qps, seed ^ 0xC1);
+    let mut sim = BoxSim::new(box_cfg);
     // Spawn the trainer into the secondary job.
     let handle = {
         let (machine, job) = sim.secondary_spawn_access();
-        trainer.spawn(machine, job, SimTime::ZERO)
+        cfg.trainer.spawn(machine, job, SimTime::ZERO)
     };
     sim.track_secondary_threads(&handle.tids);
 
-    let warmup_end = SimTime::ZERO + warmup;
-    let end = SimTime::ZERO + total;
+    let warmup_end = SimTime::ZERO + WARMUP;
+    let end = SimTime::ZERO + WARMUP + cfg.slice;
     let mut recorder = LatencyRecorder::new();
     let mut warm_snapshot = None;
     let mut prog_at_warm = 0;
+    let mut events: Vec<BoxEvent> = Vec::with_capacity(64);
+
+    let record_events =
+        |sim: &mut BoxSim, events: &mut Vec<BoxEvent>, recorder: &mut LatencyRecorder| {
+            sim.drain_events_into(events);
+            for ev in events.drain(..) {
+                if let BoxEvent::QueryDone(out) = ev {
+                    if out.arrival >= warmup_end && !out.dropped {
+                        recorder.record(out.latency);
+                    }
+                }
+            }
+        };
 
     while let Some(at) = client.next_arrival_time() {
         if at > end {
@@ -169,29 +295,20 @@ fn run_fleet_slice(
         }
         let (_, spec) = client.pop().expect("peeked");
         sim.inject_query(at, spec);
-        for ev in sim.drain_events() {
-            if let indexserve::BoxEvent::QueryDone(out) = ev {
-                if out.arrival >= warmup_end && !out.dropped {
-                    recorder.record(out.latency);
-                }
-            }
-        }
+        record_events(&mut sim, &mut events, &mut recorder);
     }
     sim.advance_to(end);
-    for ev in sim.drain_events() {
-        if let indexserve::BoxEvent::QueryDone(out) = ev {
-            if out.arrival >= warmup_end && !out.dropped {
-                recorder.record(out.latency);
-            }
-        }
-    }
+    record_events(&mut sim, &mut events, &mut recorder);
     let warm = warm_snapshot.unwrap_or_else(|| sim.breakdown());
     let window = sim.breakdown().since(&warm);
-    (
-        window.utilization(),
-        recorder.percentile(0.99),
-        (handle.minibatches() - prog_at_warm) as f64 / slice.as_secs_f64() * 60.0,
-    )
+    let stats = sim.machine_stats();
+    SliceResult {
+        utilization: window.utilization(),
+        p99: recorder.percentile(0.99),
+        minibatches_per_min: (handle.minibatches() - prog_at_warm) as f64 / cfg.slice.as_secs_f64()
+            * 60.0,
+        events: stats.dispatches + stats.ctx_switches + stats.ipis + stats.spawns + stats.exits,
+    }
 }
 
 #[cfg(test)]
@@ -208,11 +325,45 @@ mod tests {
         };
         let r = run_fleet(&cfg);
         assert_eq!(r.qps.len(), 3);
+        assert_eq!(r.slices, 3);
+        assert!(r.sim_events > 0);
         assert!(
             r.mean_utilization > 0.5,
             "colocated fleet should be busy, got {}",
             r.mean_utilization
         );
-        assert!(r.max_p99 < SimDuration::from_millis(25), "p99 stayed flat: {}", r.max_p99);
+        assert!(
+            r.max_p99 < SimDuration::from_millis(25),
+            "p99 stayed flat: {}",
+            r.max_p99
+        );
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let base = FleetConfig {
+            minutes: 4,
+            sampled_machines: 2,
+            slice: SimDuration::from_millis(150),
+            ..Default::default()
+        };
+        let serial = run_fleet(&FleetConfig {
+            threads: 1,
+            ..base.clone()
+        });
+        let parallel = run_fleet(&FleetConfig { threads: 4, ..base });
+        assert_eq!(
+            serial.mean_utilization.to_bits(),
+            parallel.mean_utilization.to_bits()
+        );
+        assert_eq!(serial.max_p99, parallel.max_p99);
+        assert_eq!(serial.sim_events, parallel.sim_events);
+        for i in 0..serial.p99_ms.len() {
+            let (a, b) = (
+                serial.p99_ms.bucket(i).unwrap(),
+                parallel.p99_ms.bucket(i).unwrap(),
+            );
+            assert_eq!(a.sum.to_bits(), b.sum.to_bits(), "minute {i} p99 diverged");
+        }
     }
 }

@@ -21,7 +21,12 @@ impl LayerStats {
     /// Builds layer stats from a recorder.
     pub fn from_recorder(r: &mut LatencyRecorder) -> Self {
         let s: PercentileSummary = r.summary();
-        LayerStats { avg: s.mean, p95: s.p95, p99: s.p99, count: s.count }
+        LayerStats {
+            avg: s.mean,
+            p95: s.p95,
+            p99: s.p99,
+            count: s.count,
+        }
     }
 }
 

@@ -17,12 +17,20 @@ pub struct Topology {
 impl Topology {
     /// The paper's 75-machine cluster.
     pub fn paper_cluster() -> Self {
-        Topology { columns: 22, rows: 2, tlas: 31 }
+        Topology {
+            columns: 22,
+            rows: 2,
+            tlas: 31,
+        }
     }
 
     /// A small topology for tests.
     pub fn small() -> Self {
-        Topology { columns: 4, rows: 2, tlas: 2 }
+        Topology {
+            columns: 4,
+            rows: 2,
+            tlas: 2,
+        }
     }
 
     /// Validates the shape.
@@ -53,7 +61,10 @@ impl Topology {
     ///
     /// Panics when out of range.
     pub fn index_node(&self, row: u32, column: u32) -> NodeId {
-        assert!(row < self.rows && column < self.columns, "({row},{column}) out of range");
+        assert!(
+            row < self.rows && column < self.columns,
+            "({row},{column}) out of range"
+        );
         NodeId(row * self.columns + column)
     }
 

@@ -53,7 +53,11 @@ impl BlindIsolation {
             buffer_cores < total_cores,
             "buffer ({buffer_cores}) must leave room on {total_cores} cores"
         );
-        BlindIsolation { buffer_cores, total_cores, secondary: CoreMask::EMPTY }
+        BlindIsolation {
+            buffer_cores,
+            total_cores,
+            secondary: CoreMask::EMPTY,
+        }
     }
 
     /// The configured buffer size.
@@ -67,7 +71,10 @@ impl BlindIsolation {
     ///
     /// Panics if `buffer_cores >= total_cores`.
     pub fn set_buffer_cores(&mut self, buffer_cores: u32) {
-        assert!(buffer_cores < self.total_cores, "buffer too large: {buffer_cores}");
+        assert!(
+            buffer_cores < self.total_cores,
+            "buffer too large: {buffer_cores}"
+        );
         self.buffer_cores = buffer_cores;
     }
 

@@ -91,11 +91,17 @@ impl PerfIsoConfig {
             tenant_limits: vec![
                 TenantLimitConfig {
                     service: "hdfs-replication".into(),
-                    limit: IoLimit { bytes_per_sec: Some(20 << 20), iops: None },
+                    limit: IoLimit {
+                        bytes_per_sec: Some(20 << 20),
+                        iops: None,
+                    },
                 },
                 TenantLimitConfig {
                     service: "hdfs-client".into(),
-                    limit: IoLimit { bytes_per_sec: Some(60 << 20), iops: None },
+                    limit: IoLimit {
+                        bytes_per_sec: Some(60 << 20),
+                        iops: None,
+                    },
                 },
             ],
             ..PerfIsoConfig::default()
@@ -156,8 +162,10 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_policies() {
-        let mut c = PerfIsoConfig::default();
-        c.cpu = CpuPolicy::Blind { buffer_cores: 48 };
+        let mut c = PerfIsoConfig {
+            cpu: CpuPolicy::Blind { buffer_cores: 48 },
+            ..Default::default()
+        };
         assert!(c.validate(48).is_err());
         c.cpu = CpuPolicy::StaticCores(64);
         assert!(c.validate(48).is_err());

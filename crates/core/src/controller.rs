@@ -103,7 +103,9 @@ impl PerfIso {
     /// Panics if the configuration is invalid for this machine.
     pub fn install(&mut self, sys: &mut dyn SystemInterface) {
         let total = sys.total_cores();
-        self.cfg.validate(total).expect("invalid PerfIso configuration");
+        self.cfg
+            .validate(total)
+            .expect("invalid PerfIso configuration");
         sys.set_egress_low_rate(self.cfg.egress_low_rate);
         self.apply_cpu_policy(sys);
     }
@@ -142,11 +144,7 @@ impl PerfIso {
 
     /// One CPU poll tick (the tight loop). Returns the newly applied mask
     /// when an update fired.
-    pub fn poll_cpu(
-        &mut self,
-        _now: SimTime,
-        sys: &mut dyn SystemInterface,
-    ) -> Option<CoreMask> {
+    pub fn poll_cpu(&mut self, _now: SimTime, sys: &mut dyn SystemInterface) -> Option<CoreMask> {
         self.stats.cpu_polls += 1;
         if !self.enabled {
             return None;
@@ -312,7 +310,9 @@ mod tests {
 
     fn blind_controller(buffer: u32) -> PerfIso {
         PerfIso::new(PerfIsoConfig {
-            cpu: CpuPolicy::Blind { buffer_cores: buffer },
+            cpu: CpuPolicy::Blind {
+                buffer_cores: buffer,
+            },
             ..Default::default()
         })
     }
@@ -348,7 +348,10 @@ mod tests {
         for _ in 0..100 {
             assert!(ctl.poll_cpu(SimTime::ZERO, &mut sys).is_none());
         }
-        assert_eq!(sys.affinity_updates, updates_after_first, "no redundant actuations");
+        assert_eq!(
+            sys.affinity_updates, updates_after_first,
+            "no redundant actuations"
+        );
         assert_eq!(ctl.stats.cpu_polls, 101);
         assert_eq!(ctl.stats.affinity_updates, 1);
     }
@@ -376,7 +379,10 @@ mod tests {
         ctl.install(&mut sys);
         assert_eq!(sys.secondary_affinity.count(), 8);
         assert_eq!(sys.secondary_affinity, CoreMask::range(40, 48));
-        assert!(ctl.poll_cpu(SimTime::ZERO, &mut sys).is_none(), "static = no dynamics");
+        assert!(
+            ctl.poll_cpu(SimTime::ZERO, &mut sys).is_none(),
+            "static = no dynamics"
+        );
     }
 
     #[test]
@@ -445,7 +451,10 @@ mod tests {
         ctl.register_io_tenant(
             &mut sys,
             t,
-            TenantIoConfig { weight: 1.0, min_iops: 10.0 },
+            TenantIoConfig {
+                weight: 1.0,
+                min_iops: 10.0,
+            },
             None,
             2,
         );

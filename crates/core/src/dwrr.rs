@@ -36,7 +36,11 @@ pub struct DwrrConfig {
 
 impl Default for DwrrConfig {
     fn default() -> Self {
-        DwrrConfig { window: 10, raise_threshold: 0.5, lower_threshold: -0.25 }
+        DwrrConfig {
+            window: 10,
+            raise_threshold: 0.5,
+            lower_threshold: -0.25,
+        }
     }
 }
 
@@ -90,7 +94,11 @@ pub struct DwrrThrottler {
 impl DwrrThrottler {
     /// Creates a throttler.
     pub fn new(cfg: DwrrConfig) -> Self {
-        DwrrThrottler { cfg, tenants: BTreeMap::new(), last_curr: 0.0 }
+        DwrrThrottler {
+            cfg,
+            tenants: BTreeMap::new(),
+            last_curr: 0.0,
+        }
     }
 
     /// Registers or reconfigures a tenant.
@@ -113,8 +121,11 @@ impl DwrrThrottler {
     /// demand window.
     pub fn observe(&mut self, curr_iops: f64) {
         self.last_curr = curr_iops.max(0.0);
-        let total_weight: f64 =
-            self.tenants.values().filter_map(|t| t.cfg.map(|c| c.weight)).sum();
+        let total_weight: f64 = self
+            .tenants
+            .values()
+            .filter_map(|t| t.cfg.map(|c| c.weight))
+            .sum();
         if total_weight <= 0.0 {
             return;
         }
@@ -142,7 +153,9 @@ impl DwrrThrottler {
     /// Returns 0 for unknown or unconfigured tenants, and when the guarantee
     /// floor is zero (no meaningful ratio).
     pub fn deficit(&self, tenant: IoTenant) -> f64 {
-        let Some(st) = self.tenants.get(&tenant) else { return 0.0 };
+        let Some(st) = self.tenants.get(&tenant) else {
+            return 0.0;
+        };
         let Some(cfg) = st.cfg else { return 0.0 };
         let d: f64 = st.demand_terms.iter().sum();
         let floor = cfg.min_iops.min(d);
@@ -181,7 +194,10 @@ mod tests {
 
     #[test]
     fn demand_is_weighted_share_over_window() {
-        let mut d = DwrrThrottler::new(DwrrConfig { window: 3, ..Default::default() });
+        let mut d = DwrrThrottler::new(DwrrConfig {
+            window: 3,
+            ..Default::default()
+        });
         d.configure_tenant(IoTenant(1), cfg(1.0, 50.0));
         d.configure_tenant(IoTenant(2), cfg(3.0, 50.0));
         d.observe(100.0);
@@ -193,7 +209,10 @@ mod tests {
 
     #[test]
     fn window_slides() {
-        let mut d = DwrrThrottler::new(DwrrConfig { window: 2, ..Default::default() });
+        let mut d = DwrrThrottler::new(DwrrConfig {
+            window: 2,
+            ..Default::default()
+        });
         d.configure_tenant(IoTenant(1), cfg(1.0, 50.0));
         d.observe(100.0);
         d.observe(100.0);
@@ -204,7 +223,10 @@ mod tests {
 
     #[test]
     fn deficit_formula_matches_paper() {
-        let mut d = DwrrThrottler::new(DwrrConfig { window: 10, ..Default::default() });
+        let mut d = DwrrThrottler::new(DwrrConfig {
+            window: 10,
+            ..Default::default()
+        });
         d.configure_tenant(IoTenant(1), cfg(1.0, 100.0));
         d.observe(400.0);
         // D_1 = 400 (sole tenant); floor = min(lim=100, D=400) = 100.
@@ -214,7 +236,10 @@ mod tests {
 
     #[test]
     fn deficit_uses_demand_when_below_limit() {
-        let mut d = DwrrThrottler::new(DwrrConfig { window: 10, ..Default::default() });
+        let mut d = DwrrThrottler::new(DwrrConfig {
+            window: 10,
+            ..Default::default()
+        });
         d.configure_tenant(IoTenant(1), cfg(1.0, 1_000.0));
         d.observe(50.0);
         // D = 50 < lim: floor = 50, Def = (50 - 50)/50 = 0.

@@ -41,14 +41,18 @@ pub struct CpuSample {
 pub fn parse_proc_stat(content: &str) -> Vec<CpuSample> {
     let mut out = Vec::new();
     for line in content.lines() {
-        let Some(rest) = line.strip_prefix("cpu") else { continue };
+        let Some(rest) = line.strip_prefix("cpu") else {
+            continue;
+        };
         // The aggregate "cpu " line has no index digit; skip it.
         if !rest.starts_with(|c: char| c.is_ascii_digit()) {
             continue;
         }
         let mut fields = rest.split_whitespace();
         let Some(first) = fields.next() else { continue };
-        let Ok(cpu) = first.parse::<u32>() else { continue };
+        let Ok(cpu) = first.parse::<u32>() else {
+            continue;
+        };
         let vals: Vec<u64> = fields.filter_map(|f| f.parse().ok()).collect();
         if vals.len() < 7 {
             continue;
@@ -111,9 +115,7 @@ pub fn set_pid_affinity(pid: i32, mask: CoreMask) -> std::io::Result<()> {
         unsafe { libc::CPU_SET(core.0 as usize, &mut set) };
     }
     // SAFETY: set is a valid cpu_set_t and the size argument matches.
-    let rc = unsafe {
-        libc::sched_setaffinity(pid, std::mem::size_of::<libc::cpu_set_t>(), &set)
-    };
+    let rc = unsafe { libc::sched_setaffinity(pid, std::mem::size_of::<libc::cpu_set_t>(), &set) };
     if rc == 0 {
         Ok(())
     } else {
@@ -131,9 +133,8 @@ pub fn get_pid_affinity(pid: i32) -> std::io::Result<CoreMask> {
     // SAFETY: zeroed cpu_set_t is a valid out-parameter.
     let mut set: libc::cpu_set_t = unsafe { std::mem::zeroed() };
     // SAFETY: set is valid and the size matches.
-    let rc = unsafe {
-        libc::sched_getaffinity(pid, std::mem::size_of::<libc::cpu_set_t>(), &mut set)
-    };
+    let rc =
+        unsafe { libc::sched_getaffinity(pid, std::mem::size_of::<libc::cpu_set_t>(), &mut set) };
     if rc != 0 {
         return Err(std::io::Error::last_os_error());
     }
@@ -311,7 +312,8 @@ ctxt 999
 
     #[test]
     fn meminfo_parses_bytes() {
-        let content = "MemTotal:       16384 kB\nMemFree:        1024 kB\nMemAvailable:   8192 kB\n";
+        let content =
+            "MemTotal:       16384 kB\nMemFree:        1024 kB\nMemAvailable:   8192 kB\n";
         let (total, avail) = parse_meminfo(content).unwrap();
         assert_eq!(total, 16384 * 1024);
         assert_eq!(avail, 8192 * 1024);

@@ -52,7 +52,10 @@ impl MemoryWatchdog {
             (0.0..=1.0).contains(&kill_watermark),
             "watermark must be in [0,1]: {kill_watermark}"
         );
-        MemoryWatchdog { secondary_limit, kill_watermark }
+        MemoryWatchdog {
+            secondary_limit,
+            kill_watermark,
+        }
     }
 
     /// The configured secondary cap.
@@ -88,9 +91,12 @@ mod tests {
 
     #[test]
     fn kill_takes_precedence_over_limit() {
-        let w = MemoryWatchdog::new(Some(1 * GIB), 0.9);
+        let w = MemoryWatchdog::new(Some(GIB), 0.9);
         // Both violated: kill wins.
-        assert_eq!(w.evaluate(100 * GIB, 95 * GIB, 50 * GIB), MemoryAction::KillSecondary);
+        assert_eq!(
+            w.evaluate(100 * GIB, 95 * GIB, 50 * GIB),
+            MemoryAction::KillSecondary
+        );
     }
 
     #[test]

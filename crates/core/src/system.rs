@@ -158,12 +158,16 @@ impl MockSystem {
     /// Registers a mock I/O tenant.
     pub fn add_tenant(&mut self, id: u32, priority: u8) -> IoTenant {
         let t = IoTenant(id);
-        self.tenants.push((t, IoTenantStats::default(), priority, None));
+        self.tenants
+            .push((t, IoTenantStats::default(), priority, None));
         t
     }
 
     fn tenant_mut(&mut self, t: IoTenant) -> &mut (IoTenant, IoTenantStats, u8, Option<IoLimit>) {
-        self.tenants.iter_mut().find(|x| x.0 == t).expect("unknown tenant")
+        self.tenants
+            .iter_mut()
+            .find(|x| x.0 == t)
+            .expect("unknown tenant")
     }
 }
 
@@ -226,7 +230,11 @@ impl SystemInterface for MockSystem {
     }
 
     fn io_priority(&self, tenant: IoTenant) -> u8 {
-        self.tenants.iter().find(|x| x.0 == tenant).expect("unknown tenant").2
+        self.tenants
+            .iter()
+            .find(|x| x.0 == tenant)
+            .expect("unknown tenant")
+            .2
     }
 
     fn set_io_limit(&mut self, tenant: IoTenant, limit: Option<IoLimit>) {

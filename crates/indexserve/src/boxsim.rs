@@ -11,6 +11,8 @@
 //! them); [`run_standalone`] wraps it with an open-loop client and produces
 //! the per-figure measurements.
 
+use std::sync::Arc;
+
 use perfiso::controller::ControllerStats;
 use perfiso::system::{IoLimit, IoTenant, IoTenantStats, SystemInterface};
 use perfiso::{PerfIso, PerfIsoConfig};
@@ -18,7 +20,9 @@ use qtrace::{OpenLoopClient, QuerySpec, TraceConfig, TraceGenerator};
 use simcore::{CoreMask, EventQueue, SimDuration, SimRng, SimTime};
 use simcpu::machine::MachineStats;
 use simcpu::{CpuRateQuota, JobId, Machine, MachineConfig, MachineOutput, ThreadId};
-use simdisk::{AccessPattern, DiskSim, IoKind, IoPriority, OwnerId, RateLimit, VolumeId, VolumeSpec};
+use simdisk::{
+    AccessPattern, DiskSim, IoKind, IoPriority, OwnerId, RateLimit, VolumeId, VolumeSpec,
+};
 use telemetry::recorder::PercentileSummary;
 use telemetry::{CpuBreakdown, LatencyRecorder, TenantClass};
 use workloads::cpu_bully::{CpuBully, CpuBullyHandle};
@@ -48,28 +52,38 @@ impl SecondaryKind {
 
     /// Just a CPU bully.
     pub fn cpu(intensity: BullyIntensity) -> Self {
-        SecondaryKind { cpu_bully: Some(intensity), ..Default::default() }
+        SecondaryKind {
+            cpu_bully: Some(intensity),
+            ..Default::default()
+        }
     }
 
     /// Just a disk bully.
     pub fn disk(bully: DiskBully) -> Self {
-        SecondaryKind { disk_bully: Some(bully), ..Default::default() }
+        SecondaryKind {
+            disk_bully: Some(bully),
+            ..Default::default()
+        }
     }
 }
 
 /// Full configuration of one simulated box.
+///
+/// The service and controller configurations are behind `Arc` so that
+/// cluster and fleet drivers can stamp out hundreds of boxes per run
+/// without cloning config payloads — only the reference counts move.
 #[derive(Clone, Debug)]
 pub struct BoxConfig {
     /// Machine parameters.
     pub machine: MachineConfig,
-    /// Service-model parameters.
-    pub service: ServiceConfig,
+    /// Service-model parameters (shared, immutable).
+    pub service: Arc<ServiceConfig>,
     /// Secondary tenants.
     pub secondary: SecondaryKind,
     /// PerfIso configuration (`None` = controller absent; note that
     /// "no isolation" is expressed as a *policy*, not by omitting the
     /// controller, so kill-switch experiments can toggle it).
-    pub perfiso: Option<PerfIsoConfig>,
+    pub perfiso: Option<Arc<PerfIsoConfig>>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -79,9 +93,9 @@ impl BoxConfig {
     pub fn paper_box(secondary: SecondaryKind, perfiso: Option<PerfIsoConfig>, seed: u64) -> Self {
         BoxConfig {
             machine: MachineConfig::paper_server(),
-            service: ServiceConfig::default(),
+            service: Arc::new(ServiceConfig::default()),
             secondary,
-            perfiso,
+            perfiso: perfiso.map(Arc::new),
             seed,
         }
     }
@@ -138,6 +152,12 @@ pub struct BoxSim {
     secondary_killed: bool,
     /// Tracks secondary threads for kill-on-memory-pressure.
     secondary_tids: Vec<ThreadId>,
+    /// Reusable buffers for the settle loop (machine outputs, disk
+    /// completions, service outcomes). Kept across the whole run so the
+    /// per-step event routing allocates nothing in steady state.
+    scratch_outputs: Vec<MachineOutput>,
+    scratch_completions: Vec<simdisk::IoCompletion>,
+    scratch_outcomes: Vec<QueryOutcome>,
 }
 
 impl BoxSim {
@@ -184,6 +204,9 @@ impl BoxSim {
             now: SimTime::ZERO,
             secondary_killed: false,
             secondary_tids: Vec::new(),
+            scratch_outputs: Vec::with_capacity(64),
+            scratch_completions: Vec::with_capacity(64),
+            scratch_outcomes: Vec::with_capacity(64),
         };
 
         // Secondary tenants.
@@ -224,7 +247,7 @@ impl BoxSim {
 
         // PerfIso.
         if let Some(pcfg) = &cfg.perfiso {
-            let mut ctl = PerfIso::new(pcfg.clone());
+            let mut ctl = PerfIso::new(pcfg.as_ref().clone());
             {
                 let mut sys = SysAdapter {
                     now: SimTime::ZERO,
@@ -241,22 +264,37 @@ impl BoxSim {
                 ctl.register_io_tenant(
                     &mut sys,
                     IoTenant(0),
-                    perfiso::TenantIoConfig { weight: 1.0, min_iops: 50.0 },
+                    perfiso::TenantIoConfig {
+                        weight: 1.0,
+                        min_iops: 50.0,
+                    },
                     None,
                     IoPriority::LOW.0,
                 );
                 ctl.register_io_tenant(
                     &mut sys,
                     IoTenant(1),
-                    perfiso::TenantIoConfig { weight: 1.0, min_iops: 20.0 },
-                    Some(IoLimit { bytes_per_sec: Some(20 << 20), iops: None }),
+                    perfiso::TenantIoConfig {
+                        weight: 1.0,
+                        min_iops: 20.0,
+                    },
+                    Some(IoLimit {
+                        bytes_per_sec: Some(20 << 20),
+                        iops: None,
+                    }),
                     IoPriority::LOW.0,
                 );
                 ctl.register_io_tenant(
                     &mut sys,
                     IoTenant(2),
-                    perfiso::TenantIoConfig { weight: 2.0, min_iops: 40.0 },
-                    Some(IoLimit { bytes_per_sec: Some(60 << 20), iops: None }),
+                    perfiso::TenantIoConfig {
+                        weight: 2.0,
+                        min_iops: 40.0,
+                    },
+                    Some(IoLimit {
+                        bytes_per_sec: Some(60 << 20),
+                        iops: None,
+                    }),
                     IoPriority::LOW.0,
                 );
             }
@@ -370,7 +408,7 @@ impl BoxSim {
     /// Panics if the box was built without a PerfIso configuration.
     pub fn controller_restart_with(&mut self, state: &perfiso::recovery::ControllerState) {
         let pcfg = self.cfg.perfiso.clone().expect("no PerfIso configuration");
-        let mut ctl = PerfIso::new(pcfg);
+        let mut ctl = PerfIso::new(pcfg.as_ref().clone());
         {
             let mut sys = SysAdapter {
                 now: self.now,
@@ -411,7 +449,8 @@ impl BoxSim {
     pub fn inject_query(&mut self, now: SimTime, spec: QuerySpec) -> u64 {
         self.advance_to(now);
         let qidx = self.service.on_arrival(now, spec, &mut self.machine);
-        self.app.push(now + self.cfg.service.timeout, AppEvent::Timeout(qidx));
+        self.app
+            .push(now + self.cfg.service.timeout, AppEvent::Timeout(qidx));
         self.settle();
         qidx
     }
@@ -434,19 +473,35 @@ impl BoxSim {
     }
 
     /// Takes accumulated events.
+    ///
+    /// Allocation-free callers should prefer [`BoxSim::drain_events_into`].
     pub fn drain_events(&mut self) -> Vec<BoxEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    /// Moves accumulated events into `buf` (appending), keeping the
+    /// internal buffer's capacity for reuse on the hot path.
+    pub fn drain_events_into(&mut self, buf: &mut Vec<BoxEvent>) {
+        buf.append(&mut self.events);
+    }
+
+    /// True when events are pending.
+    pub fn has_events(&self) -> bool {
+        !self.events.is_empty()
     }
 
     /// Time of the next internal event, if any.
     pub fn next_event_time(&self) -> Option<SimTime> {
         let mut next: Option<SimTime> = None;
-        for cand in
-            [self.machine.next_timer_at(), self.disk.next_timer_at(), self.app.peek_time()]
+        for c in [
+            self.machine.next_timer_at(),
+            self.disk.next_timer_at(),
+            self.app.peek_time(),
+        ]
+        .into_iter()
+        .flatten()
         {
-            if let Some(c) = cand {
-                next = Some(next.map_or(c, |n: SimTime| n.min(c)));
-            }
+            next = Some(next.map_or(c, |n: SimTime| n.min(c)));
         }
         next
     }
@@ -458,8 +513,7 @@ impl BoxSim {
     /// Panics if `t` is in the past.
     pub fn advance_to(&mut self, t: SimTime) {
         assert!(t >= self.now, "time went backwards");
-        loop {
-            let Some(next) = self.next_event_time().filter(|&n| n <= t) else { break };
+        while let Some(next) = self.next_event_time().filter(|&n| n <= t) {
             self.now = next;
             self.machine.advance_to(next);
             self.disk.advance_to(next);
@@ -480,36 +534,52 @@ impl BoxSim {
 
     /// Routes machine outputs and disk completions until quiescent at the
     /// current instant.
+    ///
+    /// Runs entirely on reusable scratch buffers: in steady state one
+    /// settle pass allocates nothing, which matters because this is the
+    /// innermost loop of every experiment in the workspace.
     fn settle(&mut self) {
         loop {
-            let outs = self.machine.drain_outputs();
-            let comps = self.disk.drain_completions();
-            if outs.is_empty() && comps.is_empty() {
+            if !self.machine.has_outputs() && !self.disk.has_completions() {
                 break;
             }
-            for o in outs {
+            let mut outs = std::mem::take(&mut self.scratch_outputs);
+            let mut comps = std::mem::take(&mut self.scratch_completions);
+            outs.clear();
+            comps.clear();
+            self.machine.drain_outputs_into(&mut outs);
+            self.disk.drain_completions_into(&mut comps);
+            for o in outs.drain(..) {
                 self.route_machine_output(o);
             }
-            for c in comps {
+            for c in comps.drain(..) {
                 if let Some(tid) = parse_wake_token(c.token) {
                     self.machine.wake(self.now, tid);
                 }
             }
+            self.scratch_outputs = outs;
+            self.scratch_completions = comps;
             // Collect service outcomes produced by routing.
-            for outcome in self.service.drain_outcomes() {
-                if !outcome.dropped {
-                    // Asynchronous query log on the shared HDD volume.
-                    self.disk.submit(
-                        self.now,
-                        self.hdd,
-                        self.owners.primary_log,
-                        IoKind::Write,
-                        self.cfg.service.log_write_bytes,
-                        AccessPattern::Sequential,
-                        FIRE_AND_FORGET,
-                    );
+            if self.service.has_outcomes() {
+                let mut outcomes = std::mem::take(&mut self.scratch_outcomes);
+                outcomes.clear();
+                self.service.drain_outcomes_into(&mut outcomes);
+                for outcome in outcomes.drain(..) {
+                    if !outcome.dropped {
+                        // Asynchronous query log on the shared HDD volume.
+                        self.disk.submit(
+                            self.now,
+                            self.hdd,
+                            self.owners.primary_log,
+                            IoKind::Write,
+                            self.cfg.service.log_write_bytes,
+                            AccessPattern::Sequential,
+                            FIRE_AND_FORGET,
+                        );
+                    }
+                    self.events.push(BoxEvent::QueryDone(outcome));
                 }
-                self.events.push(BoxEvent::QueryDone(outcome));
+                self.scratch_outcomes = outcomes;
             }
         }
     }
@@ -528,7 +598,7 @@ impl BoxSim {
                         AccessPattern::Random,
                         wake_token(tid),
                     );
-                } else if tag >= DISK_BULLY_TAG_BASE && tag < DISK_BULLY_TAG_BASE + (1 << 16) {
+                } else if (DISK_BULLY_TAG_BASE..DISK_BULLY_TAG_BASE + (1 << 16)).contains(&tag) {
                     let op = self
                         .cfg
                         .secondary
@@ -552,7 +622,8 @@ impl BoxSim {
             }
             MachineOutput::ThreadExited { tag, .. } => {
                 if let Some((stage, qidx, _)) = parse_stage_tag(tag) {
-                    self.service.on_stage_exited(self.now, stage, qidx, &mut self.machine);
+                    self.service
+                        .on_stage_exited(self.now, stage, qidx, &mut self.machine);
                 } else if let Some(user) = crate::tags::parse_aux_tag(tag) {
                     self.events.push(BoxEvent::AuxDone(user));
                 }
@@ -571,7 +642,8 @@ impl BoxSim {
                     ctl.poll_cpu(now, sys);
                 });
                 if let Some(p) = self.cfg.perfiso.as_ref() {
-                    self.app.push(self.now + p.cpu_poll_interval, AppEvent::CpuPoll);
+                    self.app
+                        .push(self.now + p.cpu_poll_interval, AppEvent::CpuPoll);
                 }
             }
             AppEvent::IoPoll => {
@@ -579,7 +651,8 @@ impl BoxSim {
                     ctl.poll_io(now, sys);
                 });
                 if let Some(p) = self.cfg.perfiso.as_ref() {
-                    self.app.push(self.now + p.io_poll_interval, AppEvent::IoPoll);
+                    self.app
+                        .push(self.now + p.io_poll_interval, AppEvent::IoPoll);
                 }
             }
             AppEvent::MemPoll => {
@@ -587,7 +660,8 @@ impl BoxSim {
                     ctl.poll_memory(now, sys);
                 });
                 if let Some(p) = self.cfg.perfiso.as_ref() {
-                    self.app.push(self.now + p.memory_poll_interval, AppEvent::MemPoll);
+                    self.app
+                        .push(self.now + p.memory_poll_interval, AppEvent::MemPoll);
                 }
             }
             AppEvent::HdfsReplication => {
@@ -619,11 +693,10 @@ impl BoxSim {
         }
     }
 
-    fn with_controller(
-        &mut self,
-        f: impl FnOnce(&mut PerfIso, &mut SysAdapter<'_>, SimTime),
-    ) {
-        let Some(mut ctl) = self.controller.take() else { return };
+    fn with_controller(&mut self, f: impl FnOnce(&mut PerfIso, &mut SysAdapter<'_>, SimTime)) {
+        let Some(mut ctl) = self.controller.take() else {
+            return;
+        };
         {
             let mut sys = SysAdapter {
                 now: self.now,
@@ -673,7 +746,8 @@ impl SystemInterface for SysAdapter<'_> {
     }
 
     fn set_secondary_affinity(&mut self, mask: CoreMask) {
-        self.machine.set_job_affinity(self.now, self.secondary_job, mask);
+        self.machine
+            .set_job_affinity(self.now, self.secondary_job, mask);
     }
 
     fn secondary_affinity(&self) -> CoreMask {
@@ -682,7 +756,8 @@ impl SystemInterface for SysAdapter<'_> {
 
     fn set_secondary_cycle_cap(&mut self, cap: Option<f64>) {
         let quota = cap.map(|c| CpuRateQuota::percent(c * 100.0));
-        self.machine.set_job_quota(self.now, self.secondary_job, quota);
+        self.machine
+            .set_job_quota(self.now, self.secondary_job, quota);
     }
 
     fn memory_total(&self) -> u64 {
@@ -712,7 +787,10 @@ impl SystemInterface for SysAdapter<'_> {
     fn io_stats(&mut self, tenant: IoTenant) -> IoTenantStats {
         let owner = self.owner_of(tenant);
         let s = self.disk.owner_stats(self.now, owner);
-        IoTenantStats { window_iops: s.window_iops, window_bytes_per_sec: s.window_bytes_per_sec }
+        IoTenantStats {
+            window_iops: s.window_iops,
+            window_bytes_per_sec: s.window_bytes_per_sec,
+        }
     }
 
     fn shared_volume_iops(&mut self) -> f64 {
@@ -721,7 +799,8 @@ impl SystemInterface for SysAdapter<'_> {
 
     fn set_io_priority(&mut self, tenant: IoTenant, priority: u8) {
         let owner = self.owner_of(tenant);
-        self.disk.set_owner_priority(owner, IoPriority(priority.min(7)));
+        self.disk
+            .set_owner_priority(owner, IoPriority(priority.min(7)));
     }
 
     fn io_priority(&self, tenant: IoTenant) -> u8 {
@@ -733,7 +812,10 @@ impl SystemInterface for SysAdapter<'_> {
         self.disk.set_owner_limit(
             self.now,
             owner,
-            limit.map(|l| RateLimit { bytes_per_sec: l.bytes_per_sec, iops: l.iops }),
+            limit.map(|l| RateLimit {
+                bytes_per_sec: l.bytes_per_sec,
+                iops: l.iops,
+            }),
         );
     }
 
@@ -801,8 +883,11 @@ impl BoxReport {
 pub fn run_standalone(cfg: BoxConfig, plan: &RunPlan) -> BoxReport {
     let total = plan.warmup + plan.measure;
     let n_queries = (plan.qps * total.as_secs_f64() * 1.05) as usize + 16;
-    let trace = TraceGenerator::new(TraceConfig { queries: n_queries, ..plan.trace.clone() })
-        .generate(cfg.seed ^ 0x7ACE);
+    let trace = TraceGenerator::new(TraceConfig {
+        queries: n_queries,
+        ..plan.trace.clone()
+    })
+    .generate(cfg.seed ^ 0x7ACE);
     let mut client = OpenLoopClient::new(trace, plan.qps, cfg.seed ^ 0xC1);
     let mut sim = BoxSim::new(cfg);
 
@@ -813,8 +898,10 @@ pub fn run_standalone(cfg: BoxConfig, plan: &RunPlan) -> BoxReport {
     let mut queries_measured = 0u64;
     let mut workers_at_warm = 0u64;
 
-    let record_events = |sim: &mut BoxSim, recorder: &mut LatencyRecorder| {
-        for ev in sim.drain_events() {
+    let mut events: Vec<BoxEvent> = Vec::with_capacity(64);
+    let mut record_events = |sim: &mut BoxSim, recorder: &mut LatencyRecorder| {
+        sim.drain_events_into(&mut events);
+        for ev in events.drain(..) {
             if let BoxEvent::QueryDone(out) = ev {
                 if out.arrival >= warmup_end {
                     if out.dropped {
@@ -891,7 +978,11 @@ mod tests {
         assert!(r.latency.count > 2_000, "completed {}", r.latency.count);
         assert!(r.drop_ratio() < 0.005, "drops {}", r.drop_ratio());
         // Standalone at 2000 QPS: mostly idle machine.
-        assert!(r.breakdown.idle_fraction() > 0.6, "{}", r.breakdown.to_percent_string());
+        assert!(
+            r.breakdown.idle_fraction() > 0.6,
+            "{}",
+            r.breakdown.to_percent_string()
+        );
         assert!(r.latency.p50 > SimDuration::from_micros(500));
         assert!(r.latency.p50 < SimDuration::from_millis(10));
     }

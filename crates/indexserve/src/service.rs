@@ -6,6 +6,7 @@
 //! emits query outcomes.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use qtrace::QuerySpec;
 use serde::{Deserialize, Serialize};
@@ -114,7 +115,7 @@ struct QueryState {
 /// The per-machine IndexServe instance.
 #[derive(Debug)]
 pub struct IndexServe {
-    cfg: ServiceConfig,
+    cfg: Arc<ServiceConfig>,
     job: JobId,
     queries: Vec<QueryState>,
     admission_queue: VecDeque<u64>,
@@ -131,7 +132,10 @@ pub struct IndexServe {
 
 impl IndexServe {
     /// Creates a service bound to the primary `job` on the machine.
-    pub fn new(cfg: ServiceConfig, job: JobId, seed: u64) -> Self {
+    ///
+    /// The configuration is shared: cluster and fleet drivers instantiate
+    /// hundreds of services from one `Arc` without cloning the config.
+    pub fn new(cfg: Arc<ServiceConfig>, job: JobId, seed: u64) -> Self {
         IndexServe {
             cfg,
             job,
@@ -162,8 +166,22 @@ impl IndexServe {
     }
 
     /// Takes accumulated outcomes.
+    ///
+    /// Allocation-free callers should prefer
+    /// [`IndexServe::drain_outcomes_into`].
     pub fn drain_outcomes(&mut self) -> Vec<QueryOutcome> {
         std::mem::take(&mut self.outcomes)
+    }
+
+    /// Moves accumulated outcomes into `buf` (appending), keeping the
+    /// internal buffer's capacity for reuse on the hot path.
+    pub fn drain_outcomes_into(&mut self, buf: &mut Vec<QueryOutcome>) {
+        buf.append(&mut self.outcomes);
+    }
+
+    /// True when outcomes are pending.
+    pub fn has_outcomes(&self) -> bool {
+        !self.outcomes.is_empty()
     }
 
     /// Handles a query arrival; returns the dense query index (schedule the
@@ -197,7 +215,9 @@ impl IndexServe {
         let tid = machine.spawn_thread(
             now,
             self.job,
-            Box::new(Script::new(vec![Step::Compute(SimDuration::from_micros_f64(burst))])),
+            Box::new(Script::new(vec![Step::Compute(
+                SimDuration::from_micros_f64(burst),
+            )])),
             stage_tag(Stage::Parse, qidx, 0),
         );
         self.queries[qidx as usize].live_tids.push(tid);
@@ -280,7 +300,9 @@ impl IndexServe {
                 let burst = base_burst_ns * jitter.sample(&mut self.rng);
                 steps.push(Step::Compute(SimDuration::from_nanos(burst as u64)));
                 if self.rng.bernoulli(miss_prob) {
-                    steps.push(Step::Block { token: round as u64 });
+                    steps.push(Step::Block {
+                        token: round as u64,
+                    });
                 }
             }
             let tid = machine.spawn_thread(
@@ -295,13 +317,19 @@ impl IndexServe {
 
     fn spawn_rank(&mut self, now: SimTime, qidx: u64, machine: &mut Machine) {
         let heavy = self.queries[qidx as usize].spec.heavy;
-        let rounds = if heavy { self.cfg.rank_rounds * 3 } else { self.cfg.rank_rounds };
+        let rounds = if heavy {
+            self.cfg.rank_rounds * 3
+        } else {
+            self.cfg.rank_rounds
+        };
         let dist = LogNormal::from_median(self.cfg.rank_burst_us, self.cfg.stage_sigma);
         let mut steps = Vec::with_capacity(rounds as usize * 2);
         for round in 0..rounds {
             let burst = dist.sample(&mut self.rng);
             steps.push(Step::Compute(SimDuration::from_micros_f64(burst)));
-            steps.push(Step::Block { token: round as u64 });
+            steps.push(Step::Block {
+                token: round as u64,
+            });
         }
         // Rank is a continuation of in-flight work (a pool thread woken by
         // the last worker's completion), so it carries the wake boost —
@@ -323,7 +351,9 @@ impl IndexServe {
         let tid = machine.spawn_thread_with(
             now,
             self.job,
-            Box::new(Script::new(vec![Step::Compute(SimDuration::from_micros_f64(burst))])),
+            Box::new(Script::new(vec![Step::Compute(
+                SimDuration::from_micros_f64(burst),
+            )])),
             stage_tag(Stage::Aggregate, qidx, 0),
             true,
         );
@@ -434,7 +464,14 @@ mod tests {
     use crate::tags::parse_stage_tag;
 
     fn spec(id: u64) -> QuerySpec {
-        QuerySpec { id, fanout: 10, rounds: 4, burst_ns: 90_000, doc_rank: 1, heavy: false }
+        QuerySpec {
+            id,
+            fanout: 10,
+            rounds: 4,
+            burst_ns: 90_000,
+            doc_rank: 1,
+            heavy: false,
+        }
     }
 
     /// Drives machine outputs back into the service until quiescent,
@@ -475,7 +512,7 @@ mod tests {
     fn query_completes_through_all_stages() {
         let mut m = Machine::new(MachineConfig::small(16));
         let job = m.create_job(TenantClass::Primary, CoreMask::all(16));
-        let mut s = IndexServe::new(ServiceConfig::default(), job, 1);
+        let mut s = IndexServe::new(Arc::new(ServiceConfig::default()), job, 1);
         s.on_arrival(SimTime::ZERO, spec(0), &mut m);
         settle(&mut m, &mut s, SimTime::from_millis(100));
         let outcomes = s.drain_outcomes();
@@ -491,7 +528,7 @@ mod tests {
     fn fanout_workers_spawn_together() {
         let mut m = Machine::new(MachineConfig::small(16));
         let job = m.create_job(TenantClass::Primary, CoreMask::all(16));
-        let mut s = IndexServe::new(ServiceConfig::default(), job, 2);
+        let mut s = IndexServe::new(Arc::new(ServiceConfig::default()), job, 2);
         s.on_arrival(SimTime::ZERO, spec(0), &mut m);
         // Run just past the parse stage.
         let t = m.next_timer_at().unwrap();
@@ -511,8 +548,11 @@ mod tests {
     fn admission_control_queues_excess() {
         let mut m = Machine::new(MachineConfig::small(4));
         let job = m.create_job(TenantClass::Primary, CoreMask::all(4));
-        let cfg = ServiceConfig { max_concurrent: 2, ..Default::default() };
-        let mut s = IndexServe::new(cfg, job, 3);
+        let cfg = ServiceConfig {
+            max_concurrent: 2,
+            ..Default::default()
+        };
+        let mut s = IndexServe::new(Arc::new(cfg), job, 3);
         for i in 0..5 {
             s.on_arrival(SimTime::ZERO, spec(i), &mut m);
         }
@@ -534,7 +574,7 @@ mod tests {
             ..Default::default()
         };
         let comp_max = cfg.comp_max;
-        let mut s = IndexServe::new(cfg, job, 4);
+        let mut s = IndexServe::new(Arc::new(cfg), job, 4);
         // Pile up arrivals past the admission cap without driving the
         // machine: the backlog builds until the multiplier saturates.
         for i in 0..12 {
@@ -552,7 +592,7 @@ mod tests {
     fn timeout_drops_and_kills() {
         let mut m = Machine::new(MachineConfig::small(2));
         let job = m.create_job(TenantClass::Primary, CoreMask::all(2));
-        let mut s = IndexServe::new(ServiceConfig::default(), job, 5);
+        let mut s = IndexServe::new(Arc::new(ServiceConfig::default()), job, 5);
         let q = s.on_arrival(SimTime::ZERO, spec(0), &mut m);
         // Fire the deadline while the query is still mid-flight.
         m.advance_to(SimTime::from_micros(200));
@@ -569,7 +609,7 @@ mod tests {
     fn timeout_after_completion_is_noop() {
         let mut m = Machine::new(MachineConfig::small(16));
         let job = m.create_job(TenantClass::Primary, CoreMask::all(16));
-        let mut s = IndexServe::new(ServiceConfig::default(), job, 6);
+        let mut s = IndexServe::new(Arc::new(ServiceConfig::default()), job, 6);
         let q = s.on_arrival(SimTime::ZERO, spec(0), &mut m);
         settle(&mut m, &mut s, SimTime::from_millis(100));
         assert_eq!(s.drain_outcomes().len(), 1);

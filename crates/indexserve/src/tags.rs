@@ -60,7 +60,10 @@ pub fn parse_wake_token(token: u64) -> Option<ThreadId> {
     if token & (1 << 63) == 0 {
         return None;
     }
-    Some(ThreadId { index: ((token >> 32) & 0x7FFF_FFFF) as u32, gen: token as u32 })
+    Some(ThreadId {
+        index: ((token >> 32) & 0x7FFF_FFFF) as u32,
+        gen: token as u32,
+    })
 }
 
 /// A fire-and-forget token (logging writes, background HDFS traffic).

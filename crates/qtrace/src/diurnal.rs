@@ -43,7 +43,12 @@ impl DiurnalCurve {
 
     /// A flat curve (useful as a control).
     pub fn flat(qps: f64) -> Self {
-        DiurnalCurve { base_qps: qps, amplitude: 0.0, period_min: 60.0, surges: Vec::new() }
+        DiurnalCurve {
+            base_qps: qps,
+            amplitude: 0.0,
+            period_min: 60.0,
+            surges: Vec::new(),
+        }
     }
 
     /// QPS at the given minute.

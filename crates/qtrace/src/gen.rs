@@ -67,6 +67,12 @@ impl Default for TraceConfig {
 
 /// Generates reproducible synthetic traces.
 ///
+/// Construction precomputes the burst distribution and the Zipf popularity
+/// table (`O(documents)` work), so a generator built once can stamp out
+/// many traces cheaply — the fleet experiment reuses one generator for
+/// hundreds of machine-minute slices instead of rebuilding the 200k-entry
+/// Zipf table per slice.
+///
 /// # Examples
 ///
 /// ```
@@ -80,6 +86,8 @@ impl Default for TraceConfig {
 #[derive(Clone, Debug)]
 pub struct TraceGenerator {
     cfg: TraceConfig,
+    burst: LogNormal,
+    zipf: ZipfTable,
 }
 
 impl TraceGenerator {
@@ -90,11 +98,19 @@ impl TraceGenerator {
     /// Panics on a degenerate configuration.
     pub fn new(cfg: TraceConfig) -> Self {
         assert!(cfg.queries > 0, "empty trace");
-        assert!(cfg.fanout_min >= 1 && cfg.fanout_min <= cfg.fanout_max, "bad fanout range");
+        assert!(
+            cfg.fanout_min >= 1 && cfg.fanout_min <= cfg.fanout_max,
+            "bad fanout range"
+        );
         assert!(cfg.rounds >= 1, "need at least one round");
         assert!(cfg.documents > 0, "need documents");
-        assert!((0.0..=1.0).contains(&cfg.heavy_fraction), "bad heavy fraction");
-        TraceGenerator { cfg }
+        assert!(
+            (0.0..=1.0).contains(&cfg.heavy_fraction),
+            "bad heavy fraction"
+        );
+        let burst = LogNormal::from_median(cfg.burst_median_us * 1_000.0, cfg.burst_sigma);
+        let zipf = ZipfTable::new(cfg.documents, cfg.zipf_s);
+        TraceGenerator { cfg, burst, zipf }
     }
 
     /// The configuration.
@@ -105,21 +121,31 @@ impl TraceGenerator {
     /// Generates the trace for a seed. Identical seeds yield identical
     /// traces.
     pub fn generate(&self, seed: u64) -> Vec<QuerySpec> {
+        self.generate_n(seed, self.cfg.queries)
+    }
+
+    /// Generates a trace of exactly `queries` queries, overriding the
+    /// configured count. Used by drivers whose trace length depends on the
+    /// offered load (e.g. one trace per fleet minute).
+    pub fn generate_n(&self, seed: u64, queries: usize) -> Vec<QuerySpec> {
         let mut rng = SimRng::seed_from_u64(seed);
-        let burst = LogNormal::from_median(self.cfg.burst_median_us * 1_000.0, self.cfg.burst_sigma);
-        let zipf = ZipfTable::new(self.cfg.documents, self.cfg.zipf_s);
-        (0..self.cfg.queries as u64)
+        let burst = &self.burst;
+        let zipf = &self.zipf;
+        (0..queries as u64)
             .map(|id| {
                 let heavy = rng.bernoulli(self.cfg.heavy_fraction);
-                let rounds =
-                    if heavy { self.cfg.rounds.saturating_mul(3) } else { self.cfg.rounds };
+                let rounds = if heavy {
+                    self.cfg.rounds.saturating_mul(3)
+                } else {
+                    self.cfg.rounds
+                };
                 QuerySpec {
                     id,
                     fanout: rng
                         .range_inclusive(self.cfg.fanout_min as u64, self.cfg.fanout_max as u64)
                         as u8,
                     rounds,
-                    burst_ns: burst.sample(&mut rng).max(1_000.0).min(4.0e6) as u32,
+                    burst_ns: burst.sample(&mut rng).clamp(1_000.0, 4.0e6) as u32,
                     doc_rank: zipf.sample_rank(&mut rng) as u32,
                     heavy,
                 }
@@ -134,7 +160,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let g = TraceGenerator::new(TraceConfig { queries: 500, ..Default::default() });
+        let g = TraceGenerator::new(TraceConfig {
+            queries: 500,
+            ..Default::default()
+        });
         let a = g.generate(7);
         let b = g.generate(7);
         assert_eq!(a.len(), b.len());
@@ -144,7 +173,10 @@ mod tests {
             assert_eq!(x.doc_rank, y.doc_rank);
         }
         let c = g.generate(8);
-        assert!(a.iter().zip(c.iter()).any(|(x, y)| x.burst_ns != y.burst_ns));
+        assert!(a
+            .iter()
+            .zip(c.iter())
+            .any(|(x, y)| x.burst_ns != y.burst_ns));
     }
 
     #[test]
@@ -165,7 +197,10 @@ mod tests {
 
     #[test]
     fn burst_median_close_to_config() {
-        let g = TraceGenerator::new(TraceConfig { queries: 20_000, ..Default::default() });
+        let g = TraceGenerator::new(TraceConfig {
+            queries: 20_000,
+            ..Default::default()
+        });
         let mut bursts: Vec<u32> = g.generate(2).iter().map(|q| q.burst_ns).collect();
         bursts.sort_unstable();
         let median = bursts[bursts.len() / 2] as f64 / 1_000.0;
@@ -174,16 +209,25 @@ mod tests {
 
     #[test]
     fn popular_docs_dominate() {
-        let g = TraceGenerator::new(TraceConfig { queries: 50_000, ..Default::default() });
+        let g = TraceGenerator::new(TraceConfig {
+            queries: 50_000,
+            ..Default::default()
+        });
         let t = g.generate(3);
         let top_decile = (g.config().documents / 10) as u32;
         let hot = t.iter().filter(|q| q.doc_rank <= top_decile).count() as f64 / t.len() as f64;
-        assert!(hot > 0.5, "Zipf 0.9: top 10% of docs should get >50% of hits, got {hot}");
+        assert!(
+            hot > 0.5,
+            "Zipf 0.9: top 10% of docs should get >50% of hits, got {hot}"
+        );
     }
 
     #[test]
     #[should_panic(expected = "empty trace")]
     fn zero_queries_rejected() {
-        let _ = TraceGenerator::new(TraceConfig { queries: 0, ..Default::default() });
+        let _ = TraceGenerator::new(TraceConfig {
+            queries: 0,
+            ..Default::default()
+        });
     }
 }

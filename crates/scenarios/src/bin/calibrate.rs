@@ -2,7 +2,7 @@
 //! colocation numbers so the service model can be tuned against the paper's
 //! published figures (p50 = 4 ms, p99 = 12 ms, idle 80 %/60 %).
 
-use scenarios::{blind_isolation, no_isolation, standalone, static_cores, cycle_cap, Scale};
+use scenarios::{blind_isolation, cycle_cap, no_isolation, standalone, static_cores, Scale};
 use telemetry::table::{ms, pct, Table};
 use workloads::BullyIntensity;
 

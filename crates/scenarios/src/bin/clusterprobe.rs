@@ -15,5 +15,8 @@ fn main() {
     };
     eprintln!("running small cluster: {:?}", cfg.topology);
     let report = ClusterSim::new(cfg).run_traced(50_000);
-    eprintln!("completed={} degraded={}", report.completed, report.degraded);
+    eprintln!(
+        "completed={} degraded={}",
+        report.completed, report.degraded
+    );
 }

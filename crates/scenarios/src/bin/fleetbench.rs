@@ -1,0 +1,237 @@
+//! Fleet throughput benchmark: the perf gate for the simulation hot path.
+//!
+//! Runs the Fig 10 fleet sweep twice — serial (`threads: 1`) and parallel
+//! (`threads: 0`, all cores) — asserts the reports are bit-identical, and
+//! reports wall-clock, slices/second, scheduler events/second, and the
+//! parallel speedup. A single-box run under a counting allocator reports
+//! allocations per simulated second for the inner step loop.
+//!
+//! Results go to stdout as a table and to `BENCH_fleet.json` (override the
+//! path with `PERFISO_BENCH_OUT`) so CI can archive the trajectory.
+//! Pass `--smoke` for a seconds-scale configuration suitable as a CI gate.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use cluster::fleet::{run_fleet, FleetConfig, FleetReport};
+use indexserve::boxsim::{run_standalone, BoxConfig, RunPlan};
+use indexserve::SecondaryKind;
+use perfiso::PerfIsoConfig;
+use serde_json::{json, Value};
+use simcore::SimDuration;
+use telemetry::table::Table;
+use workloads::BullyIntensity;
+
+/// Counts every heap allocation made through the global allocator.
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_snapshot() -> (u64, u64) {
+    (
+        ALLOC_COUNT.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// Allocation profile of the single-box inner loop: a standalone run with
+/// a colocated bully under blind isolation, 1 simulated second measured.
+fn singlebox_alloc_profile(smoke: bool) -> Value {
+    let measure = if smoke { 500 } else { 2_000 };
+    let plan = RunPlan {
+        qps: 2_000.0,
+        warmup: SimDuration::from_millis(300),
+        measure: SimDuration::from_millis(measure),
+        trace: Default::default(),
+    };
+    let cfg = BoxConfig::paper_box(
+        SecondaryKind::cpu(BullyIntensity::High),
+        Some(PerfIsoConfig::default()),
+        4242,
+    );
+    let sim_secs = (plan.warmup + plan.measure).as_secs_f64();
+    let (allocs_before, bytes_before) = alloc_snapshot();
+    let wall = Instant::now();
+    let report = run_standalone(cfg, &plan);
+    let wall = wall.elapsed().as_secs_f64();
+    let (allocs_after, bytes_after) = alloc_snapshot();
+    let allocs = allocs_after - allocs_before;
+    let bytes = bytes_after - bytes_before;
+    println!(
+        "single-box step loop: {:.0} allocs/sim-second ({:.1} MiB/sim-second), \
+         {} queries completed, wall {:.2}s",
+        allocs as f64 / sim_secs,
+        bytes as f64 / sim_secs / (1 << 20) as f64,
+        report.latency.count,
+        wall,
+    );
+    json!({
+        "sim_seconds": sim_secs,
+        "allocations": allocs,
+        "allocated_bytes": bytes,
+        "allocations_per_sim_second": allocs as f64 / sim_secs,
+        "queries_completed": report.latency.count,
+        "wall_seconds": wall
+    })
+}
+
+struct FleetRun {
+    wall: f64,
+    report: FleetReport,
+}
+
+fn timed_fleet(cfg: &FleetConfig) -> FleetRun {
+    let wall = Instant::now();
+    let report = run_fleet(cfg);
+    FleetRun {
+        wall: wall.elapsed().as_secs_f64(),
+        report,
+    }
+}
+
+fn fleet_run_json(label: &str, threads: usize, run: &FleetRun) -> Value {
+    let slices_per_sec = run.report.slices as f64 / run.wall;
+    let events_per_sec = run.report.sim_events as f64 / run.wall;
+    json!({
+        "label": label,
+        "threads": threads,
+        "wall_seconds": run.wall,
+        "slices": run.report.slices,
+        "slices_per_second": slices_per_sec,
+        "sim_events": run.report.sim_events,
+        "events_per_second": events_per_sec,
+        "mean_utilization": run.report.mean_utilization,
+        "max_p99_ms": run.report.max_p99.as_millis_f64()
+    })
+}
+
+/// Bit-exact comparison of the two reports; parallelism must not change a
+/// single ULP anywhere.
+fn assert_identical(serial: &FleetReport, parallel: &FleetReport) {
+    assert_eq!(
+        serial.mean_utilization.to_bits(),
+        parallel.mean_utilization.to_bits()
+    );
+    assert_eq!(serial.max_p99, parallel.max_p99);
+    assert_eq!(serial.slices, parallel.slices);
+    assert_eq!(serial.sim_events, parallel.sim_events);
+    for (a, b) in [
+        (&serial.qps, &parallel.qps),
+        (&serial.p99_ms, &parallel.p99_ms),
+        (&serial.utilization_pct, &parallel.utilization_pct),
+        (&serial.trainer_progress, &parallel.trainer_progress),
+    ] {
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            let (x, y) = (a.bucket(i).unwrap(), b.bucket(i).unwrap());
+            assert_eq!(x.count, y.count);
+            assert_eq!(x.sum.to_bits(), y.sum.to_bits());
+        }
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let base = if smoke {
+        FleetConfig {
+            minutes: 8,
+            sampled_machines: 2,
+            slice: SimDuration::from_millis(200),
+            ..Default::default()
+        }
+    } else {
+        FleetConfig {
+            minutes: 24,
+            sampled_machines: 3,
+            slice: SimDuration::from_millis(500),
+            ..Default::default()
+        }
+    };
+
+    println!(
+        "fleet bench: {} minutes x {} sampled machines, {} ms slices, {} cores available{}",
+        base.minutes,
+        base.sampled_machines,
+        base.slice.as_millis(),
+        threads,
+        if smoke { " [smoke]" } else { "" },
+    );
+
+    let alloc_profile = singlebox_alloc_profile(smoke);
+
+    let serial = timed_fleet(&FleetConfig {
+        threads: 1,
+        ..base.clone()
+    });
+    let parallel = timed_fleet(&FleetConfig { threads: 0, ..base });
+    assert_identical(&serial.report, &parallel.report);
+    let speedup = serial.wall / parallel.wall;
+
+    let mut t = Table::new(&["run", "threads", "wall (s)", "slices/s", "events/s"]);
+    for (label, n, run) in [
+        ("serial", 1usize, &serial),
+        ("parallel", threads, &parallel),
+    ] {
+        t.row_owned(vec![
+            label.to_string(),
+            format!("{n}"),
+            format!("{:.2}", run.wall),
+            format!("{:.1}", run.report.slices as f64 / run.wall),
+            format!("{:.0}", run.report.sim_events as f64 / run.wall),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nparallel speedup: {speedup:.2}x on {threads} cores \
+         (reports verified bit-identical)"
+    );
+
+    let out = json!({
+        "bench": "fleet",
+        "smoke": smoke,
+        "cores": threads,
+        "config": {
+            "minutes": serial.report.qps.len(),
+            "slices": serial.report.slices
+        },
+        "singlebox_allocations": alloc_profile,
+        "runs": [
+            fleet_run_json("serial", 1, &serial),
+            fleet_run_json("parallel", threads, &parallel)
+        ],
+        "speedup": speedup
+    });
+    let path = std::env::var("PERFISO_BENCH_OUT").unwrap_or_else(|_| "BENCH_fleet.json".into());
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&out).expect("serializable"),
+    )
+    .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path}");
+}

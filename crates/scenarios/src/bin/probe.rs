@@ -7,10 +7,17 @@ use simcore::{SimDuration, SimTime};
 use workloads::BullyIntensity;
 
 fn main() {
-    let qps: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4_000.0);
+    let qps: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4_000.0);
     let total = SimDuration::from_millis(2_000);
     let n = (qps * total.as_secs_f64() * 1.05) as usize + 16;
-    let trace = TraceGenerator::new(TraceConfig { queries: n, ..Default::default() }).generate(1);
+    let trace = TraceGenerator::new(TraceConfig {
+        queries: n,
+        ..Default::default()
+    })
+    .generate(1);
     let mut client = OpenLoopClient::new(trace, qps, 2);
     let mut sim = BoxSim::new(BoxConfig::paper_box(
         SecondaryKind::cpu(BullyIntensity::High),
@@ -21,13 +28,15 @@ fn main() {
     let mut completed = 0u64;
     let mut dropped = 0u64;
     let mut next_report = SimTime::from_millis(250);
+    let mut events = Vec::with_capacity(64);
     while let Some(at) = client.next_arrival_time() {
         if at > end {
             break;
         }
         let (_, spec) = client.pop().expect("peeked");
         sim.inject_query(at, spec);
-        for ev in sim.drain_events() {
+        sim.drain_events_into(&mut events);
+        for ev in events.drain(..) {
             if let indexserve::BoxEvent::QueryDone(o) = ev {
                 if o.dropped {
                     dropped += 1;
@@ -37,7 +46,7 @@ fn main() {
             }
         }
         if at >= next_report {
-            next_report = next_report + SimDuration::from_millis(250);
+            next_report += SimDuration::from_millis(250);
             let s = sim.service();
             let bd = sim.breakdown();
             println!(

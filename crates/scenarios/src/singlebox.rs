@@ -23,7 +23,10 @@ pub struct Scale {
 impl Scale {
     /// Short runs for tests (~2 s simulated).
     pub fn quick() -> Self {
-        Scale { warmup: SimDuration::from_millis(400), measure: SimDuration::from_millis(1_600) }
+        Scale {
+            warmup: SimDuration::from_millis(400),
+            measure: SimDuration::from_millis(1_600),
+        }
     }
 
     /// Bench default (~6 s simulated), times the `PERFISO_SCALE` env var.
@@ -76,17 +79,35 @@ pub fn no_isolation(intensity: BullyIntensity, qps: f64, seed: u64, scale: Scale
 
 /// CPU blind isolation (Fig 5): high bully, given buffer cores.
 pub fn blind_isolation(buffer_cores: u32, qps: f64, seed: u64, scale: Scale) -> BoxReport {
-    run_with_policy(Policy::Blind { buffer_cores }, BullyIntensity::High, qps, seed, scale)
+    run_with_policy(
+        Policy::Blind { buffer_cores },
+        BullyIntensity::High,
+        qps,
+        seed,
+        scale,
+    )
 }
 
 /// Static core restriction (Fig 6): high bully on `cores` cores.
 pub fn static_cores(cores: u32, qps: f64, seed: u64, scale: Scale) -> BoxReport {
-    run_with_policy(Policy::StaticCores(cores), BullyIntensity::High, qps, seed, scale)
+    run_with_policy(
+        Policy::StaticCores(cores),
+        BullyIntensity::High,
+        qps,
+        seed,
+        scale,
+    )
 }
 
 /// Static cycle cap (Fig 7): high bully at `pct` of machine CPU.
 pub fn cycle_cap(pct: f64, qps: f64, seed: u64, scale: Scale) -> BoxReport {
-    run_with_policy(Policy::CycleCap(pct), BullyIntensity::High, qps, seed, scale)
+    run_with_policy(
+        Policy::CycleCap(pct),
+        BullyIntensity::High,
+        qps,
+        seed,
+        scale,
+    )
 }
 
 /// A disk-bound secondary under full PerfIso (cluster-style settings).
@@ -112,8 +133,15 @@ mod tests {
 
     #[test]
     fn policy_to_secondary_mapping() {
-        let s = Scale { warmup: SimDuration::from_millis(200), measure: SimDuration::from_millis(400) };
+        let s = Scale {
+            warmup: SimDuration::from_millis(200),
+            measure: SimDuration::from_millis(400),
+        };
         let r = standalone(500.0, 1, s);
-        assert_eq!(r.secondary_cpu, SimDuration::ZERO, "standalone has no bully");
+        assert_eq!(
+            r.secondary_cpu,
+            SimDuration::ZERO,
+            "standalone has no bully"
+        );
     }
 }

@@ -26,7 +26,10 @@ impl Exp {
     ///
     /// Panics unless `rate` is finite and strictly positive.
     pub fn new(rate: f64) -> Self {
-        assert!(rate.is_finite() && rate > 0.0, "rate must be positive: {rate}");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "rate must be positive: {rate}"
+        );
         Exp { rate }
     }
 
@@ -36,7 +39,10 @@ impl Exp {
     ///
     /// Panics unless `mean` is finite and strictly positive.
     pub fn from_mean(mean: f64) -> Self {
-        assert!(mean.is_finite() && mean > 0.0, "mean must be positive: {mean}");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "mean must be positive: {mean}"
+        );
         Exp { rate: 1.0 / mean }
     }
 }
@@ -68,7 +74,10 @@ impl Normal {
     ///
     /// Panics unless `std` is finite and non-negative.
     pub fn new(mean: f64, std: f64) -> Self {
-        assert!(std.is_finite() && std >= 0.0, "std must be non-negative: {std}");
+        assert!(
+            std.is_finite() && std >= 0.0,
+            "std must be non-negative: {std}"
+        );
         Normal { mean, std }
     }
 }
@@ -98,9 +107,18 @@ impl LogNormal {
     ///
     /// Panics unless `median > 0` and `sigma >= 0`, both finite.
     pub fn from_median(median: f64, sigma: f64) -> Self {
-        assert!(median.is_finite() && median > 0.0, "median must be positive: {median}");
-        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be non-negative: {sigma}");
-        LogNormal { ln_median: median.ln(), sigma }
+        assert!(
+            median.is_finite() && median > 0.0,
+            "median must be positive: {median}"
+        );
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be non-negative: {sigma}"
+        );
+        LogNormal {
+            ln_median: median.ln(),
+            sigma,
+        }
     }
 
     /// The distribution mean, `median · exp(sigma^2 / 2)`.
@@ -122,12 +140,15 @@ impl Sample for LogNormal {
 
 /// Acklam's rational approximation to the standard normal quantile function.
 fn probit(p: f64) -> f64 {
-    assert!((0.0..1.0).contains(&p) && p > 0.0, "p must be in (0,1): {p}");
+    assert!(
+        (0.0..1.0).contains(&p) && p > 0.0,
+        "p must be in (0,1): {p}"
+    );
     const A: [f64; 6] = [
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -182,8 +203,14 @@ impl Pareto {
     ///
     /// Panics unless both parameters are finite and strictly positive.
     pub fn new(x_min: f64, alpha: f64) -> Self {
-        assert!(x_min.is_finite() && x_min > 0.0, "x_min must be positive: {x_min}");
-        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive: {alpha}");
+        assert!(
+            x_min.is_finite() && x_min > 0.0,
+            "x_min must be positive: {x_min}"
+        );
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "alpha must be positive: {alpha}"
+        );
         Pareto { x_min, alpha }
     }
 }
@@ -212,7 +239,10 @@ impl ZipfTable {
     /// Panics if `n == 0` or `s` is not finite and non-negative.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one rank");
-        assert!(s.is_finite() && s >= 0.0, "exponent must be non-negative: {s}");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "exponent must be non-negative: {s}"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 1..=n {
@@ -229,7 +259,10 @@ impl ZipfTable {
     /// Samples a rank in `1..=n` (rank 1 is the most popular).
     pub fn sample_rank(&self, rng: &mut SimRng) -> usize {
         let u = rng.next_f64();
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite")) {
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
             Ok(i) => i + 1,
             Err(i) => (i + 1).min(self.cdf.len()),
         }
@@ -270,7 +303,9 @@ impl PoissonProcess {
     ///
     /// Panics unless `rate_per_sec` is finite and strictly positive.
     pub fn new(rate_per_sec: f64) -> Self {
-        PoissonProcess { exp: Exp::new(rate_per_sec) }
+        PoissonProcess {
+            exp: Exp::new(rate_per_sec),
+        }
     }
 
     /// Samples the next inter-arrival gap.

@@ -106,7 +106,10 @@ impl SimDuration {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative: {s}");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be finite and non-negative: {s}"
+        );
         SimDuration((s * 1e9).round() as u64)
     }
 
@@ -116,7 +119,10 @@ impl SimDuration {
     ///
     /// Panics if `us` is negative or not finite.
     pub fn from_micros_f64(us: f64) -> Self {
-        assert!(us.is_finite() && us >= 0.0, "duration must be finite and non-negative: {us}");
+        assert!(
+            us.is_finite() && us >= 0.0,
+            "duration must be finite and non-negative: {us}"
+        );
         SimDuration((us * 1e3).round() as u64)
     }
 
@@ -166,7 +172,10 @@ impl SimDuration {
     ///
     /// Panics if `f` is negative or not finite.
     pub fn mul_f64(self, f: f64) -> SimDuration {
-        assert!(f.is_finite() && f >= 0.0, "scale factor must be finite and non-negative: {f}");
+        assert!(
+            f.is_finite() && f >= 0.0,
+            "scale factor must be finite and non-negative: {f}"
+        );
         SimDuration((self.0 as f64 * f).round() as u64)
     }
 
@@ -175,6 +184,7 @@ impl SimDuration {
     /// # Panics
     ///
     /// Panics if `n` is zero.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, n: u64) -> SimDuration {
         assert!(n > 0, "cannot divide a duration into zero slices");
         SimDuration(self.0 / n)

@@ -60,8 +60,14 @@ impl MachineConfig {
     ///
     /// Panics if `cores` is zero or above 64.
     pub fn small(cores: u32) -> Self {
-        assert!((1..=64).contains(&cores), "cores must be in 1..=64: {cores}");
-        MachineConfig { cores, ..MachineConfig::default() }
+        assert!(
+            (1..=64).contains(&cores),
+            "cores must be in 1..=64: {cores}"
+        );
+        MachineConfig {
+            cores,
+            ..MachineConfig::default()
+        }
     }
 
     /// Validates the configuration.
@@ -104,8 +110,10 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        let mut c = MachineConfig::default();
-        c.cores = 65;
+        let mut c = MachineConfig {
+            cores: 65,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
         c = MachineConfig::default();
         c.quantum = SimDuration::ZERO;

@@ -44,8 +44,8 @@ pub mod programs;
 pub mod quota;
 
 pub use config::MachineConfig;
-pub use simcore::ids::{CoreId, JobId, ThreadId};
 pub use machine::{Machine, MachineOutput};
-pub use simcore::mask::CoreMask;
 pub use program::{Step, ThreadProgram};
 pub use quota::CpuRateQuota;
+pub use simcore::ids::{CoreId, JobId, ThreadId};
+pub use simcore::mask::CoreMask;

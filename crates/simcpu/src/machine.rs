@@ -39,10 +39,10 @@ use simcore::{EventQueue, SimDuration, SimRng, SimTime};
 use telemetry::{CpuBreakdown, TenantClass};
 
 use crate::config::MachineConfig;
-use simcore::ids::{CoreId, JobId, ThreadId};
-use simcore::mask::CoreMask;
 use crate::program::{Step, ThreadProgram};
 use crate::quota::{CpuRateQuota, QuotaState};
+use simcore::ids::{CoreId, JobId, ThreadId};
+use simcore::mask::CoreMask;
 
 /// Events the machine reports to its driver.
 #[derive(Debug)]
@@ -149,6 +149,10 @@ pub struct Machine {
     breakdown: CpuBreakdown,
     rng: SimRng,
     stats: MachineStats,
+    /// Reusable buffer for preemption sweeps (affinity revocation, quota
+    /// throttling); avoids a fresh `Vec` per controller action on the hot
+    /// path.
+    victims_scratch: Vec<CoreId>,
 }
 
 const MAX_ZERO_STEPS: u32 = 64;
@@ -189,10 +193,11 @@ impl Machine {
             ready: VecDeque::new(),
             ready_stale: 0,
             timers: EventQueue::with_capacity(1024),
-            outputs: Vec::new(),
+            outputs: Vec::with_capacity(64),
             breakdown: CpuBreakdown::default(),
             rng: SimRng::seed_from_u64(seed),
             stats: MachineStats::default(),
+            victims_scratch: Vec::new(),
         }
     }
 
@@ -286,8 +291,23 @@ impl Machine {
     }
 
     /// Takes all pending outputs.
+    ///
+    /// Allocation-free callers should prefer [`Machine::drain_outputs_into`].
     pub fn drain_outputs(&mut self) -> Vec<MachineOutput> {
         std::mem::take(&mut self.outputs)
+    }
+
+    /// Moves all pending outputs into `buf` (appending), leaving the
+    /// internal buffer empty but with its capacity intact. This is the
+    /// hot-path variant: drivers keep one scratch `Vec` alive across the
+    /// whole run instead of allocating per step.
+    pub fn drain_outputs_into(&mut self, buf: &mut Vec<MachineOutput>) {
+        buf.append(&mut self.outputs);
+    }
+
+    /// True when outputs are pending (cheaper than draining to check).
+    pub fn has_outputs(&self) -> bool {
+        !self.outputs.is_empty()
     }
 
     /// The CPU-time breakdown up to the current instant, including partial
@@ -403,7 +423,9 @@ impl Machine {
     /// rather than queueing (see the crate docs).
     pub fn wake(&mut self, now: SimTime, tid: ThreadId) -> bool {
         self.advance_to(now);
-        let Some(t) = self.thread(tid) else { return false };
+        let Some(t) = self.thread(tid) else {
+            return false;
+        };
         if t.state != ThreadState::Blocked && t.state != ThreadState::Sleeping {
             return false;
         }
@@ -415,7 +437,9 @@ impl Machine {
     /// Kills a thread. Returns false on a stale handle.
     pub fn kill_thread(&mut self, now: SimTime, tid: ThreadId) -> bool {
         self.advance_to(now);
-        let Some(t) = self.thread(tid) else { return false };
+        let Some(t) = self.thread(tid) else {
+            return false;
+        };
         let state = t.state;
         match state {
             ThreadState::Running(core) => {
@@ -443,22 +467,20 @@ impl Machine {
     pub fn set_job_affinity(&mut self, now: SimTime, job: JobId, mask: CoreMask) {
         self.advance_to(now);
         self.jobs[job.0 as usize].affinity = mask;
-        let victims: Vec<CoreId> = self
-            .cores
-            .iter()
-            .enumerate()
-            .filter_map(|(i, c)| {
-                let core = CoreId(i as u16);
-                let tid = c.running?;
-                let t = self.thread(tid)?;
-                (t.job == job && !self.effective_affinity(tid).contains(core)).then_some(core)
-            })
-            .collect();
-        for core in victims {
+        let mut victims = std::mem::take(&mut self.victims_scratch);
+        victims.clear();
+        victims.extend(self.cores.iter().enumerate().filter_map(|(i, c)| {
+            let core = CoreId(i as u16);
+            let tid = c.running?;
+            let t = self.thread(tid)?;
+            (t.job == job && !self.effective_affinity(tid).contains(core)).then_some(core)
+        }));
+        for &core in &victims {
             self.preempt_core(core);
             self.stats.ipis += 1;
             self.fill_core(core, self.cfg.ipi_cost);
         }
+        self.victims_scratch = victims;
         self.dispatch_sweep();
     }
 
@@ -468,9 +490,10 @@ impl Machine {
         match quota {
             Some(q) => {
                 let mut state = QuotaState::new(q, self.cfg.cores, self.now);
-                state.running = self.running_threads_of(job).len() as u32;
+                state.running = self.count_running_threads_of(job);
                 self.jobs[job.0 as usize].quota = Some(state);
-                self.timers.push(self.now + q.period, Timer::QuotaRefill { job });
+                self.timers
+                    .push(self.now + q.period, Timer::QuotaRefill { job });
                 self.reschedule_exhaust(job);
             }
             None => {
@@ -491,7 +514,12 @@ impl Machine {
     ///
     /// Panics if `t` is in the past.
     pub fn advance_to(&mut self, t: SimTime) {
-        assert!(t >= self.now, "time went backwards: {:?} -> {:?}", self.now, t);
+        assert!(
+            t >= self.now,
+            "time went backwards: {:?} -> {:?}",
+            self.now,
+            t
+        );
         while let Some(at) = self.timers.peek_time() {
             if at > t {
                 break;
@@ -547,19 +575,19 @@ impl Machine {
 
     fn effective_affinity(&self, tid: ThreadId) -> CoreMask {
         let t = self.thread(tid).expect("live thread");
-        self.jobs[t.job.0 as usize].affinity.intersection(t.affinity)
+        self.jobs[t.job.0 as usize]
+            .affinity
+            .intersection(t.affinity)
     }
 
-    fn running_threads_of(&self, job: JobId) -> Vec<(CoreId, ThreadId)> {
+    fn count_running_threads_of(&self, job: JobId) -> u32 {
         self.cores
             .iter()
-            .enumerate()
-            .filter_map(|(i, c)| {
-                let tid = c.running?;
-                let t = self.thread(tid)?;
-                (t.job == job).then_some((CoreId(i as u16), tid))
+            .filter_map(|c| {
+                let t = self.thread(c.running?)?;
+                (t.job == job).then_some(())
             })
-            .collect()
+            .count() as u32
     }
 
     /// Removes the thread's body, bumps the slot generation, and emits the
@@ -575,7 +603,11 @@ impl Machine {
         slot.gen = slot.gen.wrapping_add(1);
         self.free_slots.push(tid.index);
         self.stats.exits += 1;
-        self.outputs.push(MachineOutput::ThreadExited { tid, tag: body.tag, killed });
+        self.outputs.push(MachineOutput::ThreadExited {
+            tid,
+            tag: body.tag,
+            killed,
+        });
     }
 
     // ------------------------------------------------------------------
@@ -588,7 +620,9 @@ impl Machine {
     /// transition (I/O completion or timer satisfaction).
     fn advance_program(&mut self, tid: ThreadId, extra_os_cost: SimDuration, boosted: bool) {
         for _guard in 0..MAX_ZERO_STEPS {
-            let Some(t) = self.thread_mut(tid) else { return };
+            let Some(t) = self.thread_mut(tid) else {
+                return;
+            };
             let mut program = t.program.take().expect("program present");
             let step = program.next_step(&mut self.rng);
             if let Some(t) = self.thread_mut(tid) {
@@ -610,7 +644,8 @@ impl Machine {
                     let t = self.thread_mut(tid).expect("live");
                     t.state = ThreadState::Blocked;
                     let tag = t.tag;
-                    self.outputs.push(MachineOutput::ThreadBlocked { tid, tag, token });
+                    self.outputs
+                        .push(MachineOutput::ThreadBlocked { tid, tag, token });
                     return;
                 }
                 Step::Sleep(d) => {
@@ -653,7 +688,10 @@ impl Machine {
 
     fn job_throttled(&self, tid: ThreadId) -> bool {
         let t = self.thread(tid).expect("live");
-        self.jobs[t.job.0 as usize].quota.as_ref().is_some_and(|q| q.throttled)
+        self.jobs[t.job.0 as usize]
+            .quota
+            .as_ref()
+            .is_some_and(|q| q.throttled)
     }
 
     // ------------------------------------------------------------------
@@ -692,7 +730,8 @@ impl Machine {
         c.slice_os_cost = os_cost;
         c.slice_gen += 1;
         let gen = c.slice_gen;
-        self.timers.push(self.now + os_cost + run, Timer::SliceEnd { core, gen });
+        self.timers
+            .push(self.now + os_cost + run, Timer::SliceEnd { core, gen });
     }
 
     /// Settles accounting for the current (possibly partial) slice on
@@ -800,7 +839,8 @@ impl Machine {
                     let t = self.thread_mut(tid).expect("live");
                     t.state = ThreadState::Blocked;
                     let tag = t.tag;
-                    self.outputs.push(MachineOutput::ThreadBlocked { tid, tag, token });
+                    self.outputs
+                        .push(MachineOutput::ThreadBlocked { tid, tag, token });
                     self.fill_core(core, self.cfg.ctx_switch_cost);
                     return;
                 }
@@ -840,7 +880,10 @@ impl Machine {
     /// First ready-queue thread eligible to run on `core`, skipping stale
     /// entries.
     fn first_eligible_ready(&self, core: CoreId) -> Option<ThreadId> {
-        self.ready.iter().copied().find(|&tid| self.is_dispatchable(tid, core))
+        self.ready
+            .iter()
+            .copied()
+            .find(|&tid| self.is_dispatchable(tid, core))
     }
 
     fn is_dispatchable(&self, tid: ThreadId, core: CoreId) -> bool {
@@ -905,7 +948,9 @@ impl Machine {
     fn quota_running_changed(&mut self, tid: ThreadId, delta: i32) {
         let job = self.thread(tid).expect("live").job;
         let now = self.now;
-        let Some(q) = self.jobs[job.0 as usize].quota.as_mut() else { return };
+        let Some(q) = self.jobs[job.0 as usize].quota.as_mut() else {
+            return;
+        };
         q.settle(now);
         q.running = (q.running as i64 + delta as i64).max(0) as u32;
         self.reschedule_exhaust(job);
@@ -913,11 +958,14 @@ impl Machine {
 
     fn reschedule_exhaust(&mut self, job: JobId) {
         let now = self.now;
-        let Some(q) = self.jobs[job.0 as usize].quota.as_mut() else { return };
+        let Some(q) = self.jobs[job.0 as usize].quota.as_mut() else {
+            return;
+        };
         q.exhaust_gen += 1;
         let gen = q.exhaust_gen;
         if let Some(at) = q.projected_exhaustion(now) {
-            self.timers.push(at.max(now), Timer::QuotaExhaust { job, gen });
+            self.timers
+                .push(at.max(now), Timer::QuotaExhaust { job, gen });
         }
     }
 
@@ -947,12 +995,18 @@ impl Machine {
             Decision::Reproject => self.reschedule_exhaust(job),
             Decision::Throttle => {
                 // Deschedule every running thread of the job.
-                let victims = self.running_threads_of(job);
-                for (core, _tid) in victims {
+                let mut victims = std::mem::take(&mut self.victims_scratch);
+                victims.clear();
+                victims.extend(self.cores.iter().enumerate().filter_map(|(i, c)| {
+                    let t = self.thread(c.running?)?;
+                    (t.job == job).then_some(CoreId(i as u16))
+                }));
+                for &core in &victims {
                     self.preempt_core(core);
                     self.stats.ipis += 1;
                     self.fill_core(core, self.cfg.ipi_cost);
                 }
+                self.victims_scratch = victims;
             }
         }
     }
@@ -961,7 +1015,9 @@ impl Machine {
         let now = self.now;
         let cores = self.cfg.cores;
         let period = {
-            let Some(q) = self.jobs[job.0 as usize].quota.as_mut() else { return };
+            let Some(q) = self.jobs[job.0 as usize].quota.as_mut() else {
+                return;
+            };
             q.settle(now);
             q.refill(cores, now);
             q.quota.period

@@ -29,7 +29,11 @@ pub enum Step {
 }
 
 /// A pull-based description of a thread's lifetime.
-pub trait ThreadProgram {
+///
+/// Programs must be [`Send`]: whole machines (and the boxes embedding
+/// them) migrate across worker threads when the cluster and fleet drivers
+/// fan simulation slices out in parallel.
+pub trait ThreadProgram: Send {
     /// Returns the next step. Called once at spawn and again after each step
     /// completes (compute finished, block woken, sleep expired).
     fn next_step(&mut self, rng: &mut SimRng) -> Step;
@@ -37,7 +41,7 @@ pub trait ThreadProgram {
 
 impl<F> ThreadProgram for F
 where
-    F: FnMut(&mut SimRng) -> Step,
+    F: FnMut(&mut SimRng) -> Step + Send,
 {
     fn next_step(&mut self, rng: &mut SimRng) -> Step {
         self(rng)
@@ -60,7 +64,10 @@ mod tests {
             }
         };
         let mut rng = SimRng::seed_from_u64(1);
-        assert_eq!(p.next_step(&mut rng), Step::Compute(SimDuration::from_micros(10)));
+        assert_eq!(
+            p.next_step(&mut rng),
+            Step::Compute(SimDuration::from_micros(10))
+        );
         assert_eq!(p.next_step(&mut rng), Step::Exit);
     }
 }

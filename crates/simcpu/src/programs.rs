@@ -14,7 +14,10 @@ pub struct ComputeOnce {
 impl ComputeOnce {
     /// Creates a one-shot compute program.
     pub fn new(duration: SimDuration) -> Self {
-        ComputeOnce { duration, done: false }
+        ComputeOnce {
+            duration,
+            done: false,
+        }
     }
 }
 
@@ -42,10 +45,7 @@ pub struct ComputeLoop {
 impl ComputeLoop {
     /// Creates an infinite compute loop with the given chunk size; each
     /// completed chunk increments `progress`.
-    pub fn new(
-        chunk: SimDuration,
-        progress: std::sync::Arc<std::sync::atomic::AtomicU64>,
-    ) -> Self {
+    pub fn new(chunk: SimDuration, progress: std::sync::Arc<std::sync::atomic::AtomicU64>) -> Self {
         ComputeLoop { chunk, progress }
     }
 }
@@ -54,7 +54,8 @@ impl ThreadProgram for ComputeLoop {
     fn next_step(&mut self, _rng: &mut SimRng) -> Step {
         // The first call starts the first chunk; every subsequent call means
         // the previous chunk finished.
-        self.progress.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.progress
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Step::Compute(self.chunk)
     }
 }

@@ -76,9 +76,8 @@ impl QuotaState {
     pub fn settle(&mut self, now: SimTime) {
         if self.running > 0 {
             let elapsed = now.since(self.last_settle);
-            let consumed = SimDuration::from_nanos(
-                elapsed.as_nanos().saturating_mul(self.running as u64),
-            );
+            let consumed =
+                SimDuration::from_nanos(elapsed.as_nanos().saturating_mul(self.running as u64));
             self.remaining = self.remaining.saturating_sub(consumed);
         }
         self.last_settle = now;
@@ -144,7 +143,10 @@ mod tests {
         let mut s = QuotaState::new(CpuRateQuota::percent(10.0), 10, SimTime::ZERO);
         // Budget 100ms core-time; 5 threads burn it in 20ms wall.
         s.running = 5;
-        assert_eq!(s.projected_exhaustion(SimTime::ZERO), Some(SimTime::from_millis(20)));
+        assert_eq!(
+            s.projected_exhaustion(SimTime::ZERO),
+            Some(SimTime::from_millis(20))
+        );
         s.running = 0;
         assert_eq!(s.projected_exhaustion(SimTime::ZERO), None);
     }
@@ -175,13 +177,19 @@ mod tests {
         let mut s = QuotaState::new(CpuRateQuota::percent(10.0), 10, SimTime::ZERO);
         s.remaining = SimDuration::from_nanos(3);
         s.running = 5;
-        assert!(s.effectively_exhausted(), "3ns over 5 threads is unusable budget");
+        assert!(
+            s.effectively_exhausted(),
+            "3ns over 5 threads is unusable budget"
+        );
         assert_eq!(s.projected_exhaustion(SimTime::ZERO), Some(SimTime::ZERO));
 
         // 7ns over 2 threads is usable; the projection must round up.
         s.remaining = SimDuration::from_nanos(7);
         s.running = 2;
         assert!(!s.effectively_exhausted());
-        assert_eq!(s.projected_exhaustion(SimTime::ZERO), Some(SimTime::from_nanos(4)));
+        assert_eq!(
+            s.projected_exhaustion(SimTime::ZERO),
+            Some(SimTime::from_nanos(4))
+        );
     }
 }

@@ -22,9 +22,12 @@ fn step_strategy() -> impl Strategy<Value = Step> {
 }
 
 fn plan_strategy() -> impl Strategy<Value = SpawnPlan> {
-    (0u64..50_000, 0usize..3, proptest::collection::vec(step_strategy(), 1..6)).prop_map(
-        |(at_us, job, steps)| SpawnPlan { at_us, job, steps },
+    (
+        0u64..50_000,
+        0usize..3,
+        proptest::collection::vec(step_strategy(), 1..6),
     )
+        .prop_map(|(at_us, job, steps)| SpawnPlan { at_us, job, steps })
 }
 
 proptest! {

@@ -8,7 +8,7 @@
 use simcore::{SimDuration, SimTime};
 use simcpu::programs::{ComputeLoop, ComputeOnce, Script};
 use simcpu::{CoreId, CoreMask, CpuRateQuota, Machine, MachineConfig, MachineOutput, Step};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use telemetry::TenantClass;
 
@@ -37,12 +37,20 @@ fn single_thread_computes_and_exits() {
     let mut m = Machine::new(zero_cost_config(2));
     let job = m.create_job(TenantClass::Primary, CoreMask::all(2));
     let tid = m.spawn_thread(SimTime::ZERO, job, Box::new(ComputeOnce::new(ms(5))), 1);
-    assert_eq!(m.idle_core_mask().count(), 1, "one core busy right after spawn");
+    assert_eq!(
+        m.idle_core_mask().count(),
+        1,
+        "one core busy right after spawn"
+    );
     m.advance_to(SimTime::from_millis(10));
     let out = m.drain_outputs();
     assert!(matches!(
         out.as_slice(),
-        [MachineOutput::ThreadExited { tag: 1, killed: false, .. }]
+        [MachineOutput::ThreadExited {
+            tag: 1,
+            killed: false,
+            ..
+        }]
     ));
     assert_eq!(m.idle_core_mask().count(), 2);
     assert_eq!(m.job_cpu_time(job), ms(5));
@@ -95,7 +103,12 @@ fn no_preemption_on_wake_same_priority() {
     m.spawn_thread(SimTime::ZERO, job, Box::new(ComputeOnce::new(ms(100))), 0);
     // At t=1ms a second thread arrives.
     let pjob = m.create_job(TenantClass::Primary, CoreMask::all(1));
-    m.spawn_thread(SimTime::from_millis(1), pjob, Box::new(ComputeOnce::new(ms(1))), 1);
+    m.spawn_thread(
+        SimTime::from_millis(1),
+        pjob,
+        Box::new(ComputeOnce::new(ms(1))),
+        1,
+    );
     // It cannot run before the bully's quantum expires at t=20ms.
     m.advance_to(SimTime::from_millis(19));
     assert!(m.drain_outputs().is_empty(), "primary must still be queued");
@@ -129,17 +142,33 @@ fn wake_boost_jumps_the_queue() {
         7,
     );
     m.advance_to(SimTime::from_millis(1));
-    assert!(matches!(m.drain_outputs().as_slice(), [MachineOutput::ThreadBlocked { .. }]));
+    assert!(matches!(
+        m.drain_outputs().as_slice(),
+        [MachineOutput::ThreadBlocked { .. }]
+    ));
     // The bully takes the core while the primary thread is blocked.
-    m.spawn_thread(SimTime::from_millis(1), sec, Box::new(ComputeOnce::new(ms(100))), 0);
+    m.spawn_thread(
+        SimTime::from_millis(1),
+        sec,
+        Box::new(ComputeOnce::new(ms(100))),
+        0,
+    );
     assert_eq!(m.idle_core_mask().count(), 0);
     // A fresh primary spawn queues at the back...
-    m.spawn_thread(SimTime::from_millis(2), pri, Box::new(ComputeOnce::new(ms(1))), 8);
+    m.spawn_thread(
+        SimTime::from_millis(2),
+        pri,
+        Box::new(ComputeOnce::new(ms(1))),
+        8,
+    );
     // ...then the blocked thread wakes and queues at the front.
     assert!(m.wake(SimTime::from_millis(3), tid));
     // No preemption: nothing primary runs before the quantum expires.
     m.advance_to(SimTime::from_millis(20));
-    assert!(m.drain_outputs().is_empty(), "boost must not preempt the running bully");
+    assert!(
+        m.drain_outputs().is_empty(),
+        "boost must not preempt the running bully"
+    );
     // Quantum expiry at t=21ms: the woken thread (front) runs before the
     // earlier spawn.
     m.advance_to(SimTime::from_millis(22));
@@ -151,7 +180,11 @@ fn wake_boost_jumps_the_queue() {
             _ => None,
         })
         .collect();
-    assert_eq!(first, vec![7], "woken thread finishes before the queued spawn");
+    assert_eq!(
+        first,
+        vec![7],
+        "woken thread finishes before the queued spawn"
+    );
 }
 
 #[test]
@@ -166,7 +199,12 @@ fn spawns_queue_fifo_behind_bully_until_quantum_expiry() {
     for i in 0..2 {
         m.spawn_thread(SimTime::ZERO, sec, Box::new(ComputeOnce::new(ms(500))), i);
     }
-    m.spawn_thread(SimTime::from_millis(5), pri, Box::new(ComputeOnce::new(ms(1))), 10);
+    m.spawn_thread(
+        SimTime::from_millis(5),
+        pri,
+        Box::new(ComputeOnce::new(ms(1))),
+        10,
+    );
     // Nothing until the first quantum expires at t=40ms.
     m.advance_to(SimTime::from_millis(39));
     assert!(m.drain_outputs().is_empty());
@@ -195,10 +233,19 @@ fn wake_boost_prefers_idle_core() {
     );
     m.advance_to(SimTime::from_millis(1));
     m.drain_outputs();
-    m.spawn_thread(SimTime::from_millis(1), sec, Box::new(ComputeOnce::new(ms(50))), 0);
+    m.spawn_thread(
+        SimTime::from_millis(1),
+        sec,
+        Box::new(ComputeOnce::new(ms(50))),
+        0,
+    );
     let ipis_before = m.stats().ipis;
     assert!(m.wake(SimTime::from_millis(2), tid));
-    assert_eq!(m.idle_core_mask().count(), 0, "woken thread took the idle core");
+    assert_eq!(
+        m.idle_core_mask().count(),
+        0,
+        "woken thread took the idle core"
+    );
     assert_eq!(m.stats().ipis, ipis_before, "no preemption needed");
     m.advance_to(SimTime::from_millis(5));
     assert!(m
@@ -310,14 +357,25 @@ fn block_and_wake_roundtrip() {
     let out = m.drain_outputs();
     assert!(matches!(
         out.as_slice(),
-        [MachineOutput::ThreadBlocked { token: 42, tag: 7, .. }]
+        [MachineOutput::ThreadBlocked {
+            token: 42,
+            tag: 7,
+            ..
+        }]
     ));
-    assert_eq!(m.idle_core_mask().count(), 1, "blocked thread releases the core");
+    assert_eq!(
+        m.idle_core_mask().count(),
+        1,
+        "blocked thread releases the core"
+    );
     // Wake at t=3ms; the thread computes 1ms more and exits at 4ms.
     assert!(m.wake(SimTime::from_millis(3), tid));
     m.advance_to(SimTime::from_millis(10));
     let out = m.drain_outputs();
-    assert!(matches!(out.as_slice(), [MachineOutput::ThreadExited { tag: 7, .. }]));
+    assert!(matches!(
+        out.as_slice(),
+        [MachineOutput::ThreadExited { tag: 7, .. }]
+    ));
     assert_eq!(m.job_cpu_time(job), ms(2));
 }
 
@@ -327,7 +385,10 @@ fn wake_on_stale_handle_is_noop() {
     let job = m.create_job(TenantClass::Primary, CoreMask::all(1));
     let tid = m.spawn_thread(SimTime::ZERO, job, Box::new(ComputeOnce::new(ms(1))), 0);
     m.advance_to(SimTime::from_millis(5));
-    assert!(!m.wake(SimTime::from_millis(5), tid), "thread already exited");
+    assert!(
+        !m.wake(SimTime::from_millis(5), tid),
+        "thread already exited"
+    );
     assert!(!m.kill_thread(SimTime::from_millis(5), tid));
 }
 
@@ -346,10 +407,16 @@ fn sleep_releases_core_and_resumes() {
         0,
     );
     m.advance_to(SimTime::from_millis(3));
-    assert_eq!(m.idle_core_mask().count(), 1, "sleeping thread leaves the core");
+    assert_eq!(
+        m.idle_core_mask().count(),
+        1,
+        "sleeping thread leaves the core"
+    );
     m.advance_to(SimTime::from_millis(10));
     let out = m.drain_outputs();
-    assert!(out.iter().any(|o| matches!(o, MachineOutput::ThreadExited { .. })));
+    assert!(out
+        .iter()
+        .any(|o| matches!(o, MachineOutput::ThreadExited { .. })));
     assert_eq!(m.job_cpu_time(job), ms(2));
 }
 
@@ -361,7 +428,10 @@ fn kill_running_thread_frees_core() {
     assert!(m.kill_thread(SimTime::from_millis(10), tid));
     assert_eq!(m.idle_core_mask().count(), 1);
     let out = m.drain_outputs();
-    assert!(matches!(out.as_slice(), [MachineOutput::ThreadExited { killed: true, .. }]));
+    assert!(matches!(
+        out.as_slice(),
+        [MachineOutput::ThreadExited { killed: true, .. }]
+    ));
     // Only the 10ms before the kill are charged.
     assert_eq!(m.job_cpu_time(job), ms(10));
 }
@@ -384,7 +454,11 @@ fn kill_queued_thread_never_runs() {
         .collect();
     assert!(exits.contains(&(1, true)));
     assert!(exits.contains(&(0, false)));
-    assert_eq!(m.job_cpu_time(job), ms(10), "killed thread consumed nothing");
+    assert_eq!(
+        m.job_cpu_time(job),
+        ms(10),
+        "killed thread consumed nothing"
+    );
 }
 
 #[test]
@@ -393,7 +467,12 @@ fn quota_throttles_whole_job_mid_period() {
     let mut m = Machine::new(zero_cost_config(1));
     let job = m.create_job(TenantClass::Secondary, CoreMask::all(1));
     let progress = Arc::new(AtomicU64::new(0));
-    m.spawn_thread(SimTime::ZERO, job, Box::new(ComputeLoop::new(ms(1), progress)), 0);
+    m.spawn_thread(
+        SimTime::ZERO,
+        job,
+        Box::new(ComputeLoop::new(ms(1), progress)),
+        0,
+    );
     m.set_job_quota(SimTime::ZERO, job, Some(CpuRateQuota::percent(10.0)));
     m.advance_to(SimTime::from_millis(99));
     // 10ms of the first period were usable.
@@ -412,7 +491,12 @@ fn quota_budget_scales_with_parallelism() {
     let job = m.create_job(TenantClass::Secondary, CoreMask::all(4));
     for i in 0..4 {
         let progress = Arc::new(AtomicU64::new(0));
-        m.spawn_thread(SimTime::ZERO, job, Box::new(ComputeLoop::new(ms(1), progress)), i);
+        m.spawn_thread(
+            SimTime::ZERO,
+            job,
+            Box::new(ComputeLoop::new(ms(1), progress)),
+            i,
+        );
     }
     m.set_job_quota(SimTime::ZERO, job, Some(CpuRateQuota::percent(50.0)));
     m.advance_to(SimTime::from_millis(60));
@@ -432,7 +516,12 @@ fn quota_with_indivisible_budget_makes_progress() {
     let job = m.create_job(TenantClass::Secondary, CoreMask::all(2));
     for i in 0..2 {
         let progress = Arc::new(AtomicU64::new(0));
-        m.spawn_thread(SimTime::ZERO, job, Box::new(ComputeLoop::new(ms(1), progress)), i);
+        m.spawn_thread(
+            SimTime::ZERO,
+            job,
+            Box::new(ComputeLoop::new(ms(1), progress)),
+            i,
+        );
     }
     // Budget per 100ms period: 100ms * (1/3) * 2 cores = 66,666,667 ns,
     // which is odd, so two parallel threads always strand a remainder.
@@ -456,14 +545,19 @@ fn quota_leaves_other_jobs_unaffected() {
     let sec = m.create_job(TenantClass::Secondary, CoreMask::all(2));
     let pri = m.create_job(TenantClass::Primary, CoreMask::all(2));
     let progress = Arc::new(AtomicU64::new(0));
-    m.spawn_thread(SimTime::ZERO, sec, Box::new(ComputeLoop::new(ms(1), progress)), 0);
+    m.spawn_thread(
+        SimTime::ZERO,
+        sec,
+        Box::new(ComputeLoop::new(ms(1), progress)),
+        0,
+    );
     m.set_job_quota(SimTime::ZERO, sec, Some(CpuRateQuota::percent(5.0)));
     m.spawn_thread(SimTime::ZERO, pri, Box::new(ComputeOnce::new(ms(80))), 1);
     m.advance_to(SimTime::from_millis(100));
-    assert!(m.drain_outputs().iter().any(|o| matches!(
-        o,
-        MachineOutput::ThreadExited { tag: 1, .. }
-    )));
+    assert!(m
+        .drain_outputs()
+        .iter()
+        .any(|o| matches!(o, MachineOutput::ThreadExited { tag: 1, .. })));
     assert_eq!(m.job_cpu_time(pri), ms(80));
     // Secondary got 5% * 2 cores * 100ms = 10ms.
     assert_eq!(m.job_cpu_time(sec), ms(10));

@@ -37,9 +37,17 @@ impl TokenBucket {
     ///
     /// Panics unless `rate_per_sec > 0` and `burst > 0`.
     pub fn new(rate_per_sec: f64, burst: f64, now: SimTime) -> Self {
-        assert!(rate_per_sec > 0.0 && rate_per_sec.is_finite(), "bad rate {rate_per_sec}");
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "bad rate {rate_per_sec}"
+        );
         assert!(burst > 0.0 && burst.is_finite(), "bad burst {burst}");
-        TokenBucket { rate_per_sec, burst, tokens: burst, last: now }
+        TokenBucket {
+            rate_per_sec,
+            burst,
+            tokens: burst,
+            last: now,
+        }
     }
 
     fn refill(&mut self, now: SimTime) {

@@ -87,14 +87,23 @@ impl DeviceSpec {
         rng: &mut SimRng,
     ) -> SimDuration {
         let base = match self.kind {
-            DeviceKind::Ssd { read_latency, write_latency, bandwidth, .. } => {
+            DeviceKind::Ssd {
+                read_latency,
+                write_latency,
+                bandwidth,
+                ..
+            } => {
                 let lat = match kind {
                     IoKind::Read => read_latency,
                     IoKind::Write => write_latency,
                 };
                 lat + transfer_time(bytes, bandwidth)
             }
-            DeviceKind::Hdd { seek, rotational, bandwidth } => {
+            DeviceKind::Hdd {
+                seek,
+                rotational,
+                bandwidth,
+            } => {
                 let positioning = match access {
                     AccessPattern::Random => seek + rotational,
                     // Sequential I/O still pays a small per-op overhead.
@@ -152,7 +161,8 @@ mod tests {
         let mut small_total = SimDuration::ZERO;
         let mut big_total = SimDuration::ZERO;
         for _ in 0..64 {
-            small_total += spec.service_time(IoKind::Read, AccessPattern::Random, 4 << 10, &mut rng);
+            small_total +=
+                spec.service_time(IoKind::Read, AccessPattern::Random, 4 << 10, &mut rng);
             big_total += spec.service_time(IoKind::Read, AccessPattern::Random, 4 << 20, &mut rng);
         }
         assert!(big_total > small_total);

@@ -23,12 +23,18 @@ pub struct RateLimit {
 impl RateLimit {
     /// A bandwidth-only limit.
     pub fn bandwidth(bytes_per_sec: u64) -> Self {
-        RateLimit { bytes_per_sec: Some(bytes_per_sec), iops: None }
+        RateLimit {
+            bytes_per_sec: Some(bytes_per_sec),
+            iops: None,
+        }
     }
 
     /// An IOPS-only limit.
     pub fn iops(iops: u64) -> Self {
-        RateLimit { bytes_per_sec: None, iops: Some(iops) }
+        RateLimit {
+            bytes_per_sec: None,
+            iops: Some(iops),
+        }
     }
 }
 
@@ -44,12 +50,18 @@ pub struct VolumeSpec {
 impl VolumeSpec {
     /// The paper's primary volume: 4 × 500 GB SSD striped.
     pub fn paper_ssd_volume() -> Self {
-        VolumeSpec { name: "ssd-index".into(), devices: vec![DeviceSpec::datacenter_ssd(); 4] }
+        VolumeSpec {
+            name: "ssd-index".into(),
+            devices: vec![DeviceSpec::datacenter_ssd(); 4],
+        }
     }
 
     /// The paper's shared batch volume: 4 × 2 TB HDD striped.
     pub fn paper_hdd_volume() -> Self {
-        VolumeSpec { name: "hdd-batch".into(), devices: vec![DeviceSpec::datacenter_hdd(); 4] }
+        VolumeSpec {
+            name: "hdd-batch".into(),
+            devices: vec![DeviceSpec::datacenter_hdd(); 4],
+        }
     }
 }
 
@@ -93,8 +105,17 @@ struct Volume {
 
 #[derive(Debug)]
 enum DiskTimer {
-    ServiceDone { volume: VolumeId, device: usize, owner: OwnerId, token: u64, bytes: u64, submitted: SimTime },
-    Recheck { volume: VolumeId },
+    ServiceDone {
+        volume: VolumeId,
+        device: usize,
+        owner: OwnerId,
+        token: u64,
+        bytes: u64,
+        submitted: SimTime,
+    },
+    Recheck {
+        volume: VolumeId,
+    },
 }
 
 /// The disk subsystem of one machine.
@@ -153,7 +174,11 @@ impl DiskSim {
         assert!(!spec.devices.is_empty(), "volume needs at least one device");
         let id = VolumeId(self.volumes.len() as u32);
         self.volumes.push(Volume {
-            devices: spec.devices.iter().map(|&s| DeviceState { spec: s, busy: 0 }).collect(),
+            devices: spec
+                .devices
+                .iter()
+                .map(|&s| DeviceState { spec: s, busy: 0 })
+                .collect(),
             queue: VecDeque::new(),
             next_rr: 0,
             window_ops: WindowCounter::new(STAT_BUCKET, STAT_BUCKETS),
@@ -214,6 +239,7 @@ impl DiskSim {
     }
 
     /// Submits a request; the completion will echo `token`.
+    #[allow(clippy::too_many_arguments)]
     pub fn submit(
         &mut self,
         now: SimTime,
@@ -267,8 +293,22 @@ impl DiskSim {
     }
 
     /// Takes all pending completions.
+    ///
+    /// Allocation-free callers should prefer
+    /// [`DiskSim::drain_completions_into`].
     pub fn drain_completions(&mut self) -> Vec<IoCompletion> {
         std::mem::take(&mut self.completions)
+    }
+
+    /// Moves all pending completions into `buf` (appending), keeping the
+    /// internal buffer's capacity for reuse on the hot path.
+    pub fn drain_completions_into(&mut self, buf: &mut Vec<IoCompletion>) {
+        buf.append(&mut self.completions);
+    }
+
+    /// True when completions are pending.
+    pub fn has_completions(&self) -> bool {
+        !self.completions.is_empty()
     }
 
     /// Advances virtual time, processing due timers.
@@ -277,7 +317,12 @@ impl DiskSim {
     ///
     /// Panics if `t` is in the past.
     pub fn advance_to(&mut self, t: SimTime) {
-        assert!(t >= self.now, "time went backwards: {:?} -> {:?}", self.now, t);
+        assert!(
+            t >= self.now,
+            "time went backwards: {:?} -> {:?}",
+            self.now,
+            t
+        );
         while let Some(at) = self.timers.peek_time() {
             if at > t {
                 break;
@@ -285,7 +330,14 @@ impl DiskSim {
             let (at, timer) = self.timers.pop().expect("peeked");
             self.now = at;
             match timer {
-                DiskTimer::ServiceDone { volume, device, owner, token, bytes, submitted } => {
+                DiskTimer::ServiceDone {
+                    volume,
+                    device,
+                    owner,
+                    token,
+                    bytes,
+                    submitted,
+                } => {
                     self.on_service_done(volume, device, owner, token, bytes, submitted);
                 }
                 DiskTimer::Recheck { volume } => {
@@ -352,8 +404,7 @@ impl DiskSim {
                 }
             } else {
                 let ready = now + wait;
-                earliest_ready =
-                    Some(earliest_ready.map_or(ready, |e: SimTime| e.min(ready)));
+                earliest_ready = Some(earliest_ready.map_or(ready, |e: SimTime| e.min(ready)));
             }
         }
         self.volumes[volume.0 as usize].queue = queue;
@@ -452,7 +503,15 @@ mod tests {
         let mut d = DiskSim::new(1);
         let vol = d.add_volume(VolumeSpec::paper_ssd_volume());
         let o = d.register_owner(IoPriority::HIGH);
-        d.submit(SimTime::ZERO, vol, o, IoKind::Read, 32 << 10, AccessPattern::Random, 5);
+        d.submit(
+            SimTime::ZERO,
+            vol,
+            o,
+            IoKind::Read,
+            32 << 10,
+            AccessPattern::Random,
+            5,
+        );
         let done = drain_all(&mut d);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].token, 5);
@@ -472,8 +531,24 @@ mod tests {
         let v4 = four.add_volume(VolumeSpec::paper_hdd_volume());
         let o4 = four.register_owner(IoPriority::LOW);
         for i in 0..8 {
-            one.submit(SimTime::ZERO, v1, o1, IoKind::Read, 8 << 10, AccessPattern::Random, i);
-            four.submit(SimTime::ZERO, v4, o4, IoKind::Read, 8 << 10, AccessPattern::Random, i);
+            one.submit(
+                SimTime::ZERO,
+                v1,
+                o1,
+                IoKind::Read,
+                8 << 10,
+                AccessPattern::Random,
+                i,
+            );
+            four.submit(
+                SimTime::ZERO,
+                v4,
+                o4,
+                IoKind::Read,
+                8 << 10,
+                AccessPattern::Random,
+                i,
+            );
         }
         let d1 = drain_all(&mut one);
         let d4 = drain_all(&mut four);
@@ -495,11 +570,35 @@ mod tests {
         let low = d.register_owner(IoPriority::LOW);
         let high = d.register_owner(IoPriority::HIGH);
         // Fill the single channel, then queue low- and high-priority requests.
-        d.submit(SimTime::ZERO, vol, low, IoKind::Read, 8 << 10, AccessPattern::Random, 0);
+        d.submit(
+            SimTime::ZERO,
+            vol,
+            low,
+            IoKind::Read,
+            8 << 10,
+            AccessPattern::Random,
+            0,
+        );
         for i in 1..=3 {
-            d.submit(SimTime::ZERO, vol, low, IoKind::Read, 8 << 10, AccessPattern::Random, i);
+            d.submit(
+                SimTime::ZERO,
+                vol,
+                low,
+                IoKind::Read,
+                8 << 10,
+                AccessPattern::Random,
+                i,
+            );
         }
-        d.submit(SimTime::ZERO, vol, high, IoKind::Read, 8 << 10, AccessPattern::Random, 100);
+        d.submit(
+            SimTime::ZERO,
+            vol,
+            high,
+            IoKind::Read,
+            8 << 10,
+            AccessPattern::Random,
+            100,
+        );
         let done = drain_all(&mut d);
         let order: Vec<u64> = done.iter().map(|c| c.token).collect();
         // The high-priority request jumps the queue (after the in-service one).
@@ -514,7 +613,15 @@ mod tests {
         // 10 MB/s cap; submit 100 x 1 MB sequential writes = 100 MB.
         d.set_owner_limit(SimTime::ZERO, o, Some(RateLimit::bandwidth(10 << 20)));
         for i in 0..100 {
-            d.submit(SimTime::ZERO, vol, o, IoKind::Write, 1 << 20, AccessPattern::Sequential, i);
+            d.submit(
+                SimTime::ZERO,
+                vol,
+                o,
+                IoKind::Write,
+                1 << 20,
+                AccessPattern::Sequential,
+                i,
+            );
         }
         let done = drain_all(&mut d);
         assert_eq!(done.len(), 100);
@@ -531,7 +638,15 @@ mod tests {
         let o = d.register_owner(IoPriority::LOW);
         d.set_owner_limit(SimTime::ZERO, o, Some(RateLimit::iops(20)));
         for i in 0..40 {
-            d.submit(SimTime::ZERO, vol, o, IoKind::Read, 8 << 10, AccessPattern::Random, i);
+            d.submit(
+                SimTime::ZERO,
+                vol,
+                o,
+                IoKind::Read,
+                8 << 10,
+                AccessPattern::Random,
+                i,
+            );
         }
         let done = drain_all(&mut d);
         let finish = done.iter().map(|c| c.at).max().unwrap();
@@ -545,7 +660,15 @@ mod tests {
         let vol = d.add_volume(VolumeSpec::paper_ssd_volume());
         let o = d.register_owner(IoPriority::HIGH);
         for i in 0..32 {
-            d.submit(SimTime::ZERO, vol, o, IoKind::Read, 8 << 10, AccessPattern::Random, i);
+            d.submit(
+                SimTime::ZERO,
+                vol,
+                o,
+                IoKind::Read,
+                8 << 10,
+                AccessPattern::Random,
+                i,
+            );
         }
         let done = drain_all(&mut d);
         let finish = done.iter().map(|c| c.at).max().unwrap();
@@ -587,7 +710,15 @@ mod tests {
         d.set_owner_limit(SimTime::ZERO, o, Some(RateLimit::iops(1)));
         d.set_owner_limit(SimTime::ZERO, o, None);
         for i in 0..16 {
-            d.submit(SimTime::ZERO, vol, o, IoKind::Read, 8 << 10, AccessPattern::Random, i);
+            d.submit(
+                SimTime::ZERO,
+                vol,
+                o,
+                IoKind::Read,
+                8 << 10,
+                AccessPattern::Random,
+                i,
+            );
         }
         let done = drain_all(&mut d);
         let finish = done.iter().map(|c| c.at).max().unwrap();
@@ -603,7 +734,15 @@ mod tests {
         });
         let o = d.register_owner(IoPriority::LOW);
         for i in 0..5 {
-            d.submit(SimTime::ZERO, vol, o, IoKind::Read, 8 << 10, AccessPattern::Random, i);
+            d.submit(
+                SimTime::ZERO,
+                vol,
+                o,
+                IoKind::Read,
+                8 << 10,
+                AccessPattern::Random,
+                i,
+            );
         }
         // One in service, four queued.
         assert_eq!(d.queue_depth(vol), 4);

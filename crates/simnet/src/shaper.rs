@@ -141,8 +141,7 @@ impl EgressShaper {
                     // Strictly in the future: a zero-length wait (float
                     // rounding) would make the caller re-poll at `now`
                     // forever.
-                    let wait =
-                        SimDuration::from_secs_f64(wait).max(SimDuration::from_nanos(1));
+                    let wait = SimDuration::from_secs_f64(wait).max(SimDuration::from_nanos(1));
                     StartDecision::TokensAt(now + wait)
                 }
             }
@@ -172,8 +171,18 @@ mod tests {
     #[test]
     fn high_preempts_low_in_queue() {
         let mut s = EgressShaper::new(GBE10);
-        s.enqueue(EgressMsg { bytes: 1000, class: TrafficClass::Low, token: 1, dest: 0 });
-        s.enqueue(EgressMsg { bytes: 1000, class: TrafficClass::High, token: 2, dest: 0 });
+        s.enqueue(EgressMsg {
+            bytes: 1000,
+            class: TrafficClass::Low,
+            token: 1,
+            dest: 0,
+        });
+        s.enqueue(EgressMsg {
+            bytes: 1000,
+            class: TrafficClass::High,
+            token: 2,
+            dest: 0,
+        });
         match s.try_start(SimTime::ZERO) {
             StartDecision::Start(m) => assert_eq!(m.token, 2),
             other => panic!("unexpected {other:?}"),
@@ -184,13 +193,23 @@ mod tests {
     fn low_waits_for_tokens() {
         let mut s = EgressShaper::new(GBE10);
         s.set_low_rate(SimTime::ZERO, Some(1_000_000)); // 1 MB/s
-        // Drain the initial burst allowance (50 KB).
-        s.enqueue(EgressMsg { bytes: 50_000, class: TrafficClass::Low, token: 1, dest: 0 });
+                                                        // Drain the initial burst allowance (50 KB).
+        s.enqueue(EgressMsg {
+            bytes: 50_000,
+            class: TrafficClass::Low,
+            token: 1,
+            dest: 0,
+        });
         match s.try_start(SimTime::ZERO) {
             StartDecision::Start(m) => assert_eq!(m.token, 1),
             other => panic!("unexpected {other:?}"),
         }
-        s.enqueue(EgressMsg { bytes: 50_000, class: TrafficClass::Low, token: 2, dest: 0 });
+        s.enqueue(EgressMsg {
+            bytes: 50_000,
+            class: TrafficClass::Low,
+            token: 2,
+            dest: 0,
+        });
         match s.try_start(SimTime::ZERO) {
             StartDecision::TokensAt(at) => {
                 let ms = at.as_millis();
@@ -204,8 +223,16 @@ mod tests {
     fn high_is_never_rate_capped() {
         let mut s = EgressShaper::new(GBE10);
         s.set_low_rate(SimTime::ZERO, Some(1));
-        s.enqueue(EgressMsg { bytes: 1 << 20, class: TrafficClass::High, token: 9, dest: 0 });
-        assert!(matches!(s.try_start(SimTime::ZERO), StartDecision::Start(_)));
+        s.enqueue(EgressMsg {
+            bytes: 1 << 20,
+            class: TrafficClass::High,
+            token: 9,
+            dest: 0,
+        });
+        assert!(matches!(
+            s.try_start(SimTime::ZERO),
+            StartDecision::Start(_)
+        ));
     }
 
     #[test]
@@ -219,7 +246,12 @@ mod tests {
     fn busy_nic_reports_when_free() {
         let mut s = EgressShaper::new(GBE10);
         s.busy_until = SimTime::from_micros(100);
-        s.enqueue(EgressMsg { bytes: 10, class: TrafficClass::High, token: 1, dest: 0 });
+        s.enqueue(EgressMsg {
+            bytes: 10,
+            class: TrafficClass::High,
+            token: 1,
+            dest: 0,
+        });
         assert!(matches!(
             s.try_start(SimTime::ZERO),
             StartDecision::BusyUntil(t) if t == SimTime::from_micros(100)

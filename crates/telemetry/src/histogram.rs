@@ -78,7 +78,12 @@ fn bucket_midpoint(idx: usize) -> u64 {
 impl LogHistogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        LogHistogram { counts: vec![0; NUM_BUCKETS], total: 0, max_ns: 0, min_ns: u64::MAX }
+        LogHistogram {
+            counts: vec![0; NUM_BUCKETS],
+            total: 0,
+            max_ns: 0,
+            min_ns: u64::MAX,
+        }
     }
 
     /// Records one duration.
@@ -136,7 +141,11 @@ impl LogHistogram {
         }
     }
 
-    /// Merges `other` into `self`.
+    /// Merges `other` into `self`: bucket counts and totals sum, and
+    /// `min`/`max` reconcile to the extremes of both sides. Merging
+    /// per-worker histograms is exactly equivalent to having recorded all
+    /// samples into one histogram (see the merge property tests), which is
+    /// what lets parallel reducers combine results order-independently.
     pub fn merge(&mut self, other: &LogHistogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
             *a += b;
@@ -176,7 +185,7 @@ mod tests {
             h.record(SimDuration::from_micros(i));
         }
         for q in [0.5, 0.9, 0.95, 0.99, 0.999] {
-            let exact = (q * 100_000.0) as f64 * 1_000.0;
+            let exact = (q * 100_000.0) * 1_000.0;
             let est = h.percentile(q).as_nanos() as f64;
             let err = (est - exact).abs() / exact;
             assert!(err < 0.02, "q={q} exact={exact} est={est} err={err}");
@@ -226,6 +235,57 @@ mod tests {
             let idx = bucket_index(v);
             let mid = bucket_midpoint(idx);
             prop_assert_eq!(bucket_index(mid.max(1)), idx);
+        }
+
+        /// Merging split halves is indistinguishable from recording every
+        /// sample into one histogram: identical buckets, totals, min/max,
+        /// and therefore identical percentiles. This is the property the
+        /// parallel fleet reducer relies on.
+        #[test]
+        fn prop_merge_equals_single_recording(
+            vals in proptest::collection::vec(1u64..100_000_000_000u64, 1..400),
+            split in 0usize..400,
+        ) {
+            let split = split.min(vals.len());
+            let mut whole = LogHistogram::new();
+            let mut left = LogHistogram::new();
+            let mut right = LogHistogram::new();
+            for (i, &v) in vals.iter().enumerate() {
+                whole.record(SimDuration::from_nanos(v));
+                if i < split {
+                    left.record(SimDuration::from_nanos(v));
+                } else {
+                    right.record(SimDuration::from_nanos(v));
+                }
+            }
+            left.merge(&right);
+            prop_assert_eq!(left.count(), whole.count());
+            prop_assert_eq!(left.min(), whole.min());
+            prop_assert_eq!(left.max(), whole.max());
+            prop_assert_eq!(left.counts, whole.counts);
+            for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+                prop_assert_eq!(left.percentile(q), whole.percentile(q));
+            }
+        }
+
+        /// Merge is order-independent: A∪B == B∪A.
+        #[test]
+        fn prop_merge_commutes(
+            a_vals in proptest::collection::vec(1u64..10_000_000_000u64, 0..200),
+            b_vals in proptest::collection::vec(1u64..10_000_000_000u64, 0..200),
+        ) {
+            let mut a = LogHistogram::new();
+            let mut b = LogHistogram::new();
+            for &v in &a_vals { a.record(SimDuration::from_nanos(v)); }
+            for &v in &b_vals { b.record(SimDuration::from_nanos(v)); }
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            prop_assert_eq!(ab.counts, ba.counts);
+            prop_assert_eq!(ab.count(), ba.count());
+            prop_assert_eq!(ab.min(), ba.min());
+            prop_assert_eq!(ab.max(), ba.max());
         }
 
         /// Quantile relative error stays within 2% for wide-ranging data.

@@ -35,7 +35,11 @@ pub struct LatencyRecorder {
 impl LatencyRecorder {
     /// Creates an empty recorder.
     pub fn new() -> Self {
-        LatencyRecorder { samples_ns: Vec::new(), dropped: 0, sorted: true }
+        LatencyRecorder {
+            samples_ns: Vec::new(),
+            dropped: 0,
+            sorted: true,
+        }
     }
 
     /// Records a completed-query latency.

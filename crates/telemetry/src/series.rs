@@ -55,7 +55,10 @@ impl TimeSeries {
     /// Panics if `width` is zero.
     pub fn new(width: SimDuration) -> Self {
         assert!(!width.is_zero(), "bucket width must be positive");
-        TimeSeries { width, buckets: Vec::new() }
+        TimeSeries {
+            width,
+            buckets: Vec::new(),
+        }
     }
 
     /// Bucket width.
@@ -72,7 +75,11 @@ impl TimeSeries {
         let b = &mut self.buckets[idx];
         b.count += 1;
         b.sum += value;
-        b.max = if b.count == 1 { value } else { b.max.max(value) };
+        b.max = if b.count == 1 {
+            value
+        } else {
+            b.max.max(value)
+        };
     }
 
     /// Number of buckets (up to the latest recorded sample).
@@ -101,12 +108,44 @@ impl TimeSeries {
 
     /// Mean of all bucket means that contain data.
     pub fn overall_mean(&self) -> f64 {
-        let non_empty: Vec<f64> =
-            self.buckets.iter().filter(|b| b.count > 0).map(|b| b.mean()).collect();
-        if non_empty.is_empty() {
+        let (sum, n) = self
+            .buckets
+            .iter()
+            .filter(|b| b.count > 0)
+            .fold((0.0, 0u64), |(s, n), b| (s + b.mean(), n + 1));
+        if n == 0 {
             0.0
         } else {
-            non_empty.iter().sum::<f64>() / non_empty.len() as f64
+            sum / n as f64
+        }
+    }
+
+    /// Merges `other` into `self` bucket-by-bucket, summing counts and
+    /// sums and keeping the larger maximum. Used by parallel reducers that
+    /// record partial series per worker and combine them afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket widths differ.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert_eq!(
+            self.width, other.width,
+            "cannot merge series with different bucket widths"
+        );
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), Bucket::default());
+        }
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            if b.count == 0 {
+                continue;
+            }
+            a.max = if a.count == 0 {
+                b.max
+            } else {
+                a.max.max(b.max)
+            };
+            a.count += b.count;
+            a.sum += b.sum;
         }
     }
 }
@@ -151,6 +190,55 @@ mod tests {
         s.record(SimTime::from_secs(0), 10.0);
         s.record(SimTime::from_secs(5), 20.0);
         assert_eq!(s.overall_mean(), 15.0);
+    }
+
+    #[test]
+    fn merge_combines_buckets() {
+        let mut a = TimeSeries::new(SimDuration::from_secs(1));
+        let mut b = TimeSeries::new(SimDuration::from_secs(1));
+        a.record(SimTime::from_millis(100), 10.0);
+        b.record(SimTime::from_millis(200), 30.0);
+        b.record(SimTime::from_secs(3), 7.0);
+        a.merge(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.bucket(0).unwrap().count, 2);
+        assert_eq!(a.bucket(0).unwrap().mean(), 20.0);
+        assert_eq!(a.bucket(0).unwrap().max, 30.0);
+        assert_eq!(a.bucket(3).unwrap().mean(), 7.0);
+    }
+
+    #[test]
+    fn merge_matches_direct_recording() {
+        let samples: Vec<(u64, f64)> = (0..200)
+            .map(|i| (i * 137 % 5_000, (i as f64) * 0.75 - 30.0))
+            .collect();
+        let mut whole = TimeSeries::new(SimDuration::from_millis(500));
+        let mut left = TimeSeries::new(SimDuration::from_millis(500));
+        let mut right = TimeSeries::new(SimDuration::from_millis(500));
+        for (i, &(t, v)) in samples.iter().enumerate() {
+            whole.record(SimTime::from_millis(t), v);
+            if i % 2 == 0 {
+                left.record(SimTime::from_millis(t), v);
+            } else {
+                right.record(SimTime::from_millis(t), v);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.len(), whole.len());
+        for i in 0..whole.len() {
+            let (a, b) = (left.bucket(i).unwrap(), whole.bucket(i).unwrap());
+            assert_eq!(a.count, b.count, "bucket {i} count");
+            assert!((a.sum - b.sum).abs() < 1e-9, "bucket {i} sum");
+            assert_eq!(a.max.to_bits(), b.max.to_bits(), "bucket {i} max");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket widths")]
+    fn merge_rejects_mismatched_widths() {
+        let mut a = TimeSeries::new(SimDuration::from_secs(1));
+        let b = TimeSeries::new(SimDuration::from_secs(2));
+        a.merge(&b);
     }
 
     #[test]

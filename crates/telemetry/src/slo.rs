@@ -23,7 +23,10 @@ pub struct RelativeSlo {
 impl RelativeSlo {
     /// Creates the paper's SLO: baseline p99 + 1 ms.
     pub fn paper_default(baseline_p99: SimDuration) -> Self {
-        RelativeSlo { baseline_p99, margin: DEFAULT_MARGIN }
+        RelativeSlo {
+            baseline_p99,
+            margin: DEFAULT_MARGIN,
+        }
     }
 
     /// The absolute latency bound.
@@ -34,7 +37,11 @@ impl RelativeSlo {
     /// Checks a measured p99 against the SLO.
     pub fn check(&self, measured_p99: SimDuration) -> SloVerdict {
         let degradation = measured_p99.saturating_sub(self.baseline_p99);
-        SloVerdict { measured_p99, degradation, met: measured_p99 <= self.bound() }
+        SloVerdict {
+            measured_p99,
+            degradation,
+            met: measured_p99 <= self.bound(),
+        }
     }
 }
 

@@ -31,13 +31,19 @@ impl Table {
     /// Panics if `headers` is empty.
     pub fn new(headers: &[&str]) -> Self {
         assert!(!headers.is_empty(), "a table needs at least one column");
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row; missing cells render empty, extra cells are dropped.
     pub fn row(&mut self, cells: &[&str]) {
-        let mut row: Vec<String> =
-            cells.iter().take(self.headers.len()).map(|s| s.to_string()).collect();
+        let mut row: Vec<String> = cells
+            .iter()
+            .take(self.headers.len())
+            .map(|s| s.to_string())
+            .collect();
         row.resize(self.headers.len(), String::new());
         self.rows.push(row);
     }

@@ -61,7 +61,10 @@ pub const BULLY_PROGRESS_CHUNK: SimDuration = SimDuration::from_millis(250);
 impl CpuBully {
     /// A bully with the given intensity on a `cores`-core machine.
     pub fn new(intensity: BullyIntensity, cores: u32) -> Self {
-        CpuBully { threads: intensity.threads(cores), chunk: BULLY_PROGRESS_CHUNK }
+        CpuBully {
+            threads: intensity.threads(cores),
+            chunk: BULLY_PROGRESS_CHUNK,
+        }
     }
 
     /// Spawns the bully's threads into `job` on `machine`.
@@ -79,7 +82,11 @@ impl CpuBully {
             );
             tids.push(tid);
         }
-        CpuBullyHandle { progress, tids, chunk: self.chunk }
+        CpuBullyHandle {
+            progress,
+            tids,
+            chunk: self.chunk,
+        }
     }
 }
 
@@ -131,8 +138,10 @@ mod tests {
     fn bully_saturates_unrestricted_machine() {
         let mut m = Machine::new(MachineConfig::small(4));
         let job = m.create_job(TenantClass::Secondary, CoreMask::all(4));
-        let bully =
-            CpuBully { threads: 4, chunk: SimDuration::from_millis(1) };
+        let bully = CpuBully {
+            threads: 4,
+            chunk: SimDuration::from_millis(1),
+        };
         let h = bully.spawn(&mut m, job, SimTime::ZERO);
         m.advance_to(SimTime::from_millis(100));
         assert_eq!(m.idle_core_mask().count(), 0);
@@ -147,8 +156,11 @@ mod tests {
     fn restricted_bully_makes_less_progress() {
         let mut m = Machine::new(MachineConfig::small(4));
         let job = m.create_job(TenantClass::Secondary, CoreMask::range(0, 1));
-        let h = CpuBully { threads: 4, chunk: SimDuration::from_millis(1) }
-            .spawn(&mut m, job, SimTime::ZERO);
+        let h = CpuBully {
+            threads: 4,
+            chunk: SimDuration::from_millis(1),
+        }
+        .spawn(&mut m, job, SimTime::ZERO);
         m.advance_to(SimTime::from_millis(100));
         let p = h.progress_chunks();
         assert!((95..=100).contains(&p), "1 core => ~100 chunks, got {p}");
@@ -158,8 +170,11 @@ mod tests {
     fn killed_bully_stops() {
         let mut m = Machine::new(MachineConfig::small(2));
         let job = m.create_job(TenantClass::Secondary, CoreMask::all(2));
-        let h = CpuBully { threads: 2, chunk: SimDuration::from_millis(1) }
-            .spawn(&mut m, job, SimTime::ZERO);
+        let h = CpuBully {
+            threads: 2,
+            chunk: SimDuration::from_millis(1),
+        }
+        .spawn(&mut m, job, SimTime::ZERO);
         m.advance_to(SimTime::from_millis(10));
         for &tid in &h.tids {
             m.kill_thread(SimTime::from_millis(10), tid);

@@ -40,20 +40,36 @@ pub struct DiskBully {
 
 impl Default for DiskBully {
     fn default() -> Self {
-        DiskBully { read_fraction: 0.33, chunk_bytes: 256 << 10, depth: 4 }
+        DiskBully {
+            read_fraction: 0.33,
+            chunk_bytes: 256 << 10,
+            depth: 4,
+        }
     }
 }
 
 impl DiskBully {
     /// Samples the next operation (33/67 read/write split, sequential).
     pub fn sample_op(&self, rng: &mut SimRng) -> DiskOp {
-        let kind = if rng.bernoulli(self.read_fraction) { IoKind::Read } else { IoKind::Write };
-        DiskOp { kind, bytes: self.chunk_bytes, access: AccessPattern::Sequential }
+        let kind = if rng.bernoulli(self.read_fraction) {
+            IoKind::Read
+        } else {
+            IoKind::Write
+        };
+        DiskOp {
+            kind,
+            bytes: self.chunk_bytes,
+            access: AccessPattern::Sequential,
+        }
     }
 
     /// Builds the worker-thread program for worker `idx`.
     pub fn worker_program(&self, idx: u32) -> DiskBullyWorker {
-        DiskBullyWorker { token_base: (idx as u64) << 32, count: 0, compute_next: true }
+        DiskBullyWorker {
+            token_base: (idx as u64) << 32,
+            count: 0,
+            compute_next: true,
+        }
     }
 }
 
@@ -76,7 +92,9 @@ impl ThreadProgram for DiskBullyWorker {
         } else {
             self.compute_next = true;
             self.count += 1;
-            Step::Block { token: self.token_base + self.count }
+            Step::Block {
+                token: self.token_base + self.count,
+            }
         }
     }
 }
@@ -90,7 +108,9 @@ mod tests {
         let b = DiskBully::default();
         let mut rng = SimRng::seed_from_u64(5);
         let n = 100_000;
-        let reads = (0..n).filter(|_| b.sample_op(&mut rng).kind == IoKind::Read).count();
+        let reads = (0..n)
+            .filter(|_| b.sample_op(&mut rng).kind == IoKind::Read)
+            .count();
         let frac = reads as f64 / n as f64;
         assert!((frac - 0.33).abs() < 0.01, "read fraction {frac}");
     }

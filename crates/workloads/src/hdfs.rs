@@ -84,7 +84,11 @@ impl HdfsNode {
         };
         (
             now + SimDuration::from_secs_f64(gap),
-            DiskOp { kind, bytes: self.chunk_bytes, access: AccessPattern::Sequential },
+            DiskOp {
+                kind,
+                bytes: self.chunk_bytes,
+                access: AccessPattern::Sequential,
+            },
         )
     }
 }
@@ -171,7 +175,12 @@ mod tests {
 
         let mut m = Machine::new(MachineConfig::small(2));
         let job = m.create_job(TenantClass::Secondary, CoreMask::all(2));
-        m.spawn_thread(SimTime::ZERO, job, Box::new(HdfsCpuProgram::new(0.1)), HDFS_TAG_BASE);
+        m.spawn_thread(
+            SimTime::ZERO,
+            job,
+            Box::new(HdfsCpuProgram::new(0.1)),
+            HDFS_TAG_BASE,
+        );
         m.advance_to(SimTime::from_secs(2));
         let b = m.breakdown();
         let frac = b.fraction(TenantClass::Secondary);

@@ -90,7 +90,7 @@ impl ThreadProgram for TrainerWorker {
             // A minibatch just finished.
             self.progress.fetch_add(1, Ordering::Relaxed);
             self.step += 1;
-            if self.step % self.steps_per_sync == 0 {
+            if self.step.is_multiple_of(self.steps_per_sync) {
                 self.in_compute = false;
                 return Step::Sleep(self.sync_pause);
             }
@@ -111,7 +111,11 @@ mod tests {
     fn trainer_makes_progress() {
         let mut m = Machine::new(MachineConfig::small(8));
         let job = m.create_job(TenantClass::Secondary, CoreMask::all(8));
-        let h = MlTrainer { workers: 8, ..Default::default() }.spawn(&mut m, job, SimTime::ZERO);
+        let h = MlTrainer {
+            workers: 8,
+            ..Default::default()
+        }
+        .spawn(&mut m, job, SimTime::ZERO);
         m.advance_to(SimTime::from_secs(1));
         // 8 workers * ~1s / 2ms ≈ 4000 minus sync pauses (~3%).
         let p = h.minibatches();
@@ -127,7 +131,6 @@ mod tests {
             minibatch: SimDuration::from_millis(1),
             steps_per_sync: 2,
             sync_pause: SimDuration::from_millis(2),
-            ..Default::default()
         }
         .spawn(&mut m, job, SimTime::ZERO);
         m.advance_to(SimTime::from_secs(1));
@@ -141,10 +144,18 @@ mod tests {
     fn restricting_affinity_slows_training() {
         let mut m1 = Machine::new(MachineConfig::small(8));
         let j1 = m1.create_job(TenantClass::Secondary, CoreMask::all(8));
-        let h1 = MlTrainer { workers: 8, ..Default::default() }.spawn(&mut m1, j1, SimTime::ZERO);
+        let h1 = MlTrainer {
+            workers: 8,
+            ..Default::default()
+        }
+        .spawn(&mut m1, j1, SimTime::ZERO);
         let mut m2 = Machine::new(MachineConfig::small(8));
         let j2 = m2.create_job(TenantClass::Secondary, CoreMask::range(0, 2));
-        let h2 = MlTrainer { workers: 8, ..Default::default() }.spawn(&mut m2, j2, SimTime::ZERO);
+        let h2 = MlTrainer {
+            workers: 8,
+            ..Default::default()
+        }
+        .spawn(&mut m2, j2, SimTime::ZERO);
         m1.advance_to(SimTime::from_secs(1));
         m2.advance_to(SimTime::from_secs(1));
         assert!(h1.minibatches() > h2.minibatches() * 3);

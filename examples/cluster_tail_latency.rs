@@ -17,7 +17,11 @@ use workloads::BullyIntensity;
 
 fn scaled(secondary: SecondaryKind, seed: u64) -> ClusterConfig {
     ClusterConfig {
-        topology: Topology { columns: 8, rows: 2, tlas: 4 },
+        topology: Topology {
+            columns: 8,
+            rows: 2,
+            tlas: 4,
+        },
         qps_total: 2_000.0,
         warmup: SimDuration::from_millis(300),
         measure: SimDuration::from_millis(900),
@@ -29,7 +33,10 @@ fn main() {
     println!("Scaled cluster: 8 columns x 2 rows + 4 TLAs, 2000 QPS total\n");
 
     let base = ClusterSim::new(scaled(
-        SecondaryKind { hdfs: true, ..SecondaryKind::none() },
+        SecondaryKind {
+            hdfs: true,
+            ..SecondaryKind::none()
+        },
         3,
     ))
     .run();
@@ -43,7 +50,12 @@ fn main() {
     ))
     .run();
 
-    let mut t = Table::new(&["layer", "baseline p99 (ms)", "colocated p99 (ms)", "delta (ms)"]);
+    let mut t = Table::new(&[
+        "layer",
+        "baseline p99 (ms)",
+        "colocated p99 (ms)",
+        "delta (ms)",
+    ]);
     for (name, b, c) in [
         ("local IndexServe", &base.local, &colo.local),
         ("MLA", &base.mla, &colo.mla),

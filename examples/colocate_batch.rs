@@ -45,10 +45,17 @@ fn main() {
                 pct(r.drop_ratio()),
                 format!("{:.1}", r.secondary_cpu.as_secs_f64()),
                 pct(r.breakdown.utilization()),
-                if slo.met { "SLO met".into() } else { "SLO VIOLATED".into() },
+                if slo.met {
+                    "SLO met".into()
+                } else {
+                    "SLO VIOLATED".into()
+                },
             ]);
         }
-        println!("@ {qps:.0} QPS (standalone p99 = {}):", ms(base.latency.p99));
+        println!(
+            "@ {qps:.0} QPS (standalone p99 = {}):",
+            ms(base.latency.p99)
+        );
         println!("{}", t.render());
     }
     println!("Blind isolation is the only policy that both meets the SLO and keeps batch throughput high.");

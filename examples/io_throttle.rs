@@ -23,7 +23,10 @@ fn main() {
     };
     let secondary = SecondaryKind {
         cpu_bully: None,
-        disk_bully: Some(DiskBully { depth: 8, ..DiskBully::default() }),
+        disk_bully: Some(DiskBully {
+            depth: 8,
+            ..DiskBully::default()
+        }),
         hdfs: true,
     };
 

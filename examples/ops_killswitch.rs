@@ -22,7 +22,10 @@ fn main() {
         9,
     ));
     sim.advance_to(SimTime::from_millis(50));
-    println!("t=50ms   controller active:  {:?}", sim.controller_stats().map(|s| s.affinity_updates));
+    println!(
+        "t=50ms   controller active:  {:?}",
+        sim.controller_stats().map(|s| s.affinity_updates)
+    );
 
     // --- Kill switch ---
     println!("\n[kill switch] operator disables PerfIso for livesite debugging");

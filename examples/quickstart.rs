@@ -65,5 +65,8 @@ fn main() {
         safe.secondary_cpu.as_secs_f64()
     );
     let slo = telemetry::slo::RelativeSlo::paper_default(baseline.latency.p99);
-    println!("\nSLO (p99 within 1 ms of standalone): {}", slo.check(safe.latency.p99));
+    println!(
+        "\nSLO (p99 within 1 ms of standalone): {}",
+        slo.check(safe.latency.p99)
+    );
 }

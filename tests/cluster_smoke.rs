@@ -23,8 +23,18 @@ fn layers_aggregate_in_order() {
     let r = ClusterSim::new(small(SecondaryKind::none(), 3)).run();
     assert!(r.completed > 300, "completed {}", r.completed);
     assert_eq!(r.degraded, 0);
-    assert!(r.local.avg <= r.mla.avg, "local {} vs mla {}", r.local.avg, r.mla.avg);
-    assert!(r.mla.avg <= r.tla.avg, "mla {} vs tla {}", r.mla.avg, r.tla.avg);
+    assert!(
+        r.local.avg <= r.mla.avg,
+        "local {} vs mla {}",
+        r.local.avg,
+        r.mla.avg
+    );
+    assert!(
+        r.mla.avg <= r.tla.avg,
+        "mla {} vs tla {}",
+        r.mla.avg,
+        r.tla.avg
+    );
     assert!(r.local.count > 0 && r.mla.count > 0 && r.tla.count > 0);
 }
 
@@ -33,7 +43,11 @@ fn cpu_bound_secondary_stays_within_band_under_perfiso() {
     // Fig 9b: per-layer p99 deltas vs the baseline stay within ~1 ms.
     let base = ClusterSim::new(small(SecondaryKind::none(), 5)).run();
     let colo = ClusterSim::new(small(
-        SecondaryKind { cpu_bully: Some(BullyIntensity::High), disk_bully: None, hdfs: true },
+        SecondaryKind {
+            cpu_bully: Some(BullyIntensity::High),
+            disk_bully: None,
+            hdfs: true,
+        },
         5,
     ))
     .run();
@@ -103,7 +117,11 @@ fn unprotected_cluster_degrades() {
     // cluster inherits the single-box no-isolation behaviour.
     let base = ClusterSim::new(small(SecondaryKind::none(), 11)).run();
     let mut cfg = small(
-        SecondaryKind { cpu_bully: Some(BullyIntensity::High), disk_bully: None, hdfs: false },
+        SecondaryKind {
+            cpu_bully: Some(BullyIntensity::High),
+            disk_bully: None,
+            hdfs: false,
+        },
         11,
     );
     cfg.perfiso = None;

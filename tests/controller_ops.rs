@@ -26,7 +26,10 @@ fn kill_switch_releases_and_reapplies_live() {
     let stats = sim.controller_stats().expect("controller installed");
     assert!(stats.cpu_polls > 50, "polling loop must be running");
     assert!(stats.affinity_updates >= 1, "initial grow must have fired");
-    assert!(stats.affinity_updates < stats.cpu_polls / 2, "update-on-change separation");
+    assert!(
+        stats.affinity_updates < stats.cpu_polls / 2,
+        "update-on-change separation"
+    );
 
     // Disable: within a tick the bully may take every core.
     sim.controller_command(Command::SetEnabled(false));
@@ -41,8 +44,7 @@ fn kill_switch_releases_and_reapplies_live() {
     // Re-enable: the restriction returns.
     sim.controller_command(Command::SetEnabled(true));
     sim.advance_to(SimTime::from_millis(210));
-    let idle_after = 1.0
-        - sim.breakdown().utilization().min(1.0);
+    let idle_after = 1.0 - sim.breakdown().utilization().min(1.0);
     let _ = idle_after; // Converges over the next polls; checked via snapshot below.
     let snap = sim.controller_snapshot();
     assert!(snap.enabled);
@@ -62,7 +64,10 @@ fn crash_recovery_resumes_from_snapshot() {
     let mut sim = bully_box(5);
     sim.advance_to(SimTime::from_millis(100));
     let before = sim.controller_snapshot();
-    assert!(before.secondary_mask.count() > 0, "bully held some cores before the crash");
+    assert!(
+        before.secondary_mask.count() > 0,
+        "bully held some cores before the crash"
+    );
     before.save(&path).expect("snapshot saved");
 
     // Autopilot notices the crash and restarts the service.
@@ -81,7 +86,10 @@ fn crash_recovery_resumes_from_snapshot() {
     assert_eq!(loaded, before);
     sim.controller_restart_with(&loaded);
     let after = sim.controller_snapshot();
-    assert_eq!(after.secondary_mask, before.secondary_mask, "mask resumed, not reset");
+    assert_eq!(
+        after.secondary_mask, before.secondary_mask,
+        "mask resumed, not reset"
+    );
     assert_eq!(after.enabled, before.enabled);
 
     // And the box keeps running under the restored controller.
@@ -137,7 +145,10 @@ fn memory_watchdog_kills_secondary_on_pressure() {
         11,
     ));
     sim.advance_to(SimTime::from_millis(30));
-    assert!(!sim.secondary_killed(), "healthy footprint must not be killed");
+    assert!(
+        !sim.secondary_killed(),
+        "healthy footprint must not be killed"
+    );
 
     // The batch job balloons: primary (116 GiB) + secondary now exceed the
     // 95 % watermark of 128 GiB.
@@ -149,7 +160,10 @@ fn memory_watchdog_kills_secondary_on_pressure() {
     // With the bully gone the machine drains back to idle.
     sim.advance_to(SimTime::from_millis(400));
     let idle = 1.0 - sim.breakdown().utilization();
-    assert!(idle > 0.5, "machine should be mostly idle after the kill: {idle}");
+    assert!(
+        idle > 0.5,
+        "machine should be mostly idle after the kill: {idle}"
+    );
 }
 
 #[test]
@@ -167,5 +181,8 @@ fn disabled_controller_does_not_kill_on_memory_pressure() {
     sim.controller_command(Command::SetEnabled(false));
     sim.set_secondary_memory(20 << 30);
     sim.advance_to(SimTime::from_millis(200));
-    assert!(!sim.secondary_killed(), "kill switch must suppress watchdog actions");
+    assert!(
+        !sim.secondary_killed(),
+        "kill switch must suppress watchdog actions"
+    );
 }

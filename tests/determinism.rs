@@ -1,11 +1,18 @@
 //! Reproducibility: every simulation in the workspace is deterministic in
-//! its seed, and distinct seeds genuinely decorrelate runs.
+//! its seed, distinct seeds genuinely decorrelate runs, and parallel
+//! execution is bit-identical to serial execution.
 
+use cluster::fleet::{run_fleet, FleetConfig};
+use proptest::prelude::*;
 use scenarios::{blind_isolation, standalone, Scale};
 use simcore::SimDuration;
+use telemetry::LogHistogram;
 
 fn tiny() -> Scale {
-    Scale { warmup: SimDuration::from_millis(200), measure: SimDuration::from_millis(600) }
+    Scale {
+        warmup: SimDuration::from_millis(200),
+        measure: SimDuration::from_millis(600),
+    }
 }
 
 #[test]
@@ -40,4 +47,115 @@ fn different_seeds_decorrelate() {
         (b.latency.p50, b.latency.p99, b.breakdown.primary),
         "distinct seeds must not produce identical runs"
     );
+}
+
+/// The parallel fleet sweep must be bit-identical to the serial one: the
+/// report numbers may not differ in a single ULP across thread counts.
+#[test]
+fn fleet_parallel_equals_serial() {
+    let base = FleetConfig {
+        minutes: 5,
+        sampled_machines: 2,
+        slice: SimDuration::from_millis(200),
+        ..Default::default()
+    };
+    let serial = run_fleet(&FleetConfig {
+        threads: 1,
+        ..base.clone()
+    });
+    let parallel = run_fleet(&FleetConfig { threads: 0, ..base });
+
+    assert_eq!(
+        serial.mean_utilization.to_bits(),
+        parallel.mean_utilization.to_bits()
+    );
+    assert_eq!(serial.max_p99, parallel.max_p99);
+    assert_eq!(serial.slices, parallel.slices);
+    assert_eq!(serial.sim_events, parallel.sim_events);
+    for (name, a, b) in [
+        ("qps", &serial.qps, &parallel.qps),
+        ("p99_ms", &serial.p99_ms, &parallel.p99_ms),
+        (
+            "utilization_pct",
+            &serial.utilization_pct,
+            &parallel.utilization_pct,
+        ),
+        (
+            "trainer_progress",
+            &serial.trainer_progress,
+            &parallel.trainer_progress,
+        ),
+    ] {
+        assert_eq!(a.len(), b.len(), "{name} length");
+        for i in 0..a.len() {
+            let (x, y) = (a.bucket(i).unwrap(), b.bucket(i).unwrap());
+            assert_eq!(x.count, y.count, "{name} bucket {i} count");
+            assert_eq!(x.sum.to_bits(), y.sum.to_bits(), "{name} bucket {i} sum");
+            assert_eq!(x.max.to_bits(), y.max.to_bits(), "{name} bucket {i} max");
+        }
+    }
+}
+
+/// The cluster simulator's parallel box advance (engaged whenever ≥ 8
+/// boxes are due at one instant and more than one worker is configured)
+/// must match the serial run exactly — forced to 4 workers here so the
+/// scoped-thread path executes even on a single-core machine.
+#[test]
+fn cluster_parallel_equals_serial() {
+    use cluster::{ClusterConfig, ClusterSim, Topology};
+    use indexserve::SecondaryKind;
+
+    let base = ClusterConfig {
+        topology: Topology::small(),
+        qps_total: 400.0,
+        warmup: SimDuration::from_millis(150),
+        measure: SimDuration::from_millis(450),
+        ..ClusterConfig::paper_cluster(SecondaryKind::none(), 21)
+    };
+    let serial = ClusterSim::new(ClusterConfig {
+        threads: 1,
+        ..base.clone()
+    })
+    .run();
+    let parallel = ClusterSim::new(ClusterConfig { threads: 4, ..base }).run();
+
+    assert_eq!(serial.completed, parallel.completed);
+    assert_eq!(serial.degraded, parallel.degraded);
+    assert_eq!(serial.tla.p99, parallel.tla.p99);
+    assert_eq!(serial.mla.p99, parallel.mla.p99);
+    assert_eq!(serial.local.p99, parallel.local.p99);
+    assert_eq!(
+        serial.mean_utilization.to_bits(),
+        parallel.mean_utilization.to_bits()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Merging per-worker histograms equals recording into one — the
+    /// reduction the parallel fleet driver depends on, checked here at the
+    /// workspace level over arbitrary splits.
+    #[test]
+    fn prop_histogram_merge_equals_single(
+        vals in proptest::collection::vec(1u64..50_000_000_000u64, 1..300),
+        pieces in 1usize..6,
+    ) {
+        let mut whole = LogHistogram::new();
+        let mut parts: Vec<LogHistogram> = (0..pieces).map(|_| LogHistogram::new()).collect();
+        for (i, &v) in vals.iter().enumerate() {
+            whole.record(SimDuration::from_nanos(v));
+            parts[i % pieces].record(SimDuration::from_nanos(v));
+        }
+        let mut merged = LogHistogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+        for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(merged.percentile(q), whole.percentile(q));
+        }
+    }
 }

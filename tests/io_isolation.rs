@@ -23,7 +23,10 @@ fn disk_bully_on_shared_hdd_leaves_primary_tail_intact() {
     // bully hammers the shared HDD volume. With PerfIso's I/O management
     // the query tail must stay within the paper's cluster band (±1.2 ms).
     let seed = 19;
-    let base = run_standalone(BoxConfig::paper_box(SecondaryKind::none(), None, seed), &plan(2_000.0));
+    let base = run_standalone(
+        BoxConfig::paper_box(SecondaryKind::none(), None, seed),
+        &plan(2_000.0),
+    );
     let colo = run_standalone(
         BoxConfig::paper_box(
             SecondaryKind::disk(DiskBully::default()),
@@ -47,10 +50,16 @@ fn hdfs_traffic_is_capped_and_harmless() {
     // §5.3: replication capped at 20 MB/s, clients at 60 MB/s. With the
     // caps installed the HDFS side-traffic must not move the tail.
     let seed = 23;
-    let base = run_standalone(BoxConfig::paper_box(SecondaryKind::none(), None, seed), &plan(2_000.0));
+    let base = run_standalone(
+        BoxConfig::paper_box(SecondaryKind::none(), None, seed),
+        &plan(2_000.0),
+    );
     let hdfs = run_standalone(
         BoxConfig::paper_box(
-            SecondaryKind { hdfs: true, ..SecondaryKind::none() },
+            SecondaryKind {
+                hdfs: true,
+                ..SecondaryKind::none()
+            },
             Some(PerfIsoConfig::paper_cluster()),
             seed,
         ),
@@ -65,7 +74,7 @@ fn hdfs_node_generators_produce_plausible_ops() {
     // The replication node writes sequentially; the client mixes reads and
     // writes. Both must stay within their configured submission rates.
     let mut rng = simcore::SimRng::seed_from_u64(5);
-    let mut repl = HdfsNode::replication();
+    let repl = HdfsNode::replication();
     let mut t = simcore::SimTime::ZERO;
     let mut bytes = 0u64;
     let horizon = simcore::SimTime::from_secs(2);
@@ -78,8 +87,14 @@ fn hdfs_node_generators_produce_plausible_ops() {
     let rate = bytes as f64 / 2.0;
     // The replication stream offers ~40 MB/s before the 20 MB/s token
     // bucket downstream; allow generous sampling noise either side.
-    assert!(rate < 60.0 * 1024.0 * 1024.0, "replication offered {rate} B/s");
-    assert!(rate > 10.0 * 1024.0 * 1024.0, "replication offered {rate} B/s too low");
+    assert!(
+        rate < 60.0 * 1024.0 * 1024.0,
+        "replication offered {rate} B/s"
+    );
+    assert!(
+        rate > 10.0 * 1024.0 * 1024.0,
+        "replication offered {rate} B/s too low"
+    );
 }
 
 #[test]
@@ -90,7 +105,10 @@ fn controller_raises_crowded_tenant_priority() {
     let seed = 29;
     let cfg = BoxConfig::paper_box(
         SecondaryKind {
-            disk_bully: Some(DiskBully { depth: 16, ..DiskBully::default() }),
+            disk_bully: Some(DiskBully {
+                depth: 16,
+                ..DiskBully::default()
+            }),
             hdfs: true,
             cpu_bully: None,
         },
@@ -99,7 +117,11 @@ fn controller_raises_crowded_tenant_priority() {
     );
     let r = run_standalone(cfg, &plan(500.0));
     let stats = r.controller.expect("controller ran");
-    assert!(stats.io_rounds > 5, "io controller must have run: {}", stats.io_rounds);
+    assert!(
+        stats.io_rounds > 5,
+        "io controller must have run: {}",
+        stats.io_rounds
+    );
     assert!(
         stats.io_adjustments >= 1,
         "saturated volume must trigger at least one priority adjustment"

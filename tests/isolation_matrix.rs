@@ -20,8 +20,14 @@ fn standalone_profile_matches_calibration_bands() {
         let r = standalone(qps, 42, quick());
         let p50 = r.latency.p50.as_millis_f64();
         let p99 = r.latency.p99.as_millis_f64();
-        assert!((3.0..=5.5).contains(&p50), "{qps} QPS p50 {p50} outside band");
-        assert!((8.0..=16.0).contains(&p99), "{qps} QPS p99 {p99} outside band");
+        assert!(
+            (3.0..=5.5).contains(&p50),
+            "{qps} QPS p50 {p50} outside band"
+        );
+        assert!(
+            (8.0..=16.0).contains(&p99),
+            "{qps} QPS p99 {p99} outside band"
+        );
         assert!(r.drop_ratio() < 0.002, "{qps} QPS drops {}", r.drop_ratio());
         let idle = r.breakdown.idle_fraction();
         assert!(
@@ -54,7 +60,11 @@ fn unrestricted_high_bully_destroys_the_tail() {
         colo.latency.p99,
         base.latency.p99
     );
-    assert!(colo.drop_ratio() > 0.02, "high bully must force timeouts, got {}", colo.drop_ratio());
+    assert!(
+        colo.drop_ratio() > 0.02,
+        "high bully must force timeouts, got {}",
+        colo.drop_ratio()
+    );
 }
 
 #[test]
@@ -62,7 +72,11 @@ fn mid_bully_inflates_tail_but_keeps_queries() {
     // Fig 4 mid bars: a 24-thread bully hurts the tail but the system keeps
     // completing queries (the paper reports zero drops for mid).
     let colo = no_isolation(BullyIntensity::Mid, 2_000.0, 22, quick());
-    assert!(colo.drop_ratio() < 0.01, "mid bully should not drop, got {}", colo.drop_ratio());
+    assert!(
+        colo.drop_ratio() < 0.01,
+        "mid bully should not drop, got {}",
+        colo.drop_ratio()
+    );
     let p99 = colo.latency.p99.as_millis_f64();
     assert!(p99 < 40.0, "mid bully should not collapse: p99 {p99}");
 }
@@ -76,7 +90,11 @@ fn blind_isolation_meets_the_slo_at_both_loads() {
         let iso = blind_isolation(8, qps, 33, quick());
         let slo = telemetry::slo::RelativeSlo::paper_default(base.latency.p99);
         let v = slo.check(iso.latency.p99);
-        assert!(v.met, "{qps} QPS SLO violated: {} vs base {}", iso.latency.p99, base.latency.p99);
+        assert!(
+            v.met,
+            "{qps} QPS SLO violated: {} vs base {}",
+            iso.latency.p99, base.latency.p99
+        );
         assert!(iso.drop_ratio() < 0.002);
         assert!(
             iso.breakdown.utilization() > base.breakdown.utilization() + 0.25,
@@ -126,7 +144,10 @@ fn static_cores_protect_at_peak_only_when_small() {
     let base = standalone(4_000.0, 66, quick());
     let small = static_cores(8, 4_000.0, 66, quick());
     let d = small.latency.p99.saturating_sub(base.latency.p99);
-    assert!(d < SimDuration::from_millis(2), "8-core secondary degradation {d}");
+    assert!(
+        d < SimDuration::from_millis(2),
+        "8-core secondary degradation {d}"
+    );
     let large = static_cores(24, 4_000.0, 66, quick());
     assert!(
         large.latency.p99 > small.latency.p99,
@@ -148,7 +169,10 @@ fn cycle_caps_fail_to_protect_the_tail() {
         "cycle cap degradation {d_cap} must dwarf blind isolation {d_blind}"
     );
     let slo = telemetry::slo::RelativeSlo::paper_default(base.latency.p99);
-    assert!(!slo.check(cap.latency.p99).met, "a 45% cycle cap must violate the SLO");
+    assert!(
+        !slo.check(cap.latency.p99).met,
+        "a 45% cycle cap must violate the SLO"
+    );
 }
 
 #[test]

@@ -1,0 +1,168 @@
+//! Vendored minimal stand-in for `criterion`.
+//!
+//! Provides the macro/struct surface the workspace's micro-benchmarks use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `Bencher::iter`, `sample_size`) with a simple
+//! measure-and-print harness: per benchmark it warms up, then runs
+//! `sample_size` samples of auto-calibrated batches and reports
+//! min / median / mean time per iteration. No statistics framework, no
+//! HTML reports — just numbers on stdout, which is what a CI log needs.
+
+use std::time::{Duration, Instant};
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Mirrors real criterion's CLI hook; arguments are ignored here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name} ==");
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size,
+        }
+    }
+
+    /// Runs one benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        run_bench(name, sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (separator line).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    b.report(name);
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `routine`, storing per-iteration times.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up and batch calibration: target ~2ms per sample.
+        let start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while start.elapsed() < Duration::from_millis(30) {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warmup_iters as f64;
+        let batch = ((0.002 / per_iter.max(1e-12)) as u64).clamp(1, 1_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        self.samples
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        let min = self.samples[0];
+        let median = self.samples[self.samples.len() / 2];
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        println!(
+            "{name:<40} min {:>12}  median {:>12}  mean {:>12}",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean)
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,29 @@
+//! Collection strategies.
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy producing `Vec`s of values from `element`, with a length
+/// drawn from `len`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { element, len }
+}
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.len.end - self.len.start) as u64;
+        let n = self.len.start + rng.below(span) as usize;
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}

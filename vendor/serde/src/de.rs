@@ -1,0 +1,30 @@
+//! Deserialization support types.
+
+pub use crate::Deserialize;
+
+/// A deserialization (or serialization) error with a human-readable message.
+#[derive(Clone, Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Owned deserialization: satisfied by every [`Deserialize`] type here
+/// because the value tree is always owned.
+pub trait DeserializeOwned: Deserialize {}
+
+impl<T: Deserialize> DeserializeOwned for T {}

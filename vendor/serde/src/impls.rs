@@ -1,0 +1,216 @@
+//! `Serialize`/`Deserialize` implementations for std types.
+
+use crate::de::Error;
+use crate::value::Value;
+use crate::{Deserialize, Serialize};
+
+macro_rules! unsigned {
+    ($($t:ty),*) => {
+        $(
+            impl Serialize for $t {
+                fn to_value(&self) -> Value {
+                    Value::U64(*self as u64)
+                }
+            }
+            impl Deserialize for $t {
+                fn from_value(v: &Value) -> Result<Self, Error> {
+                    let n = v
+                        .as_u64()
+                        .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                    <$t>::try_from(n)
+                        .map_err(|_| Error::custom(concat!("out of range for ", stringify!($t))))
+                }
+            }
+        )*
+    };
+}
+
+unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! signed {
+    ($($t:ty),*) => {
+        $(
+            impl Serialize for $t {
+                fn to_value(&self) -> Value {
+                    let n = *self as i64;
+                    if n >= 0 {
+                        Value::U64(n as u64)
+                    } else {
+                        Value::I64(n)
+                    }
+                }
+            }
+            impl Deserialize for $t {
+                fn from_value(v: &Value) -> Result<Self, Error> {
+                    let n = v
+                        .as_i64()
+                        .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                    <$t>::try_from(n)
+                        .map_err(|_| Error::custom(concat!("out of range for ", stringify!($t))))
+                }
+            }
+        )*
+    };
+}
+
+signed!(i8, i16, i32, i64, isize);
+
+macro_rules! float {
+    ($($t:ty),*) => {
+        $(
+            impl Serialize for $t {
+                fn to_value(&self) -> Value {
+                    Value::F64(*self as f64)
+                }
+            }
+            impl Deserialize for $t {
+                fn from_value(v: &Value) -> Result<Self, Error> {
+                    v.as_f64()
+                        .map(|x| x as $t)
+                        .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))
+                }
+            }
+        )*
+    };
+}
+
+float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::custom("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(v).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Deserialize::from_value(v)?;
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of length {N}")))
+    }
+}
+
+macro_rules! tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {
+        $(
+            impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+                fn to_value(&self) -> Value {
+                    Value::Array(vec![$(self.$idx.to_value()),+])
+                }
+            }
+            impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+                fn from_value(v: &Value) -> Result<Self, Error> {
+                    let arr = v.as_array().ok_or_else(|| Error::custom("expected tuple array"))?;
+                    let expected = [$($idx),+].len();
+                    if arr.len() != expected {
+                        return Err(Error::custom(format!(
+                            "expected tuple of length {expected}, got {}",
+                            arr.len()
+                        )));
+                    }
+                    Ok(($($name::from_value(&arr[$idx])?,)+))
+                }
+            }
+        )*
+    };
+}
+
+tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| Error::custom("expected map array"))?;
+        arr.iter().map(<(K, V)>::from_value).collect()
+    }
+}

@@ -1,0 +1,31 @@
+//! Vendored minimal stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the thin slice of serde it actually uses: `Serialize`/`Deserialize`
+//! traits over an owned JSON-like [`value::Value`] tree, derive macros with
+//! serde's externally-tagged enum representation, and `#[serde(skip)]`.
+//! The sibling `serde_json` shim supplies the text format. This is not a
+//! general serde replacement; it is just enough for config round-trips,
+//! crash-recovery snapshots, and the Autopilot config store.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+mod impls;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use value::Value;
+
+/// Serialization into the owned [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from a borrowed [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, de::Error>;
+}

@@ -1,0 +1,3 @@
+//! Serialization support types.
+
+pub use crate::Serialize;

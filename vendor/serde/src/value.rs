@@ -1,0 +1,222 @@
+//! The owned JSON-like value tree shared by `serde` and `serde_json`.
+
+use crate::de::Error;
+
+/// An owned JSON-like value.
+///
+/// Objects preserve insertion order (serde_json's `preserve_order`
+/// behaviour), which keeps serialized output stable across runs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object as an ordered list of `(key, value)` pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(n) => Some(*n),
+            Value::U64(n) if *n <= i64::MAX as u64 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (any numeric variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(x) => Some(*x),
+            Value::U64(n) => Some(*n as f64),
+            Value::I64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object payload, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// True for `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Looks up `key` in an object (`None` for non-objects).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Object field lookup; missing keys and non-objects yield `Null`.
+    fn index(&self, key: &str) -> &Value {
+        const NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    /// Array element lookup; out-of-range and non-arrays yield `Null`.
+    fn index(&self, idx: usize) -> &Value {
+        const NULL: Value = Value::Null;
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+macro_rules! eq_int {
+    ($($t:ty),*) => {
+        $(impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                #[allow(unused_comparisons)]
+                if *other < 0 {
+                    self.as_i64() == Some(*other as i64)
+                } else {
+                    self.as_u64() == Some(*other as u64)
+                }
+            }
+        })*
+    };
+}
+
+eq_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        matches!(self, Value::F64(x) if x == other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl crate::Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl crate::Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! from_int {
+    ($($t:ty),*) => {
+        $(impl From<$t> for Value {
+            fn from(n: $t) -> Value {
+                #[allow(unused_comparisons)]
+                if n < 0 {
+                    Value::I64(n as i64)
+                } else {
+                    Value::U64(n as u64)
+                }
+            }
+        })*
+    };
+}
+
+from_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Value {
+        Value::F64(x)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(x: f32) -> Value {
+        Value::F64(x as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}

@@ -1,0 +1,239 @@
+//! Vendored minimal `serde_derive`.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` available offline) covering
+//! the shapes this workspace derives on: named structs (with
+//! `#[serde(skip)]` fields), tuple structs, unit structs, and enums with
+//! unit / tuple / struct variants using serde's externally-tagged JSON
+//! representation. Generics are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+mod parse;
+
+use parse::{Field, Input, Shape, VariantKind};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse::parse(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse::parse(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+fn ser_named_fields(fields: &[Field], access: &str) -> String {
+    let mut body = String::new();
+    for f in fields.iter().filter(|f| !f.skip) {
+        body.push_str(&format!(
+            "__fields.push((\"{name}\".to_string(), ::serde::Serialize::to_value({access}{name})));\n",
+            name = f.name,
+        ));
+    }
+    body
+}
+
+fn de_named_fields(ty: &str, fields: &[Field], obj: &str) -> String {
+    let mut body = String::new();
+    for f in fields {
+        if f.skip {
+            body.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            body.push_str(&format!(
+                "{name}: match {obj}.iter().find(|(__k, _)| __k.as_str() == \"{name}\") {{\n\
+                     ::std::option::Option::Some((_, __val)) => ::serde::Deserialize::from_value(__val)?,\n\
+                     ::std::option::Option::None => return ::std::result::Result::Err(\n\
+                         ::serde::de::Error::custom(\"missing field `{name}` in {ty}\")),\n\
+                 }},\n",
+                name = f.name,
+                obj = obj,
+                ty = ty,
+            ));
+        }
+    }
+    body
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::NamedStruct(fields) => format!(
+            "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> = \
+             ::std::vec::Vec::new();\n{}\n::serde::value::Value::Object(__fields)",
+            ser_named_fields(fields, "&self.")
+        ),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::value::Value::Str(\"{v}\".to_string()),\n",
+                        v = v.name,
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(__f0) => ::serde::value::Value::Object(vec![(\
+                         \"{v}\".to_string(), ::serde::Serialize::to_value(__f0))]),\n",
+                        v = v.name,
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let pats: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({pats}) => ::serde::value::Value::Object(vec![(\
+                             \"{v}\".to_string(), ::serde::value::Value::Array(vec![{items}]))]),\n",
+                            v = v.name,
+                            pats = pats.join(", "),
+                            items = items.join(", "),
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let pats: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {pats} }} => {{\n\
+                             let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::value::Value)> = ::std::vec::Vec::new();\n{push}\n\
+                             ::serde::value::Value::Object(vec![(\"{v}\".to_string(), \
+                             ::serde::value::Value::Object(__fields))])\n}},\n",
+                            v = v.name,
+                            pats = pats.join(", "),
+                            push = ser_named_fields(fields, ""),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "let __arr = __v.as_array().ok_or_else(|| \
+                 ::serde::de::Error::custom(\"expected array for {name}\"))?;\n\
+                 if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::de::Error::custom(\"wrong tuple arity for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", "),
+            )
+        }
+        Shape::NamedStruct(fields) => format!(
+            "let __obj = __v.as_object().ok_or_else(|| \
+             ::serde::de::Error::custom(\"expected object for {name}\"))?;\n\
+             ::std::result::Result::Ok({name} {{\n{fields}\n}})",
+            fields = de_named_fields(name, fields, "__obj"),
+        ),
+        Shape::Enum(variants) => {
+            let mut str_arms = String::new();
+            let mut obj_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => str_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name,
+                    )),
+                    VariantKind::Tuple(1) => obj_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(__val)?)),\n",
+                        v = v.name,
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect();
+                        obj_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let __arr = __val.as_array().ok_or_else(|| \
+                             ::serde::de::Error::custom(\"expected array payload\"))?;\n\
+                             if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::de::Error::custom(\"wrong variant arity\")); }}\n\
+                             ::std::result::Result::Ok({name}::{v}({items}))\n}},\n",
+                            v = v.name,
+                            items = items.join(", "),
+                        ));
+                    }
+                    VariantKind::Named(fields) => obj_arms.push_str(&format!(
+                        "\"{v}\" => {{\n\
+                         let __inner = __val.as_object().ok_or_else(|| \
+                         ::serde::de::Error::custom(\"expected object payload\"))?;\n\
+                         ::std::result::Result::Ok({name}::{v} {{\n{fields}\n}})\n}},\n",
+                        v = v.name,
+                        fields = de_named_fields(name, fields, "__inner"),
+                    )),
+                }
+            }
+            format!(
+                "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                 match __s {{\n{str_arms}\
+                 _ => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 format!(\"unknown variant `{{__s}}` for {name}\"))),\n}}\n\
+                 }} else if let ::std::option::Option::Some(__obj) = __v.as_object() {{\n\
+                 if __obj.len() != 1 {{ return ::std::result::Result::Err(\
+                 ::serde::de::Error::custom(\"expected single-key object for {name}\")); }}\n\
+                 let (__k, __val) = &__obj[0];\n\
+                 match __k.as_str() {{\n{obj_arms}\
+                 _ => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 format!(\"unknown variant `{{__k}}` for {name}\"))),\n}}\n\
+                 }} else {{\n\
+                 ::std::result::Result::Err(::serde::de::Error::custom(\
+                 \"expected string or object for {name}\"))\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::value::Value) -> \
+         ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// True when an attribute group body (`serde(...)`) requests `skip`.
+fn serde_attr_has_skip(stream: TokenStream) -> bool {
+    let mut tokens = stream.into_iter();
+    match (tokens.next(), tokens.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream().into_iter().any(|t| match t {
+                TokenTree::Ident(i) => {
+                    let s = i.to_string();
+                    s == "skip" || s == "default"
+                }
+                _ => false,
+            })
+        }
+        _ => false,
+    }
+}

@@ -1,0 +1,210 @@
+//! Hand-rolled parsing of derive input token streams.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+pub struct Input {
+    pub name: String,
+    pub shape: Shape,
+}
+
+pub enum Shape {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+pub struct Field {
+    pub name: String,
+    pub skip: bool,
+}
+
+pub struct Variant {
+    pub name: String,
+    pub kind: VariantKind,
+}
+
+pub enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consumes leading attributes; returns true if any was `#[serde(skip)]`
+/// (or `#[serde(default)]`, which we treat the same way: absent on the
+/// wire, `Default::default()` on read).
+fn skip_attributes(tokens: &mut Tokens) -> bool {
+    let mut skip = false;
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        if crate::serde_attr_has_skip(g.stream()) {
+                            skip = true;
+                        }
+                    }
+                    other => panic!("serde_derive: malformed attribute, got {other:?}"),
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+/// Consumes a visibility qualifier if present.
+fn skip_visibility(tokens: &mut Tokens) {
+    if let Some(TokenTree::Ident(i)) = tokens.peek() {
+        if i.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Consumes tokens until a top-level comma (outside `<...>`), eating the
+/// comma itself.
+fn skip_type(tokens: &mut Tokens) {
+    let mut angle_depth = 0i32;
+    for t in tokens.by_ref() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Splits a parenthesized tuple-field list into its arity.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut angle_depth = 0i32;
+    let mut saw_any = false;
+    for t in stream {
+        match t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => arity += 1,
+                _ => {}
+            },
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        arity + 1
+    } else {
+        0
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let skip = skip_attributes(&mut tokens);
+        if tokens.peek().is_none() {
+            return fields;
+        }
+        skip_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&mut tokens);
+        fields.push(Field { name, skip });
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        let Some(tt) = tokens.next() else {
+            return variants;
+        };
+        let name = match tt {
+            TokenTree::Ident(i) => i.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                tokens.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Optional discriminant (`= expr`) is not supported with data; a
+        // plain `= <literal>` on unit variants is tolerated by skipping to
+        // the next comma.
+        while let Some(tt) = tokens.peek() {
+            if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                tokens.next();
+                break;
+            }
+            tokens.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+}
+
+pub fn parse(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+    let kw = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported by the vendored shim");
+        }
+    }
+    let shape = match kw.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    };
+    Input { name, shape }
+}

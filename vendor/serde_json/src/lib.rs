@@ -1,0 +1,177 @@
+//! Vendored minimal stand-in for `serde_json`.
+//!
+//! JSON text on top of the vendored `serde` shim's [`Value`] tree:
+//! compact and pretty writers, a recursive-descent parser, and a small
+//! [`json!`] macro. Non-finite floats serialize as `null`, like real
+//! serde_json's default behaviour for `f64::NAN` under `to_value`.
+
+mod parse;
+mod write;
+
+pub use serde::de::Error;
+pub use serde::value::Value;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// Serializes any `Serialize` type into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Result<Value, Error> {
+    Ok(v.to_value())
+}
+
+/// Reconstructs a `Deserialize` type from a [`Value`] tree.
+pub fn from_value<T: DeserializeOwned>(v: Value) -> Result<T, Error> {
+    T::from_value(&v)
+}
+
+/// Serializes to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(v: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write::write(&v.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes to human-readable JSON text (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(v: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write::write(&v.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into a `Deserialize` type.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s)?;
+    T::from_value(&value)
+}
+
+/// Builds a [`Value`] from JSON-like syntax.
+///
+/// Supports nested objects and arrays, string-literal keys, and arbitrary
+/// Rust expressions as values (converted via `Value: From<_>`), following
+/// the token-munching structure of real serde_json's `json!`.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => { $crate::json_internal!($($tt)+) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+
+    ([]) => { $crate::Value::Array(vec![]) };
+    ([ $($tt:tt)+ ]) => { $crate::Value::Array($crate::json_internal!(@array [] $($tt)+)) };
+
+    ({}) => { $crate::Value::Object(vec![]) };
+    ({ $($tt:tt)+ }) => { $crate::Value::Object($crate::json_internal!(@object [] $($tt)+)) };
+
+    // Array munching: accumulate finished elements, peel one value at a
+    // time, recognizing nested JSON syntax before the expression fallback.
+    (@array [$($elems:expr,)*]) => { vec![$($elems,)*] };
+    (@array [$($elems:expr,)*] null $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::Null,] $($($rest)*)?)
+    };
+    (@array [$($elems:expr,)*] true $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::Bool(true),] $($($rest)*)?)
+    };
+    (@array [$($elems:expr,)*] false $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::Bool(false),] $($($rest)*)?)
+    };
+    (@array [$($elems:expr,)*] [$($inner:tt)*] $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(
+            @array [$($elems,)* $crate::json_internal!([$($inner)*]),] $($($rest)*)?)
+    };
+    (@array [$($elems:expr,)*] {$($inner:tt)*} $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(
+            @array [$($elems,)* $crate::json_internal!({$($inner)*}),] $($($rest)*)?)
+    };
+    (@array [$($elems:expr,)*] $next:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::from($next),] $($($rest)*)?)
+    };
+
+    // Object munching: peel `"key": value` pairs, recognizing nested JSON
+    // syntax in value position before the expression fallback.
+    (@object [$($pairs:expr,)*]) => { vec![$($pairs,)*] };
+    (@object [$($pairs:expr,)*] $key:literal : null $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(
+            @object [$($pairs,)* ($key.to_string(), $crate::Value::Null),] $($($rest)*)?)
+    };
+    (@object [$($pairs:expr,)*] $key:literal : true $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(
+            @object [$($pairs,)* ($key.to_string(), $crate::Value::Bool(true)),] $($($rest)*)?)
+    };
+    (@object [$($pairs:expr,)*] $key:literal : false $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(
+            @object [$($pairs,)* ($key.to_string(), $crate::Value::Bool(false)),] $($($rest)*)?)
+    };
+    (@object [$($pairs:expr,)*] $key:literal : [$($inner:tt)*] $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(
+            @object
+            [$($pairs,)* ($key.to_string(), $crate::json_internal!([$($inner)*])),]
+            $($($rest)*)?)
+    };
+    (@object [$($pairs:expr,)*] $key:literal : {$($inner:tt)*} $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(
+            @object
+            [$($pairs,)* ($key.to_string(), $crate::json_internal!({$($inner)*})),]
+            $($($rest)*)?)
+    };
+    (@object [$($pairs:expr,)*] $key:literal : $value:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(
+            @object [$($pairs,)* ($key.to_string(), $crate::Value::from($value)),] $($($rest)*)?)
+    };
+
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_value() {
+        let v = json!({
+            "name": "perfiso",
+            "cores": 48,
+            "buffer": [1, 2, 3],
+            "nested": {"enabled": true, "rate": 0.25},
+            "nothing": null
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, back2);
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = json!("line\nbreak \"quoted\" \\ tab\t");
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn extreme_integers_roundtrip() {
+        let v = Value::Array(vec![
+            json!(0u64),
+            json!(18446744073709551615u64),
+            Value::I64(i64::MIN),
+        ]);
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{unquoted: 1}").is_err());
+        assert!(from_str::<Value>("[1, 2,]").is_err());
+        assert!(from_str::<Value>("").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+    }
+}
