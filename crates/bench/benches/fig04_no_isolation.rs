@@ -6,28 +6,28 @@
 //! collapses it to ~349–354 ms (29×) with 11–32 % of queries dropped, and
 //! the primary's own CPU share inflates as it compensates.
 
-use perfiso_bench::{cpu_row, cpu_table, latency_row, latency_table, section};
-use scenarios::{no_isolation, standalone, Scale};
+use perfiso_bench::{
+    cpu_row, cpu_table, latency_row, latency_table, policy_cell, section, standalone_cell,
+};
+use scenarios::Policy;
 use workloads::BullyIntensity;
 
 fn main() {
-    let scale = Scale::bench();
-    let seed = 42;
     section("Fig 4a: query response latency (no isolation)");
     let mut lat = latency_table();
     let mut cpu = cpu_table();
     for qps in [2_000.0, 4_000.0] {
-        let r = standalone(qps, seed, scale);
+        let r = standalone_cell(qps);
         lat.row_owned(latency_row("standalone", qps, &r));
         cpu.row_owned(cpu_row("standalone", qps, &r));
     }
     for qps in [2_000.0, 4_000.0] {
-        let r = no_isolation(BullyIntensity::Mid, qps, seed, scale);
+        let r = policy_cell(Policy::NoIsolation, BullyIntensity::Mid, qps);
         lat.row_owned(latency_row("mid secondary (24 thr)", qps, &r));
         cpu.row_owned(cpu_row("mid secondary (24 thr)", qps, &r));
     }
     for qps in [2_000.0, 4_000.0] {
-        let r = no_isolation(BullyIntensity::High, qps, seed, scale);
+        let r = policy_cell(Policy::NoIsolation, BullyIntensity::High, qps);
         lat.row_owned(latency_row("high secondary (48 thr)", qps, &r));
         cpu.row_owned(cpu_row("high secondary (48 thr)", qps, &r));
     }

@@ -7,15 +7,14 @@
 //! headline: colocation lifts average CPU utilization from 21 % to 66 % at
 //! off-peak load.
 
-use perfiso_bench::{cpu_row, cpu_table, section};
-use scenarios::{blind_isolation, standalone, Scale};
+use perfiso_bench::{cpu_row, cpu_table, policy_cell, section, standalone_cell};
+use scenarios::Policy;
 use telemetry::table::{ms, Table};
+use workloads::BullyIntensity;
 
 fn main() {
-    let scale = Scale::bench();
-    let seed = 42;
-    let base2k = standalone(2_000.0, seed, scale);
-    let base4k = standalone(4_000.0, seed, scale);
+    let base2k = standalone_cell(2_000.0);
+    let base4k = standalone_cell(4_000.0);
 
     section("Fig 5a: query latency degradation vs standalone (blind isolation)");
     let mut lat = Table::new(&[
@@ -30,7 +29,13 @@ fn main() {
     let mut util_2k_colocated = 0.0;
     for buffer in [4u32, 8] {
         for (qps, base) in [(2_000.0, &base2k), (4_000.0, &base4k)] {
-            let r = blind_isolation(buffer, qps, seed, scale);
+            let r = policy_cell(
+                Policy::Blind {
+                    buffer_cores: buffer,
+                },
+                BullyIntensity::High,
+                qps,
+            );
             lat.row_owned(vec![
                 format!("{buffer} cores"),
                 format!("{qps:.0}"),

@@ -6,15 +6,14 @@
 //! 8-core allocation protects the tail but strands CPU — the secondary only
 //! reaches 17 % of machine CPU at peak.
 
-use perfiso_bench::{cpu_row, cpu_table, section};
-use scenarios::{standalone, static_cores, Scale};
+use perfiso_bench::{cpu_row, cpu_table, policy_cell, section, standalone_cell};
+use scenarios::Policy;
 use telemetry::table::{ms, Table};
+use workloads::BullyIntensity;
 
 fn main() {
-    let scale = Scale::bench();
-    let seed = 42;
-    let base2k = standalone(2_000.0, seed, scale);
-    let base4k = standalone(4_000.0, seed, scale);
+    let base2k = standalone_cell(2_000.0);
+    let base4k = standalone_cell(4_000.0);
 
     section("Fig 6a: latency degradation vs standalone (static core restriction)");
     let mut lat = Table::new(&[
@@ -28,7 +27,7 @@ fn main() {
     let mut cpu = cpu_table();
     for cores in [24u32, 16, 8] {
         for (qps, base) in [(2_000.0, &base2k), (4_000.0, &base4k)] {
-            let r = static_cores(cores, qps, seed, scale);
+            let r = policy_cell(Policy::StaticCores(cores), BullyIntensity::High, qps);
             lat.row_owned(vec![
                 format!("{cores}"),
                 format!("{qps:.0}"),

@@ -8,15 +8,14 @@
 //! every period, so freshly woken primary workers queue behind it — the
 //! cascade §6.1.4 describes.
 
-use perfiso_bench::{cpu_row, cpu_table, section};
-use scenarios::{cycle_cap, standalone, Scale};
+use perfiso_bench::{cpu_row, cpu_table, policy_cell, section, standalone_cell};
+use scenarios::Policy;
 use telemetry::table::{ms, pct, Table};
+use workloads::BullyIntensity;
 
 fn main() {
-    let scale = Scale::bench();
-    let seed = 42;
-    let base2k = standalone(2_000.0, seed, scale);
-    let base4k = standalone(4_000.0, seed, scale);
+    let base2k = standalone_cell(2_000.0);
+    let base4k = standalone_cell(4_000.0);
 
     section("Fig 7a/7c: latency degradation and dropped queries (CPU-cycle caps)");
     let mut lat = Table::new(&[
@@ -30,7 +29,7 @@ fn main() {
     let mut cpu = cpu_table();
     for cap in [0.45, 0.25, 0.05] {
         for (qps, base) in [(2_000.0, &base2k), (4_000.0, &base4k)] {
-            let r = cycle_cap(cap, qps, seed, scale);
+            let r = policy_cell(Policy::CycleCap(cap), BullyIntensity::High, qps);
             lat.row_owned(vec![
                 format!("{:.0}%", cap * 100.0),
                 format!("{qps:.0}"),

@@ -9,14 +9,12 @@
 //! secondary do ~17 % more work. Relative progress vs unrestricted: blind
 //! 62 %/25 %, cores 45 %/30 %, cycles 9 %/9 %.
 
-use perfiso_bench::section;
-use scenarios::{run_with_policy, Policy, Scale};
+use perfiso_bench::{policy_cell, section};
+use scenarios::Policy;
 use telemetry::table::{ms, pct, Table};
 use workloads::BullyIntensity;
 
 fn main() {
-    let scale = Scale::bench();
-    let seed = 42;
     let policies = [
         Policy::Standalone,
         Policy::NoIsolation,
@@ -35,7 +33,7 @@ fn main() {
     ]);
     let mut cpu_unrestricted_2k = 0.0f64;
     for p in policies {
-        let r = run_with_policy(p, BullyIntensity::High, 2_000.0, seed, scale);
+        let r = policy_cell(p, BullyIntensity::High, 2_000.0);
         if p == Policy::NoIsolation {
             cpu_unrestricted_2k = r.secondary_cpu.as_secs_f64();
         }
@@ -51,22 +49,16 @@ fn main() {
 
     section("Sec 6.1.4: secondary progress relative to unrestricted");
     let mut rel = Table::new(&["policy", "2000 QPS", "4000 QPS"]);
-    let cpu_unrestricted_4k = run_with_policy(
-        Policy::NoIsolation,
-        BullyIntensity::High,
-        4_000.0,
-        seed,
-        scale,
-    )
-    .secondary_cpu
-    .as_secs_f64();
+    let cpu_unrestricted_4k = policy_cell(Policy::NoIsolation, BullyIntensity::High, 4_000.0)
+        .secondary_cpu
+        .as_secs_f64();
     for p in [
         Policy::Blind { buffer_cores: 8 },
         Policy::StaticCores(8),
         Policy::CycleCap(0.05),
     ] {
-        let r2 = run_with_policy(p, BullyIntensity::High, 2_000.0, seed, scale);
-        let r4 = run_with_policy(p, BullyIntensity::High, 4_000.0, seed, scale);
+        let r2 = policy_cell(p, BullyIntensity::High, 2_000.0);
+        let r4 = policy_cell(p, BullyIntensity::High, 4_000.0);
         rel.row_owned(vec![
             p.label(),
             pct(r2.secondary_cpu.as_secs_f64() / cpu_unrestricted_2k.max(1e-9)),

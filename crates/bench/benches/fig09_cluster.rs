@@ -6,30 +6,43 @@
 //! Paper result (shape): with PerfIso active the per-layer p99 rises by at
 //! most 0.8 / 0.4 / 1.1 ms (CPU-bound) and 0.8 / 1.2 / 1.1 ms (disk-bound)
 //! over the baseline. The paper runs each experiment 8 times; set
-//! `PERFISO_CLUSTER_RUNS` to change the default of 2.
+//! `PERFISO_CLUSTER_RUNS` to change the default of 2. Each case is one
+//! multi-seed [`ScenarioSpec`]; the seed repetitions fan out across worker
+//! threads.
 
-use cluster::{ClusterConfig, ClusterSim};
 use indexserve::SecondaryKind;
 use perfiso_bench::section;
+use scenarios::scale_multiplier;
+use scenarios::spec::{self, run_spec, RunOptions, ScaleSpec, ScenarioSpec};
 use telemetry::table::{ms, Table};
 use telemetry::RunStats;
 use workloads::{BullyIntensity, DiskBully};
 
-fn runs() -> u64 {
+fn runs() -> u32 {
     std::env::var("PERFISO_CLUSTER_RUNS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(2)
 }
 
-/// The `PERFISO_SCALE` multiplier applied to the measured window (the
-/// 75-machine cluster is by far the heaviest bench target).
-fn scale() -> f64 {
-    std::env::var("PERFISO_SCALE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1.0f64)
-        .max(0.1)
+/// One case of the figure, derived from the registry's `fig09` scenario
+/// (the CPU-bound headline cell) so the bench and `perfiso-run run fig09`
+/// agree on seed and shape — only the secondary mix, repetition count,
+/// and the `PERFISO_SCALE`-stretched window vary per case (the 75-machine
+/// cluster is by far the heaviest bench target).
+fn paper_case(name: &str, secondary: SecondaryKind) -> ScenarioSpec {
+    let mut s = spec::named("fig09").expect("registered scenario");
+    s.name = name.to_string();
+    s.secondary = secondary;
+    s.seeds = runs();
+    if let ScaleSpec::Custom {
+        ref mut measure_ms, ..
+    } = s.scale
+    {
+        *measure_ms = (*measure_ms as f64 * scale_multiplier().max(0.1)) as u64;
+    }
+    s.validate().expect("valid cluster spec");
+    s
 }
 
 struct Layered {
@@ -39,27 +52,25 @@ struct Layered {
     util: RunStats,
 }
 
-fn run_case(secondary: SecondaryKind, label: &str, t: &mut Table) -> Layered {
+fn run_case(spec: ScenarioSpec, label: &str, t: &mut Table) -> Layered {
+    let report = run_spec(&spec, &RunOptions::parallel(None)).expect("runnable cluster spec");
     let mut acc = Layered {
         local: [RunStats::new(), RunStats::new(), RunStats::new()],
         mla: [RunStats::new(), RunStats::new(), RunStats::new()],
         tla: [RunStats::new(), RunStats::new(), RunStats::new()],
         util: RunStats::new(),
     };
-    for run in 0..runs() {
-        let mut cfg = ClusterConfig::paper_cluster(secondary.clone(), 0xF19 + run * 7);
-        cfg.measure = cfg.measure.mul_f64(scale());
-        let report = ClusterSim::new(cfg).run();
+    for run in report.cluster_reports() {
         for (stats, layer) in [
-            (&mut acc.local, &report.local),
-            (&mut acc.mla, &report.mla),
-            (&mut acc.tla, &report.tla),
+            (&mut acc.local, &run.local),
+            (&mut acc.mla, &run.mla),
+            (&mut acc.tla, &run.tla),
         ] {
             stats[0].add(layer.avg.as_millis_f64());
             stats[1].add(layer.p95.as_millis_f64());
             stats[2].add(layer.p99.as_millis_f64());
         }
-        acc.util.add(report.mean_utilization);
+        acc.util.add(run.mean_utilization);
     }
     for (layer_name, s) in [
         ("local IndexServe", &acc.local),
@@ -85,28 +96,37 @@ fn main() {
     let mut t = Table::new(&["secondary", "layer", "avg (ms)", "p95 (ms)", "p99 (ms)"]);
 
     let base = run_case(
-        SecondaryKind {
-            hdfs: true,
-            ..SecondaryKind::none()
-        },
+        paper_case(
+            "fig09-baseline",
+            SecondaryKind {
+                hdfs: true,
+                ..SecondaryKind::none()
+            },
+        ),
         "none (baseline)",
         &mut t,
     );
     let cpu = run_case(
-        SecondaryKind {
-            cpu_bully: Some(BullyIntensity::High),
-            disk_bully: None,
-            hdfs: true,
-        },
+        paper_case(
+            "fig09-cpu",
+            SecondaryKind {
+                cpu_bully: Some(BullyIntensity::High),
+                disk_bully: None,
+                hdfs: true,
+            },
+        ),
         "CPU-bound",
         &mut t,
     );
     let disk = run_case(
-        SecondaryKind {
-            cpu_bully: None,
-            disk_bully: Some(DiskBully::default()),
-            hdfs: true,
-        },
+        paper_case(
+            "fig09-disk",
+            SecondaryKind {
+                cpu_bully: None,
+                disk_bully: Some(DiskBully::default()),
+                hdfs: true,
+            },
+        ),
         "disk-bound",
         &mut t,
     );

@@ -7,30 +7,46 @@
 //!
 //! Substitution (documented in DESIGN.md): the hour is sampled per minute
 //! on a few representative machines (steady-state DES slices) and
-//! extrapolated to the fleet; the reported p99 here is per-machine.
+//! extrapolated to the fleet; the reported p99 here is per-machine. The
+//! experiment is the registry's `fig10` scenario.
 
-use cluster::fleet::{run_fleet, FleetConfig};
 use perfiso_bench::section;
+use scenarios::scale_multiplier;
+use scenarios::spec::{self, run_spec, RunOptions, TargetSpec};
 use telemetry::table::Table;
 
 fn main() {
     // `PERFISO_SCALE` shrinks the per-minute DES slice (and samples a
     // single machine) so the hour-long series stays affordable on small
     // machines; the diurnal shape is unaffected.
-    let scale: f64 = std::env::var("PERFISO_SCALE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1.0);
-    let mut cfg = FleetConfig::default();
+    let scale = scale_multiplier();
+    let mut spec = spec::named("fig10").expect("registered scenario");
     if scale < 1.0 {
-        cfg.slice = cfg.slice.mul_f64(scale.max(0.2));
-        cfg.sampled_machines = 1;
+        if let TargetSpec::Fleet {
+            ref mut sampled_machines,
+            ref mut slice_ms,
+            ..
+        } = spec.target
+        {
+            *slice_ms = (*slice_ms as f64 * scale.max(0.2)) as u64;
+            *sampled_machines = 1;
+        }
+        spec.validate().expect("still a valid spec");
     }
+    let (fleet_machines, minutes, sampled) = match spec.target {
+        TargetSpec::Fleet {
+            fleet_machines,
+            minutes,
+            sampled_machines,
+            ..
+        } => (fleet_machines, minutes, sampled_machines),
+        _ => unreachable!("fig10 is a fleet scenario"),
+    };
     section(&format!(
-        "Fig 10: {}-machine fleet over {} minutes ({} sampled machines/minute)",
-        cfg.fleet_machines, cfg.minutes, cfg.sampled_machines
+        "Fig 10: {fleet_machines}-machine fleet over {minutes} minutes ({sampled} sampled machines/minute)"
     ));
-    let report = run_fleet(&cfg);
+    let result = run_spec(&spec, &RunOptions::parallel(None)).expect("runnable scenario");
+    let report = result.runs[0].as_fleet().expect("fleet target");
 
     let mut t = Table::new(&[
         "minute",

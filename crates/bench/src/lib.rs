@@ -1,13 +1,31 @@
-//! Shared formatting helpers for the benchmark harness.
+//! Shared helpers for the benchmark harness.
 //!
 //! Each bench target (`benches/fig*.rs`) regenerates one table or figure
 //! from the paper's evaluation and prints it in a layout that can be read
-//! side-by-side with the original. See EXPERIMENTS.md for the mapping and
-//! the recorded paper-vs-measured comparison.
+//! side-by-side with the original. The experiment cells are declarative
+//! [`scenarios::spec::ScenarioSpec`]s — [`policy_cell`] builds and runs
+//! one — so the benches, tests, examples, and the `perfiso-run` CLI all
+//! share a single description of every experiment. See EXPERIMENTS.md for
+//! the figure mapping and the recorded paper-vs-measured comparison.
 
 use indexserve::BoxReport;
+use scenarios::{run_with_policy, Policy, Scale};
 use telemetry::table::{ms, pct, Table};
 use telemetry::TenantClass;
+use workloads::BullyIntensity;
+
+/// Runs one single-box policy × intensity × load cell at the bench scale
+/// (honouring `PERFISO_SCALE`), seed 42 — the standard bench cell. A thin
+/// seam over [`scenarios::run_with_policy`], which builds and runs the
+/// corresponding `ScenarioSpec`.
+pub fn policy_cell(policy: Policy, intensity: BullyIntensity, qps: f64) -> BoxReport {
+    run_with_policy(policy, intensity, qps, 42, Scale::bench())
+}
+
+/// The standalone baseline cell at the bench scale.
+pub fn standalone_cell(qps: f64) -> BoxReport {
+    policy_cell(Policy::Standalone, BullyIntensity::High, qps)
+}
 
 /// Standard latency columns for a single-box report row.
 pub fn latency_row(label: &str, qps: f64, r: &BoxReport) -> Vec<String> {

@@ -3,10 +3,10 @@
 //! The main loop is a coupled DES: boxes interact through the fabric, so
 //! event routing stays serial and deterministic. The expensive part —
 //! advancing many independent boxes to the same instant — fans out across
-//! [`ClusterConfig::threads`] worker threads whenever enough boxes are due
-//! at once (controller poll ticks line up on every machine); each box's
-//! evolution between routed deliveries is independent, so the parallel run
-//! is bit-identical to the serial one.
+//! a persistent [`WorkerPool`] of [`ClusterConfig::threads`] workers
+//! whenever enough boxes are due at once (controller poll ticks line up
+//! on every machine); each box's evolution between routed deliveries is
+//! independent, so the parallel run is bit-identical to the serial one.
 
 use std::collections::HashMap;
 
@@ -19,6 +19,7 @@ use simcpu::MachineConfig;
 use simnet::{Delivery, NetConfig, NetSim, NodeId, TrafficClass};
 use telemetry::{CpuBreakdown, LatencyRecorder};
 
+use crate::pool::WorkerPool;
 use crate::report::{ClusterReport, LayerStats};
 use crate::topology::Topology;
 
@@ -124,7 +125,8 @@ pub struct ClusterSim {
     completed: u64,
     degraded: u64,
     now: SimTime,
-    workers: usize,
+    /// Persistent advance workers (`None` when the run is serial).
+    pool: Option<WorkerPool>,
     /// Reusable buffers for the per-step fabric drain and box drains.
     scratch_deliveries: Vec<Delivery>,
     scratch_events: Vec<BoxEvent>,
@@ -181,7 +183,10 @@ impl ClusterSim {
             completed: 0,
             degraded: 0,
             now: SimTime::ZERO,
-            workers: crate::fleet::effective_threads(cfg.threads),
+            pool: match crate::fleet::effective_threads(cfg.threads) {
+                0 | 1 => None,
+                workers => Some(WorkerPool::new(workers)),
+            },
             scratch_deliveries: Vec::with_capacity(64),
             scratch_events: Vec::with_capacity(64),
             cfg,
@@ -300,11 +305,12 @@ impl ClusterSim {
         }
     }
 
-    /// Advances every box with work due at or before `t`, in parallel when
-    /// enough boxes are due at the same instant (poll ticks line up across
-    /// machines). Boxes evolve independently between routed deliveries, so
-    /// the result is identical to advancing them one by one; the
-    /// subsequent event drain always runs serially in box order.
+    /// Advances every box with work due at or before `t`, handing the
+    /// work to the persistent pool when enough boxes are due at the same
+    /// instant (poll ticks line up across machines). Boxes evolve
+    /// independently between routed deliveries, so the result is
+    /// identical to advancing them one by one; the subsequent event drain
+    /// always runs serially in box order.
     fn advance_due_boxes(&mut self, t: SimTime) {
         let due = self
             .boxes
@@ -314,24 +320,15 @@ impl ClusterSim {
         if due == 0 {
             return;
         }
-        if self.workers > 1 && due >= PARALLEL_ADVANCE_THRESHOLD {
-            let chunk = self.boxes.len().div_ceil(self.workers);
-            std::thread::scope(|scope| {
-                for boxes in self.boxes.chunks_mut(chunk) {
-                    scope.spawn(move || {
-                        for b in boxes {
-                            if b.next_event_time().is_some_and(|n| n <= t) {
-                                b.advance_to(t);
-                            }
-                        }
-                    });
-                }
-            });
-        } else {
-            for b in &mut self.boxes {
-                if b.next_event_time().is_some_and(|n| n <= t) {
-                    b.advance_to(t);
-                }
+        if due >= PARALLEL_ADVANCE_THRESHOLD {
+            if let Some(pool) = self.pool.as_mut() {
+                pool.advance_due(&mut self.boxes, t);
+                return;
+            }
+        }
+        for b in &mut self.boxes {
+            if b.next_event_time().is_some_and(|n| n <= t) {
+                b.advance_to(t);
             }
         }
     }

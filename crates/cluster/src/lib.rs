@@ -19,6 +19,7 @@
 
 pub mod clustersim;
 pub mod fleet;
+mod pool;
 pub mod report;
 pub mod topology;
 

@@ -1,0 +1,150 @@
+//! A persistent worker pool for the cluster's parallel box advances.
+//!
+//! The Fig 9 main loop advances many independent [`BoxSim`]s to the same
+//! instant whenever controller poll ticks line up across machines. Doing
+//! that with a fresh `thread::scope` per qualifying step pays thread
+//! spawn/join latency thousands of times per run; this pool spawns the
+//! workers once and hands them one [`Job`] per step instead.
+//!
+//! Workers claim fixed-size chunks of the box array through a shared
+//! atomic cursor, so load balances freely while every box is still
+//! advanced exactly once. Boxes never observe each other between routed
+//! deliveries, so the result is bit-identical to a serial advance
+//! regardless of which worker processes which chunk.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use indexserve::BoxSim;
+use simcore::SimTime;
+
+/// One advance request: a raw view of the box array plus the target time.
+#[derive(Clone, Copy)]
+struct Job {
+    boxes: *mut BoxSim,
+    len: usize,
+    chunk: usize,
+    target: SimTime,
+}
+
+// SAFETY: a `Job` is only live while `WorkerPool::advance_due` blocks the
+// owning thread, and workers touch pairwise-disjoint chunks (claimed via
+// the shared atomic cursor), so the aliasing rules hold.
+unsafe impl Send for Job {}
+
+// The manual Send impl above erases the compiler's `BoxSim: Send` check;
+// reinstate it so a future non-Send field inside BoxSim becomes a compile
+// error instead of silent undefined behaviour.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<BoxSim>()
+};
+
+/// The persistent pool. Dropping it shuts the workers down.
+pub(crate) struct WorkerPool {
+    senders: Vec<Sender<Job>>,
+    /// Per-job completion signals; `true` means that worker panicked.
+    done_rx: Receiver<bool>,
+    cursor: Arc<AtomicUsize>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` (≥ 2 is useful; 1 still works) pool threads.
+    pub(crate) fn new(workers: usize) -> Self {
+        let cursor = Arc::new(AtomicUsize::new(0));
+        let (done_tx, done_rx) = channel::<bool>();
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = channel::<Job>();
+            let cursor = Arc::clone(&cursor);
+            let done = done_tx.clone();
+            senders.push(tx);
+            handles.push(std::thread::spawn(move || worker_loop(&rx, &cursor, &done)));
+        }
+        WorkerPool {
+            senders,
+            done_rx,
+            cursor,
+            handles,
+        }
+    }
+
+    /// Advances every box with work due at or before `target`, in
+    /// parallel, and returns once all of them are quiescent. Blocks the
+    /// calling thread for the whole advance, which is what makes the raw
+    /// pointer hand-off sound.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises (as a fresh panic) any panic that occurred inside a
+    /// worker, matching the fail-fast behaviour of a scoped-thread join.
+    pub(crate) fn advance_due(&mut self, boxes: &mut [BoxSim], target: SimTime) {
+        if boxes.is_empty() {
+            return;
+        }
+        self.cursor.store(0, Ordering::Relaxed);
+        let job = Job {
+            boxes: boxes.as_mut_ptr(),
+            len: boxes.len(),
+            chunk: boxes.len().div_ceil(self.senders.len()),
+            target,
+        };
+        for tx in &self.senders {
+            tx.send(job).expect("pool worker exited early");
+        }
+        let mut worker_panicked = false;
+        for _ in 0..self.senders.len() {
+            worker_panicked |= self.done_rx.recv().expect("pool worker exited early");
+        }
+        assert!(
+            !worker_panicked,
+            "cluster pool worker panicked during a box advance"
+        );
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job channels ends the worker loops.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One pool thread: claim chunks, advance due boxes, signal completion.
+///
+/// A panic while advancing (a simulation invariant violation) is caught
+/// so the done signal still reaches the submitter — which then re-raises
+/// instead of deadlocking on a signal that would never come. The boxes
+/// are never touched again after a panic: the submitter aborts the run.
+fn worker_loop(rx: &Receiver<Job>, cursor: &AtomicUsize, done: &Sender<bool>) {
+    while let Ok(job) = rx.recv() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
+            let start = cursor.fetch_add(1, Ordering::Relaxed) * job.chunk;
+            if start >= job.len {
+                break;
+            }
+            let end = (start + job.chunk).min(job.len);
+            // SAFETY: `start..end` ranges from distinct cursor values are
+            // disjoint, and the submitting thread blocks in `advance_due`
+            // until every worker has signalled `done`, so no other code
+            // aliases these boxes while we hold the slice.
+            let boxes =
+                unsafe { std::slice::from_raw_parts_mut(job.boxes.add(start), end - start) };
+            for b in boxes {
+                if b.next_event_time().is_some_and(|n| n <= job.target) {
+                    b.advance_to(job.target);
+                }
+            }
+        }));
+        if done.send(result.is_err()).is_err() {
+            return; // Pool dropped mid-job: nothing left to report to.
+        }
+    }
+}

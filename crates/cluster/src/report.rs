@@ -1,11 +1,12 @@
 //! Cluster measurement reports.
 
+use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 use telemetry::recorder::PercentileSummary;
 use telemetry::{CpuBreakdown, LatencyRecorder};
 
 /// Latency statistics for one aggregation layer (Fig 9's bar groups).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct LayerStats {
     /// Average latency.
     pub avg: SimDuration,
@@ -31,7 +32,7 @@ impl LayerStats {
 }
 
 /// One cluster run's measurements.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct ClusterReport {
     /// Local IndexServe latency across all index machines.
     pub local: LayerStats,

@@ -51,7 +51,7 @@ pub struct PerfIso {
 }
 
 /// Controller activity counters.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ControllerStats {
     /// CPU poll ticks executed.
     pub cpu_polls: u64,

@@ -34,7 +34,7 @@ use crate::service::{IndexServe, QueryOutcome, ServiceConfig};
 use crate::tags::{parse_stage_tag, parse_wake_token, wake_token, FIRE_AND_FORGET};
 
 /// Which secondary tenants run on the box.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SecondaryKind {
     /// A CPU bully with the given intensity.
     pub cpu_bully: Option<BullyIntensity>,
@@ -852,7 +852,7 @@ impl RunPlan {
 }
 
 /// What a standalone run measured (one bar group of a paper figure).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct BoxReport {
     /// Offered load.
     pub qps: f64,

@@ -1,17 +1,29 @@
 //! Calibration probe: prints the standalone profile and the headline
 //! colocation numbers so the service model can be tuned against the paper's
-//! published figures (p50 = 4 ms, p99 = 12 ms, idle 80 %/60 %).
+//! published figures (p50 = 4 ms, p99 = 12 ms, idle 80 %/60 %). Every cell
+//! is one [`ScenarioSpec`] over the bench scale.
 
-use scenarios::{blind_isolation, cycle_cap, no_isolation, standalone, static_cores, Scale};
+use scenarios::spec::{run_spec, RunOptions, ScaleSpec, ScenarioSpec};
+use scenarios::Policy;
 use telemetry::table::{ms, pct, Table};
 use workloads::BullyIntensity;
 
 fn main() {
-    let scale = Scale::bench();
     let mut t = Table::new(&[
         "case", "qps", "p50", "p95", "p99", "drops", "idle", "prim", "sec", "os", "fanout",
     ]);
-    let mut add = |name: &str, qps: f64, r: &indexserve::BoxReport| {
+    let mut add = |name: &str, qps: f64, policy: Policy, intensity: Option<BullyIntensity>| {
+        let mut b = ScenarioSpec::builder("calibrate")
+            .single_box(qps)
+            .policy(policy)
+            .scale(ScaleSpec::Bench)
+            .seed(42);
+        if let Some(intensity) = intensity {
+            b = b.cpu_bully(intensity);
+        }
+        let spec = b.build().expect("valid calibration spec");
+        let report = run_spec(&spec, &RunOptions::serial()).expect("runnable spec");
+        let r = report.runs[0].as_single_box().expect("single box");
         t.row_owned(vec![
             name.to_string(),
             format!("{qps:.0}"),
@@ -28,33 +40,54 @@ fn main() {
     };
 
     for qps in [2_000.0, 4_000.0] {
-        let r = standalone(qps, 42, scale);
-        add("standalone", qps, &r);
+        add("standalone", qps, Policy::Standalone, None);
     }
     for qps in [2_000.0, 4_000.0] {
-        let r = no_isolation(BullyIntensity::Mid, qps, 42, scale);
-        add("none+mid", qps, &r);
+        add(
+            "none+mid",
+            qps,
+            Policy::NoIsolation,
+            Some(BullyIntensity::Mid),
+        );
     }
     for qps in [2_000.0, 4_000.0] {
-        let r = no_isolation(BullyIntensity::High, qps, 42, scale);
-        add("none+high", qps, &r);
+        add(
+            "none+high",
+            qps,
+            Policy::NoIsolation,
+            Some(BullyIntensity::High),
+        );
     }
     for buffer in [4, 8] {
         for qps in [2_000.0, 4_000.0] {
-            let r = blind_isolation(buffer, qps, 42, scale);
-            add(&format!("blind(B={buffer})"), qps, &r);
+            add(
+                &format!("blind(B={buffer})"),
+                qps,
+                Policy::Blind {
+                    buffer_cores: buffer,
+                },
+                Some(BullyIntensity::High),
+            );
         }
     }
     for cores in [24, 16, 8] {
         for qps in [2_000.0, 4_000.0] {
-            let r = static_cores(cores, qps, 42, scale);
-            add(&format!("static({cores})"), qps, &r);
+            add(
+                &format!("static({cores})"),
+                qps,
+                Policy::StaticCores(cores),
+                Some(BullyIntensity::High),
+            );
         }
     }
     for pct in [0.45, 0.25, 0.05] {
         for qps in [2_000.0, 4_000.0] {
-            let r = cycle_cap(pct, qps, 42, scale);
-            add(&format!("cycles({}%)", (pct * 100.0) as u32), qps, &r);
+            add(
+                &format!("cycles({}%)", (pct * 100.0) as u32),
+                qps,
+                Policy::CycleCap(pct),
+                Some(BullyIntensity::High),
+            );
         }
     }
     println!("{}", t.render());

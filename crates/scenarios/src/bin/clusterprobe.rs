@@ -1,20 +1,18 @@
 //! Diagnostic: step the small-cluster baseline manually and report where
-//! virtual time stops advancing.
+//! virtual time stops advancing. The experiment is the registry's
+//! `cluster-small` scenario with its secondary stripped.
 
-use cluster::{ClusterConfig, ClusterSim, Topology};
-use indexserve::SecondaryKind;
-use simcore::SimDuration;
+use scenarios::spec;
 
 fn main() {
-    let cfg = ClusterConfig {
-        topology: Topology::small(),
-        qps_total: 600.0,
-        warmup: SimDuration::from_millis(200),
-        measure: SimDuration::from_millis(600),
-        ..ClusterConfig::paper_cluster(SecondaryKind::none(), 3)
-    };
-    eprintln!("running small cluster: {:?}", cfg.topology);
-    let report = ClusterSim::new(cfg).run_traced(50_000);
+    let mut s = spec::named("cluster-small").expect("registered scenario");
+    s.secondary = indexserve::SecondaryKind::none();
+    s.validate().expect("still a valid spec");
+    eprintln!("running {} ({})", s.name, s.target.describe());
+    let report = s
+        .cluster_sim(3, 1)
+        .expect("cluster scenario")
+        .run_traced(50_000);
     eprintln!(
         "completed={} degraded={}",
         report.completed, report.degraded

@@ -1,10 +1,12 @@
 //! Fleet throughput benchmark: the perf gate for the simulation hot path.
 //!
-//! Runs the Fig 10 fleet sweep twice — serial (`threads: 1`) and parallel
-//! (`threads: 0`, all cores) — asserts the reports are bit-identical, and
+//! Runs the Fig 10 fleet sweep twice — serial (`--threads 1`) and parallel
+//! (`--threads 0`, all cores) — asserts the reports are bit-identical, and
 //! reports wall-clock, slices/second, scheduler events/second, and the
 //! parallel speedup. A single-box run under a counting allocator reports
-//! allocations per simulated second for the inner step loop.
+//! allocations per simulated second for the inner step loop. Both
+//! experiments are described by [`ScenarioSpec`]s and executed through
+//! [`scenarios::spec::run_spec`].
 //!
 //! Results go to stdout as a table and to `BENCH_fleet.json` (override the
 //! path with `PERFISO_BENCH_OUT`) so CI can archive the trajectory.
@@ -14,12 +16,10 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use cluster::fleet::{run_fleet, FleetConfig, FleetReport};
-use indexserve::boxsim::{run_standalone, BoxConfig, RunPlan};
-use indexserve::SecondaryKind;
-use perfiso::PerfIsoConfig;
+use cluster::fleet::FleetReport;
+use scenarios::spec::{run_spec, RunOptions, ScenarioSpec};
+use scenarios::Policy;
 use serde_json::{json, Value};
-use simcore::SimDuration;
 use telemetry::table::Table;
 use workloads::BullyIntensity;
 
@@ -57,35 +57,40 @@ fn alloc_snapshot() -> (u64, u64) {
     )
 }
 
-/// Allocation profile of the single-box inner loop: a standalone run with
-/// a colocated bully under blind isolation, 1 simulated second measured.
+/// Allocation profile of one complete standalone single-box run — trace
+/// generation, sim construction, and the step loop (the step loop
+/// dominates at these window lengths): a colocated bully under blind
+/// isolation, 2.3 simulated seconds (0.8 in smoke), warmup included in
+/// the divisor.
 fn singlebox_alloc_profile(smoke: bool) -> Value {
     let measure = if smoke { 500 } else { 2_000 };
-    let plan = RunPlan {
-        qps: 2_000.0,
-        warmup: SimDuration::from_millis(300),
-        measure: SimDuration::from_millis(measure),
-        trace: Default::default(),
-    };
-    let cfg = BoxConfig::paper_box(
-        SecondaryKind::cpu(BullyIntensity::High),
-        Some(PerfIsoConfig::default()),
-        4242,
-    );
-    let sim_secs = (plan.warmup + plan.measure).as_secs_f64();
+    let spec = ScenarioSpec::builder("allocprofile")
+        .single_box(2_000.0)
+        .cpu_bully(BullyIntensity::High)
+        .policy(Policy::Blind { buffer_cores: 8 })
+        .custom_scale(300, measure)
+        .seed(4242)
+        .build()
+        .expect("valid spec");
+    let sim_secs = (300 + measure) as f64 / 1_000.0;
     let (allocs_before, bytes_before) = alloc_snapshot();
     let wall = Instant::now();
-    let report = run_standalone(cfg, &plan);
+    let report = run_spec(&spec, &RunOptions::serial()).expect("runnable spec");
     let wall = wall.elapsed().as_secs_f64();
     let (allocs_after, bytes_after) = alloc_snapshot();
     let allocs = allocs_after - allocs_before;
     let bytes = bytes_after - bytes_before;
+    let queries = report.runs[0]
+        .as_single_box()
+        .expect("single box")
+        .latency
+        .count;
     println!(
-        "single-box step loop: {:.0} allocs/sim-second ({:.1} MiB/sim-second), \
+        "single-box run (incl. setup): {:.0} allocs/sim-second ({:.1} MiB/sim-second), \
          {} queries completed, wall {:.2}s",
         allocs as f64 / sim_secs,
         bytes as f64 / sim_secs / (1 << 20) as f64,
-        report.latency.count,
+        queries,
         wall,
     );
     json!({
@@ -93,7 +98,7 @@ fn singlebox_alloc_profile(smoke: bool) -> Value {
         "allocations": allocs,
         "allocated_bytes": bytes,
         "allocations_per_sim_second": allocs as f64 / sim_secs,
-        "queries_completed": report.latency.count,
+        "queries_completed": queries,
         "wall_seconds": wall
     })
 }
@@ -103,12 +108,19 @@ struct FleetRun {
     report: FleetReport,
 }
 
-fn timed_fleet(cfg: &FleetConfig) -> FleetRun {
+fn timed_fleet(spec: &ScenarioSpec, threads: usize) -> FleetRun {
     let wall = Instant::now();
-    let report = run_fleet(cfg);
+    let report = run_spec(
+        spec,
+        &RunOptions {
+            seeds: None,
+            threads,
+        },
+    )
+    .expect("runnable spec");
     FleetRun {
         wall: wall.elapsed().as_secs_f64(),
-        report,
+        report: report.runs[0].as_fleet().expect("fleet target").clone(),
     }
 }
 
@@ -131,26 +143,10 @@ fn fleet_run_json(label: &str, threads: usize, run: &FleetRun) -> Value {
 /// Bit-exact comparison of the two reports; parallelism must not change a
 /// single ULP anywhere.
 fn assert_identical(serial: &FleetReport, parallel: &FleetReport) {
-    assert_eq!(
-        serial.mean_utilization.to_bits(),
-        parallel.mean_utilization.to_bits()
+    assert!(
+        serial.bits_eq(parallel),
+        "parallel fleet report diverged from serial"
     );
-    assert_eq!(serial.max_p99, parallel.max_p99);
-    assert_eq!(serial.slices, parallel.slices);
-    assert_eq!(serial.sim_events, parallel.sim_events);
-    for (a, b) in [
-        (&serial.qps, &parallel.qps),
-        (&serial.p99_ms, &parallel.p99_ms),
-        (&serial.utilization_pct, &parallel.utilization_pct),
-        (&serial.trainer_progress, &parallel.trainer_progress),
-    ] {
-        assert_eq!(a.len(), b.len());
-        for i in 0..a.len() {
-            let (x, y) = (a.bucket(i).unwrap(), b.bucket(i).unwrap());
-            assert_eq!(x.count, y.count);
-            assert_eq!(x.sum.to_bits(), y.sum.to_bits());
-        }
-    }
 }
 
 fn main() {
@@ -158,38 +154,27 @@ fn main() {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let base = if smoke {
-        FleetConfig {
-            minutes: 8,
-            sampled_machines: 2,
-            slice: SimDuration::from_millis(200),
-            ..Default::default()
-        }
+    let spec = if smoke {
+        ScenarioSpec::builder("fleetbench-smoke").fleet(8, 2, 200)
     } else {
-        FleetConfig {
-            minutes: 24,
-            sampled_machines: 3,
-            slice: SimDuration::from_millis(500),
-            ..Default::default()
-        }
-    };
+        ScenarioSpec::builder("fleetbench").fleet(24, 3, 500)
+    }
+    .policy(Policy::Blind { buffer_cores: 8 })
+    .seed(99)
+    .build()
+    .expect("valid fleet spec");
 
     println!(
-        "fleet bench: {} minutes x {} sampled machines, {} ms slices, {} cores available{}",
-        base.minutes,
-        base.sampled_machines,
-        base.slice.as_millis(),
+        "fleet bench: {}, {} cores available{}",
+        spec.target.describe(),
         threads,
         if smoke { " [smoke]" } else { "" },
     );
 
     let alloc_profile = singlebox_alloc_profile(smoke);
 
-    let serial = timed_fleet(&FleetConfig {
-        threads: 1,
-        ..base.clone()
-    });
-    let parallel = timed_fleet(&FleetConfig { threads: 0, ..base });
+    let serial = timed_fleet(&spec, 1);
+    let parallel = timed_fleet(&spec, 0);
     assert_identical(&serial.report, &parallel.report);
     let speedup = serial.wall / parallel.wall;
 

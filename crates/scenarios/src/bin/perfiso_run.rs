@@ -1,0 +1,167 @@
+//! `perfiso-run` — the unified experiment CLI.
+//!
+//! ```text
+//! perfiso-run list
+//! perfiso-run show <name>
+//! perfiso-run run <name|spec.json> [--seeds N] [--threads T] [--out report.json]
+//! ```
+//!
+//! `run` resolves the scenario from the registry (or loads a
+//! [`scenarios::spec::ScenarioSpec`] JSON file), fans the seed
+//! repetitions out across `--threads` workers (`0` = all cores; parallel
+//! reports are bit-identical to `--threads 1`), prints a per-seed table
+//! plus cross-seed statistics, and optionally writes the full JSON
+//! [`scenarios::spec::Report`] to `--out`.
+
+use std::process::ExitCode;
+
+use scenarios::spec::{self, Report, RunOptions, ScenarioSpec, SeedReport};
+use telemetry::table::{ms, pct, Table};
+
+const USAGE: &str = "usage:
+  perfiso-run list
+  perfiso-run show <name>
+  perfiso-run run <name|spec.json> [--seeds N] [--threads T] [--out report.json]
+
+  --seeds N     override the spec's repetition count (seeds seed..seed+N)
+  --threads T   seed-sweep workers; 0 = all cores (default), 1 = serial
+  --out PATH    write the full JSON report to PATH";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("show") => match args.get(1) {
+            Some(name) => cmd_show(name),
+            None => Err("`show` needs a scenario name".into()),
+        },
+        Some("run") => cmd_run(&args[1..]),
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+        None => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_list() -> Result<(), String> {
+    let mut t = Table::new(&["name", "target", "policy", "seeds", "description"]);
+    for s in spec::registry() {
+        t.row_owned(vec![
+            s.name.clone(),
+            s.target.describe(),
+            s.policy.label(),
+            format!("{}", s.seeds),
+            s.description.clone(),
+        ]);
+    }
+    print!("{}", t.render());
+    Ok(())
+}
+
+fn cmd_show(name: &str) -> Result<(), String> {
+    let s = spec::named(name).map_err(|e| e.to_string())?;
+    println!("{}", s.to_json());
+    Ok(())
+}
+
+/// Resolves `run`'s scenario operand: a registry name, or a path to a
+/// spec JSON file (anything containing a path separator or ending in
+/// `.json`).
+fn resolve_spec(operand: &str) -> Result<ScenarioSpec, String> {
+    if operand.ends_with(".json") || operand.contains('/') {
+        let text = std::fs::read_to_string(operand)
+            .map_err(|e| format!("cannot read spec file {operand}: {e}"))?;
+        ScenarioSpec::from_json(&text).map_err(|e| e.to_string())
+    } else {
+        spec::named(operand).map_err(|e| e.to_string())
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let Some(operand) = args.first() else {
+        return Err(format!("`run` needs a scenario name or spec file\n{USAGE}"));
+    };
+    let mut opts = RunOptions {
+        seeds: None,
+        threads: 0,
+    };
+    let mut out: Option<String> = None;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--seeds" => {
+                let v = value("--seeds")?;
+                let n: u32 = v.parse().map_err(|_| format!("invalid --seeds {v:?}"))?;
+                opts.seeds = Some(n);
+            }
+            "--threads" => {
+                let v = value("--threads")?;
+                opts.threads = v.parse().map_err(|_| format!("invalid --threads {v:?}"))?;
+            }
+            "--out" => out = Some(value("--out")?),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+
+    let spec = resolve_spec(operand)?;
+    println!(
+        "running {} ({}) under {} ...",
+        spec.name,
+        spec.target.describe(),
+        spec.policy.label()
+    );
+    let started = std::time::Instant::now();
+    let report = spec::run_spec(&spec, &opts).map_err(|e| e.to_string())?;
+    let wall = started.elapsed().as_secs_f64();
+
+    print_report(&report);
+    println!(
+        "\n{} seed(s) in {wall:.2}s wall ({} sweep)",
+        report.seeds.len(),
+        if opts.threads == 1 {
+            "serial"
+        } else {
+            "parallel"
+        },
+    );
+    if let Some(path) = out {
+        std::fs::write(&path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn print_report(report: &Report) {
+    let mut t = Table::new(&["seed", "p99 (ms)", "utilization", "drops", "secondary"]);
+    for (seed, run) in report.seeds.iter().zip(report.runs.iter()) {
+        let secondary = match run {
+            SeedReport::Fleet(_) => format!("{:.0} mb/min", run.secondary_progress()),
+            _ => format!("{:.1} cpu-s", run.secondary_progress()),
+        };
+        t.row_owned(vec![
+            format!("{seed}"),
+            ms(run.p99()),
+            pct(run.utilization()),
+            pct(run.drop_ratio()),
+            secondary,
+        ]);
+    }
+    print!("{}", t.render());
+    let s = &report.summary;
+    println!(
+        "summary: p99 {} ms   utilization {:.1}%   drops {:.2}%",
+        s.p99_ms.to_ci_string(),
+        s.utilization.mean() * 100.0,
+        s.drop_ratio.mean() * 100.0,
+    );
+}

@@ -1,8 +1,12 @@
 //! Diagnostic probe for the saturated no-isolation cells: prints the
 //! service-level counters that the calibration table hides.
+//!
+//! The experiment is described by a [`ScenarioSpec`]; the probe obtains
+//! the simulator and its workload replay from the spec and steps them
+//! manually to report progress every simulated 250 ms.
 
-use indexserve::boxsim::{BoxConfig, BoxSim, SecondaryKind};
-use qtrace::{OpenLoopClient, TraceConfig, TraceGenerator};
+use scenarios::spec::ScenarioSpec;
+use scenarios::Policy;
 use simcore::{SimDuration, SimTime};
 use workloads::BullyIntensity;
 
@@ -11,20 +15,17 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(4_000.0);
-    let total = SimDuration::from_millis(2_000);
-    let n = (qps * total.as_secs_f64() * 1.05) as usize + 16;
-    let trace = TraceGenerator::new(TraceConfig {
-        queries: n,
-        ..Default::default()
-    })
-    .generate(1);
-    let mut client = OpenLoopClient::new(trace, qps, 2);
-    let mut sim = BoxSim::new(BoxConfig::paper_box(
-        SecondaryKind::cpu(BullyIntensity::High),
-        None,
-        1,
-    ));
-    let end = SimTime::ZERO + total;
+    let spec = ScenarioSpec::builder("probe")
+        .single_box(qps)
+        .cpu_bully(BullyIntensity::High)
+        .policy(Policy::NoIsolation)
+        .custom_scale(0, 2_000)
+        .seed(1)
+        .build()
+        .expect("valid probe spec");
+    let mut client = spec.open_loop_client(spec.seed).expect("single-box spec");
+    let mut sim = spec.box_sim(spec.seed).expect("single-box spec");
+    let end = SimTime::ZERO + SimDuration::from_millis(2_000);
     let mut completed = 0u64;
     let mut dropped = 0u64;
     let mut next_report = SimTime::from_millis(250);

@@ -1,18 +1,25 @@
-//! Experiment drivers shared by the integration tests, examples, and the
-//! benchmark harness.
+//! Experiment descriptions and drivers shared by the integration tests,
+//! examples, benches, and the `perfiso-run` CLI.
 //!
-//! Each function runs one *bar group* of a paper figure and returns a
-//! [`indexserve::BoxReport`] (or a cluster report); the bench targets format
-//! them into the tables printed by `cargo bench`.
+//! The [`spec`] module is the one way to describe and run an experiment:
+//! a declarative [`spec::ScenarioSpec`] (workload × secondary ×
+//! [`Policy`] × target), a registry of named paper scenarios, and a
+//! multi-seed runner whose parallel sweeps are bit-identical to serial
+//! ones. [`singlebox`] keeps thin one-call helpers (`standalone`,
+//! `blind_isolation`, …) for the common single-box cells; each builds a
+//! spec under the hood.
 //!
 //! Runs are scaled by [`Scale`]: the default keeps test runtimes modest;
-//! `Scale::paper()` (or setting the `PERFISO_SCALE` environment variable to
-//! a multiplier) lengthens the measured windows for tighter percentiles.
+//! setting the `PERFISO_SCALE` environment variable to a multiplier
+//! lengthens the measured windows for tighter percentiles (parsed once,
+//! see [`singlebox::scale_multiplier`]).
 
 pub mod policies;
 pub mod singlebox;
+pub mod spec;
 
 pub use policies::Policy;
 pub use singlebox::{
-    blind_isolation, cycle_cap, no_isolation, run_with_policy, standalone, static_cores, Scale,
+    blind_isolation, cycle_cap, no_isolation, run_with_policy, scale_multiplier, standalone,
+    static_cores, Scale,
 };

@@ -1,9 +1,10 @@
 //! The isolation policies compared across the paper's figures.
 
 use perfiso::{CpuPolicy, PerfIsoConfig};
+use serde::{Deserialize, Serialize};
 
 /// One of the evaluated isolation configurations (§6.1).
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Policy {
     /// Primary alone on the machine (no secondary at all).
     Standalone,
@@ -18,6 +19,9 @@ pub enum Policy {
     StaticCores(u32),
     /// Static CPU-cycle cap as a fraction of machine CPU in `(0, 1]`.
     CycleCap(f64),
+    /// The full production controller (§5.3): blind isolation plus the
+    /// static HDFS I/O caps and DWRR priorities of the cluster deployment.
+    FullPerfIso,
 }
 
 impl Policy {
@@ -38,6 +42,7 @@ impl Policy {
                 cpu: CpuPolicy::CycleCap(f),
                 ..PerfIsoConfig::default()
             }),
+            Policy::FullPerfIso => Some(PerfIsoConfig::paper_cluster()),
         }
     }
 
@@ -49,6 +54,7 @@ impl Policy {
             Policy::Blind { buffer_cores } => format!("blind(B={buffer_cores})"),
             Policy::StaticCores(n) => format!("static-cores({n})"),
             Policy::CycleCap(f) => format!("cycle-cap({:.0}%)", f * 100.0),
+            Policy::FullPerfIso => "perfiso-full".into(),
         }
     }
 }
@@ -65,6 +71,7 @@ mod tests {
             Policy::Blind { buffer_cores: 8 },
             Policy::StaticCores(8),
             Policy::CycleCap(0.05),
+            Policy::FullPerfIso,
         ];
         let labels: std::collections::HashSet<String> =
             policies.iter().map(|p| p.label()).collect();
@@ -79,5 +86,23 @@ mod tests {
         assert_eq!(c.cpu, CpuPolicy::Blind { buffer_cores: 4 });
         let c = Policy::CycleCap(0.45).perfiso_config().unwrap();
         assert_eq!(c.cpu, CpuPolicy::CycleCap(0.45));
+        let c = Policy::FullPerfIso.perfiso_config().unwrap();
+        assert_eq!(c.cpu, CpuPolicy::paper_default());
+        assert_eq!(c.tenant_limits.len(), 2);
+    }
+
+    #[test]
+    fn policy_round_trips_through_json() {
+        for p in [
+            Policy::Standalone,
+            Policy::Blind { buffer_cores: 8 },
+            Policy::StaticCores(16),
+            Policy::CycleCap(0.25),
+            Policy::FullPerfIso,
+        ] {
+            let text = serde_json::to_string(&p).expect("serializable");
+            let back: Policy = serde_json::from_str(&text).expect("parseable");
+            assert_eq!(back, p);
+        }
     }
 }

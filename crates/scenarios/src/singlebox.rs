@@ -1,17 +1,48 @@
-//! Single-machine experiment drivers (Figs 4–8).
+//! Single-machine experiment helpers (Figs 4–8).
+//!
+//! Thin convenience wrappers over [`crate::spec`]: each function builds
+//! the corresponding [`crate::spec::ScenarioSpec`] and runs it once. Use
+//! the spec API directly for multi-seed sweeps, cluster/fleet targets, or
+//! JSON round-trips.
 
-use indexserve::{BoxConfig, BoxReport, SecondaryKind};
+use std::sync::OnceLock;
+
+use indexserve::BoxReport;
 use simcore::SimDuration;
 use workloads::{BullyIntensity, DiskBully};
 
 use crate::policies::Policy;
+use crate::spec::{run_spec, RunOptions, ScaleSpec, ScenarioSpec};
+
+/// The cached `PERFISO_SCALE` multiplier.
+static SCALE_MULTIPLIER: OnceLock<f64> = OnceLock::new();
+
+/// The `PERFISO_SCALE` run-length multiplier, parsed once per process.
+///
+/// # Panics
+///
+/// Panics (once, with the offending value) when the variable is set but
+/// is not a positive finite number — a silent fallback to 1.0 would make
+/// a typo in a bench invocation indistinguishable from the default.
+pub fn scale_multiplier() -> f64 {
+    *SCALE_MULTIPLIER.get_or_init(|| match std::env::var("PERFISO_SCALE") {
+        Err(_) => 1.0,
+        Ok(v) => match v.trim().parse::<f64>() {
+            Ok(m) if m.is_finite() && m > 0.0 => m,
+            _ => panic!(
+                "invalid PERFISO_SCALE value {v:?}: expected a positive finite \
+                 multiplier (e.g. 0.5 or 4)"
+            ),
+        },
+    })
+}
 
 /// Run-length scaling.
 ///
 /// The measured window trades percentile resolution for wall-clock time;
 /// integration tests use [`Scale::quick`], benches default to
 /// [`Scale::bench`] and honour the `PERFISO_SCALE` environment variable as
-/// an extra multiplier.
+/// an extra multiplier (see [`scale_multiplier`]).
 #[derive(Clone, Copy, Debug)]
 pub struct Scale {
     /// Warm-up excluded from statistics.
@@ -29,26 +60,24 @@ impl Scale {
         }
     }
 
-    /// Bench default (~6 s simulated), times the `PERFISO_SCALE` env var.
+    /// Bench default (~6 s simulated), times the `PERFISO_SCALE` env var
+    /// (floored at 0.1 so a tiny multiplier cannot produce a degenerate
+    /// zero-length measurement window).
     pub fn bench() -> Self {
-        let mult: f64 = std::env::var("PERFISO_SCALE")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(1.0);
         Scale {
             warmup: SimDuration::from_millis(500),
-            measure: SimDuration::from_millis((6_000.0 * mult.max(0.1)) as u64),
+            measure: SimDuration::from_millis((6_000.0 * scale_multiplier().max(0.1)) as u64),
         }
     }
+}
 
-    fn plan(&self, qps: f64) -> indexserve::boxsim::RunPlan {
-        indexserve::boxsim::RunPlan {
-            qps,
-            warmup: self.warmup,
-            measure: self.measure,
-            trace: qtrace::TraceConfig::default(),
-        }
-    }
+/// Runs a validated single-box spec once and unwraps the box report.
+fn run_single(spec: ScenarioSpec) -> BoxReport {
+    let report = run_spec(&spec, &RunOptions::serial()).expect("helper spec is valid");
+    report.runs[0]
+        .as_single_box()
+        .expect("single-box target")
+        .clone()
 }
 
 /// Runs one policy × bully-intensity × load cell.
@@ -59,12 +88,15 @@ pub fn run_with_policy(
     seed: u64,
     scale: Scale,
 ) -> BoxReport {
-    let secondary = match policy {
-        Policy::Standalone => SecondaryKind::none(),
-        _ => SecondaryKind::cpu(intensity),
-    };
-    let cfg = BoxConfig::paper_box(secondary, policy.perfiso_config(), seed);
-    indexserve::boxsim::run_standalone(cfg, &scale.plan(qps))
+    let mut builder = ScenarioSpec::builder("adhoc")
+        .single_box(qps)
+        .policy(policy)
+        .scale(ScaleSpec::from_scale(scale))
+        .seed(seed);
+    if policy != Policy::Standalone {
+        builder = builder.cpu_bully(intensity);
+    }
+    run_single(builder.build().expect("helper spec is valid"))
 }
 
 /// The standalone baseline (Fig 4, first bar group).
@@ -112,12 +144,15 @@ pub fn cycle_cap(pct: f64, qps: f64, seed: u64, scale: Scale) -> BoxReport {
 
 /// A disk-bound secondary under full PerfIso (cluster-style settings).
 pub fn disk_bully_with_perfiso(qps: f64, seed: u64, scale: Scale) -> BoxReport {
-    let cfg = BoxConfig::paper_box(
-        SecondaryKind::disk(DiskBully::default()),
-        Some(perfiso::PerfIsoConfig::paper_cluster()),
-        seed,
-    );
-    indexserve::boxsim::run_standalone(cfg, &scale.plan(qps))
+    let spec = ScenarioSpec::builder("adhoc")
+        .single_box(qps)
+        .disk_bully(DiskBully::default())
+        .policy(Policy::FullPerfIso)
+        .scale(ScaleSpec::from_scale(scale))
+        .seed(seed)
+        .build()
+        .expect("helper spec is valid");
+    run_single(spec)
 }
 
 #[cfg(test)]
@@ -126,9 +161,11 @@ mod tests {
 
     #[test]
     fn scale_env_var_is_honoured() {
-        // No env var: default 6s.
+        // No env var in the test environment: default 6s.
         let s = Scale::bench();
         assert!(s.measure >= SimDuration::from_millis(500));
+        // And the multiplier is cached: repeated calls agree bit-for-bit.
+        assert_eq!(scale_multiplier().to_bits(), scale_multiplier().to_bits());
     }
 
     #[test]

@@ -1,0 +1,838 @@
+//! The unified, declarative experiment API.
+//!
+//! Every experiment in the workspace — a paper figure, an integration
+//! test, a bench table, or an ad-hoc sweep — is described by one
+//! [`ScenarioSpec`]: a workload (offered load + measurement window), a
+//! secondary tenant mix, an isolation [`Policy`], and a [`TargetSpec`]
+//! selecting the single-box driver, the 75-machine cluster, or the fleet
+//! sweep. Specs are fully serde-serializable, so they round-trip through
+//! JSON files and the `perfiso-run` CLI.
+//!
+//! The pieces:
+//!
+//! - [`ScenarioSpec::builder`] — typed construction with validation
+//!   ([`SpecError`]) at [`ScenarioBuilder::build`] time.
+//! - [`registry`] — the named paper scenarios (`fig04`–`fig10`,
+//!   `quickstart`, `io-throttle`, …).
+//! - [`run_spec`] — executes a spec over one or more seeds, fanning the
+//!   repetitions out across worker threads exactly like the fleet sweep
+//!   fans out slices; the parallel report is bit-identical to the serial
+//!   one because every seed is an independent simulation and the
+//!   reduction runs in seed order.
+//! - [`Report`] — the unified result envelope (per-seed reports plus
+//!   cross-seed [`telemetry::RunStats`]), JSON-serializable via the
+//!   vendored serde.
+//!
+//! Embedding experiments (the ops kill-switch example, the diagnostic
+//! probes) obtain their simulators through [`ScenarioSpec::box_sim`] /
+//! [`ScenarioSpec::cluster_sim`] so that even manually-driven runs share
+//! the one description of "what is on the machine".
+//!
+//! # Examples
+//!
+//! ```
+//! use scenarios::spec::{self, RunOptions, ScenarioSpec};
+//! use scenarios::Policy;
+//!
+//! let spec = ScenarioSpec::builder("demo")
+//!     .single_box(1_000.0)
+//!     .cpu_bully(workloads::BullyIntensity::High)
+//!     .policy(Policy::Blind { buffer_cores: 8 })
+//!     .custom_scale(200, 400)
+//!     .build()
+//!     .unwrap();
+//! let report = spec::run_spec(&spec, &RunOptions::serial()).unwrap();
+//! assert_eq!(report.runs.len(), 1);
+//! ```
+
+mod registry;
+mod runner;
+
+pub use registry::{named, names, registry};
+pub use runner::{run_spec, Report, RunOptions, SeedReport, Summary};
+
+use cluster::fleet::FleetConfig;
+use cluster::{ClusterConfig, ClusterSim, Topology};
+use indexserve::boxsim::RunPlan;
+use indexserve::{BoxConfig, BoxSim, SecondaryKind};
+use qtrace::{DiurnalCurve, OpenLoopClient, TraceConfig, TraceGenerator};
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+use workloads::{BullyIntensity, DiskBully, MlTrainer};
+
+use crate::singlebox::Scale;
+use crate::Policy;
+
+/// Paper-server core count, used by policy validation.
+const PAPER_CORES: u32 = 48;
+
+/// Why a spec is not runnable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpecError {
+    /// Scenario names must be non-empty, without whitespace.
+    InvalidName(String),
+    /// Offered load must be positive and finite.
+    InvalidQps(f64),
+    /// At least one seed repetition is required.
+    ZeroSeeds,
+    /// The measurement window is degenerate.
+    InvalidScale(String),
+    /// The policy parameters are out of range for the paper server.
+    InvalidPolicy(String),
+    /// The cluster topology is degenerate.
+    InvalidTopology(String),
+    /// The fleet sweep parameters are degenerate.
+    InvalidFleet(String),
+    /// `Policy::Standalone` means "primary alone": no secondary allowed.
+    StandaloneWithSecondary,
+    /// Fleet runs colocate the ML trainer; extra secondaries are not
+    /// supported by the sweep driver.
+    FleetSecondaryUnsupported,
+    /// Fleet runs require an installed controller (the sweep measures
+    /// colocation under isolation, not the no-isolation baseline).
+    FleetNeedsController,
+    /// A helper was called on the wrong target kind.
+    TargetMismatch {
+        /// What the helper needed.
+        expected: &'static str,
+        /// What the spec declared.
+        found: &'static str,
+    },
+    /// No scenario with this name in the registry.
+    UnknownScenario(String),
+    /// A JSON spec file failed to load or parse.
+    InvalidSpecFile(String),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::InvalidName(n) => {
+                write!(
+                    f,
+                    "invalid scenario name {n:?}: must be non-empty, no whitespace"
+                )
+            }
+            SpecError::InvalidQps(q) => write!(f, "offered load must be positive, got {q}"),
+            SpecError::ZeroSeeds => write!(f, "at least one seed repetition is required"),
+            SpecError::InvalidScale(m) => write!(f, "invalid scale: {m}"),
+            SpecError::InvalidPolicy(m) => write!(f, "invalid policy: {m}"),
+            SpecError::InvalidTopology(m) => write!(f, "invalid topology: {m}"),
+            SpecError::InvalidFleet(m) => write!(f, "invalid fleet parameters: {m}"),
+            SpecError::StandaloneWithSecondary => {
+                write!(
+                    f,
+                    "Policy::Standalone runs the primary alone; remove the secondary"
+                )
+            }
+            SpecError::FleetSecondaryUnsupported => {
+                write!(
+                    f,
+                    "fleet runs colocate the ML trainer; remove the extra secondary"
+                )
+            }
+            SpecError::FleetNeedsController => {
+                write!(f, "fleet runs need an isolation policy with a controller")
+            }
+            SpecError::TargetMismatch { expected, found } => {
+                write!(
+                    f,
+                    "this operation needs a {expected} target, spec declares {found}"
+                )
+            }
+            SpecError::UnknownScenario(n) => write!(f, "unknown scenario {n:?} (try `list`)"),
+            SpecError::InvalidSpecFile(m) => write!(f, "cannot load spec file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Measurement-window selection.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ScaleSpec {
+    /// Short windows for tests (maps to [`Scale::quick`]).
+    Quick,
+    /// Bench windows, honouring `PERFISO_SCALE` (maps to [`Scale::bench`]).
+    Bench,
+    /// Explicit warm-up and measured window, in milliseconds.
+    Custom {
+        /// Warm-up excluded from statistics.
+        warmup_ms: u64,
+        /// Measured window.
+        measure_ms: u64,
+    },
+}
+
+impl ScaleSpec {
+    /// The concrete run lengths.
+    pub fn to_scale(self) -> Scale {
+        match self {
+            ScaleSpec::Quick => Scale::quick(),
+            ScaleSpec::Bench => Scale::bench(),
+            ScaleSpec::Custom {
+                warmup_ms,
+                measure_ms,
+            } => Scale {
+                warmup: SimDuration::from_millis(warmup_ms),
+                measure: SimDuration::from_millis(measure_ms),
+            },
+        }
+    }
+
+    /// A custom scale from concrete run lengths (millisecond floor).
+    pub fn from_scale(scale: Scale) -> Self {
+        ScaleSpec::Custom {
+            warmup_ms: scale.warmup.as_millis(),
+            measure_ms: scale.measure.as_millis(),
+        }
+    }
+}
+
+/// The fleet load curve, by name.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum CurveSpec {
+    /// The paper's Fig 10 hour: drifting load with a mid-hour surge.
+    PaperHour,
+    /// Constant per-machine load (control runs).
+    Flat {
+        /// QPS per machine.
+        qps: f64,
+    },
+}
+
+impl CurveSpec {
+    /// The concrete curve.
+    pub fn to_curve(self) -> DiurnalCurve {
+        match self {
+            CurveSpec::PaperHour => DiurnalCurve::paper_hour(),
+            CurveSpec::Flat { qps } => DiurnalCurve::flat(qps),
+        }
+    }
+}
+
+/// Which driver executes the scenario.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TargetSpec {
+    /// One production server ([`indexserve::boxsim::run_standalone`]).
+    SingleBox {
+        /// Offered load in queries/second.
+        qps: f64,
+    },
+    /// The Fig 9 TLA/MLA/IndexServe cluster ([`ClusterSim`]).
+    Cluster {
+        /// Index partitions per row.
+        columns: u32,
+        /// Replicated rows.
+        rows: u32,
+        /// Top-level aggregator machines.
+        tlas: u32,
+        /// Total offered load across the cluster.
+        qps_total: f64,
+    },
+    /// The Fig 10 per-minute fleet sweep ([`cluster::fleet::run_fleet`]).
+    Fleet {
+        /// Extrapolated fleet size.
+        fleet_machines: u32,
+        /// Machines actually simulated per minute.
+        sampled_machines: u32,
+        /// Experiment length in minutes.
+        minutes: u32,
+        /// Per-minute DES slice, in milliseconds.
+        slice_ms: u64,
+        /// The load curve.
+        curve: CurveSpec,
+        /// The colocated ML trainer.
+        trainer: MlTrainer,
+    },
+}
+
+impl TargetSpec {
+    /// Short kind name for errors and tables.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TargetSpec::SingleBox { .. } => "single-box",
+            TargetSpec::Cluster { .. } => "cluster",
+            TargetSpec::Fleet { .. } => "fleet",
+        }
+    }
+
+    /// One-line shape summary for tables.
+    pub fn describe(&self) -> String {
+        match self {
+            TargetSpec::SingleBox { qps } => format!("single-box @ {qps:.0} qps"),
+            TargetSpec::Cluster {
+                columns,
+                rows,
+                tlas,
+                qps_total,
+            } => format!("cluster {columns}x{rows}+{tlas} @ {qps_total:.0} qps"),
+            TargetSpec::Fleet {
+                fleet_machines,
+                sampled_machines,
+                minutes,
+                slice_ms,
+                ..
+            } => format!(
+                "fleet {fleet_machines} ({minutes} min x {sampled_machines}, {slice_ms} ms slices)"
+            ),
+        }
+    }
+}
+
+/// One fully-described experiment.
+///
+/// See the [module docs](self) for the surrounding machinery; the
+/// interesting invariants live in [`ScenarioSpec::validate`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Scenario name (registry key, report label).
+    pub name: String,
+    /// Human-readable purpose.
+    pub description: String,
+    /// Which driver runs it, with its load.
+    pub target: TargetSpec,
+    /// Secondary tenants on each simulated machine.
+    pub secondary: SecondaryKind,
+    /// The isolation policy under test.
+    pub policy: Policy,
+    /// Measurement window.
+    pub scale: ScaleSpec,
+    /// Base RNG seed; repetition `i` runs with `seed + i`.
+    pub seed: u64,
+    /// Seed repetitions (the paper runs cluster experiments 8 times).
+    pub seeds: u32,
+}
+
+impl ScenarioSpec {
+    /// Starts a builder with test-friendly defaults: single box at
+    /// 2 000 QPS, no secondary, standalone policy, quick scale, seed 42,
+    /// one repetition.
+    pub fn builder(name: &str) -> ScenarioBuilder {
+        ScenarioBuilder {
+            spec: ScenarioSpec {
+                name: name.to_string(),
+                description: String::new(),
+                target: TargetSpec::SingleBox { qps: 2_000.0 },
+                secondary: SecondaryKind::none(),
+                policy: Policy::Standalone,
+                scale: ScaleSpec::Quick,
+                seed: 42,
+                seeds: 1,
+            },
+        }
+    }
+
+    /// Checks every invariant the drivers rely on.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.name.is_empty() || self.name.chars().any(char::is_whitespace) {
+            return Err(SpecError::InvalidName(self.name.clone()));
+        }
+        if self.seeds == 0 {
+            return Err(SpecError::ZeroSeeds);
+        }
+        if let ScaleSpec::Custom { measure_ms, .. } = self.scale {
+            if measure_ms == 0 {
+                return Err(SpecError::InvalidScale("measured window is zero".into()));
+            }
+        }
+        match self.policy {
+            Policy::Blind { buffer_cores } if buffer_cores == 0 || buffer_cores >= PAPER_CORES => {
+                return Err(SpecError::InvalidPolicy(format!(
+                    "blind isolation needs 1..{PAPER_CORES} buffer cores, got {buffer_cores}"
+                )));
+            }
+            Policy::StaticCores(n) if n == 0 || n > PAPER_CORES => {
+                return Err(SpecError::InvalidPolicy(format!(
+                    "static restriction needs 1..={PAPER_CORES} cores, got {n}"
+                )));
+            }
+            Policy::CycleCap(f) if !(f > 0.0 && f <= 1.0) => {
+                return Err(SpecError::InvalidPolicy(format!(
+                    "cycle cap must be in (0, 1], got {f}"
+                )));
+            }
+            Policy::Standalone if self.secondary != SecondaryKind::none() => {
+                return Err(SpecError::StandaloneWithSecondary);
+            }
+            _ => {}
+        }
+        match &self.target {
+            TargetSpec::SingleBox { qps } => {
+                if !(qps.is_finite() && *qps > 0.0) {
+                    return Err(SpecError::InvalidQps(*qps));
+                }
+            }
+            TargetSpec::Cluster {
+                columns,
+                rows,
+                tlas,
+                qps_total,
+            } => {
+                if !(qps_total.is_finite() && *qps_total > 0.0) {
+                    return Err(SpecError::InvalidQps(*qps_total));
+                }
+                let topo = Topology {
+                    columns: *columns,
+                    rows: *rows,
+                    tlas: *tlas,
+                };
+                topo.validate().map_err(SpecError::InvalidTopology)?;
+            }
+            TargetSpec::Fleet {
+                sampled_machines,
+                minutes,
+                slice_ms,
+                curve,
+                trainer,
+                ..
+            } => {
+                if *minutes == 0 || *sampled_machines == 0 {
+                    return Err(SpecError::InvalidFleet(
+                        "need at least one minute and one sampled machine".into(),
+                    ));
+                }
+                if *slice_ms == 0 {
+                    return Err(SpecError::InvalidFleet("zero-length slice".into()));
+                }
+                if let CurveSpec::Flat { qps } = curve {
+                    if !(qps.is_finite() && *qps > 0.0) {
+                        return Err(SpecError::InvalidQps(*qps));
+                    }
+                }
+                if trainer.workers == 0 {
+                    return Err(SpecError::InvalidFleet("trainer needs workers".into()));
+                }
+                if self.secondary != SecondaryKind::none() {
+                    return Err(SpecError::FleetSecondaryUnsupported);
+                }
+                if self.policy.perfiso_config().is_none() {
+                    return Err(SpecError::FleetNeedsController);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The concrete measurement window.
+    pub fn run_scale(&self) -> Scale {
+        self.scale.to_scale()
+    }
+
+    /// The seeds a run covers: `seed..seed + repetitions`, optionally
+    /// overriding the repetition count (the CLI's `--seeds`).
+    pub fn seed_list(&self, override_seeds: Option<u32>) -> Vec<u64> {
+        let n = override_seeds.unwrap_or(self.seeds).max(1);
+        (0..n as u64).map(|i| self.seed.wrapping_add(i)).collect()
+    }
+
+    /// The single-box replay plan.
+    ///
+    /// # Errors
+    ///
+    /// Fails on validation errors or a non-single-box target.
+    pub fn run_plan(&self) -> Result<RunPlan, SpecError> {
+        self.validate()?;
+        let TargetSpec::SingleBox { qps } = self.target else {
+            return Err(SpecError::TargetMismatch {
+                expected: "single-box",
+                found: self.target.kind(),
+            });
+        };
+        let scale = self.run_scale();
+        Ok(RunPlan {
+            qps,
+            warmup: scale.warmup,
+            measure: scale.measure,
+            trace: TraceConfig::default(),
+        })
+    }
+
+    /// The single-box machine configuration for one seed.
+    ///
+    /// # Errors
+    ///
+    /// Fails on validation errors or a non-single-box target.
+    pub fn box_config(&self, seed: u64) -> Result<BoxConfig, SpecError> {
+        self.validate()?;
+        if !matches!(self.target, TargetSpec::SingleBox { .. }) {
+            return Err(SpecError::TargetMismatch {
+                expected: "single-box",
+                found: self.target.kind(),
+            });
+        }
+        // validate() already guarantees a Standalone spec has no secondary.
+        Ok(BoxConfig::paper_box(
+            self.secondary.clone(),
+            self.policy.perfiso_config(),
+            seed,
+        ))
+    }
+
+    /// A live [`BoxSim`] for embedding-style experiments (runtime
+    /// commands, manual stepping); the simulator is configured exactly as
+    /// [`run_spec`] would configure it for this seed.
+    ///
+    /// # Errors
+    ///
+    /// Fails on validation errors or a non-single-box target.
+    pub fn box_sim(&self, seed: u64) -> Result<BoxSim, SpecError> {
+        Ok(BoxSim::new(self.box_config(seed)?))
+    }
+
+    /// An open-loop client replaying this spec's single-box workload —
+    /// the same trace `run_spec` would generate for this seed.
+    ///
+    /// # Errors
+    ///
+    /// Fails on validation errors or a non-single-box target.
+    pub fn open_loop_client(&self, seed: u64) -> Result<OpenLoopClient, SpecError> {
+        let plan = self.run_plan()?;
+        let total = plan.warmup + plan.measure;
+        let n_queries = (plan.qps * total.as_secs_f64() * 1.05) as usize + 16;
+        let trace = TraceGenerator::new(TraceConfig {
+            queries: n_queries,
+            ..plan.trace.clone()
+        })
+        .generate(seed ^ 0x7ACE);
+        Ok(OpenLoopClient::new(trace, plan.qps, seed ^ 0xC1))
+    }
+
+    /// The cluster configuration for one seed.
+    ///
+    /// # Errors
+    ///
+    /// Fails on validation errors or a non-cluster target.
+    pub fn cluster_config(&self, seed: u64, threads: usize) -> Result<ClusterConfig, SpecError> {
+        self.validate()?;
+        let TargetSpec::Cluster {
+            columns,
+            rows,
+            tlas,
+            qps_total,
+        } = self.target
+        else {
+            return Err(SpecError::TargetMismatch {
+                expected: "cluster",
+                found: self.target.kind(),
+            });
+        };
+        let scale = self.run_scale();
+        Ok(ClusterConfig {
+            topology: Topology {
+                columns,
+                rows,
+                tlas,
+            },
+            qps_total,
+            warmup: scale.warmup,
+            measure: scale.measure,
+            perfiso: self.policy.perfiso_config(),
+            threads,
+            ..ClusterConfig::paper_cluster(self.secondary.clone(), seed)
+        })
+    }
+
+    /// A live [`ClusterSim`] (diagnostics, traced runs).
+    ///
+    /// # Errors
+    ///
+    /// Fails on validation errors or a non-cluster target.
+    pub fn cluster_sim(&self, seed: u64, threads: usize) -> Result<ClusterSim, SpecError> {
+        Ok(ClusterSim::new(self.cluster_config(seed, threads)?))
+    }
+
+    /// The fleet-sweep configuration for one seed.
+    ///
+    /// # Errors
+    ///
+    /// Fails on validation errors or a non-fleet target.
+    pub fn fleet_config(&self, seed: u64, threads: usize) -> Result<FleetConfig, SpecError> {
+        self.validate()?;
+        let TargetSpec::Fleet {
+            fleet_machines,
+            sampled_machines,
+            minutes,
+            slice_ms,
+            curve,
+            ref trainer,
+        } = self.target
+        else {
+            return Err(SpecError::TargetMismatch {
+                expected: "fleet",
+                found: self.target.kind(),
+            });
+        };
+        Ok(FleetConfig {
+            fleet_machines,
+            sampled_machines,
+            minutes,
+            slice: SimDuration::from_millis(slice_ms),
+            curve: curve.to_curve(),
+            trainer: trainer.clone(),
+            perfiso: self
+                .policy
+                .perfiso_config()
+                .expect("validated: fleet policy has a controller"),
+            seed,
+            threads,
+        })
+    }
+
+    /// Serializes the spec as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec is serializable")
+    }
+
+    /// Parses a spec from JSON and validates it.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON or an invalid spec.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        let spec: ScenarioSpec =
+            serde_json::from_str(text).map_err(|e| SpecError::InvalidSpecFile(format!("{e:?}")))?;
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+/// Builder for [`ScenarioSpec`]; see [`ScenarioSpec::builder`].
+#[derive(Clone, Debug)]
+pub struct ScenarioBuilder {
+    spec: ScenarioSpec,
+}
+
+impl ScenarioBuilder {
+    /// Sets the human-readable description.
+    pub fn describe(mut self, description: &str) -> Self {
+        self.spec.description = description.to_string();
+        self
+    }
+
+    /// Targets one production server at the given load.
+    pub fn single_box(mut self, qps: f64) -> Self {
+        self.spec.target = TargetSpec::SingleBox { qps };
+        self
+    }
+
+    /// Targets a TLA/MLA cluster of the given shape and total load.
+    pub fn cluster(mut self, topology: Topology, qps_total: f64) -> Self {
+        self.spec.target = TargetSpec::Cluster {
+            columns: topology.columns,
+            rows: topology.rows,
+            tlas: topology.tlas,
+            qps_total,
+        };
+        self
+    }
+
+    /// Targets the per-minute fleet sweep (paper-hour curve, default
+    /// trainer and fleet size; refine with [`ScenarioBuilder::curve`] and
+    /// [`ScenarioBuilder::trainer`]).
+    pub fn fleet(mut self, minutes: u32, sampled_machines: u32, slice_ms: u64) -> Self {
+        let defaults = FleetConfig::default();
+        self.spec.target = TargetSpec::Fleet {
+            fleet_machines: defaults.fleet_machines,
+            sampled_machines,
+            minutes,
+            slice_ms,
+            curve: CurveSpec::PaperHour,
+            trainer: defaults.trainer,
+        };
+        self
+    }
+
+    /// Sets the fleet load curve (fleet targets only; no-op otherwise).
+    pub fn curve(mut self, c: CurveSpec) -> Self {
+        if let TargetSpec::Fleet { ref mut curve, .. } = self.spec.target {
+            *curve = c;
+        }
+        self
+    }
+
+    /// Sets the colocated trainer (fleet targets only; no-op otherwise).
+    pub fn trainer(mut self, t: MlTrainer) -> Self {
+        if let TargetSpec::Fleet {
+            ref mut trainer, ..
+        } = self.spec.target
+        {
+            *trainer = t;
+        }
+        self
+    }
+
+    /// Sets the full secondary mix.
+    pub fn secondary(mut self, secondary: SecondaryKind) -> Self {
+        self.spec.secondary = secondary;
+        self
+    }
+
+    /// Adds a CPU bully of the given intensity.
+    pub fn cpu_bully(mut self, intensity: BullyIntensity) -> Self {
+        self.spec.secondary.cpu_bully = Some(intensity);
+        self
+    }
+
+    /// Adds a DiskSPD-style disk bully.
+    pub fn disk_bully(mut self, bully: DiskBully) -> Self {
+        self.spec.secondary.disk_bully = Some(bully);
+        self
+    }
+
+    /// Adds HDFS DataNode + client traffic.
+    pub fn hdfs(mut self) -> Self {
+        self.spec.secondary.hdfs = true;
+        self
+    }
+
+    /// Sets the isolation policy.
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.spec.policy = policy;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn scale(mut self, scale: ScaleSpec) -> Self {
+        self.spec.scale = scale;
+        self
+    }
+
+    /// Sets an explicit warm-up + measured window, in milliseconds.
+    pub fn custom_scale(mut self, warmup_ms: u64, measure_ms: u64) -> Self {
+        self.spec.scale = ScaleSpec::Custom {
+            warmup_ms,
+            measure_ms,
+        };
+        self
+    }
+
+    /// Sets the base RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Sets the repetition count (seeds `seed..seed + n`).
+    pub fn seeds(mut self, n: u32) -> Self {
+        self.spec.seeds = n;
+        self
+    }
+
+    /// Validates and returns the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn build(self) -> Result<ScenarioSpec, SpecError> {
+        self.spec.validate()?;
+        Ok(self.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_validate() {
+        let spec = ScenarioSpec::builder("ok").build().unwrap();
+        assert_eq!(spec.target.kind(), "single-box");
+        assert_eq!(spec.seed_list(None), vec![42]);
+        assert_eq!(spec.seed_list(Some(3)), vec![42, 43, 44]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        assert!(matches!(
+            ScenarioSpec::builder("bad name").build(),
+            Err(SpecError::InvalidName(_))
+        ));
+        assert!(matches!(
+            ScenarioSpec::builder("x").single_box(0.0).build(),
+            Err(SpecError::InvalidQps(_))
+        ));
+        assert!(matches!(
+            ScenarioSpec::builder("x").seeds(0).build(),
+            Err(SpecError::ZeroSeeds)
+        ));
+        assert!(matches!(
+            ScenarioSpec::builder("x")
+                .policy(Policy::CycleCap(1.5))
+                .build(),
+            Err(SpecError::InvalidPolicy(_))
+        ));
+        assert!(matches!(
+            ScenarioSpec::builder("x")
+                .cpu_bully(BullyIntensity::High)
+                .policy(Policy::Standalone)
+                .build(),
+            Err(SpecError::StandaloneWithSecondary)
+        ));
+        assert!(matches!(
+            ScenarioSpec::builder("x")
+                .cluster(
+                    Topology {
+                        columns: 0,
+                        rows: 1,
+                        tlas: 1
+                    },
+                    100.0
+                )
+                .build(),
+            Err(SpecError::InvalidTopology(_))
+        ));
+    }
+
+    #[test]
+    fn target_mismatch_is_reported() {
+        let spec = ScenarioSpec::builder("x")
+            .cluster(Topology::small(), 600.0)
+            .policy(Policy::FullPerfIso)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            spec.run_plan(),
+            Err(SpecError::TargetMismatch { .. })
+        ));
+        assert!(spec.cluster_config(1, 1).is_ok());
+    }
+
+    #[test]
+    fn spec_json_round_trip() {
+        let spec = ScenarioSpec::builder("rt")
+            .describe("round trip")
+            .single_box(1_234.0)
+            .cpu_bully(BullyIntensity::Custom(13))
+            .disk_bully(DiskBully::default())
+            .hdfs()
+            .policy(Policy::Blind { buffer_cores: 6 })
+            .custom_scale(100, 300)
+            .seed(7)
+            .seeds(4)
+            .build()
+            .unwrap();
+        let text = spec.to_json();
+        let back = ScenarioSpec::from_json(&text).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn fleet_requires_controller_and_clean_secondary() {
+        let err = ScenarioSpec::builder("f")
+            .fleet(2, 1, 100)
+            .policy(Policy::NoIsolation)
+            .build();
+        assert!(matches!(err, Err(SpecError::FleetNeedsController)));
+        let err = ScenarioSpec::builder("f")
+            .fleet(2, 1, 100)
+            .cpu_bully(BullyIntensity::Mid)
+            .policy(Policy::Blind { buffer_cores: 8 })
+            .build();
+        assert!(matches!(err, Err(SpecError::FleetSecondaryUnsupported)));
+    }
+}

@@ -1,0 +1,173 @@
+//! The named paper scenarios.
+//!
+//! Every figure of the evaluation (and the repo's guided-tour scenarios)
+//! is registered here as a ready-to-run [`ScenarioSpec`]; `perfiso-run
+//! list` prints this table and `perfiso-run run <name>` executes one
+//! entry. Comparison figures (Fig 4–8 contrast several policies) register
+//! their *headline* cell — the bench targets under `crates/bench` compose
+//! multiple specs into the full side-by-side tables.
+
+use cluster::Topology;
+use workloads::{BullyIntensity, DiskBully};
+
+use super::{CurveSpec, ScaleSpec, ScenarioSpec};
+use crate::Policy;
+
+/// All named scenarios, in presentation order.
+pub fn registry() -> Vec<ScenarioSpec> {
+    let b = |name: &str| ScenarioSpec::builder(name).seed(42);
+    vec![
+        b("quickstart")
+            .describe("high CPU bully under blind isolation (the guided tour)")
+            .single_box(2_000.0)
+            .cpu_bully(BullyIntensity::High)
+            .policy(Policy::Blind { buffer_cores: 8 })
+            .custom_scale(500, 4_000)
+            .build()
+            .expect("registry spec"),
+        b("standalone")
+            .describe("IndexServe alone at average load (the §6.1.1 baseline)")
+            .single_box(2_000.0)
+            .policy(Policy::Standalone)
+            .scale(ScaleSpec::Bench)
+            .build()
+            .expect("registry spec"),
+        b("fig04")
+            .describe("no isolation vs a high (48-thread) CPU bully: the tail collapses")
+            .single_box(2_000.0)
+            .cpu_bully(BullyIntensity::High)
+            .policy(Policy::NoIsolation)
+            .scale(ScaleSpec::Bench)
+            .build()
+            .expect("registry spec"),
+        b("fig05")
+            .describe("CPU blind isolation, 8 buffer cores: p99 within 1 ms of standalone")
+            .single_box(2_000.0)
+            .cpu_bully(BullyIntensity::High)
+            .policy(Policy::Blind { buffer_cores: 8 })
+            .scale(ScaleSpec::Bench)
+            .build()
+            .expect("registry spec"),
+        b("fig06")
+            .describe("static 8-core restriction: safe at peak but strands CPU")
+            .single_box(2_000.0)
+            .cpu_bully(BullyIntensity::High)
+            .policy(Policy::StaticCores(8))
+            .scale(ScaleSpec::Bench)
+            .build()
+            .expect("registry spec"),
+        b("fig07")
+            .describe("45% CPU-cycle cap: duty-cycle throttling fails to protect the tail")
+            .single_box(2_000.0)
+            .cpu_bully(BullyIntensity::High)
+            .policy(Policy::CycleCap(0.45))
+            .scale(ScaleSpec::Bench)
+            .build()
+            .expect("registry spec"),
+        b("fig08")
+            .describe("the comparison's peak-load cell: blind isolation at 4000 QPS")
+            .single_box(4_000.0)
+            .cpu_bully(BullyIntensity::High)
+            .policy(Policy::Blind { buffer_cores: 8 })
+            .scale(ScaleSpec::Bench)
+            .build()
+            .expect("registry spec"),
+        b("fig09")
+            .describe("75-machine cluster, CPU bully + HDFS on every index machine")
+            .cluster(Topology::paper_cluster(), 8_000.0)
+            .cpu_bully(BullyIntensity::High)
+            .hdfs()
+            .policy(Policy::FullPerfIso)
+            .custom_scale(400, 1_200)
+            .seeds(2)
+            .build()
+            .expect("registry spec"),
+        b("fig10")
+            .describe("650-machine fleet, one diurnal hour colocated with ML training")
+            .fleet(60, 3, 700)
+            .policy(Policy::Blind { buffer_cores: 8 })
+            .build()
+            .expect("registry spec"),
+        b("io-throttle")
+            .describe("disk bully + HDFS on the shared HDD under the full controller")
+            .single_box(2_000.0)
+            .disk_bully(DiskBully {
+                depth: 8,
+                ..DiskBully::default()
+            })
+            .hdfs()
+            .policy(Policy::FullPerfIso)
+            .custom_scale(500, 3_000)
+            .build()
+            .expect("registry spec"),
+        b("cluster-small")
+            .describe("the scaled-down cluster the integration tests exercise")
+            .cluster(Topology::small(), 600.0)
+            .cpu_bully(BullyIntensity::High)
+            .hdfs()
+            .policy(Policy::FullPerfIso)
+            .custom_scale(200, 800)
+            .build()
+            .expect("registry spec"),
+        b("fleet-smoke")
+            .describe("seconds-scale fleet sweep (the CI smoke configuration)")
+            .fleet(8, 2, 200)
+            .policy(Policy::Blind { buffer_cores: 8 })
+            .build()
+            .expect("registry spec"),
+        b("fleet-flat")
+            .describe("fleet control run on a flat load curve")
+            .fleet(10, 1, 300)
+            .curve(CurveSpec::Flat { qps: 2_200.0 })
+            .policy(Policy::Blind { buffer_cores: 8 })
+            .build()
+            .expect("registry spec"),
+    ]
+}
+
+/// All scenario names, in presentation order.
+pub fn names() -> Vec<String> {
+    registry().into_iter().map(|s| s.name).collect()
+}
+
+/// Resolves one named scenario.
+///
+/// # Errors
+///
+/// Fails when no scenario has this name.
+pub fn named(name: &str) -> Result<ScenarioSpec, super::SpecError> {
+    registry()
+        .into_iter()
+        .find(|s| s.name == name)
+        .ok_or_else(|| super::SpecError::UnknownScenario(name.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_valid() {
+        let all = registry();
+        assert!(all.len() >= 8, "need at least 8 named scenarios");
+        for spec in &all {
+            spec.validate().expect("registry spec validates");
+            assert!(
+                !spec.description.is_empty(),
+                "{} lacks a description",
+                spec.name
+            );
+        }
+        let names: std::collections::HashSet<&str> = all.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), all.len(), "names must be unique");
+        for figure in [
+            "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
+        ] {
+            assert!(named(figure).is_ok(), "{figure} missing");
+        }
+        assert!(matches!(
+            named("no-such-scenario"),
+            Err(super::super::SpecError::UnknownScenario(_))
+        ));
+    }
+}

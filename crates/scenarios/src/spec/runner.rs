@@ -1,0 +1,348 @@
+//! Executes a [`ScenarioSpec`] over its seeds and reduces the results.
+//!
+//! Repetitions fan out across worker threads with the same
+//! work-stealing-by-atomic-index scheme as the fleet sweep: every seed is
+//! an independent simulation, results are scattered back by seed index,
+//! and the reduction runs serially in seed order — so the parallel report
+//! is **bit-identical** to the serial one regardless of which worker
+//! finishes first.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use cluster::fleet::{effective_threads, run_fleet, FleetReport};
+use cluster::{ClusterReport, ClusterSim};
+use indexserve::boxsim::run_standalone;
+use indexserve::BoxReport;
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+use telemetry::RunStats;
+
+use super::{ScenarioSpec, SpecError, TargetSpec};
+
+/// Execution knobs that are not part of the experiment description.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunOptions {
+    /// Overrides the spec's repetition count.
+    pub seeds: Option<u32>,
+    /// Worker threads for the seed sweep: `0` = all available cores,
+    /// `1` = serial. The report is bit-identical across thread counts.
+    pub threads: usize,
+}
+
+impl RunOptions {
+    /// Serial execution (tests, helpers returning a single report).
+    pub fn serial() -> Self {
+        RunOptions {
+            seeds: None,
+            threads: 1,
+        }
+    }
+
+    /// All cores, with the given repetition override.
+    pub fn parallel(seeds: Option<u32>) -> Self {
+        RunOptions { seeds, threads: 0 }
+    }
+}
+
+/// One seed's measurements, tagged by target kind.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum SeedReport {
+    /// A single-box run.
+    SingleBox(BoxReport),
+    /// A cluster run.
+    Cluster(ClusterReport),
+    /// A fleet sweep.
+    Fleet(FleetReport),
+}
+
+impl SeedReport {
+    /// The headline tail latency: query p99 (single box), end-to-end TLA
+    /// p99 (cluster), or worst per-minute p99 (fleet).
+    pub fn p99(&self) -> SimDuration {
+        match self {
+            SeedReport::SingleBox(r) => r.latency.p99,
+            SeedReport::Cluster(r) => r.tla.p99,
+            SeedReport::Fleet(r) => r.max_p99,
+        }
+    }
+
+    /// Mean machine utilization over the measured window.
+    pub fn utilization(&self) -> f64 {
+        match self {
+            SeedReport::SingleBox(r) => r.breakdown.utilization(),
+            SeedReport::Cluster(r) => r.mean_utilization,
+            SeedReport::Fleet(r) => r.mean_utilization,
+        }
+    }
+
+    /// Dropped-query ratio (degraded-request ratio for clusters; fleets
+    /// record no drops).
+    pub fn drop_ratio(&self) -> f64 {
+        match self {
+            SeedReport::SingleBox(r) => r.drop_ratio(),
+            SeedReport::Cluster(r) => {
+                if r.completed == 0 {
+                    0.0
+                } else {
+                    r.degraded as f64 / r.completed as f64
+                }
+            }
+            SeedReport::Fleet(_) => 0.0,
+        }
+    }
+
+    /// Secondary progress: batch CPU seconds (single box and cluster) or
+    /// trainer minibatches per machine-minute (fleet).
+    pub fn secondary_progress(&self) -> f64 {
+        match self {
+            SeedReport::SingleBox(r) => r.secondary_cpu.as_secs_f64(),
+            SeedReport::Cluster(r) => r.breakdown.secondary.as_secs_f64(),
+            SeedReport::Fleet(r) => r.trainer_progress.overall_mean(),
+        }
+    }
+
+    /// The single-box report, if this seed ran one.
+    pub fn as_single_box(&self) -> Option<&BoxReport> {
+        match self {
+            SeedReport::SingleBox(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The cluster report, if this seed ran one.
+    pub fn as_cluster(&self) -> Option<&ClusterReport> {
+        match self {
+            SeedReport::Cluster(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The fleet report, if this seed ran one.
+    pub fn as_fleet(&self) -> Option<&FleetReport> {
+        match self {
+            SeedReport::Fleet(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Cross-seed statistics (the paper reports mean ± CI over 8 runs).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Summary {
+    /// Headline p99 per seed, in milliseconds.
+    pub p99_ms: RunStats,
+    /// Machine utilization per seed, in `[0, 1]`.
+    pub utilization: RunStats,
+    /// Drop (or degraded-request) ratio per seed.
+    pub drop_ratio: RunStats,
+    /// Secondary progress per seed (see
+    /// [`SeedReport::secondary_progress`] for units).
+    pub secondary_progress: RunStats,
+}
+
+/// The unified result of running one scenario.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Report {
+    /// The spec that ran (embedded so a report file is self-describing).
+    pub spec: ScenarioSpec,
+    /// The seeds, in reduction order; `runs[i]` used `seeds[i]`.
+    pub seeds: Vec<u64>,
+    /// Per-seed reports, in seed order.
+    pub runs: Vec<SeedReport>,
+    /// Cross-seed statistics.
+    pub summary: Summary,
+}
+
+impl Report {
+    /// Per-seed single-box reports (empty for other targets).
+    pub fn box_reports(&self) -> Vec<&BoxReport> {
+        self.runs
+            .iter()
+            .filter_map(SeedReport::as_single_box)
+            .collect()
+    }
+
+    /// Per-seed cluster reports (empty for other targets).
+    pub fn cluster_reports(&self) -> Vec<&ClusterReport> {
+        self.runs
+            .iter()
+            .filter_map(SeedReport::as_cluster)
+            .collect()
+    }
+
+    /// Per-seed fleet reports (empty for other targets).
+    pub fn fleet_reports(&self) -> Vec<&FleetReport> {
+        self.runs.iter().filter_map(SeedReport::as_fleet).collect()
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report is serializable")
+    }
+}
+
+/// Runs one seed of the scenario.
+fn run_seed(spec: &ScenarioSpec, seed: u64, inner_threads: usize) -> SeedReport {
+    match &spec.target {
+        TargetSpec::SingleBox { .. } => {
+            let plan = spec.run_plan().expect("validated");
+            let cfg = spec.box_config(seed).expect("validated");
+            SeedReport::SingleBox(run_standalone(cfg, &plan))
+        }
+        TargetSpec::Cluster { .. } => {
+            let cfg = spec.cluster_config(seed, inner_threads).expect("validated");
+            SeedReport::Cluster(ClusterSim::new(cfg).run())
+        }
+        TargetSpec::Fleet { .. } => {
+            let cfg = spec.fleet_config(seed, inner_threads).expect("validated");
+            SeedReport::Fleet(run_fleet(&cfg))
+        }
+    }
+}
+
+/// Runs the scenario over its seeds, in parallel when `opts.threads`
+/// allows, and reduces the per-seed reports in seed order.
+///
+/// Parallel and serial execution produce bit-identical reports: seeds
+/// never observe each other, and the floating-point reduction happens in
+/// one fixed order. When the seed sweep itself is parallel, the inner
+/// cluster/fleet simulations run serially (their own parallelism is also
+/// bit-identical, so this only affects wall-clock, never results).
+///
+/// # Errors
+///
+/// Fails if the spec does not validate.
+pub fn run_spec(spec: &ScenarioSpec, opts: &RunOptions) -> Result<Report, SpecError> {
+    spec.validate()?;
+    if opts.seeds == Some(0) {
+        // A `--seeds 0` override is the same mistake as `seeds: 0` in a
+        // spec file; reject it rather than silently running one seed.
+        return Err(SpecError::ZeroSeeds);
+    }
+    let seeds = spec.seed_list(opts.seeds);
+    let n = seeds.len();
+    let workers = effective_threads(opts.threads).min(n);
+    // Avoid oversubscription: parallelize across seeds *or* inside the
+    // one simulation, never both.
+    let inner_threads = if workers > 1 { 1 } else { opts.threads };
+
+    let mut results: Vec<Option<SeedReport>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    if workers <= 1 {
+        for (slot, &seed) in results.iter_mut().zip(seeds.iter()) {
+            *slot = Some(run_seed(spec, seed, inner_threads));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= n {
+                                break;
+                            }
+                            out.push((idx, run_seed(spec, seeds[idx], inner_threads)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (idx, r) in handle.join().expect("seed worker panicked") {
+                    results[idx] = Some(r);
+                }
+            }
+        });
+    }
+
+    let runs: Vec<SeedReport> = results
+        .into_iter()
+        .map(|r| r.expect("every seed produced a report"))
+        .collect();
+    let mut summary = Summary::default();
+    for r in &runs {
+        summary.p99_ms.add(r.p99().as_millis_f64());
+        summary.utilization.add(r.utilization());
+        summary.drop_ratio.add(r.drop_ratio());
+        summary.secondary_progress.add(r.secondary_progress());
+    }
+    Ok(Report {
+        spec: spec.clone(),
+        seeds,
+        runs,
+        summary,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Policy;
+    use workloads::BullyIntensity;
+
+    fn tiny_spec(seeds: u32) -> ScenarioSpec {
+        ScenarioSpec::builder("tiny")
+            .single_box(1_000.0)
+            .cpu_bully(BullyIntensity::Mid)
+            .policy(Policy::Blind { buffer_cores: 8 })
+            .custom_scale(150, 350)
+            .seed(5)
+            .seeds(seeds)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn multi_seed_report_has_one_run_per_seed() {
+        let report = run_spec(&tiny_spec(3), &RunOptions::serial()).unwrap();
+        assert_eq!(report.seeds, vec![5, 6, 7]);
+        assert_eq!(report.runs.len(), 3);
+        assert_eq!(report.summary.p99_ms.len(), 3);
+        assert_eq!(report.box_reports().len(), 3);
+        assert!(report.cluster_reports().is_empty());
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let spec = tiny_spec(4);
+        let serial = run_spec(&spec, &RunOptions::serial()).unwrap();
+        let parallel = run_spec(
+            &spec,
+            &RunOptions {
+                seeds: None,
+                threads: 4,
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.seeds, parallel.seeds);
+        for (a, b) in serial.runs.iter().zip(parallel.runs.iter()) {
+            let (a, b) = (a.as_single_box().unwrap(), b.as_single_box().unwrap());
+            assert_eq!(a.latency.p50, b.latency.p50);
+            assert_eq!(a.latency.p99, b.latency.p99);
+            assert_eq!(a.latency.count, b.latency.count);
+            assert_eq!(a.machine, b.machine);
+            assert_eq!(
+                a.breakdown.utilization().to_bits(),
+                b.breakdown.utilization().to_bits()
+            );
+        }
+        for (a, b) in [
+            (&serial.summary.p99_ms, &parallel.summary.p99_ms),
+            (&serial.summary.utilization, &parallel.summary.utilization),
+        ] {
+            assert_eq!(a.values().len(), b.values().len());
+            for (x, y) in a.values().iter().zip(b.values().iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_override_wins() {
+        let report = run_spec(&tiny_spec(1), &RunOptions::parallel(Some(2))).unwrap();
+        assert_eq!(report.runs.len(), 2);
+    }
+}

@@ -116,7 +116,7 @@ enum Timer {
 }
 
 /// Aggregate scheduler activity counters.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct MachineStats {
     /// Threads dispatched onto idle cores.
     pub dispatches: u64,

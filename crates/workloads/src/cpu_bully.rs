@@ -17,7 +17,7 @@ use simcpu::programs::ComputeLoop;
 use simcpu::{JobId, Machine, ThreadId};
 
 /// The paper's two bully sizings on a 48-logical-core box.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum BullyIntensity {
     /// 24 worker threads ("mid").
     Mid,

@@ -28,7 +28,7 @@ pub struct DiskOp {
 }
 
 /// The disk bully configuration and op sampler.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DiskBully {
     /// Fraction of reads (the paper uses 0.33).
     pub read_fraction: f64,

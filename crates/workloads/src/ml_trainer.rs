@@ -16,7 +16,7 @@ use simcpu::{JobId, Machine, Step, ThreadId, ThreadProgram};
 pub const ML_TAG_BASE: u64 = 1 << 43;
 
 /// The trainer configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct MlTrainer {
     /// Parallel worker threads.
     pub workers: u32,

@@ -5,50 +5,47 @@
 //! columns × 2 rows + 4 TLAs), colocates a CPU bully + HDFS on every index
 //! machine under PerfIso, and prints latency at all three layers —
 //! demonstrating that per-machine blind isolation composes into end-to-end
-//! SLO protection.
+//! SLO protection. Both cells are declarative `ScenarioSpec`s over the
+//! same cluster target.
 //!
 //! Run with: `cargo run --release --example cluster_tail_latency`
 
-use cluster::{ClusterConfig, ClusterSim, Topology};
-use indexserve::SecondaryKind;
-use simcore::SimDuration;
+use cluster::{ClusterReport, Topology};
+use scenarios::spec::{run_spec, RunOptions, ScenarioBuilder, ScenarioSpec};
+use scenarios::Policy;
 use telemetry::table::{ms, Table};
 use workloads::BullyIntensity;
 
-fn scaled(secondary: SecondaryKind, seed: u64) -> ClusterConfig {
-    ClusterConfig {
-        topology: Topology {
-            columns: 8,
-            rows: 2,
-            tlas: 4,
-        },
-        qps_total: 2_000.0,
-        warmup: SimDuration::from_millis(300),
-        measure: SimDuration::from_millis(900),
-        ..ClusterConfig::paper_cluster(secondary, seed)
-    }
+fn scaled(name: &str) -> ScenarioBuilder {
+    ScenarioSpec::builder(name)
+        .cluster(
+            Topology {
+                columns: 8,
+                rows: 2,
+                tlas: 4,
+            },
+            2_000.0,
+        )
+        .policy(Policy::FullPerfIso)
+        .custom_scale(300, 900)
+        .seed(3)
+}
+
+fn run(builder: ScenarioBuilder) -> ClusterReport {
+    let spec = builder.build().expect("valid spec");
+    // All cores: with one seed the thread knob reaches the cluster's box
+    // advance, which is bit-identical to serial by the pool's guarantee.
+    let report = run_spec(&spec, &RunOptions::parallel(None)).expect("runnable spec");
+    report.runs[0].as_cluster().expect("cluster target").clone()
 }
 
 fn main() {
     println!("Scaled cluster: 8 columns x 2 rows + 4 TLAs, 2000 QPS total\n");
 
-    let base = ClusterSim::new(scaled(
-        SecondaryKind {
-            hdfs: true,
-            ..SecondaryKind::none()
-        },
-        3,
-    ))
-    .run();
-    let colo = ClusterSim::new(scaled(
-        SecondaryKind {
-            cpu_bully: Some(BullyIntensity::High),
-            disk_bully: None,
-            hdfs: true,
-        },
-        3,
-    ))
-    .run();
+    let base = run(scaled("cluster-baseline").hdfs());
+    let colo = run(scaled("cluster-colocated")
+        .hdfs()
+        .cpu_bully(BullyIntensity::High));
 
     let mut t = Table::new(&[
         "layer",

@@ -3,22 +3,27 @@
 //! The workload the paper's introduction motivates: a search index server
 //! provisioned for peak but running at average load, plus a backlog of
 //! CPU-hungry batch work. This example sweeps the evaluated policies at
-//! both loads and prints the decision table an operator would want —
-//! tail-latency impact vs batch progress.
+//! both loads — one `ScenarioSpec` per cell, via the
+//! [`scenarios::run_with_policy`] helper — and prints the decision
+//! table an operator would want: tail-latency impact vs batch progress.
 //!
 //! Run with: `cargo run --release --example colocate_batch`
 
-use scenarios::{run_with_policy, standalone, Policy, Scale};
+use indexserve::BoxReport;
+use scenarios::{run_with_policy, Policy, Scale};
 use telemetry::table::{ms, pct, Table};
 use workloads::BullyIntensity;
 
+fn cell(policy: Policy, qps: f64, seed: u64) -> BoxReport {
+    run_with_policy(policy, BullyIntensity::High, qps, seed, Scale::quick())
+}
+
 fn main() {
-    let scale = Scale::quick();
     let seed = 17;
     println!("Sweeping isolation policies (48-thread CPU bully)...\n");
 
     for qps in [2_000.0, 4_000.0] {
-        let base = standalone(qps, seed, scale);
+        let base = cell(Policy::Standalone, qps, seed);
         let mut t = Table::new(&[
             "policy",
             "p99 (ms)",
@@ -34,7 +39,7 @@ fn main() {
             Policy::StaticCores(8),
             Policy::Blind { buffer_cores: 8 },
         ] {
-            let r = run_with_policy(policy, BullyIntensity::High, qps, seed, scale);
+            let r = cell(policy, qps, seed);
             let d = r.latency.p99.saturating_sub(base.latency.p99);
             let slo =
                 telemetry::slo::RelativeSlo::paper_default(base.latency.p99).check(r.latency.p99);

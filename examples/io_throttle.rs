@@ -4,34 +4,24 @@
 //! (33 % read / 67 % write, sequential, synchronous) plus HDFS replication
 //! and client traffic, against the shared HDD volume, with the §5.3 static
 //! caps (20 MB/s replication, 60 MB/s clients) and DWRR priority
-//! adjustment.
+//! adjustment. The managed configuration is the registry's `io-throttle`
+//! scenario; the unmanaged one is the same spec with the controller off.
 //!
 //! Run with: `cargo run --release --example io_throttle`
 
-use indexserve::boxsim::{run_standalone, RunPlan};
-use indexserve::{BoxConfig, SecondaryKind};
-use perfiso::PerfIsoConfig;
-use simcore::SimDuration;
-use workloads::DiskBully;
+use scenarios::spec::{self, run_spec, RunOptions};
+use scenarios::Policy;
 
 fn main() {
-    let plan = RunPlan {
-        qps: 2_000.0,
-        warmup: SimDuration::from_millis(500),
-        measure: SimDuration::from_secs(3),
-        trace: qtrace::TraceConfig::default(),
-    };
-    let secondary = SecondaryKind {
-        cpu_bully: None,
-        disk_bully: Some(DiskBully {
-            depth: 8,
-            ..DiskBully::default()
-        }),
-        hdfs: true,
-    };
+    let managed_spec = spec::named("io-throttle").expect("registered scenario");
+    let mut wild_spec = managed_spec.clone();
+    wild_spec.name = "io-throttle-unmanaged".into();
+    wild_spec.policy = Policy::NoIsolation;
+    wild_spec.validate().expect("still a valid spec");
 
     println!("Disk-bound secondary WITHOUT I/O management ...");
-    let wild = run_standalone(BoxConfig::paper_box(secondary.clone(), None, 5), &plan);
+    let wild = run_spec(&wild_spec, &RunOptions::serial()).expect("runnable spec");
+    let wild = wild.runs[0].as_single_box().expect("single box");
     println!(
         "  primary p99 {:>6.2} ms   dropped {:>4.2}%",
         wild.latency.p99.as_millis_f64(),
@@ -39,10 +29,8 @@ fn main() {
     );
 
     println!("\nDisk-bound secondary WITH PerfIso (static caps + DWRR priorities) ...");
-    let managed = run_standalone(
-        BoxConfig::paper_box(secondary, Some(PerfIsoConfig::paper_cluster()), 5),
-        &plan,
-    );
+    let managed = run_spec(&managed_spec, &RunOptions::serial()).expect("runnable spec");
+    let managed = managed.runs[0].as_single_box().expect("single box");
     println!(
         "  primary p99 {:>6.2} ms   dropped {:>4.2}%",
         managed.latency.p99.as_millis_f64(),

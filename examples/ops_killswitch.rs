@@ -3,24 +3,24 @@
 //! §4.2: PerfIso ships with a kill switch so it can be ruled out during
 //! livesite debugging, and recovers its dynamic state from disk after a
 //! crash (Autopilot restarts it). This example exercises both paths on a
-//! live simulated machine and with the Autopilot substrate.
+//! live simulated machine (obtained from the `quickstart` scenario spec)
+//! and with the Autopilot substrate.
 //!
 //! Run with: `cargo run --release --example ops_killswitch`
 
 use autopilot::{RestartDecision, ServiceKind, ServiceManager, ServiceRegistry};
-use indexserve::{BoxConfig, BoxSim, SecondaryKind};
 use perfiso::recovery::ControllerState;
-use perfiso::{Command, PerfIsoConfig};
+use perfiso::Command;
+use scenarios::spec;
 use simcore::{SimDuration, SimTime};
-use workloads::BullyIntensity;
 
 fn main() {
-    // A machine with a high bully under blind isolation.
-    let mut sim = BoxSim::new(BoxConfig::paper_box(
-        SecondaryKind::cpu(BullyIntensity::High),
-        Some(PerfIsoConfig::default()),
-        9,
-    ));
+    // A machine with a high bully under blind isolation: the registry's
+    // quickstart scenario, embedded as a live simulator.
+    let mut sim = spec::named("quickstart")
+        .expect("registered scenario")
+        .box_sim(9)
+        .expect("single-box scenario");
     sim.advance_to(SimTime::from_millis(50));
     println!(
         "t=50ms   controller active:  {:?}",

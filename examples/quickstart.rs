@@ -4,25 +4,28 @@
 //! Builds the paper's single production server (48 logical cores, striped
 //! SSD + HDD volumes), runs Bing-style IndexServe at average load, throws a
 //! 48-thread CPU bully at it, and shows the p99 with and without PerfIso.
+//! Every configuration is one declarative `ScenarioSpec`; the same cells
+//! are runnable from the CLI (`perfiso-run run quickstart`).
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use indexserve::boxsim::{run_standalone, RunPlan};
-use indexserve::{BoxConfig, SecondaryKind};
-use perfiso::PerfIsoConfig;
+use indexserve::BoxReport;
+use scenarios::{run_with_policy, Policy, Scale};
 use simcore::SimDuration;
 use workloads::BullyIntensity;
 
 fn main() {
-    let plan = RunPlan {
-        qps: 2_000.0,
+    let qps = 2_000.0;
+    let scale = Scale {
         warmup: SimDuration::from_millis(500),
         measure: SimDuration::from_secs(4),
-        trace: qtrace::TraceConfig::default(),
+    };
+    let cell = |policy: Policy| -> BoxReport {
+        run_with_policy(policy, BullyIntensity::High, qps, 42, scale)
     };
 
-    println!("IndexServe standalone at {} QPS ...", plan.qps);
-    let baseline = run_standalone(BoxConfig::paper_box(SecondaryKind::none(), None, 1), &plan);
+    println!("IndexServe standalone at {qps} QPS ...");
+    let baseline = cell(Policy::Standalone);
     println!(
         "  p50 {:>7.2} ms   p99 {:>7.2} ms   machine idle {:>4.1}%",
         baseline.latency.p50.as_millis_f64(),
@@ -31,10 +34,7 @@ fn main() {
     );
 
     println!("\nColocating a 48-thread CPU bully with NO isolation ...");
-    let hurt = run_standalone(
-        BoxConfig::paper_box(SecondaryKind::cpu(BullyIntensity::High), None, 1),
-        &plan,
-    );
+    let hurt = cell(Policy::NoIsolation);
     println!(
         "  p50 {:>7.2} ms   p99 {:>7.2} ms   dropped {:>4.1}%   (tail destroyed)",
         hurt.latency.p50.as_millis_f64(),
@@ -43,14 +43,7 @@ fn main() {
     );
 
     println!("\nSame bully under PerfIso CPU blind isolation (8 buffer cores) ...");
-    let safe = run_standalone(
-        BoxConfig::paper_box(
-            SecondaryKind::cpu(BullyIntensity::High),
-            Some(PerfIsoConfig::default()),
-            1,
-        ),
-        &plan,
-    );
+    let safe = cell(Policy::Blind { buffer_cores: 8 });
     let degradation = safe.latency.p99.saturating_sub(baseline.latency.p99);
     println!(
         "  p50 {:>7.2} ms   p99 {:>7.2} ms   degradation {:+.2} ms",

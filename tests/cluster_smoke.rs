@@ -1,26 +1,34 @@
 //! Cluster-level integration tests (Fig 3 topology, Fig 9 behaviour) on a
-//! scaled-down TLA/MLA/IndexServe cluster.
+//! scaled-down TLA/MLA/IndexServe cluster, each cell described by a
+//! declarative [`scenarios::spec::ScenarioSpec`].
 
-use cluster::{ClusterConfig, ClusterSim, Topology};
-use indexserve::SecondaryKind;
+use cluster::{ClusterReport, Topology};
+use scenarios::spec::{run_spec, RunOptions, ScenarioBuilder, ScenarioSpec};
+use scenarios::Policy;
 use simcore::SimDuration;
 use workloads::BullyIntensity;
 
-fn small(secondary: SecondaryKind, seed: u64) -> ClusterConfig {
-    ClusterConfig {
-        topology: Topology::small(),
-        qps_total: 600.0,
-        warmup: SimDuration::from_millis(200),
-        measure: SimDuration::from_millis(800),
-        ..ClusterConfig::paper_cluster(secondary, seed)
-    }
+fn small(name: &str, seed: u64) -> ScenarioBuilder {
+    ScenarioSpec::builder(name)
+        .cluster(Topology::small(), 600.0)
+        .policy(Policy::FullPerfIso)
+        .custom_scale(200, 800)
+        .seed(seed)
+}
+
+fn run(builder: ScenarioBuilder) -> ClusterReport {
+    let spec = builder.build().expect("valid spec");
+    // All cores: with one seed the thread knob reaches the cluster's box
+    // advance, which is bit-identical to serial by the pool's guarantee.
+    let report = run_spec(&spec, &RunOptions::parallel(None)).expect("runnable spec");
+    report.runs[0].as_cluster().expect("cluster target").clone()
 }
 
 #[test]
 fn layers_aggregate_in_order() {
     // A request is measured at the local IndexServe, the MLA, and the TLA;
     // each layer's latency must dominate the one below (Fig 9's structure).
-    let r = ClusterSim::new(small(SecondaryKind::none(), 3)).run();
+    let r = run(small("base", 3));
     assert!(r.completed > 300, "completed {}", r.completed);
     assert_eq!(r.degraded, 0);
     assert!(
@@ -41,16 +49,8 @@ fn layers_aggregate_in_order() {
 #[test]
 fn cpu_bound_secondary_stays_within_band_under_perfiso() {
     // Fig 9b: per-layer p99 deltas vs the baseline stay within ~1 ms.
-    let base = ClusterSim::new(small(SecondaryKind::none(), 5)).run();
-    let colo = ClusterSim::new(small(
-        SecondaryKind {
-            cpu_bully: Some(BullyIntensity::High),
-            disk_bully: None,
-            hdfs: true,
-        },
-        5,
-    ))
-    .run();
+    let base = run(small("base", 5));
+    let colo = run(small("colo", 5).cpu_bully(BullyIntensity::High).hdfs());
     for (name, b, c) in [
         ("local", &base.local, &colo.local),
         ("mla", &base.mla, &colo.mla),
@@ -75,16 +75,10 @@ fn cpu_bound_secondary_stays_within_band_under_perfiso() {
 #[test]
 fn disk_bound_secondary_stays_within_band_under_perfiso() {
     // Fig 9c: the DiskSPD-style bully on the shared HDD volume.
-    let base = ClusterSim::new(small(SecondaryKind::none(), 7)).run();
-    let colo = ClusterSim::new(small(
-        SecondaryKind {
-            cpu_bully: None,
-            disk_bully: Some(workloads::DiskBully::default()),
-            hdfs: true,
-        },
-        7,
-    ))
-    .run();
+    let base = run(small("base", 7));
+    let colo = run(small("colo", 7)
+        .disk_bully(workloads::DiskBully::default())
+        .hdfs());
     let d = colo.tla.p99.saturating_sub(base.tla.p99);
     assert!(d < SimDuration::from_millis(3), "tla p99 degradation {d}");
 }
@@ -115,17 +109,10 @@ fn topology_math_checks_out() {
 fn unprotected_cluster_degrades() {
     // Without PerfIso the same CPU bully wrecks the end-to-end tail — the
     // cluster inherits the single-box no-isolation behaviour.
-    let base = ClusterSim::new(small(SecondaryKind::none(), 11)).run();
-    let mut cfg = small(
-        SecondaryKind {
-            cpu_bully: Some(BullyIntensity::High),
-            disk_bully: None,
-            hdfs: false,
-        },
-        11,
-    );
-    cfg.perfiso = None;
-    let colo = ClusterSim::new(cfg).run();
+    let base = run(small("base", 11));
+    let colo = run(small("colo", 11)
+        .cpu_bully(BullyIntensity::High)
+        .policy(Policy::NoIsolation));
     let d = colo.tla.p99.saturating_sub(base.tla.p99);
     assert!(
         d > SimDuration::from_millis(5),

@@ -6,15 +6,22 @@ use autopilot::{RestartDecision, ServiceKind, ServiceManager, ServiceRegistry};
 use indexserve::{BoxConfig, BoxSim, SecondaryKind};
 use perfiso::recovery::ControllerState;
 use perfiso::{Command, CpuPolicy, PerfIsoConfig};
+use scenarios::spec::ScenarioSpec;
+use scenarios::Policy;
 use simcore::{SimDuration, SimTime};
 use workloads::BullyIntensity;
 
+/// A machine with a high bully under blind isolation, described by the
+/// spec API and embedded as a live simulator.
 fn bully_box(seed: u64) -> BoxSim {
-    BoxSim::new(BoxConfig::paper_box(
-        SecondaryKind::cpu(BullyIntensity::High),
-        Some(PerfIsoConfig::default()),
-        seed,
-    ))
+    ScenarioSpec::builder("ops")
+        .single_box(2_000.0)
+        .cpu_bully(BullyIntensity::High)
+        .policy(Policy::Blind { buffer_cores: 8 })
+        .build()
+        .expect("valid spec")
+        .box_sim(seed)
+        .expect("single-box scenario")
 }
 
 #[test]
@@ -128,6 +135,11 @@ fn policy_switch_at_runtime() {
         bd.secondary
     );
 }
+
+// The two watchdog tests below configure controller-internal knobs
+// (poll intervals, kill watermark) that sit outside the spec API's policy
+// vocabulary, so they assemble their BoxSim directly — deliberately the
+// embedding path, not an experiment description.
 
 #[test]
 fn memory_watchdog_kills_secondary_on_pressure() {

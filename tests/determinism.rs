@@ -1,12 +1,16 @@
 //! Reproducibility: every simulation in the workspace is deterministic in
 //! its seed, distinct seeds genuinely decorrelate runs, and parallel
-//! execution is bit-identical to serial execution.
+//! execution — the fleet slice sweep, the cluster's worker pool, and the
+//! spec runner's multi-seed fan-out — is bit-identical to serial
+//! execution.
 
-use cluster::fleet::{run_fleet, FleetConfig};
+use cluster::fleet::FleetReport;
 use proptest::prelude::*;
-use scenarios::{blind_isolation, standalone, Scale};
+use scenarios::spec::{run_spec, RunOptions, ScenarioSpec};
+use scenarios::{blind_isolation, standalone, Policy, Scale};
 use simcore::SimDuration;
 use telemetry::LogHistogram;
+use workloads::BullyIntensity;
 
 fn tiny() -> Scale {
     Scale {
@@ -49,75 +53,99 @@ fn different_seeds_decorrelate() {
     );
 }
 
+fn assert_fleet_reports_identical(serial: &FleetReport, parallel: &FleetReport) {
+    assert!(
+        serial.bits_eq(parallel),
+        "parallel fleet report diverged from serial"
+    );
+}
+
 /// The parallel fleet sweep must be bit-identical to the serial one: the
 /// report numbers may not differ in a single ULP across thread counts.
+/// Both runs go through the spec API; a single-seed run hands the thread
+/// knob down to the fleet driver's slice sweep.
 #[test]
 fn fleet_parallel_equals_serial() {
-    let base = FleetConfig {
-        minutes: 5,
-        sampled_machines: 2,
-        slice: SimDuration::from_millis(200),
-        ..Default::default()
-    };
-    let serial = run_fleet(&FleetConfig {
-        threads: 1,
-        ..base.clone()
-    });
-    let parallel = run_fleet(&FleetConfig { threads: 0, ..base });
-
-    assert_eq!(
-        serial.mean_utilization.to_bits(),
-        parallel.mean_utilization.to_bits()
+    let spec = ScenarioSpec::builder("det-fleet")
+        .fleet(5, 2, 200)
+        .policy(Policy::Blind { buffer_cores: 8 })
+        .seed(99)
+        .build()
+        .expect("valid spec");
+    let serial = run_spec(&spec, &RunOptions::serial()).expect("runnable");
+    let parallel = run_spec(&spec, &RunOptions::parallel(None)).expect("runnable");
+    assert_fleet_reports_identical(
+        serial.runs[0].as_fleet().expect("fleet"),
+        parallel.runs[0].as_fleet().expect("fleet"),
     );
-    assert_eq!(serial.max_p99, parallel.max_p99);
-    assert_eq!(serial.slices, parallel.slices);
-    assert_eq!(serial.sim_events, parallel.sim_events);
-    for (name, a, b) in [
-        ("qps", &serial.qps, &parallel.qps),
-        ("p99_ms", &serial.p99_ms, &parallel.p99_ms),
-        (
-            "utilization_pct",
-            &serial.utilization_pct,
-            &parallel.utilization_pct,
-        ),
-        (
-            "trainer_progress",
-            &serial.trainer_progress,
-            &parallel.trainer_progress,
-        ),
-    ] {
-        assert_eq!(a.len(), b.len(), "{name} length");
-        for i in 0..a.len() {
-            let (x, y) = (a.bucket(i).unwrap(), b.bucket(i).unwrap());
-            assert_eq!(x.count, y.count, "{name} bucket {i} count");
-            assert_eq!(x.sum.to_bits(), y.sum.to_bits(), "{name} bucket {i} sum");
-            assert_eq!(x.max.to_bits(), y.max.to_bits(), "{name} bucket {i} max");
-        }
+}
+
+/// The spec runner's multi-seed fan-out must also be bit-identical to its
+/// serial reduction, per seed and in the cross-seed statistics.
+#[test]
+fn multi_seed_sweep_parallel_equals_serial() {
+    let spec = ScenarioSpec::builder("det-seeds")
+        .single_box(1_500.0)
+        .cpu_bully(BullyIntensity::High)
+        .policy(Policy::Blind { buffer_cores: 8 })
+        .custom_scale(200, 500)
+        .seed(31)
+        .seeds(6)
+        .build()
+        .expect("valid spec");
+    let serial = run_spec(&spec, &RunOptions::serial()).expect("runnable");
+    let parallel = run_spec(
+        &spec,
+        &RunOptions {
+            seeds: None,
+            threads: 4,
+        },
+    )
+    .expect("runnable");
+    assert_eq!(serial.seeds, parallel.seeds);
+    for (i, (a, b)) in serial.runs.iter().zip(parallel.runs.iter()).enumerate() {
+        let (a, b) = (
+            a.as_single_box().expect("single box"),
+            b.as_single_box().expect("single box"),
+        );
+        assert_eq!(a.latency.p50, b.latency.p50, "seed {i} p50");
+        assert_eq!(a.latency.p99, b.latency.p99, "seed {i} p99");
+        assert_eq!(a.latency.count, b.latency.count, "seed {i} count");
+        assert_eq!(a.machine, b.machine, "seed {i} scheduler counters");
+        assert_eq!(a.controller, b.controller, "seed {i} controller counters");
+        assert_eq!(
+            a.secondary_cpu, b.secondary_cpu,
+            "seed {i} secondary progress"
+        );
+    }
+    for (a, b) in serial
+        .summary
+        .p99_ms
+        .values()
+        .iter()
+        .zip(parallel.summary.p99_ms.values())
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "summary stats diverged");
     }
 }
 
-/// The cluster simulator's parallel box advance (engaged whenever ≥ 8
+/// The cluster simulator's persistent worker pool (engaged whenever ≥ 8
 /// boxes are due at one instant and more than one worker is configured)
 /// must match the serial run exactly — forced to 4 workers here so the
-/// scoped-thread path executes even on a single-core machine.
+/// pool path executes even on a single-core machine.
 #[test]
 fn cluster_parallel_equals_serial() {
-    use cluster::{ClusterConfig, ClusterSim, Topology};
-    use indexserve::SecondaryKind;
+    use cluster::Topology;
 
-    let base = ClusterConfig {
-        topology: Topology::small(),
-        qps_total: 400.0,
-        warmup: SimDuration::from_millis(150),
-        measure: SimDuration::from_millis(450),
-        ..ClusterConfig::paper_cluster(SecondaryKind::none(), 21)
-    };
-    let serial = ClusterSim::new(ClusterConfig {
-        threads: 1,
-        ..base.clone()
-    })
-    .run();
-    let parallel = ClusterSim::new(ClusterConfig { threads: 4, ..base }).run();
+    let spec = ScenarioSpec::builder("det-cluster")
+        .cluster(Topology::small(), 400.0)
+        .policy(Policy::FullPerfIso)
+        .custom_scale(150, 450)
+        .seed(21)
+        .build()
+        .expect("valid spec");
+    let serial = spec.cluster_sim(spec.seed, 1).expect("cluster").run();
+    let parallel = spec.cluster_sim(spec.seed, 4).expect("cluster").run();
 
     assert_eq!(serial.completed, parallel.completed);
     assert_eq!(serial.degraded, parallel.degraded);

@@ -1,20 +1,25 @@
 //! Disk-side isolation integration tests: the disk bully, HDFS static
 //! caps, DWRR priority adjustment, and the SSD/HDD placement split
-//! (§3.2, §4.1, §5.3).
+//! (§3.2, §4.1, §5.3). Every experiment cell is a declarative
+//! [`scenarios::spec::ScenarioSpec`].
 
-use indexserve::boxsim::{run_standalone, RunPlan};
-use indexserve::{BoxConfig, SecondaryKind};
-use perfiso::PerfIsoConfig;
+use indexserve::BoxReport;
+use scenarios::spec::{run_spec, RunOptions, ScenarioBuilder, ScenarioSpec};
+use scenarios::Policy;
 use simcore::SimDuration;
 use workloads::{DiskBully, HdfsNode};
 
-fn plan(qps: f64) -> RunPlan {
-    RunPlan {
-        qps,
-        warmup: SimDuration::from_millis(400),
-        measure: SimDuration::from_millis(1_600),
-        trace: qtrace::TraceConfig::default(),
-    }
+fn cell(name: &str, qps: f64, seed: u64) -> ScenarioBuilder {
+    ScenarioSpec::builder(name)
+        .single_box(qps)
+        .custom_scale(400, 1_600)
+        .seed(seed)
+}
+
+fn run(builder: ScenarioBuilder) -> BoxReport {
+    let spec = builder.build().expect("valid spec");
+    let report = run_spec(&spec, &RunOptions::serial()).expect("runnable spec");
+    report.runs[0].as_single_box().expect("single box").clone()
 }
 
 #[test]
@@ -23,18 +28,10 @@ fn disk_bully_on_shared_hdd_leaves_primary_tail_intact() {
     // bully hammers the shared HDD volume. With PerfIso's I/O management
     // the query tail must stay within the paper's cluster band (±1.2 ms).
     let seed = 19;
-    let base = run_standalone(
-        BoxConfig::paper_box(SecondaryKind::none(), None, seed),
-        &plan(2_000.0),
-    );
-    let colo = run_standalone(
-        BoxConfig::paper_box(
-            SecondaryKind::disk(DiskBully::default()),
-            Some(PerfIsoConfig::paper_cluster()),
-            seed,
-        ),
-        &plan(2_000.0),
-    );
+    let base = run(cell("base", 2_000.0, seed));
+    let colo = run(cell("colo", 2_000.0, seed)
+        .disk_bully(DiskBully::default())
+        .policy(Policy::FullPerfIso));
     let d = colo.latency.p99.saturating_sub(base.latency.p99);
     assert!(
         d < SimDuration::from_millis(2),
@@ -50,21 +47,10 @@ fn hdfs_traffic_is_capped_and_harmless() {
     // §5.3: replication capped at 20 MB/s, clients at 60 MB/s. With the
     // caps installed the HDFS side-traffic must not move the tail.
     let seed = 23;
-    let base = run_standalone(
-        BoxConfig::paper_box(SecondaryKind::none(), None, seed),
-        &plan(2_000.0),
-    );
-    let hdfs = run_standalone(
-        BoxConfig::paper_box(
-            SecondaryKind {
-                hdfs: true,
-                ..SecondaryKind::none()
-            },
-            Some(PerfIsoConfig::paper_cluster()),
-            seed,
-        ),
-        &plan(2_000.0),
-    );
+    let base = run(cell("base", 2_000.0, seed));
+    let hdfs = run(cell("hdfs", 2_000.0, seed)
+        .hdfs()
+        .policy(Policy::FullPerfIso));
     let d = hdfs.latency.p99.saturating_sub(base.latency.p99);
     assert!(d < SimDuration::from_millis(2), "hdfs degradation {d}");
 }
@@ -102,20 +88,13 @@ fn controller_raises_crowded_tenant_priority() {
     // End-to-end DWRR: a disk bully saturates the HDD volume; the HDFS
     // client's guaranteed IOPS floor is crowded out, so PerfIso must raise
     // its I/O priority within a few controller rounds.
-    let seed = 29;
-    let cfg = BoxConfig::paper_box(
-        SecondaryKind {
-            disk_bully: Some(DiskBully {
-                depth: 16,
-                ..DiskBully::default()
-            }),
-            hdfs: true,
-            cpu_bully: None,
-        },
-        Some(PerfIsoConfig::paper_cluster()),
-        seed,
-    );
-    let r = run_standalone(cfg, &plan(500.0));
+    let r = run(cell("dwrr", 500.0, 29)
+        .disk_bully(DiskBully {
+            depth: 16,
+            ..DiskBully::default()
+        })
+        .hdfs()
+        .policy(Policy::FullPerfIso));
     let stats = r.controller.expect("controller ran");
     assert!(
         stats.io_rounds > 5,
