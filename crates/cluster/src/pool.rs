@@ -20,6 +20,15 @@ use std::thread::JoinHandle;
 use indexserve::BoxSim;
 use simcore::SimTime;
 
+/// What a worker does to one due box (injectable so tests can exercise
+/// the pool's panic path without corrupting a real simulation).
+type AdvanceFn = fn(&mut BoxSim, SimTime);
+
+/// The production advance: catch the box up to the target instant.
+fn advance_box(b: &mut BoxSim, target: SimTime) {
+    b.advance_to(target);
+}
+
 /// One advance request: a raw view of the box array plus the target time.
 #[derive(Clone, Copy)]
 struct Job {
@@ -27,6 +36,7 @@ struct Job {
     len: usize,
     chunk: usize,
     target: SimTime,
+    advance: AdvanceFn,
 }
 
 // SAFETY: a `Job` is only live while `WorkerPool::advance_due` blocks the
@@ -83,6 +93,12 @@ impl WorkerPool {
     /// Re-raises (as a fresh panic) any panic that occurred inside a
     /// worker, matching the fail-fast behaviour of a scoped-thread join.
     pub(crate) fn advance_due(&mut self, boxes: &mut [BoxSim], target: SimTime) {
+        self.advance_due_with(boxes, target, advance_box);
+    }
+
+    /// [`WorkerPool::advance_due`] with an injectable per-box advance;
+    /// tests use this to drive the panic path deterministically.
+    fn advance_due_with(&mut self, boxes: &mut [BoxSim], target: SimTime, advance: AdvanceFn) {
         if boxes.is_empty() {
             return;
         }
@@ -92,6 +108,7 @@ impl WorkerPool {
             len: boxes.len(),
             chunk: boxes.len().div_ceil(self.senders.len()),
             target,
+            advance,
         };
         for tx in &self.senders {
             tx.send(job).expect("pool worker exited early");
@@ -139,12 +156,103 @@ fn worker_loop(rx: &Receiver<Job>, cursor: &AtomicUsize, done: &Sender<bool>) {
                 unsafe { std::slice::from_raw_parts_mut(job.boxes.add(start), end - start) };
             for b in boxes {
                 if b.next_event_time().is_some_and(|n| n <= job.target) {
-                    b.advance_to(job.target);
+                    (job.advance)(b, job.target);
                 }
             }
         }));
         if done.send(result.is_err()).is_err() {
             return; // Pool dropped mid-job: nothing left to report to.
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    use indexserve::{BoxConfig, SecondaryKind};
+    use perfiso::PerfIsoConfig;
+
+    use super::*;
+
+    /// Boxes with a controller installed so poll timers guarantee every
+    /// box has work due and workers actually run the advance function.
+    fn boxes(n: usize) -> Vec<BoxSim> {
+        (0..n)
+            .map(|i| {
+                BoxSim::new(BoxConfig::paper_box(
+                    SecondaryKind::none(),
+                    Some(PerfIsoConfig::default()),
+                    i as u64,
+                ))
+            })
+            .collect()
+    }
+
+    static ADVANCED: AtomicUsize = AtomicUsize::new(0);
+
+    fn counting_advance(b: &mut BoxSim, target: SimTime) {
+        ADVANCED.fetch_add(1, Ordering::Relaxed);
+        b.advance_to(target);
+    }
+
+    fn panicking_advance(_b: &mut BoxSim, _target: SimTime) {
+        panic!("injected box-advance failure");
+    }
+
+    /// The contract the Fig 9 main loop depends on: a panic inside a
+    /// worker must re-raise on the submitting thread — not deadlock the
+    /// `done` rendezvous, and not leave workers hung — and the pool must
+    /// still drop cleanly (joining every worker) afterwards.
+    #[test]
+    fn worker_panic_re_raises_on_caller_without_deadlock() {
+        let mut pool = WorkerPool::new(3);
+        let mut bs = boxes(4);
+        let target = SimTime::from_millis(5);
+
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.advance_due_with(&mut bs, target, panicking_advance);
+        }));
+        let payload = result.expect_err("worker panic must re-raise on the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("pool worker panicked"),
+            "unexpected panic payload {msg:?}"
+        );
+
+        // No hung workers: the pool accepts and completes a fresh job.
+        // (The panicking advance never touched a box, so they are intact.)
+        ADVANCED.store(0, Ordering::Relaxed);
+        pool.advance_due(&mut bs, SimTime::from_millis(1));
+        pool.advance_due_with(&mut bs, target, counting_advance);
+        assert_eq!(
+            ADVANCED.load(Ordering::Relaxed),
+            4,
+            "every due box must be advanced exactly once after recovery"
+        );
+        for b in &mut bs {
+            assert!(
+                b.next_event_time().is_some_and(|n| n > target),
+                "boxes must be quiescent up to the target"
+            );
+        }
+        drop(pool); // must join, not hang
+    }
+
+    /// Dropping a pool mid-life joins every worker even if no job ran.
+    #[test]
+    fn idle_pool_drops_cleanly() {
+        let pool = WorkerPool::new(2);
+        let start = std::time::Instant::now();
+        drop(pool);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "drop must not hang on idle workers"
+        );
     }
 }

@@ -115,9 +115,11 @@ impl PerfIsoConfig {
     /// Returns a description of the first violated constraint.
     pub fn validate(&self, total_cores: u32) -> Result<(), String> {
         match self.cpu {
-            CpuPolicy::Blind { buffer_cores } if buffer_cores >= total_cores => {
+            CpuPolicy::Blind { buffer_cores }
+                if buffer_cores == 0 || buffer_cores >= total_cores =>
+            {
                 return Err(format!(
-                    "buffer_cores {buffer_cores} leaves no room on {total_cores} cores"
+                    "blind isolation needs 1..{total_cores} buffer cores, got {buffer_cores}"
                 ));
             }
             CpuPolicy::StaticCores(n) if n > total_cores => {
@@ -131,11 +133,38 @@ impl PerfIsoConfig {
         if self.cpu_poll_interval.is_zero() {
             return Err("cpu_poll_interval must be positive".into());
         }
-        if !(0.0..=1.0).contains(&self.memory_kill_watermark) {
+        if self.io_poll_interval.is_zero() {
+            return Err("io_poll_interval must be positive".into());
+        }
+        if self.memory_poll_interval.is_zero() {
+            return Err("memory_poll_interval must be positive".into());
+        }
+        if !(self.memory_kill_watermark > 0.0 && self.memory_kill_watermark <= 1.0) {
             return Err(format!(
-                "memory_kill_watermark {} must be in [0, 1]",
+                "memory_kill_watermark {} must be in (0, 1]",
                 self.memory_kill_watermark
             ));
+        }
+        if self.secondary_memory_limit == Some(0) {
+            return Err(
+                "secondary_memory_limit of zero bytes kills every secondary; \
+                        use the kill watermark instead"
+                    .into(),
+            );
+        }
+        if let Some(0) = self.egress_low_rate {
+            return Err("egress_low_rate of zero starves the secondary network class".into());
+        }
+        for t in &self.tenant_limits {
+            if t.service.is_empty() {
+                return Err("tenant_limits entries need a service name".into());
+            }
+            if t.limit.bytes_per_sec.is_none() && t.limit.iops.is_none() {
+                return Err(format!(
+                    "tenant limit for {:?} caps neither bytes/s nor IOPS",
+                    t.service
+                ));
+            }
         }
         Ok(())
     }
@@ -175,6 +204,64 @@ mod tests {
         assert!(c.validate(48).is_err());
         c.cpu = CpuPolicy::CycleCap(0.05);
         assert!(c.validate(48).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_knobs() {
+        let base = PerfIsoConfig::default;
+        for bad in [
+            PerfIsoConfig {
+                cpu: CpuPolicy::Blind { buffer_cores: 0 },
+                ..base()
+            },
+            PerfIsoConfig {
+                cpu_poll_interval: SimDuration::ZERO,
+                ..base()
+            },
+            PerfIsoConfig {
+                io_poll_interval: SimDuration::ZERO,
+                ..base()
+            },
+            PerfIsoConfig {
+                memory_poll_interval: SimDuration::ZERO,
+                ..base()
+            },
+            PerfIsoConfig {
+                memory_kill_watermark: 0.0,
+                ..base()
+            },
+            PerfIsoConfig {
+                memory_kill_watermark: 1.5,
+                ..base()
+            },
+            PerfIsoConfig {
+                secondary_memory_limit: Some(0),
+                ..base()
+            },
+            PerfIsoConfig {
+                egress_low_rate: Some(0),
+                ..base()
+            },
+            PerfIsoConfig {
+                tenant_limits: vec![TenantLimitConfig {
+                    service: String::new(),
+                    limit: IoLimit {
+                        bytes_per_sec: Some(1),
+                        iops: None,
+                    },
+                }],
+                ..base()
+            },
+            PerfIsoConfig {
+                tenant_limits: vec![TenantLimitConfig {
+                    service: "hdfs-client".into(),
+                    limit: IoLimit::default(),
+                }],
+                ..base()
+            },
+        ] {
+            assert!(bad.validate(48).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub mod recovery;
 pub mod system;
 
 pub use blind::BlindIsolation;
-pub use config::{CpuPolicy, PerfIsoConfig};
+pub use config::{CpuPolicy, PerfIsoConfig, TenantLimitConfig};
 pub use controller::{Command, PerfIso};
 pub use dwrr::{DwrrConfig, DwrrThrottler, TenantIoConfig};
 pub use memory::{MemoryAction, MemoryWatchdog};

@@ -121,6 +121,12 @@ enum AppEvent {
     HdfsClient,
 }
 
+/// Service names (as configured through `PerfIsoConfig::tenant_limits`)
+/// of the batch I/O tenants every box registers, in [`IoTenant`] index
+/// order. Spec-level validation rejects limits for any other name, so a
+/// typo'd service cannot silently run uncapped.
+pub const IO_TENANT_SERVICES: [&str; 3] = ["disk-bully", "hdfs-replication", "hdfs-client"];
+
 /// I/O owner table for the shared HDD volume.
 #[derive(Clone, Copy, Debug)]
 struct Owners {
@@ -261,6 +267,17 @@ impl BoxSim {
                 };
                 ctl.install(&mut sys);
                 // Register the batch I/O tenants for DWRR + static caps.
+                // Caps come from the configuration's per-service
+                // `tenant_limits` (how production configures them through
+                // Autopilot, §5.3) — e.g. `PerfIsoConfig::paper_cluster`
+                // caps "hdfs-replication" at 20 MB/s and "hdfs-client" at
+                // 60 MB/s; an absent entry means uncapped.
+                let limit_for = |service: &str| -> Option<IoLimit> {
+                    pcfg.tenant_limits
+                        .iter()
+                        .find(|t| t.service == service)
+                        .map(|t| t.limit)
+                };
                 ctl.register_io_tenant(
                     &mut sys,
                     IoTenant(0),
@@ -268,7 +285,7 @@ impl BoxSim {
                         weight: 1.0,
                         min_iops: 50.0,
                     },
-                    None,
+                    limit_for(IO_TENANT_SERVICES[0]),
                     IoPriority::LOW.0,
                 );
                 ctl.register_io_tenant(
@@ -278,10 +295,7 @@ impl BoxSim {
                         weight: 1.0,
                         min_iops: 20.0,
                     },
-                    Some(IoLimit {
-                        bytes_per_sec: Some(20 << 20),
-                        iops: None,
-                    }),
+                    limit_for(IO_TENANT_SERVICES[1]),
                     IoPriority::LOW.0,
                 );
                 ctl.register_io_tenant(
@@ -291,10 +305,7 @@ impl BoxSim {
                         weight: 2.0,
                         min_iops: 40.0,
                     },
-                    Some(IoLimit {
-                        bytes_per_sec: Some(60 << 20),
-                        iops: None,
-                    }),
+                    limit_for(IO_TENANT_SERVICES[2]),
                     IoPriority::LOW.0,
                 );
             }

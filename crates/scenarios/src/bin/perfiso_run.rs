@@ -3,7 +3,7 @@
 //! ```text
 //! perfiso-run list
 //! perfiso-run show <name>
-//! perfiso-run run <name|spec.json> [--seeds N] [--threads T] [--out report.json]
+//! perfiso-run run <name|spec.json> [--sweep] [--seeds N] [--threads T] [--out report.json]
 //! ```
 //!
 //! `run` resolves the scenario from the registry (or loads a
@@ -12,17 +12,23 @@
 //! reports are bit-identical to `--threads 1`), prints a per-seed table
 //! plus cross-seed statistics, and optionally writes the full JSON
 //! [`scenarios::spec::Report`] to `--out`.
+//!
+//! With `--sweep`, the spec's [`scenarios::spec::SweepSpec`] grid expands
+//! into one cell per knob combination; every `(cell, seed)` job fans out
+//! across the same worker pool, a cross-cell summary table is printed,
+//! and `--out` receives the full [`scenarios::spec::SweepReport`].
 
 use std::process::ExitCode;
 
-use scenarios::spec::{self, Report, RunOptions, ScenarioSpec, SeedReport};
+use scenarios::spec::{self, Report, RunOptions, ScenarioSpec, SeedReport, SweepReport};
 use telemetry::table::{ms, pct, Table};
 
 const USAGE: &str = "usage:
   perfiso-run list
   perfiso-run show <name>
-  perfiso-run run <name|spec.json> [--seeds N] [--threads T] [--out report.json]
+  perfiso-run run <name|spec.json> [--sweep] [--seeds N] [--threads T] [--out report.json]
 
+  --sweep       expand the spec's parameter sweep and run every grid cell
   --seeds N     override the spec's repetition count (seeds seed..seed+N)
   --threads T   seed-sweep workers; 0 = all cores (default), 1 = serial
   --out PATH    write the full JSON report to PATH";
@@ -49,12 +55,17 @@ fn main() -> ExitCode {
 }
 
 fn cmd_list() -> Result<(), String> {
-    let mut t = Table::new(&["name", "target", "policy", "seeds", "description"]);
+    let mut t = Table::new(&["name", "target", "policy", "sweep", "seeds", "description"]);
     for s in spec::registry() {
+        let sweep = match &s.sweep {
+            Some(sw) => format!("{} cells", sw.cell_count()),
+            None => "-".to_string(),
+        };
         t.row_owned(vec![
             s.name.clone(),
             s.target.describe(),
             s.policy.label(),
+            sweep,
             format!("{}", s.seeds),
             s.description.clone(),
         ]);
@@ -66,6 +77,15 @@ fn cmd_list() -> Result<(), String> {
 fn cmd_show(name: &str) -> Result<(), String> {
     let s = spec::named(name).map_err(|e| e.to_string())?;
     println!("{}", s.to_json());
+    if s.sweep.is_some() {
+        let cells = s.expand_sweep().map_err(|e| e.to_string())?;
+        println!("\nsweep grid ({} cells, run with --sweep):", cells.len());
+        let mut t = Table::new(&["cell", "knobs"]);
+        for (i, cell) in cells.iter().enumerate() {
+            t.row_owned(vec![format!("{i}"), cell.label.clone()]);
+        }
+        print!("{}", t.render());
+    }
     Ok(())
 }
 
@@ -91,6 +111,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         threads: 0,
     };
     let mut out: Option<String> = None;
+    let mut sweep = false;
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         let mut value = |flag: &str| {
@@ -99,6 +120,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 .ok_or_else(|| format!("{flag} needs a value"))
         };
         match flag.as_str() {
+            "--sweep" => sweep = true,
             "--seeds" => {
                 let v = value("--seeds")?;
                 let n: u32 = v.parse().map_err(|_| format!("invalid --seeds {v:?}"))?;
@@ -114,6 +136,17 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
 
     let spec = resolve_spec(operand)?;
+    if sweep {
+        return run_sweep_cmd(&spec, &opts, out.as_deref());
+    }
+    if spec.sweep.is_some() {
+        println!(
+            "note: {} declares a {}-cell sweep; running the base point only \
+             (pass --sweep for the grid)",
+            spec.name,
+            spec.sweep.as_ref().map_or(0, |s| s.cell_count()),
+        );
+    }
     println!(
         "running {} ({}) under {} ...",
         spec.name,
@@ -139,6 +172,62 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         println!("wrote {path}");
     }
     Ok(())
+}
+
+fn run_sweep_cmd(spec: &ScenarioSpec, opts: &RunOptions, out: Option<&str>) -> Result<(), String> {
+    println!(
+        "sweeping {} ({}) under {}: {} cells x {} seed(s) ...",
+        spec.name,
+        spec.target.describe(),
+        spec.policy.label(),
+        // run_sweep validates and expands the grid; only the size is
+        // needed up front.
+        spec.sweep.as_ref().map_or(0, |s| s.cell_count()),
+        spec.seed_list(opts.seeds).len(),
+    );
+    let started = std::time::Instant::now();
+    let sweep = spec::run_sweep(spec, opts).map_err(|e| e.to_string())?;
+    let wall = started.elapsed().as_secs_f64();
+
+    print_sweep(&sweep);
+    println!(
+        "\n{} cells x {} seed(s) in {wall:.2}s wall ({} sweep)",
+        sweep.cells.len(),
+        sweep.seeds.len(),
+        if opts.threads == 1 {
+            "serial"
+        } else {
+            "parallel"
+        },
+    );
+    if let Some(path) = out {
+        std::fs::write(path, sweep.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn print_sweep(sweep: &SweepReport) {
+    let fleet = matches!(
+        sweep.cells.first().and_then(|c| c.report.runs.first()),
+        Some(SeedReport::Fleet(_))
+    );
+    let secondary_header = if fleet {
+        "secondary (mb/min)"
+    } else {
+        "secondary (cpu-s)"
+    };
+    let mut t = Table::new(&["cell", "p99 (ms)", "utilization", "drops", secondary_header]);
+    for row in &sweep.table {
+        t.row_owned(vec![
+            row.label.clone(),
+            format!("{:.2} ± {:.2}", row.p99_ms_mean, row.p99_ms_ci95),
+            pct(row.utilization_mean),
+            pct(row.drop_ratio_mean),
+            format!("{:.1}", row.secondary_mean),
+        ]);
+    }
+    print!("{}", t.render());
 }
 
 fn print_report(report: &Report) {

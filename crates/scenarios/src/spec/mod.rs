@@ -45,11 +45,20 @@
 //! assert_eq!(report.runs.len(), 1);
 //! ```
 
+mod controller;
 mod registry;
 mod runner;
 
+pub use controller::{
+    ControllerSpec, SweepAxis, SweepCell, SweepSpec, TenantLimitSpec, MAX_SWEEP_CELLS,
+};
 pub use registry::{named, names, registry};
-pub use runner::{run_spec, Report, RunOptions, SeedReport, Summary};
+pub use runner::{
+    run_spec, run_sweep, Report, RunOptions, SeedReport, Summary, SweepCellReport, SweepReport,
+    SweepRow,
+};
+
+use perfiso::{CpuPolicy, PerfIsoConfig};
 
 use cluster::fleet::FleetConfig;
 use cluster::{ClusterConfig, ClusterSim, Topology};
@@ -83,6 +92,11 @@ pub enum SpecError {
     InvalidTopology(String),
     /// The fleet sweep parameters are degenerate.
     InvalidFleet(String),
+    /// The controller-knob overrides are out of range or target the wrong
+    /// policy.
+    InvalidController(String),
+    /// The parameter sweep is degenerate or expands to an invalid cell.
+    InvalidSweep(String),
     /// `Policy::Standalone` means "primary alone": no secondary allowed.
     StandaloneWithSecondary,
     /// Fleet runs colocate the ML trainer; extra secondaries are not
@@ -119,6 +133,8 @@ impl std::fmt::Display for SpecError {
             SpecError::InvalidPolicy(m) => write!(f, "invalid policy: {m}"),
             SpecError::InvalidTopology(m) => write!(f, "invalid topology: {m}"),
             SpecError::InvalidFleet(m) => write!(f, "invalid fleet parameters: {m}"),
+            SpecError::InvalidController(m) => write!(f, "invalid controller overrides: {m}"),
+            SpecError::InvalidSweep(m) => write!(f, "invalid sweep: {m}"),
             SpecError::StandaloneWithSecondary => {
                 write!(
                     f,
@@ -296,6 +312,14 @@ pub struct ScenarioSpec {
     pub secondary: SecondaryKind,
     /// The isolation policy under test.
     pub policy: Policy,
+    /// Controller-knob overrides applied on top of the policy's base
+    /// [`PerfIsoConfig`] (absent in older spec files = no overrides).
+    #[serde(default)]
+    pub controller: ControllerSpec,
+    /// Optional parameter sweep expanding this scenario into a grid of
+    /// cells (absent in older spec files = no sweep).
+    #[serde(default)]
+    pub sweep: Option<SweepSpec>,
     /// Measurement window.
     pub scale: ScaleSpec,
     /// Base RNG seed; repetition `i` runs with `seed + i`.
@@ -316,6 +340,8 @@ impl ScenarioSpec {
                 target: TargetSpec::SingleBox { qps: 2_000.0 },
                 secondary: SecondaryKind::none(),
                 policy: Policy::Standalone,
+                controller: ControllerSpec::default(),
+                sweep: None,
                 scale: ScaleSpec::Quick,
                 seed: 42,
                 seeds: 1,
@@ -360,6 +386,52 @@ impl ScenarioSpec {
                 return Err(SpecError::StandaloneWithSecondary);
             }
             _ => {}
+        }
+        if !self.controller.is_default() {
+            let Some(base) = self.policy.perfiso_config() else {
+                return Err(SpecError::InvalidController(format!(
+                    "controller overrides need a policy with a controller, not {}",
+                    self.policy.label()
+                )));
+            };
+            if self.controller.buffer_cores.is_some()
+                && !matches!(base.cpu, CpuPolicy::Blind { .. })
+            {
+                return Err(SpecError::InvalidController(format!(
+                    "buffer_cores override needs a blind-isolation policy, not {}",
+                    self.policy.label()
+                )));
+            }
+            let mut services = std::collections::HashSet::new();
+            for t in &self.controller.tenant_limits {
+                if !services.insert(t.service.as_str()) {
+                    return Err(SpecError::InvalidController(format!(
+                        "duplicate tenant limit override for {:?}",
+                        t.service
+                    )));
+                }
+                // A name the box never registers would be silently inert
+                // and turn a sweep into identical cells — reject it.
+                if !indexserve::boxsim::IO_TENANT_SERVICES.contains(&t.service.as_str()) {
+                    return Err(SpecError::InvalidController(format!(
+                        "unknown I/O tenant service {:?} (known: {})",
+                        t.service,
+                        indexserve::boxsim::IO_TENANT_SERVICES.join(", ")
+                    )));
+                }
+            }
+            self.controller
+                .apply(&base)
+                .validate(PAPER_CORES)
+                .map_err(SpecError::InvalidController)?;
+        }
+        if let Some(sweep) = &self.sweep {
+            sweep.check_shape().map_err(SpecError::InvalidSweep)?;
+            for cell in sweep.expand(self) {
+                cell.spec
+                    .validate()
+                    .map_err(|e| SpecError::InvalidSweep(format!("cell [{}]: {e}", cell.label)))?;
+            }
         }
         match &self.target {
             TargetSpec::SingleBox { qps } => {
@@ -423,6 +495,31 @@ impl ScenarioSpec {
         self.scale.to_scale()
     }
 
+    /// The controller configuration the drivers install: the policy's
+    /// base [`PerfIsoConfig`] with this spec's [`ControllerSpec`]
+    /// overrides applied (`None` when the policy runs no controller).
+    pub fn effective_perfiso(&self) -> Option<PerfIsoConfig> {
+        self.policy
+            .perfiso_config()
+            .map(|base| self.controller.apply(&base))
+    }
+
+    /// Expands this spec's sweep into its grid cells, in run order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on validation errors or when the spec declares no sweep.
+    pub fn expand_sweep(&self) -> Result<Vec<SweepCell>, SpecError> {
+        self.validate()?;
+        let Some(sweep) = &self.sweep else {
+            return Err(SpecError::InvalidSweep(format!(
+                "scenario {:?} declares no sweep",
+                self.name
+            )));
+        };
+        Ok(sweep.expand(self))
+    }
+
     /// The seeds a run covers: `seed..seed + repetitions`, optionally
     /// overriding the repetition count (the CLI's `--seeds`).
     pub fn seed_list(&self, override_seeds: Option<u32>) -> Vec<u64> {
@@ -468,7 +565,7 @@ impl ScenarioSpec {
         // validate() already guarantees a Standalone spec has no secondary.
         Ok(BoxConfig::paper_box(
             self.secondary.clone(),
-            self.policy.perfiso_config(),
+            self.effective_perfiso(),
             seed,
         ))
     }
@@ -531,7 +628,7 @@ impl ScenarioSpec {
             qps_total,
             warmup: scale.warmup,
             measure: scale.measure,
-            perfiso: self.policy.perfiso_config(),
+            perfiso: self.effective_perfiso(),
             threads,
             ..ClusterConfig::paper_cluster(self.secondary.clone(), seed)
         })
@@ -575,8 +672,7 @@ impl ScenarioSpec {
             curve: curve.to_curve(),
             trainer: trainer.clone(),
             perfiso: self
-                .policy
-                .perfiso_config()
+                .effective_perfiso()
                 .expect("validated: fleet policy has a controller"),
             seed,
             threads,
@@ -693,6 +789,34 @@ impl ScenarioBuilder {
     /// Sets the isolation policy.
     pub fn policy(mut self, policy: Policy) -> Self {
         self.spec.policy = policy;
+        self
+    }
+
+    /// Sets the controller-knob overrides wholesale.
+    pub fn controller(mut self, controller: ControllerSpec) -> Self {
+        self.spec.controller = controller;
+        self
+    }
+
+    /// Edits the controller-knob overrides in place.
+    pub fn tune(mut self, f: impl FnOnce(&mut ControllerSpec)) -> Self {
+        f(&mut self.spec.controller);
+        self
+    }
+
+    /// Attaches a parameter sweep.
+    pub fn sweep(mut self, sweep: SweepSpec) -> Self {
+        self.spec.sweep = Some(sweep);
+        self
+    }
+
+    /// Adds one sweep axis (creating the sweep if needed).
+    pub fn sweep_axis(mut self, axis: SweepAxis) -> Self {
+        self.spec
+            .sweep
+            .get_or_insert_with(|| SweepSpec { axes: Vec::new() })
+            .axes
+            .push(axis);
         self
     }
 
@@ -819,6 +943,209 @@ mod tests {
         let text = spec.to_json();
         let back = ScenarioSpec::from_json(&text).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn controller_overrides_reach_every_target() {
+        let tuned = |b: ScenarioBuilder| {
+            b.policy(Policy::Blind { buffer_cores: 8 })
+                .tune(|c| {
+                    c.buffer_cores = Some(4);
+                    c.cpu_poll_interval_us = Some(5_000);
+                    c.memory_kill_watermark = Some(0.8);
+                })
+                .cpu_bully(BullyIntensity::Mid)
+        };
+        let single = tuned(ScenarioSpec::builder("s")).build().unwrap();
+        let cfg = single.box_config(1).unwrap();
+        let p = cfg.perfiso.expect("controller installed");
+        assert_eq!(p.cpu, perfiso::CpuPolicy::Blind { buffer_cores: 4 });
+        assert_eq!(p.cpu_poll_interval, SimDuration::from_micros(5_000));
+        assert_eq!(p.memory_kill_watermark, 0.8);
+
+        let cluster = tuned(ScenarioSpec::builder("c").cluster(Topology::small(), 600.0))
+            .build()
+            .unwrap();
+        let p = cluster.cluster_config(1, 1).unwrap().perfiso.unwrap();
+        assert_eq!(p.cpu, perfiso::CpuPolicy::Blind { buffer_cores: 4 });
+
+        let fleet = ScenarioSpec::builder("f")
+            .fleet(2, 1, 100)
+            .policy(Policy::Blind { buffer_cores: 8 })
+            .tune(|c| c.cpu_poll_interval_us = Some(2_000))
+            .build()
+            .unwrap();
+        let p = fleet.fleet_config(1, 1).unwrap().perfiso;
+        assert_eq!(p.cpu_poll_interval, SimDuration::from_micros(2_000));
+    }
+
+    #[test]
+    fn controller_validation_rejects_bad_overrides() {
+        // Overrides without a controller-bearing policy.
+        let err = ScenarioSpec::builder("x")
+            .policy(Policy::NoIsolation)
+            .cpu_bully(BullyIntensity::Mid)
+            .tune(|c| c.cpu_poll_interval_us = Some(1_000))
+            .build();
+        assert!(
+            matches!(err, Err(SpecError::InvalidController(_))),
+            "{err:?}"
+        );
+        // buffer_cores on a non-blind CPU mechanism.
+        let err = ScenarioSpec::builder("x")
+            .policy(Policy::StaticCores(8))
+            .cpu_bully(BullyIntensity::Mid)
+            .tune(|c| c.buffer_cores = Some(4))
+            .build();
+        assert!(
+            matches!(err, Err(SpecError::InvalidController(_))),
+            "{err:?}"
+        );
+        // Out-of-range knobs bubble up from PerfIsoConfig::validate.
+        let bads: [&dyn Fn(&mut ControllerSpec); 7] = [
+            &|c| c.cpu_poll_interval_us = Some(0),
+            &|c| c.io_poll_interval_us = Some(0),
+            &|c| c.memory_poll_interval_us = Some(0),
+            &|c| c.memory_kill_watermark = Some(0.0),
+            &|c| c.memory_kill_watermark = Some(1.5),
+            &|c| c.buffer_cores = Some(48),
+            &|c| {
+                c.tenant_limits = vec![TenantLimitSpec {
+                    service: String::new(),
+                    mbps: Some(10),
+                    iops: None,
+                }]
+            },
+        ];
+        for bad in bads {
+            let err = ScenarioSpec::builder("x")
+                .policy(Policy::Blind { buffer_cores: 8 })
+                .cpu_bully(BullyIntensity::Mid)
+                .tune(|c| bad(c))
+                .build();
+            assert!(
+                matches!(err, Err(SpecError::InvalidController(_))),
+                "{err:?}"
+            );
+        }
+        // Duplicate tenant overrides.
+        let err = ScenarioSpec::builder("x")
+            .policy(Policy::FullPerfIso)
+            .cpu_bully(BullyIntensity::Mid)
+            .tune(|c| {
+                c.tenant_limits = vec![
+                    TenantLimitSpec {
+                        service: "hdfs-client".into(),
+                        mbps: Some(10),
+                        iops: None,
+                    },
+                    TenantLimitSpec {
+                        service: "hdfs-client".into(),
+                        mbps: Some(20),
+                        iops: None,
+                    },
+                ]
+            })
+            .build();
+        assert!(
+            matches!(err, Err(SpecError::InvalidController(_))),
+            "{err:?}"
+        );
+        // Typo'd service names would be silently inert at run time.
+        let err = ScenarioSpec::builder("x")
+            .policy(Policy::FullPerfIso)
+            .cpu_bully(BullyIntensity::Mid)
+            .tune(|c| {
+                c.tenant_limits = vec![TenantLimitSpec {
+                    service: "hdfs_client".into(), // underscore typo
+                    mbps: Some(10),
+                    iops: None,
+                }]
+            })
+            .build();
+        assert!(
+            matches!(err, Err(SpecError::InvalidController(_))),
+            "{err:?}"
+        );
+        let err = ScenarioSpec::builder("x")
+            .policy(Policy::FullPerfIso)
+            .cpu_bully(BullyIntensity::Mid)
+            .sweep_axis(SweepAxis::TenantIoMbps {
+                service: "hdfs_client".into(),
+                mbps: vec![10],
+            })
+            .build();
+        assert!(matches!(err, Err(SpecError::InvalidSweep(_))), "{err:?}");
+    }
+
+    #[test]
+    fn sweep_validation_covers_cells() {
+        // A sweep whose cells are all valid builds fine.
+        let spec = ScenarioSpec::builder("ok")
+            .policy(Policy::Blind { buffer_cores: 8 })
+            .cpu_bully(BullyIntensity::Mid)
+            .sweep_axis(SweepAxis::BufferCores(vec![1, 2, 4]))
+            .build()
+            .unwrap();
+        assert_eq!(spec.expand_sweep().unwrap().len(), 3);
+        // A sweep containing one invalid cell is rejected with its label.
+        let err = ScenarioSpec::builder("bad")
+            .policy(Policy::Blind { buffer_cores: 8 })
+            .cpu_bully(BullyIntensity::Mid)
+            .sweep_axis(SweepAxis::BufferCores(vec![4, 48]))
+            .build();
+        match err {
+            Err(SpecError::InvalidSweep(msg)) => assert!(
+                msg.contains("buffer_cores=48"),
+                "label missing from {msg:?}"
+            ),
+            other => panic!("expected InvalidSweep, got {other:?}"),
+        }
+        // expand_sweep on a sweep-free spec is an error.
+        let plain = ScenarioSpec::builder("plain").build().unwrap();
+        assert!(matches!(
+            plain.expand_sweep(),
+            Err(SpecError::InvalidSweep(_))
+        ));
+    }
+
+    #[test]
+    fn controller_and_sweep_round_trip_through_json() {
+        let spec = ScenarioSpec::builder("rt-ctl")
+            .describe("controller round trip")
+            .policy(Policy::FullPerfIso)
+            .cpu_bully(BullyIntensity::Mid)
+            .hdfs()
+            .tune(|c| {
+                c.cpu_poll_interval_us = Some(2_000);
+                c.secondary_memory_limit_mb = Some(4_096);
+                c.tenant_limits = vec![TenantLimitSpec {
+                    service: "hdfs-client".into(),
+                    mbps: Some(30),
+                    iops: Some(500),
+                }];
+            })
+            .sweep_axis(SweepAxis::CpuPollIntervalUs(vec![1_000, 2_000]))
+            .sweep_axis(SweepAxis::TenantIoMbps {
+                service: "hdfs-client".into(),
+                mbps: vec![10, 60],
+            })
+            .custom_scale(100, 300)
+            .build()
+            .unwrap();
+        let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        // A pre-ControllerSpec spec file (no `controller`/`sweep` keys)
+        // still loads, with no overrides and no sweep.
+        let legacy = r#"{
+            "name": "legacy", "description": "",
+            "target": {"SingleBox": {"qps": 2000.0}},
+            "secondary": {"cpu_bully": null, "disk_bully": null, "hdfs": false},
+            "policy": "Standalone", "scale": "Quick", "seed": 42, "seeds": 1
+        }"#;
+        let legacy_spec = ScenarioSpec::from_json(legacy).unwrap();
+        assert!(legacy_spec.controller.is_default());
+        assert!(legacy_spec.sweep.is_none());
     }
 
     #[test]

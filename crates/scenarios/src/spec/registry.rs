@@ -10,7 +10,7 @@
 use cluster::Topology;
 use workloads::{BullyIntensity, DiskBully};
 
-use super::{CurveSpec, ScaleSpec, ScenarioSpec};
+use super::{CurveSpec, ScaleSpec, ScenarioSpec, SweepAxis};
 use crate::Policy;
 
 /// All named scenarios, in presentation order.
@@ -122,6 +122,45 @@ pub fn registry() -> Vec<ScenarioSpec> {
             .policy(Policy::Blind { buffer_cores: 8 })
             .build()
             .expect("registry spec"),
+        b("poll-sensitivity")
+            .describe("reaction-time grid: CPU poll interval x buffer cores under a high bully")
+            .single_box(2_000.0)
+            .cpu_bully(BullyIntensity::High)
+            .policy(Policy::Blind { buffer_cores: 8 })
+            .sweep_axis(SweepAxis::CpuPollIntervalUs(vec![
+                1_000, 5_000, 20_000, 100_000,
+            ]))
+            .sweep_axis(SweepAxis::BufferCores(vec![1, 2, 4]))
+            .custom_scale(300, 1_200)
+            .build()
+            .expect("registry spec"),
+        b("mem-kill")
+            .describe("memory watchdog grid: kill watermark x watchdog period around the box's ~92% footprint")
+            .single_box(2_000.0)
+            .cpu_bully(BullyIntensity::Mid)
+            .policy(Policy::Blind { buffer_cores: 8 })
+            .sweep_axis(SweepAxis::MemoryKillWatermark(vec![0.85, 0.95]))
+            .sweep_axis(SweepAxis::MemoryPollIntervalUs(vec![250_000, 1_000_000]))
+            .custom_scale(300, 1_500)
+            .build()
+            .expect("registry spec"),
+        b("tenant-io-limits")
+            .describe("per-tenant HDFS I/O caps under the full controller, disk bully on the shared HDD")
+            .single_box(2_000.0)
+            .disk_bully(DiskBully::default())
+            .hdfs()
+            .policy(Policy::FullPerfIso)
+            .sweep_axis(SweepAxis::TenantIoMbps {
+                service: "hdfs-client".into(),
+                mbps: vec![10, 60, 240],
+            })
+            .sweep_axis(SweepAxis::TenantIoMbps {
+                service: "hdfs-replication".into(),
+                mbps: vec![5, 20],
+            })
+            .custom_scale(300, 1_500)
+            .build()
+            .expect("registry spec"),
     ]
 }
 
@@ -164,6 +203,11 @@ mod tests {
             "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
         ] {
             assert!(named(figure).is_ok(), "{figure} missing");
+        }
+        for sweep in ["poll-sensitivity", "mem-kill", "tenant-io-limits"] {
+            let spec = named(sweep).unwrap_or_else(|_| panic!("{sweep} missing"));
+            let cells = spec.expand_sweep().expect("sweep expands");
+            assert!(cells.len() >= 2, "{sweep} should be a real grid");
         }
         assert!(matches!(
             named("no-such-scenario"),

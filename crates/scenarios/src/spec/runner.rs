@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 use telemetry::RunStats;
 
-use super::{ScenarioSpec, SpecError, TargetSpec};
+use super::{ControllerSpec, ScenarioSpec, SpecError, TargetSpec};
 
 /// Execution knobs that are not part of the experiment description.
 #[derive(Clone, Copy, Debug, Default)]
@@ -181,6 +181,61 @@ impl Report {
     }
 }
 
+/// Runs `n` independent jobs across `workers` threads (work-stealing by
+/// atomic index) and returns the results in job order. With one worker
+/// the jobs run inline; either way `results[i]` is `job(i)`, so callers'
+/// reductions are bit-identical across thread counts.
+fn fan_out<T: Send>(n: usize, workers: usize, job: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let mut results: Vec<Option<T>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    if workers <= 1 {
+        for (i, slot) in results.iter_mut().enumerate() {
+            *slot = Some(job(i));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let job = &job;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= n {
+                                break;
+                            }
+                            out.push((idx, job(idx)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (idx, r) in handle.join().expect("sweep worker panicked") {
+                    results[idx] = Some(r);
+                }
+            }
+        });
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every job produced a result"))
+        .collect()
+}
+
+/// Reduces per-seed reports into cross-seed statistics, in input order.
+fn summarize(runs: &[SeedReport]) -> Summary {
+    let mut summary = Summary::default();
+    for r in runs {
+        summary.p99_ms.add(r.p99().as_millis_f64());
+        summary.utilization.add(r.utilization());
+        summary.drop_ratio.add(r.drop_ratio());
+        summary.secondary_progress.add(r.secondary_progress());
+    }
+    summary
+}
+
 /// Runs one seed of the scenario.
 fn run_seed(spec: &ScenarioSpec, seed: u64, inner_threads: usize) -> SeedReport {
     match &spec.target {
@@ -225,55 +280,127 @@ pub fn run_spec(spec: &ScenarioSpec, opts: &RunOptions) -> Result<Report, SpecEr
     // Avoid oversubscription: parallelize across seeds *or* inside the
     // one simulation, never both.
     let inner_threads = if workers > 1 { 1 } else { opts.threads };
-
-    let mut results: Vec<Option<SeedReport>> = Vec::with_capacity(n);
-    results.resize_with(n, || None);
-    if workers <= 1 {
-        for (slot, &seed) in results.iter_mut().zip(seeds.iter()) {
-            *slot = Some(run_seed(spec, seed, inner_threads));
-        }
-    } else {
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut out = Vec::new();
-                        loop {
-                            let idx = next.fetch_add(1, Ordering::Relaxed);
-                            if idx >= n {
-                                break;
-                            }
-                            out.push((idx, run_seed(spec, seeds[idx], inner_threads)));
-                        }
-                        out
-                    })
-                })
-                .collect();
-            for handle in handles {
-                for (idx, r) in handle.join().expect("seed worker panicked") {
-                    results[idx] = Some(r);
-                }
-            }
-        });
-    }
-
-    let runs: Vec<SeedReport> = results
-        .into_iter()
-        .map(|r| r.expect("every seed produced a report"))
-        .collect();
-    let mut summary = Summary::default();
-    for r in &runs {
-        summary.p99_ms.add(r.p99().as_millis_f64());
-        summary.utilization.add(r.utilization());
-        summary.drop_ratio.add(r.drop_ratio());
-        summary.secondary_progress.add(r.secondary_progress());
-    }
+    let runs = fan_out(n, workers, |idx| run_seed(spec, seeds[idx], inner_threads));
+    let summary = summarize(&runs);
     Ok(Report {
         spec: spec.clone(),
         seeds,
         runs,
         summary,
+    })
+}
+
+/// One sweep cell's results: the axis coordinates plus a full [`Report`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepCellReport {
+    /// Cell coordinates, `"key=value key=value"`.
+    pub label: String,
+    /// The axis coordinates as `(key, value)` pairs.
+    pub params: Vec<(String, String)>,
+    /// The merged controller overrides this cell ran with.
+    pub controller: ControllerSpec,
+    /// The cell's multi-seed report.
+    pub report: Report,
+}
+
+/// One row of the cross-cell summary table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepRow {
+    /// Cell coordinates.
+    pub label: String,
+    /// Mean headline p99 across seeds, in milliseconds.
+    pub p99_ms_mean: f64,
+    /// 95% confidence half-width of the p99, in milliseconds.
+    pub p99_ms_ci95: f64,
+    /// Mean machine utilization across seeds.
+    pub utilization_mean: f64,
+    /// Mean drop (or degraded-request) ratio across seeds.
+    pub drop_ratio_mean: f64,
+    /// Mean secondary progress across seeds (see
+    /// [`SeedReport::secondary_progress`] for units).
+    pub secondary_mean: f64,
+}
+
+/// The result of running a parameter sweep: per-cell reports plus the
+/// cross-cell summary table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// The sweeping spec that ran (with its `sweep` intact, so a report
+    /// file documents the whole grid).
+    pub spec: ScenarioSpec,
+    /// The seeds every cell ran, in reduction order.
+    pub seeds: Vec<u64>,
+    /// Per-cell reports, in grid (row-major) order.
+    pub cells: Vec<SweepCellReport>,
+    /// The cross-cell summary table, in grid order.
+    pub table: Vec<SweepRow>,
+}
+
+impl SweepReport {
+    /// Serializes the sweep report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("sweep report is serializable")
+    }
+}
+
+/// Expands the spec's sweep and runs every `(cell, seed)` pair, fanning
+/// the flattened job list across the same worker scheme as [`run_spec`].
+///
+/// Jobs scatter back by index and both reductions (per-cell seed order,
+/// then cell order) are fixed, so the sweep report is **bit-identical**
+/// across thread counts, exactly like a single-cell run.
+///
+/// # Errors
+///
+/// Fails if the spec does not validate or declares no sweep.
+pub fn run_sweep(spec: &ScenarioSpec, opts: &RunOptions) -> Result<SweepReport, SpecError> {
+    if opts.seeds == Some(0) {
+        return Err(SpecError::ZeroSeeds);
+    }
+    let cells = spec.expand_sweep()?;
+    let seeds = spec.seed_list(opts.seeds);
+    let (n_cells, n_seeds) = (cells.len(), seeds.len());
+    let n_jobs = n_cells * n_seeds;
+    let workers = effective_threads(opts.threads).min(n_jobs.max(1));
+    let inner_threads = if workers > 1 { 1 } else { opts.threads };
+    let results = fan_out(n_jobs, workers, |idx| {
+        let (c, s) = (idx / n_seeds, idx % n_seeds);
+        run_seed(&cells[c].spec, seeds[s], inner_threads)
+    });
+
+    let mut out = Vec::with_capacity(n_cells);
+    let mut results = results.into_iter();
+    for cell in cells {
+        let runs: Vec<SeedReport> = results.by_ref().take(n_seeds).collect();
+        let summary = summarize(&runs);
+        out.push(SweepCellReport {
+            label: cell.label,
+            params: cell.params,
+            controller: cell.spec.controller.clone(),
+            report: Report {
+                spec: cell.spec,
+                seeds: seeds.clone(),
+                runs,
+                summary,
+            },
+        });
+    }
+    let table = out
+        .iter()
+        .map(|c| SweepRow {
+            label: c.label.clone(),
+            p99_ms_mean: c.report.summary.p99_ms.mean(),
+            p99_ms_ci95: c.report.summary.p99_ms.ci95(),
+            utilization_mean: c.report.summary.utilization.mean(),
+            drop_ratio_mean: c.report.summary.drop_ratio.mean(),
+            secondary_mean: c.report.summary.secondary_progress.mean(),
+        })
+        .collect();
+    Ok(SweepReport {
+        spec: spec.clone(),
+        seeds,
+        cells: out,
+        table,
     })
 }
 
@@ -344,5 +471,101 @@ mod tests {
     fn seeds_override_wins() {
         let report = run_spec(&tiny_spec(1), &RunOptions::parallel(Some(2))).unwrap();
         assert_eq!(report.runs.len(), 2);
+    }
+
+    fn tiny_sweep_spec() -> ScenarioSpec {
+        let mut spec = tiny_spec(2);
+        spec.sweep = Some(crate::spec::SweepSpec {
+            axes: vec![
+                crate::spec::SweepAxis::CpuPollIntervalUs(vec![1_000, 20_000]),
+                crate::spec::SweepAxis::BufferCores(vec![2, 8]),
+            ],
+        });
+        spec
+    }
+
+    #[test]
+    fn sweep_produces_one_report_per_cell() {
+        let spec = tiny_sweep_spec();
+        let sweep = run_sweep(&spec, &RunOptions::serial()).unwrap();
+        assert_eq!(sweep.cells.len(), 4);
+        assert_eq!(sweep.table.len(), 4);
+        assert_eq!(sweep.seeds, vec![5, 6]);
+        for cell in &sweep.cells {
+            assert_eq!(cell.report.runs.len(), 2);
+            assert_eq!(cell.report.summary.p99_ms.len(), 2);
+            assert!(cell.report.spec.sweep.is_none());
+        }
+        // The knobs really differ across cells.
+        assert_eq!(sweep.cells[0].controller.buffer_cores, Some(2));
+        assert_eq!(sweep.cells[1].controller.buffer_cores, Some(8));
+        assert_eq!(sweep.cells[3].controller.cpu_poll_interval_us, Some(20_000));
+        // run_sweep without a sweep is an error.
+        assert!(matches!(
+            run_sweep(&tiny_spec(1), &RunOptions::serial()),
+            Err(SpecError::InvalidSweep(_))
+        ));
+    }
+
+    #[test]
+    fn parallel_sweep_grid_is_bit_identical_to_serial() {
+        let spec = tiny_sweep_spec();
+        let serial = run_sweep(
+            &spec,
+            &RunOptions {
+                seeds: None,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        let parallel = run_sweep(
+            &spec,
+            &RunOptions {
+                seeds: None,
+                threads: 4,
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.cells.len(), parallel.cells.len());
+        for (a, b) in serial.cells.iter().zip(parallel.cells.iter()) {
+            assert_eq!(a.label, b.label);
+            for (x, y) in a.report.runs.iter().zip(b.report.runs.iter()) {
+                let (x, y) = (x.as_single_box().unwrap(), y.as_single_box().unwrap());
+                assert_eq!(x.latency.p99, y.latency.p99);
+                assert_eq!(x.latency.count, y.latency.count);
+                assert_eq!(x.machine, y.machine);
+            }
+        }
+        for (a, b) in serial.table.iter().zip(parallel.table.iter()) {
+            assert_eq!(a.p99_ms_mean.to_bits(), b.p99_ms_mean.to_bits());
+            assert_eq!(a.utilization_mean.to_bits(), b.utilization_mean.to_bits());
+        }
+        // The sweep report itself round-trips through JSON.
+        let text = serial.to_json();
+        let back: SweepReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.cells.len(), serial.cells.len());
+        assert_eq!(back.spec, serial.spec);
+        assert_eq!(
+            back.table[0].p99_ms_mean.to_bits(),
+            serial.table[0].p99_ms_mean.to_bits()
+        );
+    }
+
+    #[test]
+    fn sweep_cells_actually_change_behaviour() {
+        // One axis that changes the machine: buffer cores 1 vs 16 under a
+        // heavy bully shifts how much CPU the secondary gets.
+        let mut spec = tiny_spec(1);
+        spec.sweep = Some(crate::spec::SweepSpec::one(
+            crate::spec::SweepAxis::BufferCores(vec![1, 16]),
+        ));
+        let sweep = run_sweep(&spec, &RunOptions::serial()).unwrap();
+        let few = sweep.cells[0].report.runs[0].secondary_progress();
+        let many = sweep.cells[1].report.runs[0].secondary_progress();
+        assert!(
+            few > many,
+            "16 buffer cores should leave the bully less CPU than 1 \
+             (got {few} vs {many} cpu-s)"
+        );
     }
 }

@@ -1,0 +1,171 @@
+//! Golden-report regression suite.
+//!
+//! Each case runs one registry scenario at a small fixed-seed scale and
+//! compares the full JSON [`scenarios::spec::Report`] against a fixture
+//! committed under `tests/golden/`. The comparison is a `bits_eq`-style
+//! walk: every number must match exactly (floats by `to_bits`, via the
+//! lossless shortest-round-trip JSON encoding), every object must have
+//! exactly the same keys. Any behaviour change in the simulators, the
+//! controller, or the spec layer shows up here as a precise JSON path.
+//!
+//! # Blessing new fixtures
+//!
+//! When a change is *intentional*, regenerate the fixtures and commit
+//! them together with the change:
+//!
+//! ```text
+//! PERFISO_BLESS=1 cargo test -q --test golden_reports
+//! git add tests/golden && git diff --staged tests/golden  # review!
+//! ```
+//!
+//! Without `PERFISO_BLESS` the suite never writes; a missing fixture is
+//! a failure telling you to bless.
+
+use std::path::PathBuf;
+
+use scenarios::spec::{self, run_spec, RunOptions, ScaleSpec, ScenarioSpec, TargetSpec};
+use serde_json::Value;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn blessing() -> bool {
+    std::env::var_os("PERFISO_BLESS").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Shrinks a registry scenario to a fixed, environment-independent size
+/// (explicit window, no `PERFISO_SCALE` dependence, tiny fleet sweep).
+fn golden_case(name: &str) -> ScenarioSpec {
+    let mut spec = spec::named(name).expect("registered scenario");
+    spec.scale = ScaleSpec::Custom {
+        warmup_ms: 150,
+        measure_ms: 400,
+    };
+    spec.seeds = 2;
+    if let TargetSpec::Fleet {
+        sampled_machines,
+        minutes,
+        slice_ms,
+        ..
+    } = &mut spec.target
+    {
+        *sampled_machines = 1;
+        *minutes = 2;
+        *slice_ms = 80;
+    }
+    spec.validate().expect("golden case validates");
+    spec
+}
+
+/// Recursive exact comparison; `path` pinpoints the first mismatch.
+fn walk(path: &str, got: &Value, want: &Value) -> Result<(), String> {
+    match (got, want) {
+        (Value::Object(g), Value::Object(w)) => {
+            for (k, wv) in w {
+                let gv = got
+                    .get(k)
+                    .ok_or_else(|| format!("{path}.{k}: missing in report"))?;
+                walk(&format!("{path}.{k}"), gv, wv)?;
+            }
+            for (k, _) in g {
+                if want.get(k).is_none() {
+                    return Err(format!("{path}.{k}: not in fixture (new field?)"));
+                }
+            }
+            Ok(())
+        }
+        (Value::Array(g), Value::Array(w)) => {
+            if g.len() != w.len() {
+                return Err(format!("{path}: length {} != fixture {}", g.len(), w.len()));
+            }
+            for (i, (gv, wv)) in g.iter().zip(w.iter()).enumerate() {
+                walk(&format!("{path}[{i}]"), gv, wv)?;
+            }
+            Ok(())
+        }
+        (Value::F64(g), Value::F64(w)) => {
+            if g.to_bits() == w.to_bits() {
+                Ok(())
+            } else {
+                Err(format!("{path}: {g} != fixture {w} (bits differ)"))
+            }
+        }
+        _ => {
+            if got == want {
+                Ok(())
+            } else {
+                Err(format!("{path}: {got:?} != fixture {want:?}"))
+            }
+        }
+    }
+}
+
+fn check_golden(name: &str) {
+    let spec = golden_case(name);
+    let report = run_spec(&spec, &RunOptions::serial()).expect("golden case runs");
+    let text = report.to_json();
+    let fixture_path = golden_dir().join(format!("{name}.json"));
+
+    if blessing() {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&fixture_path, &text).expect("write fixture");
+        eprintln!("blessed {}", fixture_path.display());
+        return;
+    }
+
+    let fixture = std::fs::read_to_string(&fixture_path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run `PERFISO_BLESS=1 cargo test -q --test \
+             golden_reports` and commit the result",
+            fixture_path.display()
+        )
+    });
+    let got: Value = serde_json::from_str(&text).expect("report JSON parses");
+    let want: Value = serde_json::from_str(&fixture).expect("fixture JSON parses");
+    if let Err(msg) = walk("$", &got, &want) {
+        panic!(
+            "{name}: report deviates from golden fixture at {msg}\n\
+             If this change is intentional, re-bless with PERFISO_BLESS=1 \
+             (see the header of tests/golden_reports.rs)."
+        );
+    }
+}
+
+#[test]
+fn golden_quickstart() {
+    check_golden("quickstart");
+}
+
+#[test]
+fn golden_fig04_no_isolation() {
+    check_golden("fig04");
+}
+
+#[test]
+fn golden_io_throttle() {
+    check_golden("io-throttle");
+}
+
+#[test]
+fn golden_fleet_smoke() {
+    check_golden("fleet-smoke");
+}
+
+/// The fixtures themselves must round-trip through serde — guards
+/// against committing a hand-edited fixture the loader cannot parse.
+#[test]
+fn golden_fixtures_parse_as_reports() {
+    if blessing() {
+        return; // fixtures may be mid-regeneration
+    }
+    for name in ["quickstart", "fig04", "io-throttle", "fleet-smoke"] {
+        let path = golden_dir().join(format!("{name}.json"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+        let report: spec::Report =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("{name}: {e:?}"));
+        assert_eq!(report.spec.name, name);
+        assert_eq!(report.runs.len(), report.seeds.len());
+    }
+}

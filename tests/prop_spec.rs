@@ -1,0 +1,250 @@
+//! Property-based coverage of the spec layer: randomly generated
+//! [`ScenarioSpec`]s (including controller overrides and sweeps) must
+//! never panic in `validate()`, and every spec that validates must
+//! round-trip bit-identically through its JSON form.
+
+use proptest::prelude::*;
+use scenarios::spec::{
+    ControllerSpec, ScaleSpec, ScenarioSpec, SpecError, SweepAxis, SweepSpec, TargetSpec,
+    TenantLimitSpec,
+};
+use scenarios::Policy;
+use workloads::BullyIntensity;
+
+fn policy_strategy() -> impl Strategy<Value = Policy> {
+    prop_oneof![
+        Just(Policy::Standalone),
+        Just(Policy::NoIsolation),
+        Just(Policy::FullPerfIso),
+        // Includes out-of-range parameters on purpose: validation must
+        // reject them with an error, never a panic.
+        (0u32..64).prop_map(|b| Policy::Blind { buffer_cores: b }),
+        (0u32..64).prop_map(Policy::StaticCores),
+        (-0.5f64..1.5).prop_map(Policy::CycleCap),
+    ]
+}
+
+fn secondary_strategy() -> impl Strategy<Value = indexserve::SecondaryKind> {
+    (
+        proptest::option::of(prop_oneof![
+            Just(BullyIntensity::Mid),
+            Just(BullyIntensity::High),
+            (1u32..64).prop_map(BullyIntensity::Custom),
+        ]),
+        proptest::option::of((1u32..8).prop_map(|depth| workloads::DiskBully {
+            depth,
+            ..workloads::DiskBully::default()
+        })),
+        any::<bool>(),
+    )
+        .prop_map(|(cpu_bully, disk_bully, hdfs)| indexserve::SecondaryKind {
+            cpu_bully,
+            disk_bully,
+            hdfs,
+        })
+}
+
+fn target_strategy() -> impl Strategy<Value = TargetSpec> {
+    prop_oneof![
+        prop_oneof![Just(0.0f64), 100.0f64..5_000.0].prop_map(|qps| TargetSpec::SingleBox { qps }),
+        (0u32..4, 0u32..3, 0u32..3, (100.0f64..2_000.0)).prop_map(
+            |(columns, rows, tlas, qps_total)| TargetSpec::Cluster {
+                columns,
+                rows,
+                tlas,
+                qps_total,
+            }
+        ),
+    ]
+}
+
+/// Knob values deliberately straddle the valid range (`Just(0)` /
+/// watermark 1.5 are invalid) so both branches of validation are hit.
+fn controller_strategy() -> impl Strategy<Value = ControllerSpec> {
+    // Three valid arms to one invalid keeps the generator mostly in
+    // range, so the round-trip branch gets real coverage too.
+    let us = || {
+        proptest::option::of(prop_oneof![
+            Just(0u64),
+            100u64..100_000,
+            100u64..100_000,
+            100u64..100_000,
+        ])
+    };
+    let tenant = (
+        prop_oneof![
+            Just(String::new()),
+            Just("hdfs-client".to_string()),
+            Just("hdfs-replication".to_string()),
+            Just("disk-bully".to_string()),
+        ],
+        proptest::option::of(1u64..500),
+        proptest::option::of(10u64..5_000),
+    )
+        .prop_map(|(service, mbps, iops)| TenantLimitSpec {
+            service,
+            mbps,
+            iops,
+        });
+    (
+        (proptest::option::of(0u32..64), us(), us(), us()),
+        (
+            proptest::option::of(prop_oneof![Just(0u64), 64u64..16_384]),
+            proptest::option::of(prop_oneof![
+                Just(0.0f64),
+                0.05f64..1.0,
+                Just(1.0f64),
+                Just(1.5f64),
+            ]),
+            proptest::option::of(prop_oneof![Just(0u64), 1u64..1_000]),
+            proptest::collection::vec(tenant, 0..3),
+        ),
+    )
+        .prop_map(
+            |(
+                (buffer_cores, cpu_poll_interval_us, io_poll_interval_us, memory_poll_interval_us),
+                (secondary_memory_limit_mb, memory_kill_watermark, egress_low_mbps, tenant_limits),
+            )| ControllerSpec {
+                buffer_cores,
+                cpu_poll_interval_us,
+                io_poll_interval_us,
+                memory_poll_interval_us,
+                secondary_memory_limit_mb,
+                memory_kill_watermark,
+                egress_low_mbps,
+                tenant_limits,
+            },
+        )
+}
+
+fn sweep_strategy() -> impl Strategy<Value = Option<SweepSpec>> {
+    let axis = prop_oneof![
+        proptest::collection::vec(prop_oneof![Just(0u32), 1u32..16], 0..3)
+            .prop_map(SweepAxis::BufferCores),
+        proptest::collection::vec(prop_oneof![Just(0u64), 500u64..50_000], 0..3)
+            .prop_map(SweepAxis::CpuPollIntervalUs),
+        proptest::collection::vec(0.05f64..1.2, 0..3).prop_map(SweepAxis::MemoryKillWatermark),
+        proptest::collection::vec(1u64..200, 0..3).prop_map(|mbps| SweepAxis::TenantIoMbps {
+            service: "hdfs-client".into(),
+            mbps,
+        }),
+    ];
+    proptest::option::of(proptest::collection::vec(axis, 0..3).prop_map(|axes| SweepSpec { axes }))
+}
+
+fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        (
+            prop_oneof![
+                Just("prop-spec".to_string()),
+                Just("p".to_string()),
+                Just(String::new()),
+                Just("has space".to_string()),
+            ],
+            target_strategy(),
+            secondary_strategy(),
+        ),
+        (policy_strategy(), controller_strategy(), sweep_strategy()),
+        (
+            prop_oneof![
+                Just(ScaleSpec::Quick),
+                (0u64..300, 0u64..500).prop_map(|(warmup_ms, measure_ms)| ScaleSpec::Custom {
+                    warmup_ms,
+                    measure_ms,
+                }),
+            ],
+            any::<u64>(),
+            0u32..4,
+        ),
+    )
+        .prop_map(
+            |((name, target, secondary), (policy, controller, sweep), (scale, seed, seeds))| {
+                ScenarioSpec {
+                    name,
+                    description: "generated by proptest".into(),
+                    target,
+                    secondary,
+                    policy,
+                    controller,
+                    sweep,
+                    scale,
+                    seed,
+                    seeds,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `validate()` must classify every generated spec — valid or broken
+    /// — with `Ok`/`Err`, never a panic; and everything it accepts must
+    /// survive a JSON round trip unchanged.
+    #[test]
+    fn prop_validate_never_panics_and_valid_specs_round_trip(spec in spec_strategy()) {
+        match spec.validate() {
+            Ok(()) => {
+                let text = spec.to_json();
+                let back = ScenarioSpec::from_json(&text)
+                    .expect("a valid spec's JSON must load back");
+                prop_assert_eq!(back, spec);
+            }
+            Err(e) => {
+                // Errors must render (no panicking Display impls).
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+
+    /// Sweep expansion of accepted specs yields only valid, sweep-free
+    /// cells, exactly `cell_count()` of them.
+    #[test]
+    fn prop_accepted_sweeps_expand_to_valid_cells(spec in spec_strategy()) {
+        if spec.validate().is_ok() && spec.sweep.is_some() {
+            let cells = spec.expand_sweep().expect("validated sweep expands");
+            prop_assert_eq!(cells.len(), spec.sweep.as_ref().unwrap().cell_count());
+            for cell in cells {
+                prop_assert!(cell.spec.sweep.is_none());
+                prop_assert!(cell.spec.validate().is_ok());
+            }
+        }
+    }
+}
+
+/// The issue's named bad inputs must be `Err` — never a panic and never
+/// silently accepted.
+#[test]
+fn named_bad_inputs_are_rejected_without_panicking() {
+    let base = || {
+        let mut s = ScenarioSpec::builder("bad")
+            .cpu_bully(BullyIntensity::Mid)
+            .policy(Policy::Blind { buffer_cores: 8 })
+            .build()
+            .unwrap();
+        s.controller = ControllerSpec::default();
+        s
+    };
+    // Zero poll interval.
+    let mut s = base();
+    s.controller.cpu_poll_interval_us = Some(0);
+    assert!(matches!(s.validate(), Err(SpecError::InvalidController(_))));
+    // Watermark outside (0, 1].
+    for w in [0.0, -0.2, 1.01, f64::NAN] {
+        let mut s = base();
+        s.controller.memory_kill_watermark = Some(w);
+        assert!(
+            matches!(s.validate(), Err(SpecError::InvalidController(_))),
+            "watermark {w} accepted"
+        );
+    }
+    // Buffer cores >= the machine's 48 logical cores.
+    for b in [48, 64, u32::MAX] {
+        let mut s = base();
+        s.controller.buffer_cores = Some(b);
+        assert!(
+            matches!(s.validate(), Err(SpecError::InvalidController(_))),
+            "buffer_cores {b} accepted"
+        );
+    }
+}

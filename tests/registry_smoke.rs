@@ -1,0 +1,106 @@
+//! Every named scenario in the registry must actually run end-to-end —
+//! not merely validate. Each spec is shrunk to test scale (tiny window,
+//! small topology, one seed, serial) and executed; a scenario whose
+//! driver wiring breaks now fails here instead of at the next bench run.
+
+use scenarios::spec::{self, run_spec, run_sweep, RunOptions, ScaleSpec, ScenarioSpec, TargetSpec};
+
+/// Shrinks a registry spec to smoke-test size without changing what it
+/// exercises: same secondary mix, policy, controller overrides, and
+/// target *kind* — only the measured window, cluster shape, and fleet
+/// sweep length are reduced.
+fn shrink(mut spec: ScenarioSpec) -> ScenarioSpec {
+    spec.scale = ScaleSpec::Custom {
+        warmup_ms: 100,
+        measure_ms: 300,
+    };
+    spec.seeds = 1;
+    match &mut spec.target {
+        TargetSpec::SingleBox { .. } => {}
+        TargetSpec::Cluster {
+            columns,
+            rows,
+            tlas,
+            ..
+        } => {
+            *columns = (*columns).min(3);
+            *rows = (*rows).min(2);
+            *tlas = (*tlas).min(2);
+        }
+        TargetSpec::Fleet {
+            sampled_machines,
+            minutes,
+            slice_ms,
+            ..
+        } => {
+            *sampled_machines = 1;
+            *minutes = 2;
+            *slice_ms = (*slice_ms).min(100);
+        }
+    }
+    spec.validate().expect("shrunk spec stays valid");
+    spec
+}
+
+#[test]
+fn every_registry_scenario_runs_end_to_end() {
+    let opts = RunOptions::serial();
+    for full in spec::registry() {
+        let spec = shrink(full);
+        let report =
+            run_spec(&spec, &opts).unwrap_or_else(|e| panic!("{} failed to run: {e}", spec.name));
+        assert_eq!(report.runs.len(), 1, "{}: one seed, one run", spec.name);
+        assert_eq!(
+            report.summary.p99_ms.len(),
+            1,
+            "{}: summary covers the run",
+            spec.name
+        );
+        let run = &report.runs[0];
+        assert!(
+            run.p99() > simcore::SimDuration::ZERO,
+            "{}: p99 must be measured",
+            spec.name
+        );
+        match run {
+            spec::SeedReport::SingleBox(r) => {
+                assert!(r.latency.count > 0, "{}: no queries completed", spec.name);
+            }
+            spec::SeedReport::Cluster(r) => {
+                assert!(r.completed > 0, "{}: no requests completed", spec.name);
+            }
+            spec::SeedReport::Fleet(r) => {
+                assert!(r.slices > 0, "{}: no fleet slices", spec.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn every_registry_sweep_runs_one_cell_per_combination() {
+    let opts = RunOptions::serial();
+    for full in spec::registry() {
+        if full.sweep.is_none() {
+            continue;
+        }
+        let spec = shrink(full);
+        let expected = spec.sweep.as_ref().unwrap().cell_count();
+        let sweep =
+            run_sweep(&spec, &opts).unwrap_or_else(|e| panic!("{} sweep failed: {e}", spec.name));
+        assert_eq!(sweep.cells.len(), expected, "{}", spec.name);
+        assert_eq!(sweep.table.len(), expected, "{}", spec.name);
+        for cell in &sweep.cells {
+            assert_eq!(
+                cell.report.runs.len(),
+                1,
+                "{} cell [{}]",
+                spec.name,
+                cell.label
+            );
+        }
+        // Labels are unique — a sweep of identical cells is a spec bug.
+        let labels: std::collections::HashSet<&str> =
+            sweep.cells.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels.len(), sweep.cells.len(), "{}", spec.name);
+    }
+}

@@ -47,6 +47,15 @@ fn de_named_fields(ty: &str, fields: &[Field], obj: &str) -> String {
                 "{}: ::std::default::Default::default(),\n",
                 f.name
             ));
+        } else if f.default {
+            body.push_str(&format!(
+                "{name}: match {obj}.iter().find(|(__k, _)| __k.as_str() == \"{name}\") {{\n\
+                     ::std::option::Option::Some((_, __val)) => ::serde::Deserialize::from_value(__val)?,\n\
+                     ::std::option::Option::None => ::std::default::Default::default(),\n\
+                 }},\n",
+                name = f.name,
+                obj = obj,
+            ));
         } else {
             body.push_str(&format!(
                 "{name}: match {obj}.iter().find(|(__k, _)| __k.as_str() == \"{name}\") {{\n\
@@ -219,21 +228,25 @@ fn gen_deserialize(input: &Input) -> String {
     )
 }
 
-/// True when an attribute group body (`serde(...)`) requests `skip`.
-fn serde_attr_has_skip(stream: TokenStream) -> bool {
+/// The `(skip, default)` requests in an attribute group body (`serde(...)`).
+fn serde_attr_flags(stream: TokenStream) -> (bool, bool) {
     let mut tokens = stream.into_iter();
     match (tokens.next(), tokens.next()) {
         (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
             if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
         {
-            args.stream().into_iter().any(|t| match t {
-                TokenTree::Ident(i) => {
-                    let s = i.to_string();
-                    s == "skip" || s == "default"
+            let mut flags = (false, false);
+            for t in args.stream() {
+                if let TokenTree::Ident(i) = t {
+                    match i.to_string().as_str() {
+                        "skip" => flags.0 = true,
+                        "default" => flags.1 = true,
+                        _ => {}
+                    }
                 }
-                _ => false,
-            })
+            }
+            flags
         }
-        _ => false,
+        _ => (false, false),
     }
 }

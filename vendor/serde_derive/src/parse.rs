@@ -18,6 +18,7 @@ pub enum Shape {
 pub struct Field {
     pub name: String,
     pub skip: bool,
+    pub default: bool,
 }
 
 pub struct Variant {
@@ -33,25 +34,28 @@ pub enum VariantKind {
 
 type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
 
-/// Consumes leading attributes; returns true if any was `#[serde(skip)]`
-/// (or `#[serde(default)]`, which we treat the same way: absent on the
-/// wire, `Default::default()` on read).
-fn skip_attributes(tokens: &mut Tokens) -> bool {
+/// Consumes leading attributes; returns `(skip, default)` flags.
+///
+/// `#[serde(skip)]` means absent on the wire and `Default::default()` on
+/// read; `#[serde(default)]` means serialized normally but defaulted when
+/// the field is missing from the input (forward-compatible spec files).
+fn skip_attributes(tokens: &mut Tokens) -> (bool, bool) {
     let mut skip = false;
+    let mut default = false;
     loop {
         match tokens.peek() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 tokens.next();
                 match tokens.next() {
                     Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
-                        if crate::serde_attr_has_skip(g.stream()) {
-                            skip = true;
-                        }
+                        let (s, d) = crate::serde_attr_flags(g.stream());
+                        skip |= s;
+                        default |= d;
                     }
                     other => panic!("serde_derive: malformed attribute, got {other:?}"),
                 }
             }
-            _ => return skip,
+            _ => return (skip, default),
         }
     }
 }
@@ -113,7 +117,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut tokens = stream.into_iter().peekable();
     let mut fields = Vec::new();
     loop {
-        let skip = skip_attributes(&mut tokens);
+        let (skip, default) = skip_attributes(&mut tokens);
         if tokens.peek().is_none() {
             return fields;
         }
@@ -127,7 +131,11 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
         }
         skip_type(&mut tokens);
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
     }
 }
 
