@@ -46,6 +46,9 @@ pub struct PerfIso {
     memwatch: MemoryWatchdog,
     /// Last CPU-actuator value, for update-on-change.
     last_applied_mask: Option<CoreMask>,
+    /// Reusable buffer for the DWRR round, so the I/O poll loop does not
+    /// allocate.
+    dwrr_scratch: Vec<(IoTenant, PrioAdjust)>,
     /// Statistics: polls and actuations.
     pub stats: ControllerStats,
 }
@@ -82,6 +85,7 @@ impl PerfIso {
             dwrr: DwrrThrottler::default(),
             memwatch,
             last_applied_mask: None,
+            dwrr_scratch: Vec::new(),
             stats: ControllerStats::default(),
         }
     }
@@ -186,7 +190,9 @@ impl PerfIso {
         }
         let curr = sys.shared_volume_iops();
         self.dwrr.observe(curr);
-        for (tenant, adj) in self.dwrr.step() {
+        let mut round = std::mem::take(&mut self.dwrr_scratch);
+        self.dwrr.step_into(&mut round);
+        for &(tenant, adj) in &round {
             let prio = sys.io_priority(tenant);
             let new = match adj {
                 PrioAdjust::Raise => prio.saturating_add(1).min(7),
@@ -198,6 +204,7 @@ impl PerfIso {
                 self.stats.io_adjustments += 1;
             }
         }
+        self.dwrr_scratch = round;
     }
 
     /// One memory watchdog round.

@@ -167,20 +167,26 @@ impl DwrrThrottler {
 
     /// One controller step: the per-tenant priority adjustments.
     pub fn step(&self) -> Vec<(IoTenant, PrioAdjust)> {
-        self.tenants
-            .keys()
-            .map(|&t| {
-                let def = self.deficit(t);
-                let adj = if def > self.cfg.raise_threshold {
-                    PrioAdjust::Raise
-                } else if def < self.cfg.lower_threshold {
-                    PrioAdjust::Lower
-                } else {
-                    PrioAdjust::Hold
-                };
-                (t, adj)
-            })
-            .collect()
+        let mut out = Vec::with_capacity(self.tenants.len());
+        self.step_into(&mut out);
+        out
+    }
+
+    /// [`DwrrThrottler::step`] into a reusable buffer (cleared first): the
+    /// allocation-free variant the controller uses on its poll loop.
+    pub fn step_into(&self, out: &mut Vec<(IoTenant, PrioAdjust)>) {
+        out.clear();
+        out.extend(self.tenants.keys().map(|&t| {
+            let def = self.deficit(t);
+            let adj = if def > self.cfg.raise_threshold {
+                PrioAdjust::Raise
+            } else if def < self.cfg.lower_threshold {
+                PrioAdjust::Lower
+            } else {
+                PrioAdjust::Hold
+            };
+            (t, adj)
+        }));
     }
 }
 

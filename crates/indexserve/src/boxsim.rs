@@ -19,7 +19,9 @@ use perfiso::{PerfIso, PerfIsoConfig};
 use qtrace::{OpenLoopClient, QuerySpec, TraceConfig, TraceGenerator};
 use simcore::{CoreMask, EventQueue, SimDuration, SimRng, SimTime};
 use simcpu::machine::MachineStats;
-use simcpu::{CpuRateQuota, JobId, Machine, MachineConfig, MachineOutput, ThreadId};
+use simcpu::{
+    ArenaStats, CpuRateQuota, JobId, Machine, MachineConfig, MachineOutput, Program, ThreadId,
+};
 use simdisk::{
     AccessPattern, DiskSim, IoKind, IoPriority, OwnerId, RateLimit, VolumeId, VolumeSpec,
 };
@@ -225,10 +227,10 @@ impl BoxSim {
         }
         if let Some(db) = &cfg.secondary.disk_bully {
             for i in 0..db.depth {
-                let tid = sim.machine.spawn_thread(
+                let tid = sim.machine.spawn_program(
                     SimTime::ZERO,
                     sim.secondary_job,
-                    Box::new(db.worker_program(i)),
+                    Program::from(db.worker_program(i)),
                     DISK_BULLY_TAG_BASE + i as u64,
                 );
                 sim.secondary_tids.push(tid);
@@ -237,10 +239,10 @@ impl BoxSim {
         if cfg.secondary.hdfs {
             // Daemon CPU footprint: two duty-cycle threads ≈ a few percent.
             for i in 0..2 {
-                let tid = sim.machine.spawn_thread(
+                let tid = sim.machine.spawn_program(
                     SimTime::ZERO,
                     sim.secondary_job,
-                    Box::new(HdfsCpuProgram::new(0.6)),
+                    Program::from(HdfsCpuProgram::new(0.6)),
                     HDFS_TAG_BASE + i,
                 );
                 sim.secondary_tids.push(tid);
@@ -352,6 +354,11 @@ impl BoxSim {
     /// Machine scheduler counters.
     pub fn machine_stats(&self) -> MachineStats {
         self.machine.stats()
+    }
+
+    /// Thread-program arena occupancy and recycling counters.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.machine.arena_stats()
     }
 
     /// Controller counters, when PerfIso runs.
@@ -474,10 +481,10 @@ impl BoxSim {
     /// the paper measures at the MLA layer (Fig 9).
     pub fn spawn_primary_aux(&mut self, now: SimTime, compute: SimDuration, user: u64) {
         self.advance_to(now);
-        self.machine.spawn_thread(
+        self.machine.spawn_program(
             now,
             self.primary_job,
-            Box::new(simcpu::programs::ComputeOnce::new(compute)),
+            Program::compute_once(compute),
             crate::tags::aux_tag(user),
         );
         self.settle();

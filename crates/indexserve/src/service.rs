@@ -12,8 +12,7 @@ use qtrace::QuerySpec;
 use serde::{Deserialize, Serialize};
 use simcore::dist::{LogNormal, Sample};
 use simcore::{SimDuration, SimRng, SimTime};
-use simcpu::programs::Script;
-use simcpu::{JobId, Machine, Step, ThreadId};
+use simcpu::{JobId, Machine, Program, ThreadId};
 
 use crate::cache::CacheModel;
 use crate::tags::{stage_tag, Stage};
@@ -128,6 +127,11 @@ pub struct IndexServe {
     pub queued_admissions: u64,
     /// Queries shed at admission for lack of remaining deadline budget.
     pub shed_admissions: u64,
+    /// Recycled `live_tids` vectors: finished queries return their vector
+    /// here so steady-state arrivals never allocate one.
+    tid_pool: Vec<Vec<ThreadId>>,
+    /// Scratch for the timeout kill sweep (replaces a per-timeout clone).
+    kill_scratch: Vec<ThreadId>,
 }
 
 impl IndexServe {
@@ -147,6 +151,8 @@ impl IndexServe {
             workers_spawned: 0,
             queued_admissions: 0,
             shed_admissions: 0,
+            tid_pool: Vec::new(),
+            kill_scratch: Vec::new(),
         }
     }
 
@@ -194,7 +200,7 @@ impl IndexServe {
             started: false,
             finished: false,
             pending_workers: 0,
-            live_tids: Vec::new(),
+            live_tids: self.tid_pool.pop().unwrap_or_default(),
         });
         if self.in_flight < self.cfg.max_concurrent {
             self.start_query(now, qidx, machine);
@@ -209,15 +215,14 @@ impl IndexServe {
         self.in_flight += 1;
         let q = &mut self.queries[qidx as usize];
         q.started = true;
-        // Stage 1: parse.
+        // Stage 1: parse. A single compute burst is the inline one-shot
+        // program — no box, no script, no arena traffic.
         let burst = LogNormal::from_median(self.cfg.parse_cost_us, self.cfg.stage_sigma)
             .sample(&mut self.rng);
-        let tid = machine.spawn_thread(
+        let tid = machine.spawn_program(
             now,
             self.job,
-            Box::new(Script::new(vec![Step::Compute(
-                SimDuration::from_micros_f64(burst),
-            )])),
+            Program::compute_once(SimDuration::from_micros_f64(burst)),
             stage_tag(Stage::Parse, qidx, 0),
         );
         self.queries[qidx as usize].live_tids.push(tid);
@@ -293,24 +298,19 @@ impl IndexServe {
         self.workers_spawned += fanout as u64;
         let jitter = LogNormal::from_median(1.0, self.cfg.worker_jitter_sigma);
         for w in 0..fanout {
-            // Pre-sample the worker's whole script: per-round burst jitter
-            // and cache misses.
-            let mut steps = Vec::with_capacity(rounds as usize * 2);
+            // Pre-sample the worker's whole script — per-round burst jitter
+            // and cache misses — streaming the steps straight into recycled
+            // arena memory.
+            let mut writer =
+                machine.spawn_scripted(now, self.job, stage_tag(Stage::Worker, qidx, w as u16));
             for round in 0..rounds {
                 let burst = base_burst_ns * jitter.sample(&mut self.rng);
-                steps.push(Step::Compute(SimDuration::from_nanos(burst as u64)));
+                writer.compute(SimDuration::from_nanos(burst as u64));
                 if self.rng.bernoulli(miss_prob) {
-                    steps.push(Step::Block {
-                        token: round as u64,
-                    });
+                    writer.block(round as u64);
                 }
             }
-            let tid = machine.spawn_thread(
-                now,
-                self.job,
-                Box::new(Script::new(steps)),
-                stage_tag(Stage::Worker, qidx, w as u16),
-            );
+            let tid = writer.finish();
             self.queries[qidx as usize].live_tids.push(tid);
         }
     }
@@ -323,24 +323,18 @@ impl IndexServe {
             self.cfg.rank_rounds
         };
         let dist = LogNormal::from_median(self.cfg.rank_burst_us, self.cfg.stage_sigma);
-        let mut steps = Vec::with_capacity(rounds as usize * 2);
-        for round in 0..rounds {
-            let burst = dist.sample(&mut self.rng);
-            steps.push(Step::Compute(SimDuration::from_micros_f64(burst)));
-            steps.push(Step::Block {
-                token: round as u64,
-            });
-        }
         // Rank is a continuation of in-flight work (a pool thread woken by
         // the last worker's completion), so it carries the wake boost —
         // only the initial fan-out pays the back-of-queue price.
-        let tid = machine.spawn_thread_with(
-            now,
-            self.job,
-            Box::new(Script::new(steps)),
-            stage_tag(Stage::Rank, qidx, 0),
-            true,
-        );
+        let mut writer = machine
+            .spawn_scripted(now, self.job, stage_tag(Stage::Rank, qidx, 0))
+            .boosted(true);
+        for round in 0..rounds {
+            let burst = dist.sample(&mut self.rng);
+            writer.compute(SimDuration::from_micros_f64(burst));
+            writer.block(round as u64);
+        }
+        let tid = writer.finish();
         self.queries[qidx as usize].live_tids.push(tid);
     }
 
@@ -348,12 +342,10 @@ impl IndexServe {
         let burst = LogNormal::from_median(self.cfg.agg_cost_us, self.cfg.stage_sigma)
             .sample(&mut self.rng);
         // A continuation, like rank.
-        let tid = machine.spawn_thread_with(
+        let tid = machine.spawn_program_with(
             now,
             self.job,
-            Box::new(Script::new(vec![Step::Compute(
-                SimDuration::from_micros_f64(burst),
-            )])),
+            Program::compute_once(SimDuration::from_micros_f64(burst)),
             stage_tag(Stage::Aggregate, qidx, 0),
             true,
         );
@@ -387,16 +379,22 @@ impl IndexServe {
         }
         let arrival = q.arrival;
         let was_started = q.started;
-        // Abandon: kill whatever is still running for this query.
-        let tids: Vec<ThreadId> = self.queries[qidx as usize].live_tids.clone();
-        for tid in tids {
+        // Abandon: kill whatever is still running for this query. The kill
+        // sweep runs on a reused scratch buffer so timeouts (and the
+        // controller actions they race with) never allocate.
+        let mut tids = std::mem::take(&mut self.kill_scratch);
+        tids.clear();
+        tids.extend_from_slice(&self.queries[qidx as usize].live_tids);
+        for &tid in &tids {
             machine.kill_thread(now, tid);
         }
+        self.kill_scratch = tids;
         if was_started {
             self.finish(now, qidx, machine);
         } else {
             // Still waiting for admission: remove from the queue.
             self.queries[qidx as usize].finished = true;
+            self.recycle_tids(qidx);
             self.admission_queue.retain(|&x| x != qidx);
         }
         let outcome = QueryOutcome {
@@ -422,8 +420,9 @@ impl IndexServe {
         let q = &mut self.queries[qidx as usize];
         debug_assert!(!q.started && !q.finished);
         q.finished = true;
-        self.shed_admissions += 1;
         let arrival = q.arrival;
+        self.recycle_tids(qidx);
+        self.shed_admissions += 1;
         self.outcomes.push(QueryOutcome {
             qidx,
             arrival,
@@ -432,13 +431,23 @@ impl IndexServe {
         });
     }
 
+    /// Returns a finished query's `live_tids` vector to the pool (bounded
+    /// by the admission cap so the pool cannot grow without limit).
+    fn recycle_tids(&mut self, qidx: u64) {
+        let mut v = std::mem::take(&mut self.queries[qidx as usize].live_tids);
+        if self.tid_pool.len() < self.cfg.max_concurrent as usize + 8 {
+            v.clear();
+            self.tid_pool.push(v);
+        }
+    }
+
     /// Marks a query done, releases its admission slot, and starts the next
     /// queued arrival that still has deadline budget, shedding the rest.
     fn finish(&mut self, now: SimTime, qidx: u64, machine: &mut Machine) {
         let q = &mut self.queries[qidx as usize];
         debug_assert!(!q.finished);
         q.finished = true;
-        q.live_tids.clear();
+        self.recycle_tids(qidx);
         self.in_flight = self.in_flight.saturating_sub(1);
         while let Some(next) = self.admission_queue.pop_front() {
             if self.queries[next as usize].finished {

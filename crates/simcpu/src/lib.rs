@@ -37,14 +37,16 @@
 //! assert!(out.iter().any(|o| matches!(o, simcpu::MachineOutput::ThreadExited { tag: 7, .. })));
 //! ```
 
+pub mod arena;
 pub mod config;
 pub mod machine;
 pub mod program;
 pub mod programs;
 pub mod quota;
 
+pub use arena::{ArenaStats, Program, StepArena, StepRange};
 pub use config::MachineConfig;
-pub use machine::{Machine, MachineOutput};
+pub use machine::{Machine, MachineOutput, ScriptWriter};
 pub use program::{Step, ThreadProgram};
 pub use quota::CpuRateQuota;
 pub use simcore::ids::{CoreId, JobId, ThreadId};

@@ -38,6 +38,7 @@ use std::collections::VecDeque;
 use simcore::{EventQueue, SimDuration, SimRng, SimTime};
 use telemetry::{CpuBreakdown, TenantClass};
 
+use crate::arena::{ArenaStats, Program, StepArena};
 use crate::config::MachineConfig;
 use crate::program::{Step, ThreadProgram};
 use crate::quota::{CpuRateQuota, QuotaState};
@@ -79,7 +80,7 @@ struct ThreadBody {
     job: JobId,
     tag: u64,
     state: ThreadState,
-    program: Option<Box<dyn ThreadProgram>>,
+    program: Program,
     seg_remaining: SimDuration,
     quantum_left: SimDuration,
     affinity: CoreMask,
@@ -153,6 +154,12 @@ pub struct Machine {
     /// throttling); avoids a fresh `Vec` per controller action on the hot
     /// path.
     victims_scratch: Vec<CoreId>,
+    /// Scripted-program storage: one slab shared by every scripted thread,
+    /// ranges recycled on exit/kill.
+    arena: StepArena,
+    /// Staging buffer for [`Machine::spawn_scripted`]: steps are streamed
+    /// here, then copied into the arena in one shot at `finish`.
+    script_staging: Vec<Step>,
 }
 
 const MAX_ZERO_STEPS: u32 = 64;
@@ -183,21 +190,27 @@ impl Machine {
                 idle_since: SimTime::ZERO,
             })
             .collect();
+        // Pre-size everything the spawn path touches: with recycled thread
+        // slots and arena ranges, steady-state spawning then never grows a
+        // container.
+        let cores_hint = cfg.cores as usize;
         Machine {
             cfg,
             now: SimTime::ZERO,
             cores,
-            threads: Vec::new(),
-            free_slots: Vec::new(),
+            threads: Vec::with_capacity(4 * cores_hint),
+            free_slots: Vec::with_capacity(4 * cores_hint),
             jobs: Vec::new(),
-            ready: VecDeque::new(),
+            ready: VecDeque::with_capacity(4 * cores_hint),
             ready_stale: 0,
             timers: EventQueue::with_capacity(1024),
             outputs: Vec::with_capacity(64),
             breakdown: CpuBreakdown::default(),
             rng: SimRng::seed_from_u64(seed),
             stats: MachineStats::default(),
-            victims_scratch: Vec::new(),
+            victims_scratch: Vec::with_capacity(cores_hint),
+            arena: StepArena::with_capacity(16 * cores_hint),
+            script_staging: Vec::with_capacity(64),
         }
     }
 
@@ -336,10 +349,12 @@ impl Machine {
     // Thread lifecycle
     // ------------------------------------------------------------------
 
-    /// Spawns a thread in `job` with the given program and user tag.
+    /// Spawns a thread in `job` with the given boxed program and user tag.
     ///
     /// Returns a handle that may already be stale if the program exited
-    /// immediately.
+    /// immediately. Hot spawn paths should prefer [`Machine::spawn_program`]
+    /// (inline program variants) or [`Machine::spawn_scripted`] (arena
+    /// scripts), which skip the per-spawn `Box`.
     pub fn spawn_thread(
         &mut self,
         now: SimTime,
@@ -347,10 +362,10 @@ impl Machine {
         program: Box<dyn ThreadProgram>,
         tag: u64,
     ) -> ThreadId {
-        self.spawn_thread_with(now, job, program, tag, false)
+        self.spawn_program_with(now, job, Program::Dyn(program), tag, false)
     }
 
-    /// Spawns a thread, optionally carrying the wake boost.
+    /// Spawns a boxed program, optionally carrying the wake boost.
     ///
     /// A boosted spawn models a *continuation*: a pool thread woken by a
     /// completion port to carry on work already in flight. It enters the
@@ -361,6 +376,31 @@ impl Machine {
         now: SimTime,
         job: JobId,
         program: Box<dyn ThreadProgram>,
+        tag: u64,
+        boosted: bool,
+    ) -> ThreadId {
+        self.spawn_program_with(now, job, Program::Dyn(program), tag, boosted)
+    }
+
+    /// Spawns a thread from an internal [`Program`] representation: the
+    /// allocation-free spawn path for the inline variants.
+    pub fn spawn_program(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        program: Program,
+        tag: u64,
+    ) -> ThreadId {
+        self.spawn_program_with(now, job, program, tag, false)
+    }
+
+    /// Spawns a [`Program`], optionally carrying the wake boost (see
+    /// [`Machine::spawn_thread_with`]).
+    pub fn spawn_program_with(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        program: Program,
         tag: u64,
         boosted: bool,
     ) -> ThreadId {
@@ -379,7 +419,7 @@ impl Machine {
             job,
             tag,
             state: ThreadState::Ready,
-            program: Some(program),
+            program,
             seg_remaining: SimDuration::ZERO,
             quantum_left: SimDuration::ZERO,
             affinity,
@@ -391,6 +431,28 @@ impl Machine {
         // Continuations (boosted) jump the queue like wakes.
         self.advance_program(tid, SimDuration::ZERO, boosted);
         tid
+    }
+
+    /// Starts an arena-backed scripted spawn: stream steps into the returned
+    /// writer, then call [`ScriptWriter::finish`] to launch the thread.
+    ///
+    /// The steps land directly in recycled arena memory, so in steady state
+    /// the whole spawn touches the allocator not at all — this is the spawn
+    /// path for IndexServe's parse/fan-out/rank/aggregate stages.
+    pub fn spawn_scripted(&mut self, now: SimTime, job: JobId, tag: u64) -> ScriptWriter<'_> {
+        self.script_staging.clear();
+        ScriptWriter {
+            machine: self,
+            now,
+            job,
+            tag,
+            boosted: false,
+        }
+    }
+
+    /// Arena occupancy and range-recycling counters.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
     }
 
     /// Sets a per-thread affinity override (e.g. the primary affinitising
@@ -595,6 +657,9 @@ impl Machine {
     fn finish_thread(&mut self, tid: ThreadId, killed: bool) {
         let slot = &mut self.threads[tid.index as usize];
         let body = slot.body.take().expect("finishing a live thread");
+        if let Some(range) = body.program.owned_range() {
+            self.arena.free(range);
+        }
         if body.state == ThreadState::Ready {
             // Its ready-queue entry is now stale; it is skipped on dispatch
             // and physically removed by the amortized prune.
@@ -614,22 +679,33 @@ impl Machine {
     // Internals: program driving
     // ------------------------------------------------------------------
 
+    /// Pulls the thread's next program step in place. The program lives in
+    /// the thread table and resolves against the arena and RNG — three
+    /// disjoint machine fields, so no temporary move is needed.
+    fn pull_step(&mut self, tid: ThreadId) -> Step {
+        let Machine {
+            threads,
+            arena,
+            rng,
+            ..
+        } = self;
+        let body = threads[tid.index as usize]
+            .body
+            .as_mut()
+            .expect("live thread");
+        body.program.next_step(arena, rng)
+    }
+
     /// Pulls the program's next step after the previous one completed, and
     /// acts on it. `extra_os_cost` is charged at the next dispatch (e.g. the
     /// I/O interrupt that woke the thread). `boosted` marks a wake-boosted
     /// transition (I/O completion or timer satisfaction).
     fn advance_program(&mut self, tid: ThreadId, extra_os_cost: SimDuration, boosted: bool) {
         for _guard in 0..MAX_ZERO_STEPS {
-            let Some(t) = self.thread_mut(tid) else {
-                return;
-            };
-            let mut program = t.program.take().expect("program present");
-            let step = program.next_step(&mut self.rng);
-            if let Some(t) = self.thread_mut(tid) {
-                t.program = Some(program);
-            } else {
+            if self.thread(tid).is_none() {
                 return;
             }
+            let step = self.pull_step(tid);
             match step {
                 Step::Compute(d) => {
                     if d.is_zero() {
@@ -796,15 +872,11 @@ impl Machine {
     /// its next step is compute and quantum remains; otherwise release.
     fn continue_or_release(&mut self, core: CoreId, tid: ThreadId, quantum_left: SimDuration) {
         for _guard in 0..MAX_ZERO_STEPS {
-            let Some(t) = self.thread_mut(tid) else {
+            if self.thread(tid).is_none() {
                 self.fill_core(core, self.cfg.ctx_switch_cost);
                 return;
-            };
-            let mut program = t.program.take().expect("program present");
-            let step = program.next_step(&mut self.rng);
-            if let Some(t) = self.thread_mut(tid) {
-                t.program = Some(program);
             }
+            let step = self.pull_step(tid);
             match step {
                 Step::Compute(d) => {
                     if d.is_zero() {
@@ -1025,6 +1097,74 @@ impl Machine {
         self.timers.push(now + period, Timer::QuotaRefill { job });
         self.reschedule_exhaust(job);
         self.dispatch_sweep();
+    }
+}
+
+/// An in-flight scripted spawn: streams steps straight into the machine's
+/// staging buffer, then copies them into recycled arena memory and launches
+/// the thread on [`ScriptWriter::finish`].
+///
+/// Dropping the writer without calling `finish` abandons the spawn (the
+/// staging buffer is simply cleared by the next scripted spawn).
+pub struct ScriptWriter<'m> {
+    machine: &'m mut Machine,
+    now: SimTime,
+    job: JobId,
+    tag: u64,
+    boosted: bool,
+}
+
+impl ScriptWriter<'_> {
+    /// Marks the spawn as a wake-boosted continuation (see
+    /// [`Machine::spawn_thread_with`]).
+    pub fn boosted(mut self, boosted: bool) -> Self {
+        self.boosted = boosted;
+        self
+    }
+
+    /// Appends one step to the script.
+    pub fn push(&mut self, step: Step) {
+        self.machine.script_staging.push(step);
+    }
+
+    /// Appends a compute segment.
+    pub fn compute(&mut self, d: SimDuration) {
+        self.push(Step::Compute(d));
+    }
+
+    /// Appends a blocking operation carrying `token`.
+    pub fn block(&mut self, token: u64) {
+        self.push(Step::Block { token });
+    }
+
+    /// Appends a sleep.
+    pub fn sleep(&mut self, d: SimDuration) {
+        self.push(Step::Sleep(d));
+    }
+
+    /// Steps written so far.
+    pub fn len(&self) -> usize {
+        self.machine.script_staging.len()
+    }
+
+    /// True when no steps were written yet.
+    pub fn is_empty(&self) -> bool {
+        self.machine.script_staging.is_empty()
+    }
+
+    /// Allocates the script in the arena and spawns the thread, replaying
+    /// the written steps in order and exiting at the end — exactly a
+    /// [`crate::programs::Script`], minus the per-spawn `Box` and `Vec`.
+    pub fn finish(self) -> ThreadId {
+        let ScriptWriter {
+            machine,
+            now,
+            job,
+            tag,
+            boosted,
+        } = self;
+        let range = machine.arena.alloc(&machine.script_staging);
+        machine.spawn_program_with(now, job, Program::Scripted { range, at: 0 }, tag, boosted)
     }
 }
 

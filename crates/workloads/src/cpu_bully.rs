@@ -13,8 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use simcore::{SimDuration, SimTime};
-use simcpu::programs::ComputeLoop;
-use simcpu::{JobId, Machine, ThreadId};
+use simcpu::{JobId, Machine, Program, ThreadId};
 
 /// The paper's two bully sizings on a 48-logical-core box.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -74,10 +73,10 @@ impl CpuBully {
         let progress = Arc::new(AtomicU64::new(0));
         let mut tids = Vec::with_capacity(self.threads as usize);
         for i in 0..self.threads {
-            let tid = machine.spawn_thread(
+            let tid = machine.spawn_program(
                 now,
                 job,
-                Box::new(ComputeLoop::new(self.chunk, progress.clone())),
+                Program::compute_loop(self.chunk, progress.clone()),
                 CPU_BULLY_TAG_BASE + i as u64,
             );
             tids.push(tid);

@@ -175,10 +175,10 @@ mod tests {
 
         let mut m = Machine::new(MachineConfig::small(2));
         let job = m.create_job(TenantClass::Secondary, CoreMask::all(2));
-        m.spawn_thread(
+        m.spawn_program(
             SimTime::ZERO,
             job,
-            Box::new(HdfsCpuProgram::new(0.1)),
+            simcpu::Program::from(HdfsCpuProgram::new(0.1)),
             HDFS_TAG_BASE,
         );
         m.advance_to(SimTime::from_secs(2));

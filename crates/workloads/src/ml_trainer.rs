@@ -10,7 +10,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use simcore::{SimDuration, SimRng, SimTime};
-use simcpu::{JobId, Machine, Step, ThreadId, ThreadProgram};
+use simcpu::{JobId, Machine, Program, Step, ThreadId, ThreadProgram};
 
 /// Thread tags `ML_TAG_BASE..` identify trainer threads.
 pub const ML_TAG_BASE: u64 = 1 << 43;
@@ -53,7 +53,14 @@ impl MlTrainer {
                 in_compute: false,
                 progress: progress.clone(),
             };
-            tids.push(machine.spawn_thread(now, job, Box::new(program), ML_TAG_BASE + i as u64));
+            // The trainer is stateful (barrier counting), so it rides the
+            // `Dyn` escape hatch — one box per worker at setup, not per step.
+            tids.push(machine.spawn_program(
+                now,
+                job,
+                Program::from(program),
+                ML_TAG_BASE + i as u64,
+            ));
         }
         MlTrainerHandle { progress, tids }
     }
