@@ -191,81 +191,62 @@ impl BoxSim {
         let service = IndexServe::new(cfg.service.clone(), primary_job, cfg.seed ^ 0x5E47);
         let mut rng = SimRng::seed_from_u64(cfg.seed ^ 0xB0);
         let mut app = EventQueue::with_capacity(256);
-
-        let mut sim = BoxSim {
-            cfg: cfg.clone(),
-            machine,
-            disk,
-            ssd,
-            hdd,
-            service,
-            primary_job,
-            secondary_job,
-            owners,
-            controller: None,
-            app: EventQueue::new(),
-            bully: None,
-            hdfs_repl: HdfsNode::replication(),
-            hdfs_client: HdfsNode::client(),
-            rng: SimRng::seed_from_u64(cfg.seed ^ 0xB1),
-            events: Vec::new(),
-            now: SimTime::ZERO,
-            secondary_killed: false,
-            secondary_tids: Vec::new(),
-            scratch_outputs: Vec::with_capacity(64),
-            scratch_completions: Vec::with_capacity(64),
-            scratch_outcomes: Vec::with_capacity(64),
-        };
+        let mut bully = None;
+        let mut secondary_tids = Vec::new();
+        let mut secondary_killed = false;
+        let hdfs_repl = HdfsNode::replication();
+        let hdfs_client = HdfsNode::client();
 
         // Secondary tenants.
         if let Some(intensity) = cfg.secondary.cpu_bully {
-            let bully = CpuBully::new(intensity, cfg.machine.cores);
-            let handle = bully.spawn(&mut sim.machine, sim.secondary_job, SimTime::ZERO);
-            sim.secondary_tids.extend(handle.tids.iter().copied());
-            sim.bully = Some(handle);
-            sim.machine.set_job_memory(sim.secondary_job, 2 << 30);
+            let b = CpuBully::new(intensity, cfg.machine.cores);
+            let handle = b.spawn(&mut machine, secondary_job, SimTime::ZERO);
+            secondary_tids.extend(handle.tids.iter().copied());
+            bully = Some(handle);
+            machine.set_job_memory(secondary_job, 2 << 30);
         }
         if let Some(db) = &cfg.secondary.disk_bully {
             for i in 0..db.depth {
-                let tid = sim.machine.spawn_program(
+                let tid = machine.spawn_program(
                     SimTime::ZERO,
-                    sim.secondary_job,
+                    secondary_job,
                     Program::from(db.worker_program(i)),
                     DISK_BULLY_TAG_BASE + i as u64,
                 );
-                sim.secondary_tids.push(tid);
+                secondary_tids.push(tid);
             }
         }
         if cfg.secondary.hdfs {
             // Daemon CPU footprint: two duty-cycle threads ≈ a few percent.
             for i in 0..2 {
-                let tid = sim.machine.spawn_program(
+                let tid = machine.spawn_program(
                     SimTime::ZERO,
-                    sim.secondary_job,
+                    secondary_job,
                     Program::from(HdfsCpuProgram::new(0.6)),
                     HDFS_TAG_BASE + i,
                 );
-                sim.secondary_tids.push(tid);
+                secondary_tids.push(tid);
             }
-            let (t1, _) = sim.hdfs_repl.next_submission(SimTime::ZERO, &mut rng);
-            let (t2, _) = sim.hdfs_client.next_submission(SimTime::ZERO, &mut rng);
+            let (t1, _) = hdfs_repl.next_submission(SimTime::ZERO, &mut rng);
+            let (t2, _) = hdfs_client.next_submission(SimTime::ZERO, &mut rng);
             app.push(t1, AppEvent::HdfsReplication);
             app.push(t2, AppEvent::HdfsClient);
         }
 
         // PerfIso.
+        let mut controller = None;
         if let Some(pcfg) = &cfg.perfiso {
             let mut ctl = PerfIso::new(pcfg.as_ref().clone());
             {
                 let mut sys = SysAdapter {
                     now: SimTime::ZERO,
-                    machine: &mut sim.machine,
-                    disk: &mut sim.disk,
-                    hdd: sim.hdd,
-                    secondary_job: sim.secondary_job,
-                    owners: sim.owners,
-                    secondary_tids: &mut sim.secondary_tids,
-                    secondary_killed: &mut sim.secondary_killed,
+                    machine: &mut machine,
+                    disk: &mut disk,
+                    hdd,
+                    secondary_job,
+                    owners,
+                    secondary_tids: &mut secondary_tids,
+                    secondary_killed: &mut secondary_killed,
                 };
                 ctl.install(&mut sys);
                 // Register the batch I/O tenants for DWRR + static caps.
@@ -314,11 +295,34 @@ impl BoxSim {
             app.push(SimTime::ZERO + pcfg.cpu_poll_interval, AppEvent::CpuPoll);
             app.push(SimTime::ZERO + pcfg.io_poll_interval, AppEvent::IoPoll);
             app.push(SimTime::ZERO + pcfg.memory_poll_interval, AppEvent::MemPoll);
-            sim.controller = Some(ctl);
+            controller = Some(ctl);
         }
-        sim.app = app;
-        sim.rng = rng;
-        sim
+
+        // Every field is now final; build the struct exactly once.
+        BoxSim {
+            cfg,
+            machine,
+            disk,
+            ssd,
+            hdd,
+            service,
+            primary_job,
+            secondary_job,
+            owners,
+            controller,
+            app,
+            bully,
+            hdfs_repl,
+            hdfs_client,
+            rng,
+            events: Vec::new(),
+            now: SimTime::ZERO,
+            secondary_killed,
+            secondary_tids,
+            scratch_outputs: Vec::with_capacity(64),
+            scratch_completions: Vec::with_capacity(64),
+            scratch_outcomes: Vec::with_capacity(64),
+        }
     }
 
     /// Current virtual time.
@@ -339,6 +343,12 @@ impl BoxSim {
     /// The secondary tenants' job id on the machine.
     pub fn secondary_job(&self) -> JobId {
         self.secondary_job
+    }
+
+    /// Progress handle of the colocated CPU bully, when one is configured
+    /// (for inspecting how much best-effort work got through).
+    pub fn cpu_bully(&self) -> Option<&CpuBullyHandle> {
+        self.bully.as_ref()
     }
 
     /// CPU breakdown so far (including in-flight slices).
@@ -535,11 +545,7 @@ impl BoxSim {
             self.now = next;
             self.machine.advance_to(next);
             self.disk.advance_to(next);
-            while let Some(at) = self.app.peek_time() {
-                if at > next {
-                    break;
-                }
-                let (_, ev) = self.app.pop().expect("peeked");
+            while let Some((_, ev)) = self.app.pop_before(next) {
                 self.handle_app_event(ev);
             }
             self.settle();

@@ -132,6 +132,13 @@ pub struct IndexServe {
     tid_pool: Vec<Vec<ThreadId>>,
     /// Scratch for the timeout kill sweep (replaces a per-timeout clone).
     kill_scratch: Vec<ThreadId>,
+    /// Stage cost distributions, prebuilt from the config once: the spawn
+    /// paths sample them per stage, and `LogNormal::from_median` costs a
+    /// runtime `ln` that has no place in the per-query hot loop.
+    parse_dist: LogNormal,
+    worker_jitter: LogNormal,
+    rank_dist: LogNormal,
+    agg_dist: LogNormal,
 }
 
 impl IndexServe {
@@ -140,6 +147,10 @@ impl IndexServe {
     /// The configuration is shared: cluster and fleet drivers instantiate
     /// hundreds of services from one `Arc` without cloning the config.
     pub fn new(cfg: Arc<ServiceConfig>, job: JobId, seed: u64) -> Self {
+        let parse_dist = LogNormal::from_median(cfg.parse_cost_us, cfg.stage_sigma);
+        let worker_jitter = LogNormal::unit_median(cfg.worker_jitter_sigma);
+        let rank_dist = LogNormal::from_median(cfg.rank_burst_us, cfg.stage_sigma);
+        let agg_dist = LogNormal::from_median(cfg.agg_cost_us, cfg.stage_sigma);
         IndexServe {
             cfg,
             job,
@@ -153,6 +164,10 @@ impl IndexServe {
             shed_admissions: 0,
             tid_pool: Vec::new(),
             kill_scratch: Vec::new(),
+            parse_dist,
+            worker_jitter,
+            rank_dist,
+            agg_dist,
         }
     }
 
@@ -217,8 +232,7 @@ impl IndexServe {
         q.started = true;
         // Stage 1: parse. A single compute burst is the inline one-shot
         // program — no box, no script, no arena traffic.
-        let burst = LogNormal::from_median(self.cfg.parse_cost_us, self.cfg.stage_sigma)
-            .sample(&mut self.rng);
+        let burst = self.parse_dist.sample(&mut self.rng);
         let tid = machine.spawn_program(
             now,
             self.job,
@@ -296,7 +310,7 @@ impl IndexServe {
         };
         self.queries[qidx as usize].pending_workers = fanout;
         self.workers_spawned += fanout as u64;
-        let jitter = LogNormal::from_median(1.0, self.cfg.worker_jitter_sigma);
+        let jitter = self.worker_jitter;
         for w in 0..fanout {
             // Pre-sample the worker's whole script — per-round burst jitter
             // and cache misses — streaming the steps straight into recycled
@@ -322,7 +336,7 @@ impl IndexServe {
         } else {
             self.cfg.rank_rounds
         };
-        let dist = LogNormal::from_median(self.cfg.rank_burst_us, self.cfg.stage_sigma);
+        let dist = self.rank_dist;
         // Rank is a continuation of in-flight work (a pool thread woken by
         // the last worker's completion), so it carries the wake boost —
         // only the initial fan-out pays the back-of-queue price.
@@ -339,8 +353,7 @@ impl IndexServe {
     }
 
     fn spawn_agg(&mut self, now: SimTime, qidx: u64, machine: &mut Machine) {
-        let burst = LogNormal::from_median(self.cfg.agg_cost_us, self.cfg.stage_sigma)
-            .sample(&mut self.rng);
+        let burst = self.agg_dist.sample(&mut self.rng);
         // A continuation, like rank.
         let tid = machine.spawn_program_with(
             now,

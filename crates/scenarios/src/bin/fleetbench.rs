@@ -28,7 +28,7 @@ use qtrace::{OpenLoopClient, TraceConfig, TraceGenerator};
 use scenarios::spec::{run_spec, RunOptions, ScenarioSpec};
 use scenarios::Policy;
 use serde_json::{json, Value};
-use simcore::{SimDuration, SimTime};
+use simcore::{EventQueue, SimDuration, SimRng, SimTime};
 use telemetry::table::Table;
 use workloads::BullyIntensity;
 
@@ -169,6 +169,64 @@ fn arena_probe() -> Value {
     })
 }
 
+/// Micro-probe of the `EventQueue` timer wheel in isolation: a steady
+/// population of pending timers is cycled pop-earliest → push-replacement,
+/// with replacement delays mixing the simulators' regimes (mostly
+/// microsecond thread wakes, some millisecond slices and controller polls,
+/// occasional seconds-scale far-future work that parks in the overflow
+/// levels and cascades back down). Deterministic by seed; one op is one
+/// push or one pop.
+fn queue_probe() -> Value {
+    const POPULATION: usize = 4096;
+    const ROUNDS: u64 = 2_000_000;
+    let mut q: EventQueue<u64> = EventQueue::with_capacity(POPULATION);
+    let mut rng = SimRng::seed_from_u64(0x077E_E150);
+    let delay = |rng: &mut SimRng| -> SimDuration {
+        let r = rng.next_f64();
+        if r < 0.70 {
+            SimDuration::from_nanos(rng.range_u64(500, 64_000))
+        } else if r < 0.95 {
+            SimDuration::from_micros(rng.range_u64(500, 2_000))
+        } else {
+            SimDuration::from_millis(rng.range_u64(100, 2_000))
+        }
+    };
+    let mut now = SimTime::ZERO;
+    for i in 0..POPULATION as u64 {
+        let d = delay(&mut rng);
+        q.push(now + d, i);
+    }
+    let wall = Instant::now();
+    let mut checksum = 0u64;
+    for i in 0..ROUNDS {
+        let (at, token) = q.pop().expect("population is steady");
+        debug_assert!(at >= now);
+        now = at;
+        checksum = checksum.wrapping_add(token).rotate_left(1);
+        let d = delay(&mut rng);
+        q.push(now + d, i);
+    }
+    let wall = wall.elapsed().as_secs_f64();
+    let ops = 2 * ROUNDS; // one pop + one push per round
+    let ops_per_second = ops as f64 / wall;
+    println!(
+        "queue probe: {:.1}M timer-wheel ops/s ({} pops + {} pushes over {} pending, \
+         wall {:.2}s, checksum {:x})",
+        ops_per_second / 1e6,
+        ROUNDS,
+        ROUNDS,
+        POPULATION,
+        wall,
+        checksum,
+    );
+    json!({
+        "population": POPULATION,
+        "ops": ops,
+        "wall_seconds": wall,
+        "ops_per_second": ops_per_second
+    })
+}
+
 struct FleetRun {
     wall: f64,
     allocs: u64,
@@ -218,9 +276,10 @@ fn fleet_run_json(label: &str, threads: usize, run: &FleetRun) -> Value {
 }
 
 /// Loads the previous report from `path` (the committed baseline) and
-/// prints the deltas this run will be judged against. Returns the warning
-/// state for the JSON payload.
-fn baseline_delta(path: &str, profile: &Value) -> Value {
+/// prints the deltas this run will be judged against: allocs/sim-second
+/// for the single-box profile and fleet events/second for the serial run.
+/// Returns the warning state for the JSON payload.
+fn baseline_delta(path: &str, profile: &Value, smoke: bool, serial: &FleetRun) -> Value {
     let Ok(raw) = std::fs::read_to_string(path) else {
         println!("no committed baseline at {path}; skipping delta");
         return json!({ "available": false });
@@ -237,14 +296,14 @@ fn baseline_delta(path: &str, profile: &Value) -> Value {
         println!("baseline at {path} lacks an alloc profile; skipping delta");
         return json!({ "available": false });
     };
-    let ratio = allocs_per_sim_sec / base_allocs;
+    let alloc_ratio = allocs_per_sim_sec / base_allocs;
     // Setup allocations amortize over the profiled window, so the ratio is
     // only a regression signal when both runs profiled the same window
     // (always true since the profile window became fixed; guards against
     // comparing with an older variable-window baseline).
-    let comparable =
+    let alloc_comparable =
         base["singlebox_allocations"]["sim_seconds"].as_f64() == profile["sim_seconds"].as_f64();
-    let mode_note = if comparable {
+    let mode_note = if alloc_comparable {
         ""
     } else {
         " (baseline profiled a different window; not comparable, no regression check)"
@@ -253,23 +312,67 @@ fn baseline_delta(path: &str, profile: &Value) -> Value {
         "vs committed baseline: {:.0} -> {:.0} allocs/sim-second ({:+.1}%){}",
         base_allocs,
         allocs_per_sim_sec,
-        (ratio - 1.0) * 100.0,
+        (alloc_ratio - 1.0) * 100.0,
         mode_note,
     );
-    let regressed = comparable && ratio > 1.10;
-    if regressed {
+    let alloc_regressed = alloc_comparable && alloc_ratio > 1.10;
+    if alloc_regressed {
         println!(
             "ALLOC-REGRESSION WARNING: allocs/sim-second {:.1}% above the \
              committed baseline (threshold 10%)",
-            (ratio - 1.0) * 100.0,
+            (alloc_ratio - 1.0) * 100.0,
         );
     }
+
+    // Fleet throughput: events/second of the serial run vs the baseline's.
+    // This is a wall-clock rate, so it is warn-only like the alloc check,
+    // and only compared when the baseline ran the same fleet configuration
+    // (the committed baseline is full-mode; a --smoke run reports the delta
+    // as informational only).
+    let events_per_sec = serial.report.sim_events as f64 / serial.wall;
+    let base_events = base["runs"][0]["events_per_second"].as_f64();
+    let (events_ratio, events_comparable, events_regressed) = match base_events {
+        Some(base_events) if base_events > 0.0 => {
+            let ratio = events_per_sec / base_events;
+            let comparable = base["smoke"].as_bool() == Some(smoke);
+            let mode_note = if comparable {
+                ""
+            } else {
+                " (baseline ran a different fleet configuration; informational only)"
+            };
+            println!(
+                "vs committed baseline: {:.2}M -> {:.2}M fleet events/second ({:+.1}%){}",
+                base_events / 1e6,
+                events_per_sec / 1e6,
+                (ratio - 1.0) * 100.0,
+                mode_note,
+            );
+            let regressed = comparable && ratio < 0.90;
+            if regressed {
+                println!(
+                    "EVENTS-REGRESSION WARNING: fleet events/second {:.1}% below the \
+                     committed baseline (threshold 10%)",
+                    (1.0 - ratio) * 100.0,
+                );
+            }
+            (Some(ratio), comparable, regressed)
+        }
+        _ => {
+            println!("baseline at {path} lacks an events/second figure; skipping throughput delta");
+            (None, false, false)
+        }
+    };
+
     json!({
         "available": true,
-        "comparable": comparable,
+        "comparable": alloc_comparable,
         "baseline_allocations_per_sim_second": base_allocs,
-        "alloc_ratio": ratio,
-        "regressed": regressed
+        "alloc_ratio": alloc_ratio,
+        "regressed": alloc_regressed,
+        "events_comparable": events_comparable,
+        "baseline_events_per_second": base_events.map_or(Value::Null, Value::from),
+        "events_ratio": events_ratio.map_or(Value::Null, Value::from),
+        "events_regressed": events_regressed
     })
 }
 
@@ -306,6 +409,7 @@ fn main() {
 
     let alloc_profile = singlebox_alloc_profile();
     let arena = arena_probe();
+    let queue = queue_probe();
 
     let serial = timed_fleet(&spec, 1);
     let parallel = timed_fleet(&spec, 0);
@@ -338,7 +442,7 @@ fn main() {
     );
 
     let path = std::env::var("PERFISO_BENCH_OUT").unwrap_or_else(|_| "BENCH_fleet.json".into());
-    let baseline = baseline_delta(&path, &alloc_profile);
+    let baseline = baseline_delta(&path, &alloc_profile, smoke, &serial);
 
     let out = json!({
         "bench": "fleet",
@@ -350,6 +454,7 @@ fn main() {
         },
         "singlebox_allocations": alloc_profile,
         "arena": arena,
+        "queue": queue,
         "baseline_delta": baseline,
         "runs": [
             fleet_run_json("serial", 1, &serial),

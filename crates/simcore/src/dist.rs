@@ -121,6 +121,26 @@ impl LogNormal {
         }
     }
 
+    /// Log-normal with median 1 — a pure multiplicative jitter factor.
+    ///
+    /// Identical to `from_median(1.0, sigma)` (`ln 1 = 0` exactly) but
+    /// without the runtime `ln`, for hot paths that build the jitter per
+    /// sample site.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sigma >= 0` and finite.
+    pub fn unit_median(sigma: f64) -> Self {
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be non-negative: {sigma}"
+        );
+        LogNormal {
+            ln_median: 0.0,
+            sigma,
+        }
+    }
+
     /// The distribution mean, `median · exp(sigma^2 / 2)`.
     pub fn mean(&self) -> f64 {
         (self.ln_median + self.sigma * self.sigma / 2.0).exp()

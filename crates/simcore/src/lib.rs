@@ -30,6 +30,7 @@ pub mod mask;
 pub mod queue;
 pub mod rng;
 pub mod time;
+pub(crate) mod wheel;
 
 pub use ids::{CoreId, JobId, ThreadId};
 pub use mask::CoreMask;

@@ -4,44 +4,17 @@
 //! monotonically increasing tiebreaker assigned at push time. Two events at
 //! the same instant therefore pop in insertion order, which keeps whole-system
 //! runs bit-for-bit reproducible for a fixed seed.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//!
+//! Storage is a hierarchical timer wheel ([`crate::wheel`]) rather than a
+//! binary heap: pushes and pops are O(1) amortized instead of O(log n), and
+//! [`EventQueue::pop_before`] lets advance loops consume due events in a
+//! single traversal. The pop order is contractually identical to the
+//! `(time, seq)` total order the former heap produced.
 
 use crate::time::SimTime;
+use crate::wheel::Wheel;
 
-/// A pending event: payload `E` scheduled at a given [`SimTime`].
-struct Scheduled<E> {
-    at: SimTime,
-    seq: u64,
-    payload: E,
-}
-
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-
-impl<E> Eq for Scheduled<E> {}
-
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse so the `BinaryHeap` (a max-heap) pops the earliest event.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-/// A min-heap of timestamped events with deterministic FIFO tie-breaking.
+/// A timer wheel of timestamped events with deterministic FIFO tie-breaking.
 ///
 /// # Examples
 ///
@@ -56,7 +29,7 @@ impl<E> Ord for Scheduled<E> {
 /// assert_eq!(order, vec!['a', 'b', 'c']);
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    wheel: Wheel<E>,
     next_seq: u64,
 }
 
@@ -70,7 +43,7 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            wheel: Wheel::new(),
             next_seq: 0,
         }
     }
@@ -78,41 +51,76 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
+            wheel: Wheel::with_capacity(cap),
             next_seq: 0,
         }
     }
 
     /// Schedules `payload` at time `at`.
+    #[inline]
     pub fn push(&mut self, at: SimTime, payload: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, payload });
+        self.wheel.push(at, seq, payload);
     }
 
     /// Removes and returns the earliest event, if any.
+    #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|s| (s.at, s.payload))
+        self.wheel.pop()
+    }
+
+    /// Removes and returns the earliest event if it is due at or before `t`;
+    /// leaves the queue untouched otherwise.
+    ///
+    /// The one-traversal idiom for advance loops:
+    ///
+    /// ```
+    /// use simcore::{queue::EventQueue, SimTime};
+    ///
+    /// let mut q = EventQueue::new();
+    /// q.push(SimTime::from_micros(1), "due");
+    /// q.push(SimTime::from_micros(9), "later");
+    /// let horizon = SimTime::from_micros(5);
+    /// while let Some((_at, ev)) = q.pop_before(horizon) {
+    ///     assert_eq!(ev, "due");
+    /// }
+    /// assert_eq!(q.len(), 1);
+    /// ```
+    #[inline]
+    pub fn pop_before(&mut self, t: SimTime) -> Option<(SimTime, E)> {
+        self.wheel.pop_before(t)
     }
 
     /// The timestamp of the earliest pending event, if any.
+    ///
+    /// Costs a scan of the earliest wheel bucket; loops that would peek and
+    /// then pop should use [`EventQueue::pop_before`] instead.
+    #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        self.wheel.peek_time()
     }
 
     /// Number of pending events.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel.len()
     }
 
     /// True when no events are pending.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.wheel.is_empty()
     }
 
-    /// Drops all pending events.
+    /// Drops all pending events and resets the sequence counter, leaving the
+    /// queue observationally identical to a freshly constructed one (only
+    /// internal buffer capacities are retained). In particular, FIFO
+    /// tie-break order after a `clear` matches a fresh queue's, so runs that
+    /// reuse queues stay deterministic.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.wheel.clear();
+        self.next_seq = 0;
     }
 }
 
@@ -165,6 +173,46 @@ mod tests {
         assert!(!q.is_empty());
         q.clear();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_before_respects_bound() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(1), 'a');
+        q.push(SimTime::from_millis(3), 'b');
+        assert_eq!(q.pop_before(SimTime::from_millis(2)).unwrap().1, 'a');
+        assert_eq!(q.pop_before(SimTime::from_millis(2)), None);
+        assert_eq!(q.len(), 1);
+        // Inclusive bound: an event exactly at `t` is due.
+        assert_eq!(q.pop_before(SimTime::from_millis(3)).unwrap().1, 'b');
+        assert_eq!(q.pop_before(SimTime::MAX), None);
+    }
+
+    /// Regression test: `clear` must reset the FIFO sequence counter, so a
+    /// cleared queue that is refilled pops in exactly the order a fresh
+    /// queue would (reused queues across runs stay deterministic).
+    #[test]
+    fn cleared_queue_is_observationally_fresh() {
+        let t = SimTime::from_micros(42);
+        let mut reused = EventQueue::new();
+        for i in 0..10 {
+            reused.push(t, i);
+        }
+        reused.pop();
+        reused.clear();
+
+        let mut fresh = EventQueue::new();
+        for i in 0..10 {
+            reused.push(t, 100 + i);
+            fresh.push(t, 100 + i);
+        }
+        loop {
+            let (a, b) = (reused.pop(), fresh.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 
     proptest! {

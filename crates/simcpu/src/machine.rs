@@ -582,11 +582,7 @@ impl Machine {
             self.now,
             t
         );
-        while let Some(at) = self.timers.peek_time() {
-            if at > t {
-                break;
-            }
-            let (at, timer) = self.timers.pop().expect("peeked");
+        while let Some((at, timer)) = self.timers.pop_before(t) {
             debug_assert!(at >= self.now);
             self.now = at;
             self.handle_timer(timer);

@@ -115,7 +115,7 @@ impl DeviceSpec {
         if self.jitter_sigma <= 0.0 {
             return base;
         }
-        let mult = LogNormal::from_median(1.0, self.jitter_sigma).sample(rng);
+        let mult = LogNormal::unit_median(self.jitter_sigma).sample(rng);
         base.mul_f64(mult)
     }
 }

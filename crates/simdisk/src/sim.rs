@@ -323,11 +323,7 @@ impl DiskSim {
             self.now,
             t
         );
-        while let Some(at) = self.timers.peek_time() {
-            if at > t {
-                break;
-            }
-            let (at, timer) = self.timers.pop().expect("peeked");
+        while let Some((at, timer)) = self.timers.pop_before(t) {
             self.now = at;
             match timer {
                 DiskTimer::ServiceDone {

@@ -199,11 +199,7 @@ impl NetSim {
         if t < self.now {
             return;
         }
-        while let Some(at) = self.timers.peek_time() {
-            if at > t {
-                break;
-            }
-            let (at, timer) = self.timers.pop().expect("peeked");
+        while let Some((at, timer)) = self.timers.pop_before(t) {
             self.now = at;
             match timer {
                 NetTimer::Enqueue { from, msg } => {
