@@ -18,5 +18,5 @@ pub mod manager;
 pub mod registry;
 
 pub use config_store::ConfigStore;
-pub use manager::{RestartDecision, ServiceManager};
+pub use manager::{RestartDecision, RestartPolicy, ServiceManager};
 pub use registry::{ServiceInfo, ServiceKind, ServiceRegistry, ServiceState};

@@ -19,7 +19,7 @@ pub enum RestartDecision {
 }
 
 /// Restart policy parameters.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RestartPolicy {
     /// Initial backoff in milliseconds.
     pub base_backoff_ms: u64,
@@ -157,5 +157,131 @@ mod tests {
             mgr.report_crash(&mut reg, "perfiso"),
             RestartDecision::RestartAfterMs(1_000)
         );
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        let mut reg = ServiceRegistry::new();
+        reg.register("perfiso", ServiceKind::Infrastructure, vec![1]);
+        let mut mgr = ServiceManager::new(RestartPolicy {
+            base_backoff_ms: u64::MAX / 2,
+            multiplier: u32::MAX,
+            max_failures: 64,
+        });
+        let mut last = 0;
+        for _ in 0..64 {
+            match mgr.report_crash(&mut reg, "perfiso") {
+                RestartDecision::RestartAfterMs(ms) => {
+                    assert!(ms >= last, "backoff must be monotone under saturation");
+                    last = ms;
+                }
+                RestartDecision::GiveUp => panic!("gave up before max_failures"),
+            }
+        }
+        assert_eq!(last, u64::MAX);
+    }
+
+    #[test]
+    fn give_up_fires_exactly_past_max_failures() {
+        let policy = RestartPolicy {
+            base_backoff_ms: 10,
+            multiplier: 1,
+            max_failures: 3,
+        };
+        let mut reg = ServiceRegistry::new();
+        reg.register("perfiso", ServiceKind::Infrastructure, vec![1]);
+        let mut mgr = ServiceManager::new(policy);
+        for i in 1..=policy.max_failures {
+            assert_eq!(
+                mgr.report_crash(&mut reg, "perfiso"),
+                RestartDecision::RestartAfterMs(10),
+                "failure {i} of {} still restarts",
+                policy.max_failures
+            );
+        }
+        assert_eq!(
+            mgr.report_crash(&mut reg, "perfiso"),
+            RestartDecision::GiveUp
+        );
+        assert_eq!(mgr.failure_count("perfiso"), policy.max_failures + 1);
+    }
+
+    #[test]
+    fn failure_counters_are_per_service() {
+        let mut reg = ServiceRegistry::new();
+        reg.register("a", ServiceKind::Secondary, vec![1]);
+        reg.register("b", ServiceKind::Secondary, vec![2]);
+        let mut mgr = ServiceManager::new(RestartPolicy::default());
+        mgr.report_crash(&mut reg, "a");
+        mgr.report_crash(&mut reg, "a");
+        assert_eq!(
+            mgr.report_crash(&mut reg, "b"),
+            RestartDecision::RestartAfterMs(1_000),
+            "service b starts from the base backoff"
+        );
+        assert_eq!(mgr.failure_count("a"), 2);
+        assert_eq!(mgr.failure_count("b"), 1);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// No parameter choice can make `report_crash` panic, and every
+            /// pre-give-up decision is a finite backoff that saturates
+            /// rather than overflowing.
+            #[test]
+            fn prop_backoff_never_panics(
+                base in 0u64..=u64::MAX,
+                multiplier in 0u32..=u32::MAX,
+                max_failures in 1u32..200,
+                crashes in 1u32..300,
+            ) {
+                let mut reg = ServiceRegistry::new();
+                reg.register("svc", ServiceKind::Infrastructure, vec![1]);
+                let mut mgr = ServiceManager::new(RestartPolicy {
+                    base_backoff_ms: base,
+                    multiplier,
+                    max_failures,
+                });
+                for i in 1..=crashes {
+                    let d = mgr.report_crash(&mut reg, "svc");
+                    if i > max_failures {
+                        prop_assert_eq!(d, RestartDecision::GiveUp);
+                    } else {
+                        prop_assert!(matches!(d, RestartDecision::RestartAfterMs(_)));
+                    }
+                }
+            }
+
+            /// A successful run always resets the failure window: the next
+            /// crash is decided as if it were the first.
+            #[test]
+            fn prop_success_resets_window(
+                max_failures in 1u32..20,
+                crashes in 1u32..40,
+            ) {
+                let mut reg = ServiceRegistry::new();
+                reg.register("svc", ServiceKind::Infrastructure, vec![1]);
+                let policy = RestartPolicy {
+                    base_backoff_ms: 100,
+                    multiplier: 2,
+                    max_failures,
+                };
+                let mut mgr = ServiceManager::new(policy);
+                for _ in 0..crashes {
+                    mgr.report_crash(&mut reg, "svc");
+                }
+                mgr.report_started(&mut reg, "svc", vec![9]);
+                prop_assert_eq!(mgr.failure_count("svc"), 0);
+                prop_assert_eq!(
+                    mgr.report_crash(&mut reg, "svc"),
+                    RestartDecision::RestartAfterMs(policy.base_backoff_ms)
+                );
+            }
+        }
     }
 }

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use indexserve::{BoxConfig, BoxEvent, BoxSim, SecondaryKind, ServiceConfig};
+use indexserve::{BoxConfig, BoxEvent, BoxSim, FaultPlan, SecondaryKind, ServiceConfig};
 use perfiso::PerfIsoConfig;
 use qtrace::{OpenLoopClient, QuerySpec, TraceConfig, TraceGenerator};
 use simcore::dist::{LogNormal, Sample};
@@ -53,6 +53,9 @@ pub struct ClusterConfig {
     /// Worker threads for advancing boxes in parallel: `0` = all available
     /// cores, `1` = serial. Results are bit-identical across thread counts.
     pub threads: usize,
+    /// Cluster-wide fault timeline; each index box receives its slice
+    /// (staged config rollouts reach only the leading boxes).
+    pub fault: Option<std::sync::Arc<FaultPlan>>,
 }
 
 impl ClusterConfig {
@@ -71,6 +74,7 @@ impl ClusterConfig {
             tla_cost: SimDuration::from_micros(80),
             seed,
             threads: 0,
+            fault: None,
         }
     }
 }
@@ -157,6 +161,11 @@ impl ClusterSim {
                     secondary: cfg.secondary.clone(),
                     perfiso: perfiso.clone(),
                     seed: cfg.seed ^ (0x9E37 * (i as u64 + 1)),
+                    fault: cfg
+                        .fault
+                        .as_ref()
+                        .and_then(|p| p.slice_for_box(i as usize, n_index as usize))
+                        .map(std::sync::Arc::new),
                 })
             })
             .collect();
@@ -276,6 +285,16 @@ impl ClusterSim {
         for (b, w) in self.boxes.iter().zip(warm.iter()) {
             agg.merge(&b.breakdown().since(w));
         }
+        let mut faults = Vec::new();
+        for (i, b) in self.boxes.iter_mut().enumerate() {
+            let records = b.take_fault_records();
+            if !records.is_empty() {
+                faults.push(crate::report::BoxFaults {
+                    box_index: i as u32,
+                    faults: records,
+                });
+            }
+        }
         ClusterReport {
             local: LayerStats::from_recorder(&mut self.local_lat),
             mla: LayerStats::from_recorder(&mut self.mla_lat),
@@ -284,6 +303,7 @@ impl ClusterSim {
             degraded: self.degraded,
             mean_utilization: agg.utilization(),
             breakdown: agg,
+            faults,
         }
     }
 

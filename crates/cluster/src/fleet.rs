@@ -300,6 +300,7 @@ fn run_fleet_slice(cfg: &FleetConfig, shared: &FleetShared, m: u32, s: u32) -> S
         secondary: SecondaryKind::none(),
         perfiso: Some(Arc::clone(&shared.perfiso)),
         seed,
+        fault: None,
     };
     let mut client =
         OpenLoopClient::replay_shared(Arc::clone(&shared.templates[m as usize]), qps, seed ^ 0xC1);

@@ -25,5 +25,5 @@ pub mod topology;
 
 pub use clustersim::{ClusterConfig, ClusterSim};
 pub use fleet::{FleetConfig, FleetReport};
-pub use report::{ClusterReport, LayerStats};
+pub use report::{BoxFaults, ClusterReport, LayerStats};
 pub use topology::Topology;

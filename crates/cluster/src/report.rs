@@ -1,5 +1,6 @@
 //! Cluster measurement reports.
 
+use indexserve::FaultRecord;
 use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 use telemetry::recorder::PercentileSummary;
@@ -48,6 +49,18 @@ pub struct ClusterReport {
     pub mean_utilization: f64,
     /// Mean CPU breakdown across index machines.
     pub breakdown: CpuBreakdown,
+    /// Executed fault timelines, per index box, when a chaos plan ran.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub faults: Vec<BoxFaults>,
+}
+
+/// The fault records one index box executed during a cluster run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BoxFaults {
+    /// Index-box position in the topology.
+    pub box_index: u32,
+    /// Faults in firing order.
+    pub faults: Vec<FaultRecord>,
 }
 
 #[cfg(test)]

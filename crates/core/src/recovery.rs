@@ -45,12 +45,26 @@ impl ControllerState {
 
     /// Writes the snapshot atomically (write-then-rename) to `path`.
     ///
+    /// The temporary file lives in the same directory as `path` (renames
+    /// across filesystems are not atomic) under a dotted name derived from
+    /// the full file name, so it can never clobber a sibling snapshot like
+    /// `state.tmp` the way `with_extension` would.
+    ///
     /// # Errors
     ///
     /// Propagates I/O and serialisation failures.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
         let json = self.to_json().map_err(std::io::Error::other)?;
-        let tmp = path.with_extension("tmp");
+        let file_name = path.file_name().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("snapshot path {} has no file name", path.display()),
+            )
+        })?;
+        let mut tmp_name = std::ffi::OsString::from(".");
+        tmp_name.push(file_name);
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
         {
             let mut f = std::fs::File::create(&tmp)?;
             f.write_all(json.as_bytes())?;
@@ -115,5 +129,47 @@ mod tests {
     #[test]
     fn missing_file_is_an_error() {
         assert!(ControllerState::load(Path::new("/nonexistent/perfiso.json")).is_err());
+    }
+
+    #[test]
+    fn save_does_not_clobber_sibling_files() {
+        let dir = std::env::temp_dir().join(format!("perfiso-test-s-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // `path.with_extension("tmp")` would scribble over this sibling.
+        let sibling = dir.join("state.tmp");
+        std::fs::write(&sibling, "operator data").unwrap();
+        sample().save(&dir.join("state.json")).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&sibling).unwrap(),
+            "operator data",
+            "checkpointing must not touch unrelated files"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_overwrites_previous_snapshot_atomically() {
+        let dir = std::env::temp_dir().join(format!("perfiso-test-o-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.json");
+        let mut s = sample();
+        s.save(&path).unwrap();
+        s.enabled = false;
+        s.save(&path).unwrap();
+        let back = ControllerState::load(&path).unwrap();
+        assert_eq!(back, s);
+        // No temp file is left behind after a successful rename.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n != "state.json")
+            .collect();
+        assert!(leftovers.is_empty(), "stray files: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_to_a_directory_path_is_an_error() {
+        assert!(sample().save(Path::new("/")).is_err());
     }
 }

@@ -13,7 +13,11 @@
 
 use std::sync::Arc;
 
+use autopilot::{
+    ConfigStore, RestartDecision, ServiceKind, ServiceManager, ServiceRegistry, ServiceState,
+};
 use perfiso::controller::ControllerStats;
+use perfiso::recovery::ControllerState;
 use perfiso::system::{IoLimit, IoTenant, IoTenantStats, SystemInterface};
 use perfiso::{PerfIso, PerfIsoConfig};
 use qtrace::{OpenLoopClient, QuerySpec, TraceConfig, TraceGenerator};
@@ -32,6 +36,7 @@ use workloads::disk_bully::{DiskBully, DISK_BULLY_TAG_BASE};
 use workloads::hdfs::{HdfsCpuProgram, HdfsNode, HDFS_TAG_BASE};
 use workloads::BullyIntensity;
 
+use crate::chaos::{FaultPlan, FaultRecord, PlannedFaultKind};
 use crate::service::{IndexServe, QueryOutcome, ServiceConfig};
 use crate::tags::{parse_stage_tag, parse_wake_token, wake_token, FIRE_AND_FORGET};
 
@@ -86,6 +91,9 @@ pub struct BoxConfig {
     /// "no isolation" is expressed as a *policy*, not by omitting the
     /// controller, so kill-switch experiments can toggle it).
     pub perfiso: Option<Arc<PerfIsoConfig>>,
+    /// Injected-fault timeline (`None` = steady state). Shared so cluster
+    /// drivers can stamp the same plan across boxes.
+    pub fault: Option<Arc<FaultPlan>>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -98,6 +106,7 @@ impl BoxConfig {
             service: Arc::new(ServiceConfig::default()),
             secondary,
             perfiso: perfiso.map(Arc::new),
+            fault: None,
             seed,
         }
     }
@@ -121,6 +130,14 @@ enum AppEvent {
     MemPoll,
     HdfsReplication,
     HdfsClient,
+    /// A planned fault fires (index into the fault plan).
+    Fault(u32),
+    /// Autopilot's restart backoff elapsed: the controller comes back.
+    ControllerUp,
+    /// The secondary workload respawns after a restart fault.
+    SecondaryUp,
+    /// The IndexServe process finishes restarting.
+    PrimaryUp,
 }
 
 /// Service names (as configured through `PerfIsoConfig::tenant_limits`)
@@ -138,6 +155,102 @@ struct Owners {
     hdfs_client: OwnerId,
 }
 
+/// Caps how long the recovery watch counts polls after a controller
+/// restart before declaring convergence anyway.
+const RECOVERY_POLL_CAP: u32 = 64;
+/// Completed/dropped-query latency samples required before the rollout
+/// watchdog judges a new configuration.
+const ROLLBACK_MIN_SAMPLES: usize = 50;
+/// Samples after which a rollout that never breached is accepted for good.
+const ROLLBACK_ACCEPT_SAMPLES: usize = 400;
+
+/// A config rollout under observation by the tail-latency watchdog.
+struct RolloutWatch {
+    /// Index of this rollout's [`FaultRecord`].
+    record: usize,
+    /// The configuration to return to on breach.
+    prev: Arc<PerfIsoConfig>,
+    /// Rollback trigger: observed P99 above this reverts the rollout.
+    threshold: SimDuration,
+    /// Query latencies (dropped queries contribute their timeout) observed
+    /// since the rollout applied.
+    samples: Vec<SimDuration>,
+}
+
+/// A rollout published to the config store but not yet seen by the
+/// controller's poll loop.
+struct PendingRollout {
+    key: String,
+    record: usize,
+    rollback: Option<SimDuration>,
+}
+
+/// Autopilot-side state of a fault-injected box: the service registry and
+/// restart manager, the versioned config store the controller polls, the
+/// crash checkpoint, and the per-fault records for the report.
+struct ChaosState {
+    plan: Arc<FaultPlan>,
+    manager: ServiceManager,
+    registry: ServiceRegistry,
+    store: ConfigStore,
+    records: Vec<FaultRecord>,
+    /// Deterministic PID source for restarted services.
+    next_pid: u32,
+    /// Controller state at the last poll — what `load`-from-disk returns.
+    checkpoint: Option<ControllerState>,
+    /// Cumulative controller counters carried across restarts.
+    saved_stats: Option<ControllerStats>,
+    /// In-flight controller downtime (record index); `None` when up.
+    crash_record: Option<usize>,
+    /// Autopilot gave up on the controller; it never comes back.
+    controller_gave_up: bool,
+    /// Post-restart convergence tracking `(record, polls so far)`.
+    recovery_watch: Option<(usize, u32)>,
+    /// Restart pending its stability window before the failure counter
+    /// resets (a crash inside the window keeps accumulating).
+    restarted_at: Option<SimTime>,
+    /// Rollouts published but not yet picked up by a controller poll.
+    pending_rollouts: Vec<PendingRollout>,
+    /// The active rollout watchdog, when a rollout set `rollback_on`.
+    rollout: Option<RolloutWatch>,
+    /// In-flight secondary downtime (record index).
+    secondary_record: Option<usize>,
+    /// While `Some`, the IndexServe process is down and refuses arrivals.
+    primary_down_until: Option<SimTime>,
+    /// In-flight primary downtime (record index).
+    primary_record: Option<usize>,
+}
+
+impl ChaosState {
+    fn new(plan: Arc<FaultPlan>) -> Self {
+        ChaosState {
+            manager: ServiceManager::new(plan.restart),
+            plan,
+            registry: ServiceRegistry::new(),
+            store: ConfigStore::new(),
+            records: Vec::new(),
+            next_pid: 100,
+            checkpoint: None,
+            saved_stats: None,
+            crash_record: None,
+            controller_gave_up: false,
+            recovery_watch: None,
+            restarted_at: None,
+            pending_rollouts: Vec::new(),
+            rollout: None,
+            secondary_record: None,
+            primary_down_until: None,
+            primary_record: None,
+        }
+    }
+
+    fn fresh_pid(&mut self) -> u32 {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        pid
+    }
+}
+
 /// One simulated production server.
 pub struct BoxSim {
     cfg: BoxConfig,
@@ -150,6 +263,11 @@ pub struct BoxSim {
     secondary_job: JobId,
     owners: Owners,
     controller: Option<PerfIso>,
+    /// The *active* controller configuration: starts as `cfg.perfiso` and
+    /// moves when a config rollout applies (or rolls back).
+    perfiso_cfg: Option<Arc<PerfIsoConfig>>,
+    /// Fault-injection state, when the box runs a chaos timeline.
+    chaos: Option<Box<ChaosState>>,
     app: EventQueue<AppEvent>,
     bully: Option<CpuBullyHandle>,
     hdfs_repl: HdfsNode,
@@ -189,117 +307,13 @@ impl BoxSim {
             hdfs_client: disk.register_owner(IoPriority::LOW),
         };
         let service = IndexServe::new(cfg.service.clone(), primary_job, cfg.seed ^ 0x5E47);
-        let mut rng = SimRng::seed_from_u64(cfg.seed ^ 0xB0);
-        let mut app = EventQueue::with_capacity(256);
-        let mut bully = None;
-        let mut secondary_tids = Vec::new();
-        let mut secondary_killed = false;
+        let rng = SimRng::seed_from_u64(cfg.seed ^ 0xB0);
+        let app = EventQueue::with_capacity(256);
         let hdfs_repl = HdfsNode::replication();
         let hdfs_client = HdfsNode::client();
 
-        // Secondary tenants.
-        if let Some(intensity) = cfg.secondary.cpu_bully {
-            let b = CpuBully::new(intensity, cfg.machine.cores);
-            let handle = b.spawn(&mut machine, secondary_job, SimTime::ZERO);
-            secondary_tids.extend(handle.tids.iter().copied());
-            bully = Some(handle);
-            machine.set_job_memory(secondary_job, 2 << 30);
-        }
-        if let Some(db) = &cfg.secondary.disk_bully {
-            for i in 0..db.depth {
-                let tid = machine.spawn_program(
-                    SimTime::ZERO,
-                    secondary_job,
-                    Program::from(db.worker_program(i)),
-                    DISK_BULLY_TAG_BASE + i as u64,
-                );
-                secondary_tids.push(tid);
-            }
-        }
-        if cfg.secondary.hdfs {
-            // Daemon CPU footprint: two duty-cycle threads ≈ a few percent.
-            for i in 0..2 {
-                let tid = machine.spawn_program(
-                    SimTime::ZERO,
-                    secondary_job,
-                    Program::from(HdfsCpuProgram::new(0.6)),
-                    HDFS_TAG_BASE + i,
-                );
-                secondary_tids.push(tid);
-            }
-            let (t1, _) = hdfs_repl.next_submission(SimTime::ZERO, &mut rng);
-            let (t2, _) = hdfs_client.next_submission(SimTime::ZERO, &mut rng);
-            app.push(t1, AppEvent::HdfsReplication);
-            app.push(t2, AppEvent::HdfsClient);
-        }
-
-        // PerfIso.
-        let mut controller = None;
-        if let Some(pcfg) = &cfg.perfiso {
-            let mut ctl = PerfIso::new(pcfg.as_ref().clone());
-            {
-                let mut sys = SysAdapter {
-                    now: SimTime::ZERO,
-                    machine: &mut machine,
-                    disk: &mut disk,
-                    hdd,
-                    secondary_job,
-                    owners,
-                    secondary_tids: &mut secondary_tids,
-                    secondary_killed: &mut secondary_killed,
-                };
-                ctl.install(&mut sys);
-                // Register the batch I/O tenants for DWRR + static caps.
-                // Caps come from the configuration's per-service
-                // `tenant_limits` (how production configures them through
-                // Autopilot, §5.3) — e.g. `PerfIsoConfig::paper_cluster`
-                // caps "hdfs-replication" at 20 MB/s and "hdfs-client" at
-                // 60 MB/s; an absent entry means uncapped.
-                let limit_for = |service: &str| -> Option<IoLimit> {
-                    pcfg.tenant_limits
-                        .iter()
-                        .find(|t| t.service == service)
-                        .map(|t| t.limit)
-                };
-                ctl.register_io_tenant(
-                    &mut sys,
-                    IoTenant(0),
-                    perfiso::TenantIoConfig {
-                        weight: 1.0,
-                        min_iops: 50.0,
-                    },
-                    limit_for(IO_TENANT_SERVICES[0]),
-                    IoPriority::LOW.0,
-                );
-                ctl.register_io_tenant(
-                    &mut sys,
-                    IoTenant(1),
-                    perfiso::TenantIoConfig {
-                        weight: 1.0,
-                        min_iops: 20.0,
-                    },
-                    limit_for(IO_TENANT_SERVICES[1]),
-                    IoPriority::LOW.0,
-                );
-                ctl.register_io_tenant(
-                    &mut sys,
-                    IoTenant(2),
-                    perfiso::TenantIoConfig {
-                        weight: 2.0,
-                        min_iops: 40.0,
-                    },
-                    limit_for(IO_TENANT_SERVICES[2]),
-                    IoPriority::LOW.0,
-                );
-            }
-            app.push(SimTime::ZERO + pcfg.cpu_poll_interval, AppEvent::CpuPoll);
-            app.push(SimTime::ZERO + pcfg.io_poll_interval, AppEvent::IoPoll);
-            app.push(SimTime::ZERO + pcfg.memory_poll_interval, AppEvent::MemPoll);
-            controller = Some(ctl);
-        }
-
-        // Every field is now final; build the struct exactly once.
-        BoxSim {
+        let perfiso_cfg = cfg.perfiso.clone();
+        let mut sim = BoxSim {
             cfg,
             machine,
             disk,
@@ -309,20 +323,187 @@ impl BoxSim {
             primary_job,
             secondary_job,
             owners,
-            controller,
+            controller: None,
+            perfiso_cfg,
+            chaos: None,
             app,
-            bully,
+            bully: None,
             hdfs_repl,
             hdfs_client,
             rng,
             events: Vec::new(),
             now: SimTime::ZERO,
-            secondary_killed,
-            secondary_tids,
+            secondary_killed: false,
+            secondary_tids: Vec::new(),
             scratch_outputs: Vec::with_capacity(64),
             scratch_completions: Vec::with_capacity(64),
             scratch_outcomes: Vec::with_capacity(64),
+        };
+
+        // Secondary tenants.
+        sim.spawn_secondaries(SimTime::ZERO, true);
+
+        // PerfIso.
+        if let Some(pcfg) = sim.perfiso_cfg.clone() {
+            sim.install_controller(&pcfg, None, None);
+            sim.app
+                .push(SimTime::ZERO + pcfg.cpu_poll_interval, AppEvent::CpuPoll);
+            sim.app
+                .push(SimTime::ZERO + pcfg.io_poll_interval, AppEvent::IoPoll);
+            sim.app
+                .push(SimTime::ZERO + pcfg.memory_poll_interval, AppEvent::MemPoll);
         }
+
+        // Fault timeline: register the box's services with Autopilot and
+        // schedule every planned fault up front (pure simulation time — no
+        // RNG draws — so chaos runs stay bit-identical across threads).
+        if let Some(plan) = sim.cfg.fault.clone() {
+            let mut ch = Box::new(ChaosState::new(plan));
+            let pid = ch.fresh_pid();
+            ch.registry
+                .register("indexserve", ServiceKind::Primary, vec![pid]);
+            let has_secondary = sim.cfg.secondary.cpu_bully.is_some()
+                || sim.cfg.secondary.disk_bully.is_some()
+                || sim.cfg.secondary.hdfs;
+            if has_secondary {
+                let pid = ch.fresh_pid();
+                ch.registry
+                    .register("secondary", ServiceKind::Secondary, vec![pid]);
+            }
+            if sim.controller.is_some() {
+                let pid = ch.fresh_pid();
+                ch.registry
+                    .register("perfiso", ServiceKind::Infrastructure, vec![pid]);
+            }
+            for (i, f) in ch.plan.faults.iter().enumerate() {
+                sim.app.push(f.at, AppEvent::Fault(i as u32));
+            }
+            sim.chaos = Some(ch);
+            // Initial checkpoint: install itself persists a snapshot, so a
+            // crash before the first poll still has state to load (§4.2).
+            if sim.controller.is_some() {
+                let state = sim.controller_snapshot();
+                sim.chaos.as_mut().expect("just set").checkpoint = Some(state);
+            }
+        }
+        sim
+    }
+
+    /// Spawns the configured secondary tenants at `now`. `initial` also
+    /// primes the HDFS traffic generators; respawns after a
+    /// secondary-restart fault leave the (remote-driven) disk traffic
+    /// timeline untouched and only recreate the local processes.
+    fn spawn_secondaries(&mut self, now: SimTime, initial: bool) {
+        if let Some(intensity) = self.cfg.secondary.cpu_bully {
+            let b = CpuBully::new(intensity, self.cfg.machine.cores);
+            let handle = b.spawn(&mut self.machine, self.secondary_job, now);
+            self.secondary_tids.extend(handle.tids.iter().copied());
+            self.bully = Some(handle);
+            self.machine.set_job_memory(self.secondary_job, 2 << 30);
+        }
+        if let Some(db) = &self.cfg.secondary.disk_bully {
+            for i in 0..db.depth {
+                let tid = self.machine.spawn_program(
+                    now,
+                    self.secondary_job,
+                    Program::from(db.worker_program(i)),
+                    DISK_BULLY_TAG_BASE + i as u64,
+                );
+                self.secondary_tids.push(tid);
+            }
+        }
+        if self.cfg.secondary.hdfs {
+            // Daemon CPU footprint: two duty-cycle threads ≈ a few percent.
+            for i in 0..2 {
+                let tid = self.machine.spawn_program(
+                    now,
+                    self.secondary_job,
+                    Program::from(HdfsCpuProgram::new(0.6)),
+                    HDFS_TAG_BASE + i,
+                );
+                self.secondary_tids.push(tid);
+            }
+            if initial {
+                let (t1, _) = self.hdfs_repl.next_submission(now, &mut self.rng);
+                let (t2, _) = self.hdfs_client.next_submission(now, &mut self.rng);
+                self.app.push(t1, AppEvent::HdfsReplication);
+                self.app.push(t2, AppEvent::HdfsClient);
+            }
+        }
+    }
+
+    /// Constructs and installs a controller from `pcfg`, registering the
+    /// batch I/O tenants, then optionally restores dynamic `state` (crash
+    /// recovery, §4.2) and cumulative `stats` (counters survive restarts).
+    fn install_controller(
+        &mut self,
+        pcfg: &Arc<PerfIsoConfig>,
+        state: Option<&ControllerState>,
+        stats: Option<ControllerStats>,
+    ) {
+        let mut ctl = PerfIso::new(pcfg.as_ref().clone());
+        {
+            let mut sys = SysAdapter {
+                now: self.now,
+                machine: &mut self.machine,
+                disk: &mut self.disk,
+                hdd: self.hdd,
+                secondary_job: self.secondary_job,
+                owners: self.owners,
+                secondary_tids: &mut self.secondary_tids,
+                secondary_killed: &mut self.secondary_killed,
+            };
+            ctl.install(&mut sys);
+            // Register the batch I/O tenants for DWRR + static caps.
+            // Caps come from the configuration's per-service
+            // `tenant_limits` (how production configures them through
+            // Autopilot, §5.3) — e.g. `PerfIsoConfig::paper_cluster`
+            // caps "hdfs-replication" at 20 MB/s and "hdfs-client" at
+            // 60 MB/s; an absent entry means uncapped.
+            let limit_for = |service: &str| -> Option<IoLimit> {
+                pcfg.tenant_limits
+                    .iter()
+                    .find(|t| t.service == service)
+                    .map(|t| t.limit)
+            };
+            ctl.register_io_tenant(
+                &mut sys,
+                IoTenant(0),
+                perfiso::TenantIoConfig {
+                    weight: 1.0,
+                    min_iops: 50.0,
+                },
+                limit_for(IO_TENANT_SERVICES[0]),
+                IoPriority::LOW.0,
+            );
+            ctl.register_io_tenant(
+                &mut sys,
+                IoTenant(1),
+                perfiso::TenantIoConfig {
+                    weight: 1.0,
+                    min_iops: 20.0,
+                },
+                limit_for(IO_TENANT_SERVICES[1]),
+                IoPriority::LOW.0,
+            );
+            ctl.register_io_tenant(
+                &mut sys,
+                IoTenant(2),
+                perfiso::TenantIoConfig {
+                    weight: 2.0,
+                    min_iops: 40.0,
+                },
+                limit_for(IO_TENANT_SERVICES[2]),
+                IoPriority::LOW.0,
+            );
+            if let Some(s) = state {
+                ctl.restore(s, &mut sys);
+            }
+        }
+        if let Some(s) = stats {
+            ctl.stats = s;
+        }
+        self.controller = Some(ctl);
     }
 
     /// Current virtual time.
@@ -371,9 +552,13 @@ impl BoxSim {
         self.machine.arena_stats()
     }
 
-    /// Controller counters, when PerfIso runs.
+    /// Controller counters, when PerfIso runs (or ran before a crash that
+    /// Autopilot gave up on).
     pub fn controller_stats(&self) -> Option<ControllerStats> {
-        self.controller.as_ref().map(|c| c.stats)
+        self.controller
+            .as_ref()
+            .map(|c| c.stats)
+            .or_else(|| self.chaos.as_ref().and_then(|ch| ch.saved_stats))
     }
 
     /// Issues a runtime command to the controller (kill switch etc.).
@@ -430,28 +615,30 @@ impl BoxSim {
 
     /// Replaces the controller with a freshly constructed one (simulating a
     /// crash-restart under Autopilot) and restores the given dynamic state.
+    /// The batch I/O tenants re-register from the static configuration,
+    /// exactly as on first install.
     ///
     /// # Panics
     ///
     /// Panics if the box was built without a PerfIso configuration.
     pub fn controller_restart_with(&mut self, state: &perfiso::recovery::ControllerState) {
-        let pcfg = self.cfg.perfiso.clone().expect("no PerfIso configuration");
-        let mut ctl = PerfIso::new(pcfg.as_ref().clone());
-        {
-            let mut sys = SysAdapter {
-                now: self.now,
-                machine: &mut self.machine,
-                disk: &mut self.disk,
-                hdd: self.hdd,
-                secondary_job: self.secondary_job,
-                owners: self.owners,
-                secondary_tids: &mut self.secondary_tids,
-                secondary_killed: &mut self.secondary_killed,
-            };
-            ctl.install(&mut sys);
-            ctl.restore(state, &mut sys);
-        }
-        self.controller = Some(ctl);
+        let pcfg = self.perfiso_cfg.clone().expect("no PerfIso configuration");
+        self.install_controller(&pcfg, Some(state), None);
+    }
+
+    /// Per-fault records accumulated so far (empty without a fault plan).
+    pub fn take_fault_records(&mut self) -> Vec<FaultRecord> {
+        self.chaos
+            .as_mut()
+            .map(|c| std::mem::take(&mut c.records))
+            .unwrap_or_default()
+    }
+
+    /// Whether the controller process is currently down (crashed and not
+    /// yet restarted by Autopilot). Always false outside chaos runs with a
+    /// configured controller.
+    pub fn controller_down(&self) -> bool {
+        self.perfiso_cfg.is_some() && self.controller.is_none()
     }
 
     /// Mutable access to the machine plus the secondary job id, for
@@ -476,6 +663,17 @@ impl BoxSim {
     /// box-local query index echoed in [`BoxEvent::QueryDone`].
     pub fn inject_query(&mut self, now: SimTime, spec: QuerySpec) -> u64 {
         self.advance_to(now);
+        if self
+            .chaos
+            .as_ref()
+            .is_some_and(|c| c.primary_down_until.is_some())
+        {
+            // The IndexServe process is restarting: the connection is
+            // refused and the query counts as dropped immediately.
+            let qidx = self.service.refuse_arrival(now, spec);
+            self.settle();
+            return qidx;
+        }
         let qidx = self.service.on_arrival(now, spec, &mut self.machine);
         self.app
             .push(now + self.cfg.service.timeout, AppEvent::Timeout(qidx));
@@ -589,6 +787,11 @@ impl BoxSim {
                 outcomes.clear();
                 self.service.drain_outcomes_into(&mut outcomes);
                 for outcome in outcomes.drain(..) {
+                    // Feed the rollout watchdog (dropped queries contribute
+                    // their full deadline as the observed latency).
+                    if let Some(w) = self.chaos.as_mut().and_then(|ch| ch.rollout.as_mut()) {
+                        w.samples.push(outcome.latency);
+                    }
                     if !outcome.dropped {
                         // Asynchronous query log on the shared HDD volume.
                         self.disk.submit(
@@ -662,10 +865,19 @@ impl BoxSim {
                 self.service.on_timeout(self.now, qidx, &mut self.machine);
             }
             AppEvent::CpuPoll => {
+                // The controller's poll loop also checks the Autopilot
+                // config store for rollouts (and the rollback watchdog).
+                if self.chaos.is_some() {
+                    self.chaos_config_poll();
+                }
+                let updates_before = self.controller.as_ref().map(|c| c.stats.affinity_updates);
                 self.with_controller(|ctl, sys, now| {
                     ctl.poll_cpu(now, sys);
                 });
-                if let Some(p) = self.cfg.perfiso.as_ref() {
+                if self.chaos.is_some() {
+                    self.chaos_after_cpu_poll(updates_before);
+                }
+                if let Some(p) = self.perfiso_cfg.as_ref() {
                     self.app
                         .push(self.now + p.cpu_poll_interval, AppEvent::CpuPoll);
                 }
@@ -674,7 +886,7 @@ impl BoxSim {
                 self.with_controller(|ctl, sys, now| {
                     ctl.poll_io(now, sys);
                 });
-                if let Some(p) = self.cfg.perfiso.as_ref() {
+                if let Some(p) = self.perfiso_cfg.as_ref() {
                     self.app
                         .push(self.now + p.io_poll_interval, AppEvent::IoPoll);
                 }
@@ -683,11 +895,15 @@ impl BoxSim {
                 self.with_controller(|ctl, sys, now| {
                     ctl.poll_memory(now, sys);
                 });
-                if let Some(p) = self.cfg.perfiso.as_ref() {
+                if let Some(p) = self.perfiso_cfg.as_ref() {
                     self.app
                         .push(self.now + p.memory_poll_interval, AppEvent::MemPoll);
                 }
             }
+            AppEvent::Fault(i) => self.fire_fault(i as usize),
+            AppEvent::ControllerUp => self.controller_up(),
+            AppEvent::SecondaryUp => self.secondary_up(),
+            AppEvent::PrimaryUp => self.primary_up(),
             AppEvent::HdfsReplication => {
                 let (next, op) = self.hdfs_repl.next_submission(self.now, &mut self.rng);
                 self.disk.submit(
@@ -735,6 +951,277 @@ impl BoxSim {
             f(&mut ctl, &mut sys, self.now);
         }
         self.controller = Some(ctl);
+    }
+
+    /// Fires planned fault `idx` from the chaos timeline.
+    fn fire_fault(&mut self, idx: usize) {
+        let Some(mut ch) = self.chaos.take() else {
+            return;
+        };
+        let fault = ch.plan.faults[idx].clone();
+        match &fault.kind {
+            PlannedFaultKind::ControllerCrash { downtime_polls } => {
+                // A crash while the controller is already down (or after
+                // Autopilot gave up) is absorbed by the outage in flight.
+                if self.controller.is_some() && ch.crash_record.is_none() {
+                    ch.records.push(FaultRecord::fired(&fault.kind, self.now));
+                    let ridx = ch.records.len() - 1;
+                    let ctl = self.controller.take().expect("checked above");
+                    ch.saved_stats = Some(ctl.stats);
+                    drop(ctl);
+                    // The dying controller's cleanup releases the
+                    // secondaries: the box degrades to the Fig. 4
+                    // no-isolation regime until the restart.
+                    let all = CoreMask::all(self.cfg.machine.cores);
+                    self.machine
+                        .set_job_affinity(self.now, self.secondary_job, all);
+                    self.machine
+                        .set_job_quota(self.now, self.secondary_job, None);
+                    ch.recovery_watch = None;
+                    ch.restarted_at = None;
+                    match ch.manager.report_crash(&mut ch.registry, "perfiso") {
+                        RestartDecision::RestartAfterMs(ms) => {
+                            let poll = self
+                                .perfiso_cfg
+                                .as_ref()
+                                .expect("controller was running")
+                                .cpu_poll_interval;
+                            let floor = SimDuration::from_nanos(
+                                poll.as_nanos().saturating_mul(u64::from(*downtime_polls)),
+                            );
+                            let downtime = SimDuration::from_millis(ms).max(floor);
+                            ch.crash_record = Some(ridx);
+                            self.app.push(self.now + downtime, AppEvent::ControllerUp);
+                        }
+                        RestartDecision::GiveUp => {
+                            ch.records[ridx].gave_up = true;
+                            ch.crash_record = Some(ridx);
+                            ch.controller_gave_up = true;
+                        }
+                    }
+                }
+            }
+            PlannedFaultKind::SecondaryRestart { downtime } => {
+                if ch.registry.get("secondary").is_some()
+                    && ch.secondary_record.is_none()
+                    && !self.secondary_killed
+                {
+                    ch.records.push(FaultRecord::fired(&fault.kind, self.now));
+                    let ridx = ch.records.len() - 1;
+                    // Kill the local processes; remote-driven HDFS disk
+                    // traffic continues (the DataNode's peers don't know).
+                    for tid in self.secondary_tids.drain(..) {
+                        self.machine.kill_thread(self.now, tid);
+                    }
+                    self.machine.set_job_memory(self.secondary_job, 0);
+                    self.bully = None;
+                    match ch.manager.report_crash(&mut ch.registry, "secondary") {
+                        RestartDecision::RestartAfterMs(ms) => {
+                            let dt = (*downtime).max(SimDuration::from_millis(ms));
+                            ch.secondary_record = Some(ridx);
+                            self.app.push(self.now + dt, AppEvent::SecondaryUp);
+                        }
+                        RestartDecision::GiveUp => ch.records[ridx].gave_up = true,
+                    }
+                }
+            }
+            PlannedFaultKind::BoxRestart { downtime } => {
+                if ch.primary_record.is_none() {
+                    ch.records.push(FaultRecord::fired(&fault.kind, self.now));
+                    let ridx = ch.records.len() - 1;
+                    // Every in-flight query dies with the process.
+                    self.service.fail_all(self.now, &mut self.machine);
+                    match ch.manager.report_crash(&mut ch.registry, "indexserve") {
+                        RestartDecision::RestartAfterMs(ms) => {
+                            let dt = (*downtime).max(SimDuration::from_millis(ms));
+                            ch.primary_down_until = Some(self.now + dt);
+                            ch.primary_record = Some(ridx);
+                            self.app.push(self.now + dt, AppEvent::PrimaryUp);
+                        }
+                        RestartDecision::GiveUp => {
+                            ch.records[ridx].gave_up = true;
+                            ch.primary_down_until = Some(SimTime::MAX);
+                        }
+                    }
+                }
+            }
+            PlannedFaultKind::ConfigRollout {
+                key,
+                config,
+                rollback_p99,
+                ..
+            } => {
+                ch.records.push(FaultRecord::fired(&fault.kind, self.now));
+                let ridx = ch.records.len() - 1;
+                ch.store
+                    .put(key, config.as_ref())
+                    .expect("PerfIsoConfig serializes");
+                ch.pending_rollouts.push(PendingRollout {
+                    key: key.clone(),
+                    record: ridx,
+                    rollback: *rollback_p99,
+                });
+            }
+        }
+        self.chaos = Some(ch);
+    }
+
+    /// Autopilot's restart backoff elapsed: reconstruct the controller and
+    /// resume from the checkpoint (the paper's §4.2 recovery path).
+    fn controller_up(&mut self) {
+        let Some(mut ch) = self.chaos.take() else {
+            return;
+        };
+        if let Some(ridx) = ch.crash_record.take() {
+            let pcfg = self.perfiso_cfg.clone().expect("controller configured");
+            let state = ch.checkpoint.clone();
+            let stats = ch.saved_stats.take();
+            self.install_controller(&pcfg, state.as_ref(), stats);
+            let pid = ch.fresh_pid();
+            ch.registry.update_pids("perfiso", vec![pid]);
+            ch.registry.set_state("perfiso", ServiceState::Running);
+            ch.records[ridx].downtime_ms =
+                self.now.since(SimTime::ZERO).as_millis_f64() - ch.records[ridx].fired_at_ms;
+            ch.recovery_watch = Some((ridx, 0));
+            ch.restarted_at = Some(self.now);
+        }
+        self.chaos = Some(ch);
+    }
+
+    /// The secondary workload respawns after its restart downtime.
+    fn secondary_up(&mut self) {
+        let Some(mut ch) = self.chaos.take() else {
+            return;
+        };
+        if let Some(ridx) = ch.secondary_record.take() {
+            self.spawn_secondaries(self.now, false);
+            let pid = ch.fresh_pid();
+            ch.manager
+                .report_started(&mut ch.registry, "secondary", vec![pid]);
+            ch.records[ridx].downtime_ms =
+                self.now.since(SimTime::ZERO).as_millis_f64() - ch.records[ridx].fired_at_ms;
+        }
+        self.chaos = Some(ch);
+    }
+
+    /// The IndexServe process finishes restarting and accepts queries again.
+    fn primary_up(&mut self) {
+        let Some(mut ch) = self.chaos.take() else {
+            return;
+        };
+        if let Some(ridx) = ch.primary_record.take() {
+            ch.primary_down_until = None;
+            let pid = ch.fresh_pid();
+            ch.manager
+                .report_started(&mut ch.registry, "indexserve", vec![pid]);
+            ch.records[ridx].downtime_ms =
+                self.now.since(SimTime::ZERO).as_millis_f64() - ch.records[ridx].fired_at_ms;
+        }
+        self.chaos = Some(ch);
+    }
+
+    /// The config-store side of a controller poll: evaluate the rollback
+    /// watchdog, then pick up newly published configuration documents.
+    fn chaos_config_poll(&mut self) {
+        if self.controller.is_none() {
+            return;
+        }
+        let Some(mut ch) = self.chaos.take() else {
+            return;
+        };
+        // Rollback watchdog: judge the active rollout on observed tail
+        // latency (dropped queries contribute their full deadline).
+        let mut revert: Option<(usize, Arc<PerfIsoConfig>)> = None;
+        if let Some(w) = ch.rollout.as_mut() {
+            if w.samples.len() >= ROLLBACK_MIN_SAMPLES {
+                let mut sorted = w.samples.clone();
+                sorted.sort_unstable();
+                let idx = ((sorted.len() as f64) * 0.99).ceil() as usize;
+                let p99 = sorted[idx.saturating_sub(1).min(sorted.len() - 1)];
+                if p99 > w.threshold {
+                    revert = Some((w.record, w.prev.clone()));
+                } else if w.samples.len() >= ROLLBACK_ACCEPT_SAMPLES {
+                    ch.rollout = None;
+                }
+            }
+        }
+        if let Some((record, prev)) = revert {
+            ch.rollout = None;
+            let state = self.controller_snapshot();
+            let stats = self.controller.as_ref().expect("present").stats;
+            self.install_controller(&prev, Some(&state), Some(stats));
+            self.perfiso_cfg = Some(prev);
+            ch.records[record].rolled_back = true;
+        }
+        // Newly published documents (versioned ConfigStore): re-install
+        // the controller under the new configuration, carrying its
+        // dynamic state and counters across.
+        while !ch.pending_rollouts.is_empty() {
+            let p = ch.pending_rollouts.remove(0);
+            let Some((_, cfg)) = ch.store.get::<PerfIsoConfig>(&p.key) else {
+                continue;
+            };
+            let state = self.controller_snapshot();
+            let stats = self.controller.as_ref().expect("present").stats;
+            let prev = self.perfiso_cfg.clone().expect("controller configured");
+            let next = Arc::new(cfg);
+            self.install_controller(&next, Some(&state), Some(stats));
+            self.perfiso_cfg = Some(next);
+            if let Some(threshold) = p.rollback {
+                ch.rollout = Some(RolloutWatch {
+                    record: p.record,
+                    prev,
+                    threshold,
+                    samples: Vec::new(),
+                });
+            }
+        }
+        self.chaos = Some(ch);
+    }
+
+    /// Post-CPU-poll chaos bookkeeping: recovery convergence, the
+    /// crash-loop stability window, and the §4.2 checkpoint.
+    fn chaos_after_cpu_poll(&mut self, updates_before: Option<u64>) {
+        if self.controller.is_none() {
+            return;
+        }
+        let Some(mut ch) = self.chaos.take() else {
+            return;
+        };
+        // Recovery watch: converged at the first poll that changed nothing.
+        if let (Some((ridx, polls)), Some(before)) = (ch.recovery_watch, updates_before) {
+            let after = self
+                .controller
+                .as_ref()
+                .expect("present")
+                .stats
+                .affinity_updates;
+            let polls = polls + 1;
+            if after == before || polls >= RECOVERY_POLL_CAP {
+                ch.records[ridx].recovery_polls = polls;
+                ch.recovery_watch = None;
+            } else {
+                ch.recovery_watch = Some((ridx, polls));
+            }
+        }
+        // Crash-loop stability window: only a controller that survives one
+        // base-backoff period counts as successfully (re)started — a crash
+        // inside the window keeps the consecutive-failure counter growing.
+        if let Some(at) = ch.restarted_at {
+            if self.now.since(at) >= SimDuration::from_millis(ch.plan.restart.base_backoff_ms) {
+                let pids = ch
+                    .registry
+                    .get("perfiso")
+                    .map(|s| s.pids.clone())
+                    .unwrap_or_default();
+                ch.manager.report_started(&mut ch.registry, "perfiso", pids);
+                ch.restarted_at = None;
+            }
+        }
+        // Checkpoint the dynamic state at this poll — what loading "its
+        // state from disk" returns after the next crash.
+        ch.checkpoint = Some(self.controller_snapshot());
+        self.chaos = Some(ch);
     }
 }
 
@@ -894,6 +1381,9 @@ pub struct BoxReport {
     pub machine: MachineStats,
     /// Controller counters, when PerfIso ran.
     pub controller: Option<ControllerStats>,
+    /// Executed fault-injection timeline, when a chaos plan ran.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub faults: Vec<FaultRecord>,
 }
 
 impl BoxReport {
@@ -979,6 +1469,7 @@ pub fn run_standalone(cfg: BoxConfig, plan: &RunPlan) -> BoxReport {
         },
         machine: sim.machine_stats(),
         controller: sim.controller_stats(),
+        faults: sim.take_fault_records(),
     }
 }
 

@@ -30,9 +30,11 @@
 
 pub mod boxsim;
 pub mod cache;
+pub mod chaos;
 pub mod service;
 pub mod tags;
 
 pub use boxsim::{BoxConfig, BoxEvent, BoxReport, BoxSim, SecondaryKind};
 pub use cache::CacheModel;
+pub use chaos::{FaultPlan, FaultRecord, PlannedFault, PlannedFaultKind};
 pub use service::{IndexServe, ServiceConfig};

@@ -420,6 +420,36 @@ impl IndexServe {
         Some(outcome)
     }
 
+    /// Fails every unfinished query at once (the process died): each one is
+    /// killed and reported dropped, exactly as if its deadline fired now.
+    pub fn fail_all(&mut self, now: SimTime, machine: &mut Machine) {
+        for qidx in 0..self.queries.len() as u64 {
+            self.on_timeout(now, qidx, machine);
+        }
+    }
+
+    /// Records an arrival refused at the connection level (the process is
+    /// restarting): the query is dropped immediately with zero latency and
+    /// never touches the machine. Returns the dense query index.
+    pub fn refuse_arrival(&mut self, now: SimTime, spec: QuerySpec) -> u64 {
+        let qidx = self.queries.len() as u64;
+        self.queries.push(QueryState {
+            spec,
+            arrival: now,
+            started: false,
+            finished: true,
+            pending_workers: 0,
+            live_tids: Vec::new(),
+        });
+        self.outcomes.push(QueryOutcome {
+            qidx,
+            arrival: now,
+            latency: SimDuration::ZERO,
+            dropped: true,
+        });
+        qidx
+    }
+
     /// True when the query has burned too much of its deadline waiting to
     /// be worth starting.
     fn past_start_budget(&self, now: SimTime, qidx: u64) -> bool {

@@ -77,6 +77,19 @@ fn cmd_list() -> Result<(), String> {
 fn cmd_show(name: &str) -> Result<(), String> {
     let s = spec::named(name).map_err(|e| e.to_string())?;
     println!("{}", s.to_json());
+    if !s.fault.is_empty() {
+        let r = &s.fault.restart;
+        println!(
+            "\nfault timeline ({} events; restart backoff {} ms x{}, give up after {} failures):",
+            s.fault.events.len(),
+            r.base_backoff_ms,
+            r.multiplier,
+            r.max_failures
+        );
+        for ev in &s.fault.events {
+            println!("  {}", ev.describe());
+        }
+    }
     if s.sweep.is_some() {
         let cells = s.expand_sweep().map_err(|e| e.to_string())?;
         println!("\nsweep grid ({} cells, run with --sweep):", cells.len());
@@ -230,6 +243,24 @@ fn print_sweep(sweep: &SweepReport) {
     print!("{}", t.render());
 }
 
+/// One executed fault record as a timeline line.
+fn fault_line(f: &indexserve::FaultRecord) -> String {
+    let mut s = format!("t={:.0}ms {} ({})", f.fired_at_ms, f.kind, f.service);
+    if f.downtime_ms > 0.0 {
+        s += &format!(" down {:.0}ms", f.downtime_ms);
+    }
+    if f.recovery_polls > 0 {
+        s += &format!(", reconverged in {} polls", f.recovery_polls);
+    }
+    if f.gave_up {
+        s += ", autopilot gave up";
+    }
+    if f.rolled_back {
+        s += ", rolled back";
+    }
+    s
+}
+
 fn print_report(report: &Report) {
     let mut t = Table::new(&["seed", "p99 (ms)", "utilization", "drops", "secondary"]);
     for (seed, run) in report.seeds.iter().zip(report.runs.iter()) {
@@ -246,6 +277,23 @@ fn print_report(report: &Report) {
         ]);
     }
     print!("{}", t.render());
+    for (seed, run) in report.seeds.iter().zip(report.runs.iter()) {
+        match run {
+            SeedReport::SingleBox(r) => {
+                for f in &r.faults {
+                    println!("seed {seed} fault: {}", fault_line(f));
+                }
+            }
+            SeedReport::Cluster(r) => {
+                for bf in &r.faults {
+                    for f in &bf.faults {
+                        println!("seed {seed} box {} fault: {}", bf.box_index, fault_line(f));
+                    }
+                }
+            }
+            SeedReport::Fleet(_) => {}
+        }
+    }
     let s = &report.summary;
     println!(
         "summary: p99 {} ms   utilization {:.1}%   drops {:.2}%",

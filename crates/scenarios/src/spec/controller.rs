@@ -200,6 +200,12 @@ pub enum SweepAxis {
         /// Bandwidth caps to try.
         mbps: Vec<u64>,
     },
+    /// Controller-crash downtimes, in CPU-poll periods: each cell rewrites
+    /// the `downtime_polls` of every `ControllerCrash` event in the
+    /// scenario's fault timeline (applied by [`SweepSpec::expand`], not by
+    /// [`SweepAxis::apply`], because it edits the fault spec rather than
+    /// the controller overrides).
+    FaultDowntimePolls(Vec<u32>),
 }
 
 impl SweepAxis {
@@ -214,13 +220,14 @@ impl SweepAxis {
             SweepAxis::MemoryKillWatermark(_) => "kill_watermark".into(),
             SweepAxis::EgressLowMbps(_) => "egress_low_mbps".into(),
             SweepAxis::TenantIoMbps { service, .. } => format!("io_mbps[{service}]"),
+            SweepAxis::FaultDowntimePolls(_) => "fault_downtime_polls".into(),
         }
     }
 
     /// Number of values along this axis.
     pub fn len(&self) -> usize {
         match self {
-            SweepAxis::BufferCores(v) => v.len(),
+            SweepAxis::BufferCores(v) | SweepAxis::FaultDowntimePolls(v) => v.len(),
             SweepAxis::CpuPollIntervalUs(v)
             | SweepAxis::IoPollIntervalUs(v)
             | SweepAxis::MemoryPollIntervalUs(v)
@@ -243,7 +250,7 @@ impl SweepAxis {
     /// Panics when `i` is out of range.
     pub fn value_label(&self, i: usize) -> String {
         match self {
-            SweepAxis::BufferCores(v) => v[i].to_string(),
+            SweepAxis::BufferCores(v) | SweepAxis::FaultDowntimePolls(v) => v[i].to_string(),
             SweepAxis::CpuPollIntervalUs(v)
             | SweepAxis::IoPollIntervalUs(v)
             | SweepAxis::MemoryPollIntervalUs(v)
@@ -276,6 +283,9 @@ impl SweepAxis {
                     iops: None,
                 });
             }
+            // Edits the fault timeline, not the controller overrides;
+            // handled directly by `SweepSpec::expand`.
+            SweepAxis::FaultDowntimePolls(_) => {}
         }
     }
 }
@@ -345,10 +355,19 @@ impl SweepSpec {
         let mut cells = Vec::with_capacity(self.cell_count());
         let mut idx = vec![0usize; self.axes.len()];
         loop {
-            let mut controller = base.controller.clone();
+            let mut spec = base.clone();
+            spec.sweep = None;
             let mut params = Vec::with_capacity(self.axes.len());
             for (axis, &i) in self.axes.iter().zip(idx.iter()) {
-                axis.apply(i, &mut controller);
+                if let SweepAxis::FaultDowntimePolls(v) = axis {
+                    for ev in &mut spec.fault.events {
+                        if let super::FaultEvent::ControllerCrash { downtime_polls, .. } = ev {
+                            *downtime_polls = v[i];
+                        }
+                    }
+                } else {
+                    axis.apply(i, &mut spec.controller);
+                }
                 params.push((axis.key(), axis.value_label(i)));
             }
             let label = params
@@ -356,9 +375,6 @@ impl SweepSpec {
                 .map(|(k, v)| format!("{k}={v}"))
                 .collect::<Vec<_>>()
                 .join(" ");
-            let mut spec = base.clone();
-            spec.controller = controller;
-            spec.sweep = None;
             cells.push(SweepCell {
                 label,
                 params,

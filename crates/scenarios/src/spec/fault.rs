@@ -1,0 +1,361 @@
+//! Spec-expressible fault injection (chaos scenarios).
+//!
+//! [`FaultSpec`] makes the paper's §4.2 operational story declarative: a
+//! scenario carries a timeline of [`FaultEvent`]s — controller crashes,
+//! secondary/box restarts, staged config rollouts — plus the Autopilot
+//! [`RestartSpec`] governing crash backoff. The spec layer validates the
+//! timeline against the scenario (a controller crash needs a policy that
+//! runs a controller; a secondary restart needs a secondary) and compiles
+//! it into the runtime [`FaultPlan`](indexserve::FaultPlan) the simulators
+//! execute. Everything round-trips through JSON like the rest of the spec
+//! API, and fault knobs are sweepable via
+//! [`SweepAxis::FaultDowntimePolls`](super::SweepAxis).
+
+use autopilot::RestartPolicy;
+use indexserve::{FaultPlan, PlannedFault, PlannedFaultKind};
+use perfiso::PerfIsoConfig;
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+
+use super::ControllerSpec;
+
+/// One declarative fault on the scenario timeline.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// Kill the PerfIso controller at `at_ms`; the box degrades to the
+    /// no-isolation regime until Autopilot restarts it from checkpoint.
+    ControllerCrash {
+        /// Fire time in simulation milliseconds.
+        at_ms: u64,
+        /// Minimum downtime in controller CPU-poll periods (the actual
+        /// downtime is the max of this and the restart backoff).
+        downtime_polls: u32,
+    },
+    /// Kill and respawn the secondary workload.
+    SecondaryRestart {
+        /// Fire time in simulation milliseconds.
+        at_ms: u64,
+        /// Minimum downtime in milliseconds.
+        downtime_ms: u64,
+    },
+    /// Restart the IndexServe process: in-flight queries fail, arrivals
+    /// are refused until it is back.
+    BoxRestart {
+        /// Fire time in simulation milliseconds.
+        at_ms: u64,
+        /// Minimum downtime in milliseconds.
+        downtime_ms: u64,
+    },
+    /// Publish a controller configuration document; controllers pick it up
+    /// at their next poll, staged across the fleet.
+    ConfigRollout {
+        /// Fire time in simulation milliseconds.
+        at_ms: u64,
+        /// Config-store document key.
+        key: String,
+        /// Overrides applied on top of the scenario's effective controller
+        /// configuration to produce the rolled-out document.
+        doc: ControllerSpec,
+        /// Percentage of the fleet (leading boxes) that applies the
+        /// rollout, in `1..=100`. Single boxes always apply it.
+        staged_pct: u8,
+        /// Automatic rollback: revert when the post-rollout P99 exceeds
+        /// this threshold (milliseconds).
+        rollback_p99_ms: Option<u64>,
+    },
+}
+
+impl FaultEvent {
+    /// Fire time in simulation milliseconds.
+    pub fn at_ms(&self) -> u64 {
+        match self {
+            FaultEvent::ControllerCrash { at_ms, .. }
+            | FaultEvent::SecondaryRestart { at_ms, .. }
+            | FaultEvent::BoxRestart { at_ms, .. }
+            | FaultEvent::ConfigRollout { at_ms, .. } => *at_ms,
+        }
+    }
+
+    /// Short kind tag, matching [`FaultRecord::kind`](indexserve::FaultRecord).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FaultEvent::ControllerCrash { .. } => "controller-crash",
+            FaultEvent::SecondaryRestart { .. } => "secondary-restart",
+            FaultEvent::BoxRestart { .. } => "box-restart",
+            FaultEvent::ConfigRollout { .. } => "config-rollout",
+        }
+    }
+
+    /// One-line description for timelines and `show`.
+    pub fn describe(&self) -> String {
+        match self {
+            FaultEvent::ControllerCrash {
+                at_ms,
+                downtime_polls,
+            } => format!("t={at_ms}ms controller-crash (≥{downtime_polls} polls down)"),
+            FaultEvent::SecondaryRestart { at_ms, downtime_ms } => {
+                format!("t={at_ms}ms secondary-restart (≥{downtime_ms}ms down)")
+            }
+            FaultEvent::BoxRestart { at_ms, downtime_ms } => {
+                format!("t={at_ms}ms box-restart (≥{downtime_ms}ms down)")
+            }
+            FaultEvent::ConfigRollout {
+                at_ms,
+                key,
+                staged_pct,
+                rollback_p99_ms,
+                ..
+            } => {
+                let rb = match rollback_p99_ms {
+                    Some(ms) => format!(", rollback if p99 > {ms}ms"),
+                    None => String::new(),
+                };
+                format!("t={at_ms}ms config-rollout key={key:?} staged={staged_pct}%{rb}")
+            }
+        }
+    }
+}
+
+/// The Autopilot restart policy, spec-side.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RestartSpec {
+    /// Initial backoff in milliseconds.
+    pub base_backoff_ms: u64,
+    /// Backoff multiplier per consecutive failure.
+    pub multiplier: u32,
+    /// Give up after this many consecutive failures.
+    pub max_failures: u32,
+}
+
+impl Default for RestartSpec {
+    fn default() -> Self {
+        let p = RestartPolicy::default();
+        RestartSpec {
+            base_backoff_ms: p.base_backoff_ms,
+            multiplier: p.multiplier,
+            max_failures: p.max_failures,
+        }
+    }
+}
+
+impl RestartSpec {
+    /// The runtime policy.
+    pub fn to_policy(self) -> RestartPolicy {
+        RestartPolicy {
+            base_backoff_ms: self.base_backoff_ms,
+            multiplier: self.multiplier,
+            max_failures: self.max_failures,
+        }
+    }
+}
+
+/// A scenario's fault-injection timeline.
+///
+/// `FaultSpec::default()` injects nothing; specs without faults serialize
+/// without a `fault` key, so pre-chaos spec files and golden fixtures stay
+/// valid byte for byte.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// The fault timeline (empty = no chaos).
+    #[serde(default)]
+    pub events: Vec<FaultEvent>,
+    /// Autopilot restart policy for every service on the box.
+    #[serde(default)]
+    pub restart: RestartSpec,
+}
+
+impl FaultSpec {
+    /// True when no fault ever fires.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Structural checks that do not need the surrounding scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn check_shape(&self) -> Result<(), String> {
+        if self.is_empty() {
+            return Ok(());
+        }
+        if self.restart.base_backoff_ms == 0 {
+            return Err("restart base backoff must be at least 1 ms".into());
+        }
+        if self.restart.multiplier == 0 {
+            return Err("restart multiplier must be at least 1".into());
+        }
+        if self.restart.max_failures == 0 {
+            return Err("restart policy needs at least one allowed failure".into());
+        }
+        for ev in &self.events {
+            if let FaultEvent::ConfigRollout {
+                key,
+                staged_pct,
+                rollback_p99_ms,
+                ..
+            } = ev
+            {
+                if key.is_empty() {
+                    return Err("config rollout needs a non-empty document key".into());
+                }
+                if !(1..=100).contains(staged_pct) {
+                    return Err(format!(
+                        "config rollout stage must be in 1..=100 %, got {staged_pct}"
+                    ));
+                }
+                if rollback_p99_ms == &Some(0) {
+                    return Err("rollback threshold must be positive".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compiles the timeline into the runtime plan the simulators execute.
+    /// `effective` is the scenario's controller configuration (rollout
+    /// documents apply their overrides on top of it). Returns `None` when
+    /// the spec injects nothing.
+    pub fn to_plan(&self, effective: Option<&PerfIsoConfig>) -> Option<FaultPlan> {
+        if self.is_empty() {
+            return None;
+        }
+        let faults = self
+            .events
+            .iter()
+            .map(|ev| PlannedFault {
+                at: SimTime::from_millis(ev.at_ms()),
+                kind: match ev {
+                    FaultEvent::ControllerCrash { downtime_polls, .. } => {
+                        PlannedFaultKind::ControllerCrash {
+                            downtime_polls: *downtime_polls,
+                        }
+                    }
+                    FaultEvent::SecondaryRestart { downtime_ms, .. } => {
+                        PlannedFaultKind::SecondaryRestart {
+                            downtime: SimDuration::from_millis(*downtime_ms),
+                        }
+                    }
+                    FaultEvent::BoxRestart { downtime_ms, .. } => PlannedFaultKind::BoxRestart {
+                        downtime: SimDuration::from_millis(*downtime_ms),
+                    },
+                    FaultEvent::ConfigRollout {
+                        key,
+                        doc,
+                        staged_pct,
+                        rollback_p99_ms,
+                        ..
+                    } => PlannedFaultKind::ConfigRollout {
+                        key: key.clone(),
+                        config: Box::new(
+                            doc.apply(effective.expect("validated: rollout needs a controller")),
+                        ),
+                        staged_pct: *staged_pct,
+                        rollback_p99: rollback_p99_ms.map(SimDuration::from_millis),
+                    },
+                },
+            })
+            .collect();
+        Some(FaultPlan {
+            faults,
+            restart: self.restart.to_policy(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_is_empty_and_compiles_to_no_plan() {
+        let f = FaultSpec::default();
+        assert!(f.is_empty());
+        assert!(f.check_shape().is_ok());
+        assert!(f.to_plan(None).is_none());
+    }
+
+    #[test]
+    fn shape_checks_reject_degenerate_timelines() {
+        let crash = FaultEvent::ControllerCrash {
+            at_ms: 100,
+            downtime_polls: 10,
+        };
+        let mut f = FaultSpec {
+            events: vec![crash.clone()],
+            restart: RestartSpec {
+                base_backoff_ms: 0,
+                ..Default::default()
+            },
+        };
+        assert!(f.check_shape().is_err());
+        f.restart = RestartSpec {
+            multiplier: 0,
+            ..Default::default()
+        };
+        assert!(f.check_shape().is_err());
+        f.restart = RestartSpec {
+            max_failures: 0,
+            ..Default::default()
+        };
+        assert!(f.check_shape().is_err());
+        let rollout = |staged_pct, key: &str, rb| FaultSpec {
+            events: vec![FaultEvent::ConfigRollout {
+                at_ms: 100,
+                key: key.into(),
+                doc: ControllerSpec::default(),
+                staged_pct,
+                rollback_p99_ms: rb,
+            }],
+            restart: RestartSpec::default(),
+        };
+        assert!(rollout(0, "k", None).check_shape().is_err());
+        assert!(rollout(101, "k", None).check_shape().is_err());
+        assert!(rollout(50, "", None).check_shape().is_err());
+        assert!(rollout(50, "k", Some(0)).check_shape().is_err());
+        assert!(rollout(50, "k", Some(5)).check_shape().is_ok());
+    }
+
+    #[test]
+    fn plan_compilation_resolves_times_and_docs() {
+        let base = PerfIsoConfig::paper_cluster();
+        let f = FaultSpec {
+            events: vec![
+                FaultEvent::ControllerCrash {
+                    at_ms: 500,
+                    downtime_polls: 20,
+                },
+                FaultEvent::ConfigRollout {
+                    at_ms: 700,
+                    key: "perfiso".into(),
+                    doc: ControllerSpec {
+                        cpu_poll_interval_us: Some(5_000),
+                        ..Default::default()
+                    },
+                    staged_pct: 100,
+                    rollback_p99_ms: Some(20),
+                },
+            ],
+            restart: RestartSpec {
+                base_backoff_ms: 50,
+                multiplier: 2,
+                max_failures: 3,
+            },
+        };
+        let plan = f.to_plan(Some(&base)).unwrap();
+        assert_eq!(plan.faults.len(), 2);
+        assert_eq!(plan.faults[0].at, SimTime::from_millis(500));
+        assert_eq!(plan.restart.base_backoff_ms, 50);
+        match &plan.faults[1].kind {
+            PlannedFaultKind::ConfigRollout {
+                config,
+                rollback_p99,
+                ..
+            } => {
+                assert_eq!(config.cpu_poll_interval, SimDuration::from_micros(5_000));
+                assert_eq!(*rollback_p99, Some(SimDuration::from_millis(20)));
+            }
+            other => panic!("expected rollout, got {other:?}"),
+        }
+    }
+}

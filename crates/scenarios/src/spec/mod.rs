@@ -46,12 +46,14 @@
 //! ```
 
 mod controller;
+mod fault;
 mod registry;
 mod runner;
 
 pub use controller::{
     ControllerSpec, SweepAxis, SweepCell, SweepSpec, TenantLimitSpec, MAX_SWEEP_CELLS,
 };
+pub use fault::{FaultEvent, FaultSpec, RestartSpec};
 pub use registry::{named, names, registry};
 pub use runner::{
     run_spec, run_sweep, Report, RunOptions, SeedReport, Summary, SweepCellReport, SweepReport,
@@ -112,6 +114,9 @@ pub enum SpecError {
         /// What the spec declared.
         found: &'static str,
     },
+    /// The fault-injection timeline is degenerate or targets components
+    /// the scenario does not run.
+    InvalidFault(String),
     /// No scenario with this name in the registry.
     UnknownScenario(String),
     /// A JSON spec file failed to load or parse.
@@ -156,6 +161,7 @@ impl std::fmt::Display for SpecError {
                     "this operation needs a {expected} target, spec declares {found}"
                 )
             }
+            SpecError::InvalidFault(m) => write!(f, "invalid fault timeline: {m}"),
             SpecError::UnknownScenario(n) => write!(f, "unknown scenario {n:?} (try `list`)"),
             SpecError::InvalidSpecFile(m) => write!(f, "cannot load spec file: {m}"),
         }
@@ -320,6 +326,10 @@ pub struct ScenarioSpec {
     /// cells (absent in older spec files = no sweep).
     #[serde(default)]
     pub sweep: Option<SweepSpec>,
+    /// Fault-injection timeline (absent in older spec files = no chaos;
+    /// empty timelines are not serialized, keeping old fixtures valid).
+    #[serde(default, skip_serializing_if = "FaultSpec::is_empty")]
+    pub fault: FaultSpec,
     /// Measurement window.
     pub scale: ScaleSpec,
     /// Base RNG seed; repetition `i` runs with `seed + i`.
@@ -342,6 +352,7 @@ impl ScenarioSpec {
                 policy: Policy::Standalone,
                 controller: ControllerSpec::default(),
                 sweep: None,
+                fault: FaultSpec::default(),
                 scale: ScaleSpec::Quick,
                 seed: 42,
                 seeds: 1,
@@ -425,8 +436,64 @@ impl ScenarioSpec {
                 .validate(PAPER_CORES)
                 .map_err(SpecError::InvalidController)?;
         }
+        if !self.fault.is_empty() {
+            self.fault.check_shape().map_err(SpecError::InvalidFault)?;
+            if matches!(self.target, TargetSpec::Fleet { .. }) {
+                return Err(SpecError::InvalidFault(
+                    "the fleet sweep driver does not execute fault timelines".into(),
+                ));
+            }
+            let effective = self.effective_perfiso();
+            for ev in &self.fault.events {
+                match ev {
+                    FaultEvent::ControllerCrash { .. } if effective.is_none() => {
+                        return Err(SpecError::InvalidFault(format!(
+                            "controller crash needs a policy with a controller, not {}",
+                            self.policy.label()
+                        )));
+                    }
+                    FaultEvent::SecondaryRestart { .. }
+                        if self.secondary == SecondaryKind::none() =>
+                    {
+                        return Err(SpecError::InvalidFault(
+                            "secondary restart needs a secondary tenant".into(),
+                        ));
+                    }
+                    FaultEvent::ConfigRollout { doc, .. } => {
+                        let Some(base) = &effective else {
+                            return Err(SpecError::InvalidFault(format!(
+                                "config rollout needs a policy with a controller, not {}",
+                                self.policy.label()
+                            )));
+                        };
+                        // The rolled-out document must itself be a valid
+                        // controller configuration.
+                        doc.apply(base)
+                            .validate(PAPER_CORES)
+                            .map_err(|e| SpecError::InvalidFault(format!("rollout doc: {e}")))?;
+                    }
+                    _ => {}
+                }
+            }
+        }
         if let Some(sweep) = &self.sweep {
             sweep.check_shape().map_err(SpecError::InvalidSweep)?;
+            // A fault axis over a timeline with no controller crash would
+            // expand into identical cells — reject it like an inert knob.
+            if sweep
+                .axes
+                .iter()
+                .any(|a| matches!(a, SweepAxis::FaultDowntimePolls(_)))
+                && !self
+                    .fault
+                    .events
+                    .iter()
+                    .any(|e| matches!(e, FaultEvent::ControllerCrash { .. }))
+            {
+                return Err(SpecError::InvalidSweep(
+                    "fault_downtime_polls axis needs a controller-crash fault event".into(),
+                ));
+            }
             for cell in sweep.expand(self) {
                 cell.spec
                     .validate()
@@ -563,11 +630,14 @@ impl ScenarioSpec {
             });
         }
         // validate() already guarantees a Standalone spec has no secondary.
-        Ok(BoxConfig::paper_box(
-            self.secondary.clone(),
-            self.effective_perfiso(),
-            seed,
-        ))
+        let effective = self.effective_perfiso();
+        let fault = self
+            .fault
+            .to_plan(effective.as_ref())
+            .map(std::sync::Arc::new);
+        let mut cfg = BoxConfig::paper_box(self.secondary.clone(), effective, seed);
+        cfg.fault = fault;
+        Ok(cfg)
     }
 
     /// A live [`BoxSim`] for embedding-style experiments (runtime
@@ -619,6 +689,7 @@ impl ScenarioSpec {
             });
         };
         let scale = self.run_scale();
+        let effective = self.effective_perfiso();
         Ok(ClusterConfig {
             topology: Topology {
                 columns,
@@ -628,7 +699,11 @@ impl ScenarioSpec {
             qps_total,
             warmup: scale.warmup,
             measure: scale.measure,
-            perfiso: self.effective_perfiso(),
+            fault: self
+                .fault
+                .to_plan(effective.as_ref())
+                .map(std::sync::Arc::new),
+            perfiso: effective,
             threads,
             ..ClusterConfig::paper_cluster(self.secondary.clone(), seed)
         })
@@ -817,6 +892,24 @@ impl ScenarioBuilder {
             .get_or_insert_with(|| SweepSpec { axes: Vec::new() })
             .axes
             .push(axis);
+        self
+    }
+
+    /// Sets the fault-injection timeline wholesale.
+    pub fn fault(mut self, fault: FaultSpec) -> Self {
+        self.spec.fault = fault;
+        self
+    }
+
+    /// Appends one fault event to the timeline.
+    pub fn fault_event(mut self, event: FaultEvent) -> Self {
+        self.spec.fault.events.push(event);
+        self
+    }
+
+    /// Sets the Autopilot restart policy for fault scenarios.
+    pub fn restart(mut self, restart: RestartSpec) -> Self {
+        self.spec.fault.restart = restart;
         self
     }
 

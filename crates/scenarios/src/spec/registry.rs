@@ -10,7 +10,9 @@
 use cluster::Topology;
 use workloads::{BullyIntensity, DiskBully};
 
-use super::{CurveSpec, ScaleSpec, ScenarioSpec, SweepAxis};
+use super::{
+    ControllerSpec, CurveSpec, FaultEvent, RestartSpec, ScaleSpec, ScenarioSpec, SweepAxis,
+};
 use crate::Policy;
 
 /// All named scenarios, in presentation order.
@@ -161,6 +163,97 @@ pub fn registry() -> Vec<ScenarioSpec> {
             .custom_scale(300, 1_500)
             .build()
             .expect("registry spec"),
+        b("chaos-controller-crash")
+            .describe("§4.2 recovery: kill the controller mid-run, Autopilot restarts it from checkpoint")
+            .single_box(2_000.0)
+            .cpu_bully(BullyIntensity::High)
+            .policy(Policy::FullPerfIso)
+            .fault_event(FaultEvent::ControllerCrash {
+                at_ms: 500,
+                downtime_polls: 150,
+            })
+            .restart(RestartSpec {
+                base_backoff_ms: 50,
+                multiplier: 2,
+                max_failures: 5,
+            })
+            .custom_scale(300, 1_500)
+            .build()
+            .expect("registry spec"),
+        b("chaos-crash-loop")
+            .describe("crash-looping controller: exponential backoff, then Autopilot gives up")
+            .single_box(2_000.0)
+            .cpu_bully(BullyIntensity::High)
+            .policy(Policy::FullPerfIso)
+            .fault_event(FaultEvent::ControllerCrash {
+                at_ms: 400,
+                downtime_polls: 50,
+            })
+            .fault_event(FaultEvent::ControllerCrash {
+                at_ms: 550,
+                downtime_polls: 50,
+            })
+            .fault_event(FaultEvent::ControllerCrash {
+                at_ms: 800,
+                downtime_polls: 50,
+            })
+            .restart(RestartSpec {
+                base_backoff_ms: 100,
+                multiplier: 2,
+                max_failures: 2,
+            })
+            .custom_scale(300, 1_200)
+            .build()
+            .expect("registry spec"),
+        b("chaos-config-rollout")
+            .describe("staged config rollouts through the versioned store: one accepted, one rolled back by the tail-latency watchdog")
+            .single_box(2_000.0)
+            .cpu_bully(BullyIntensity::High)
+            .policy(Policy::FullPerfIso)
+            .fault_event(FaultEvent::ConfigRollout {
+                at_ms: 500,
+                key: "perfiso-poll".into(),
+                doc: ControllerSpec {
+                    cpu_poll_interval_us: Some(2_000),
+                    ..Default::default()
+                },
+                staged_pct: 100,
+                rollback_p99_ms: None,
+            })
+            .fault_event(FaultEvent::ConfigRollout {
+                at_ms: 900,
+                key: "perfiso-slow".into(),
+                doc: ControllerSpec {
+                    cpu_poll_interval_us: Some(100_000),
+                    ..Default::default()
+                },
+                staged_pct: 100,
+                rollback_p99_ms: Some(10),
+            })
+            .custom_scale(300, 1_500)
+            .build()
+            .expect("registry spec"),
+        b("chaos-secondary-churn")
+            .describe("secondary crash/respawn churn under blind isolation")
+            .single_box(2_000.0)
+            .cpu_bully(BullyIntensity::High)
+            .policy(Policy::Blind { buffer_cores: 8 })
+            .fault_event(FaultEvent::SecondaryRestart {
+                at_ms: 500,
+                downtime_ms: 150,
+            })
+            .fault_event(FaultEvent::SecondaryRestart {
+                at_ms: 900,
+                downtime_ms: 150,
+            })
+            .restart(RestartSpec {
+                base_backoff_ms: 50,
+                multiplier: 2,
+                max_failures: 5,
+            })
+            .custom_scale(300, 1_200)
+            .build()
+            .expect("registry spec"),
     ]
 }
 
@@ -203,6 +296,15 @@ mod tests {
             "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
         ] {
             assert!(named(figure).is_ok(), "{figure} missing");
+        }
+        for chaos in [
+            "chaos-controller-crash",
+            "chaos-crash-loop",
+            "chaos-config-rollout",
+            "chaos-secondary-churn",
+        ] {
+            let spec = named(chaos).unwrap_or_else(|_| panic!("{chaos} missing"));
+            assert!(!spec.fault.is_empty(), "{chaos} should inject faults");
         }
         for sweep in ["poll-sensitivity", "mem-kill", "tenant-io-limits"] {
             let spec = named(sweep).unwrap_or_else(|_| panic!("{sweep} missing"));

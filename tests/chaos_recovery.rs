@@ -1,0 +1,155 @@
+//! The headline §4.2 robustness claim, end to end: when Autopilot
+//! restarts a crashed PerfIso controller from its checkpoint, the box
+//! passes through a no-isolation regime only for the downtime window and
+//! the tail returns to the steady-state envelope right after recovery.
+//!
+//! Three runs share one seed, load, and window:
+//!
+//! * the registry's `chaos-controller-crash` scenario (crash at 500 ms,
+//!   150 ms of downtime, restart from checkpoint),
+//! * the identical spec with the fault timeline removed (steady-state
+//!   control), and
+//! * a no-isolation run (the Fig. 4 regime the downtime window must
+//!   resemble).
+//!
+//! Latencies are phased by *arrival time* against the executed fault
+//! record, so each phase compares like-for-like query populations.
+
+use indexserve::service::QueryOutcome;
+use indexserve::{BoxEvent, FaultRecord};
+use scenarios::spec::{self, FaultSpec, ScenarioSpec};
+use scenarios::Policy;
+use simcore::{SimDuration, SimTime};
+
+/// Drives `spec`'s single-box workload to completion, returning every
+/// query outcome plus the executed fault timeline.
+fn run_collect(spec: &ScenarioSpec, seed: u64) -> (Vec<QueryOutcome>, Vec<FaultRecord>) {
+    let plan = spec.run_plan().expect("single-box spec");
+    let mut client = spec.open_loop_client(seed).expect("client");
+    let mut sim = spec.box_sim(seed).expect("sim");
+    let end = SimTime::ZERO + plan.warmup + plan.measure;
+
+    let mut events: Vec<BoxEvent> = Vec::with_capacity(256);
+    while let Some(at) = client.next_arrival_time() {
+        if at > end {
+            break;
+        }
+        let (_, qspec) = client.pop().expect("peeked arrival");
+        sim.inject_query(at, qspec);
+        sim.drain_events_into(&mut events);
+    }
+    // Drain the tail: one generous timeout past the end of the window.
+    sim.advance_to(end + SimDuration::from_millis(200));
+    sim.drain_events_into(&mut events);
+
+    let outcomes = events
+        .into_iter()
+        .filter_map(|ev| match ev {
+            BoxEvent::QueryDone(out) => Some(out),
+            _ => None,
+        })
+        .collect();
+    (outcomes, sim.take_fault_records())
+}
+
+/// p99 of completed-query latency over arrivals in `[from, to)`.
+fn phase_p99(outcomes: &[QueryOutcome], from: SimTime, to: SimTime) -> SimDuration {
+    let mut lat: Vec<SimDuration> = outcomes
+        .iter()
+        .filter(|o| o.arrival >= from && o.arrival < to && !o.dropped)
+        .map(|o| o.latency)
+        .collect();
+    assert!(
+        lat.len() >= 50,
+        "phase [{from}, {to}) too thin: {} completions",
+        lat.len()
+    );
+    lat.sort_unstable();
+    lat[(lat.len() * 99).div_ceil(100) - 1]
+}
+
+#[test]
+fn controller_crash_recovery_restores_the_tail() {
+    let seed = 42;
+    let chaos = spec::named("chaos-controller-crash").expect("registered scenario");
+
+    // The same box with the fault timeline stripped: the steady-state
+    // control. Same seed, so the trace and arrival process are identical.
+    let mut control = chaos.clone();
+    control.fault = FaultSpec::default();
+    control.name = "chaos-control".into();
+
+    // The regime the downtime window should resemble: no isolation at all.
+    let noiso = ScenarioSpec::builder("chaos-noiso")
+        .single_box(2_000.0)
+        .cpu_bully(workloads::BullyIntensity::High)
+        .policy(Policy::NoIsolation)
+        .custom_scale(300, 1_500)
+        .seed(seed)
+        .build()
+        .expect("valid spec");
+
+    let (faulted_out, faults) = run_collect(&chaos, seed);
+    let (control_out, control_faults) = run_collect(&control, seed);
+    let (noiso_out, _) = run_collect(&noiso, seed);
+    assert!(control_faults.is_empty(), "control must not inject faults");
+
+    // The executed timeline matches the plan: one crash at 500 ms, held
+    // down for the requested 150 poll intervals, restarted (no give-up)
+    // and converged well before the recovery-watch cap.
+    assert_eq!(faults.len(), 1, "exactly one fault fires: {faults:?}");
+    let f = &faults[0];
+    assert_eq!(f.kind, "controller-crash");
+    assert_eq!(f.fired_at_ms, 500.0, "crash fires at its planned time");
+    assert_eq!(f.downtime_ms, 150.0, "downtime = 150 polls at 1 ms");
+    assert!(!f.gave_up, "Autopilot must restart, not give up");
+    assert!(
+        f.recovery_polls <= 32,
+        "controller must reconverge within a few polls, took {}",
+        f.recovery_polls
+    );
+
+    let crash = SimTime::from_millis(500);
+    let up = SimTime::from_millis(650);
+    // Convergence margin past restart: the recorded recovery polls plus
+    // room for the backlog accumulated during downtime to drain.
+    let settled = SimTime::from_millis(650 + 70);
+    let end = SimTime::from_millis(1_800);
+
+    let down_p99 = phase_p99(&faulted_out, crash, up);
+    let down_control_p99 = phase_p99(&control_out, crash, up);
+    let down_noiso_p99 = phase_p99(&noiso_out, crash, up);
+    let post_p99 = phase_p99(&faulted_out, settled, end);
+    let post_control_p99 = phase_p99(&control_out, settled, end);
+
+    eprintln!(
+        "recovery_polls={} down_p99={down_p99} (control {down_control_p99}, \
+         no-isolation {down_noiso_p99}) post_p99={post_p99} (control {post_control_p99})",
+        f.recovery_polls
+    );
+
+    // During the downtime the secondary is unrestricted and the tail
+    // collapses into the no-isolation regime (§3.1 / Fig. 4): far above
+    // the controlled tail, and at least half the no-isolation tail.
+    assert!(
+        down_p99 >= down_control_p99.mul_f64(3.0),
+        "downtime tail must collapse: {down_p99} vs controlled {down_control_p99}"
+    );
+    // The sustained no-isolation run carries a queue backlog accumulated
+    // since t = 0; a 150 ms downtime window climbs toward that regime but
+    // cannot fully reach it, hence the one-sided factor-of-4 band.
+    assert!(
+        down_p99.mul_f64(4.0) >= down_noiso_p99,
+        "downtime tail should reach the no-isolation regime: \
+         {down_p99} vs no-isolation {down_noiso_p99}"
+    );
+
+    // §4.2: after the restart resumes from the checkpoint, the tail is
+    // back within 10 % of the never-crashed run over the same window.
+    let budget = post_control_p99.mul_f64(1.10);
+    assert!(
+        post_p99 <= budget,
+        "post-recovery p99 {post_p99} must return to within 10 % of the \
+         steady-state p99 {post_control_p99}"
+    );
+}

@@ -6,7 +6,7 @@
 
 use cluster::fleet::FleetReport;
 use proptest::prelude::*;
-use scenarios::spec::{run_spec, RunOptions, ScenarioSpec};
+use scenarios::spec::{self, run_spec, RunOptions, ScenarioSpec};
 use scenarios::{blind_isolation, standalone, Policy, Scale};
 use simcore::SimDuration;
 use telemetry::LogHistogram;
@@ -127,6 +127,42 @@ fn multi_seed_sweep_parallel_equals_serial() {
     {
         assert_eq!(a.to_bits(), b.to_bits(), "summary stats diverged");
     }
+}
+
+/// Fault injection must not cost determinism: a chaos scenario's full
+/// report — fault timeline included — is bit-identical between the
+/// serial runner and the multi-seed thread pool, and stable on rerun.
+/// Fault firing is pure simulation time (no wall clock, no extra RNG
+/// draws), so the JSON reports must match byte for byte.
+#[test]
+fn chaos_parallel_equals_serial() {
+    let mut spec = spec::named("chaos-controller-crash").expect("registered scenario");
+    spec.seeds = 4; // fan out so the parallel runner actually engages
+    let serial = run_spec(&spec, &RunOptions::serial()).expect("runnable");
+    let parallel = run_spec(
+        &spec,
+        &RunOptions {
+            seeds: None,
+            threads: 8,
+        },
+    )
+    .expect("runnable");
+    let rerun = run_spec(&spec, &RunOptions::serial()).expect("runnable");
+
+    for run in &serial.runs {
+        let r = run.as_single_box().expect("single box");
+        assert!(!r.faults.is_empty(), "every seed executes the fault plan");
+    }
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "chaos report diverged across thread counts"
+    );
+    assert_eq!(
+        serial.to_json(),
+        rerun.to_json(),
+        "chaos report unstable across reruns"
+    );
 }
 
 /// The cluster simulator's persistent worker pool (engaged whenever ≥ 8

@@ -36,13 +36,19 @@ fn blessing() -> bool {
 
 /// Shrinks a registry scenario to a fixed, environment-independent size
 /// (explicit window, no `PERFISO_SCALE` dependence, tiny fleet sweep).
+///
+/// Chaos scenarios keep their registered window and seed count: their
+/// fault timelines use absolute fire times, and shrinking the window
+/// would cut the faults off.
 fn golden_case(name: &str) -> ScenarioSpec {
     let mut spec = spec::named(name).expect("registered scenario");
-    spec.scale = ScaleSpec::Custom {
-        warmup_ms: 150,
-        measure_ms: 400,
-    };
-    spec.seeds = 2;
+    if spec.fault.is_empty() {
+        spec.scale = ScaleSpec::Custom {
+            warmup_ms: 150,
+            measure_ms: 400,
+        };
+        spec.seeds = 2;
+    }
     if let TargetSpec::Fleet {
         sampled_machines,
         minutes,
@@ -152,6 +158,26 @@ fn golden_fleet_smoke() {
     check_golden("fleet-smoke");
 }
 
+#[test]
+fn golden_chaos_controller_crash() {
+    check_golden("chaos-controller-crash");
+}
+
+#[test]
+fn golden_chaos_crash_loop() {
+    check_golden("chaos-crash-loop");
+}
+
+#[test]
+fn golden_chaos_config_rollout() {
+    check_golden("chaos-config-rollout");
+}
+
+#[test]
+fn golden_chaos_secondary_churn() {
+    check_golden("chaos-secondary-churn");
+}
+
 /// The fixtures themselves must round-trip through serde — guards
 /// against committing a hand-edited fixture the loader cannot parse.
 #[test]
@@ -159,7 +185,16 @@ fn golden_fixtures_parse_as_reports() {
     if blessing() {
         return; // fixtures may be mid-regeneration
     }
-    for name in ["quickstart", "fig04", "io-throttle", "fleet-smoke"] {
+    for name in [
+        "quickstart",
+        "fig04",
+        "io-throttle",
+        "fleet-smoke",
+        "chaos-controller-crash",
+        "chaos-crash-loop",
+        "chaos-config-rollout",
+        "chaos-secondary-churn",
+    ] {
         let path = golden_dir().join(format!("{name}.json"));
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));

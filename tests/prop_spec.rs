@@ -5,8 +5,8 @@
 
 use proptest::prelude::*;
 use scenarios::spec::{
-    ControllerSpec, ScaleSpec, ScenarioSpec, SpecError, SweepAxis, SweepSpec, TargetSpec,
-    TenantLimitSpec,
+    ControllerSpec, FaultEvent, FaultSpec, RestartSpec, ScaleSpec, ScenarioSpec, SpecError,
+    SweepAxis, SweepSpec, TargetSpec, TenantLimitSpec,
 };
 use scenarios::Policy;
 use workloads::BullyIntensity;
@@ -132,6 +132,51 @@ fn sweep_strategy() -> impl Strategy<Value = Option<SweepSpec>> {
     proptest::option::of(proptest::collection::vec(axis, 0..3).prop_map(|axes| SweepSpec { axes }))
 }
 
+/// Fault timelines straddle the valid range like the controller knobs:
+/// zero backoff/multiplier/max-failures, empty rollout keys, and
+/// out-of-range stage percentages must all be *rejected*, never panic.
+fn fault_strategy() -> impl Strategy<Value = FaultSpec> {
+    let event = prop_oneof![
+        (0u64..1_000, 0u32..300).prop_map(|(at_ms, downtime_polls)| FaultEvent::ControllerCrash {
+            at_ms,
+            downtime_polls,
+        }),
+        (0u64..1_000, 0u64..500)
+            .prop_map(|(at_ms, downtime_ms)| FaultEvent::SecondaryRestart { at_ms, downtime_ms }),
+        (0u64..1_000, 0u64..500)
+            .prop_map(|(at_ms, downtime_ms)| FaultEvent::BoxRestart { at_ms, downtime_ms }),
+        (
+            0u64..1_000,
+            prop_oneof![Just(String::new()), Just("doc".to_string())],
+            0u8..=150,
+            proptest::option::of(prop_oneof![Just(0u64), 1u64..100]),
+        )
+            .prop_map(|(at_ms, key, staged_pct, rollback_p99_ms)| {
+                FaultEvent::ConfigRollout {
+                    at_ms,
+                    key,
+                    doc: ControllerSpec::default(),
+                    staged_pct,
+                    rollback_p99_ms,
+                }
+            }),
+    ];
+    (
+        proptest::collection::vec(event, 0..3),
+        (0u64..2_000, 0u32..4, 0u32..6),
+    )
+        .prop_map(
+            |(events, (base_backoff_ms, multiplier, max_failures))| FaultSpec {
+                events,
+                restart: RestartSpec {
+                    base_backoff_ms,
+                    multiplier,
+                    max_failures,
+                },
+            },
+        )
+}
+
 fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
     (
         (
@@ -155,10 +200,15 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
             ],
             any::<u64>(),
             0u32..4,
+            fault_strategy(),
         ),
     )
         .prop_map(
-            |((name, target, secondary), (policy, controller, sweep), (scale, seed, seeds))| {
+            |(
+                (name, target, secondary),
+                (policy, controller, sweep),
+                (scale, seed, seeds, fault),
+            )| {
                 ScenarioSpec {
                     name,
                     description: "generated by proptest".into(),
@@ -170,6 +220,7 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
                     scale,
                     seed,
                     seeds,
+                    fault,
                 }
             },
         )

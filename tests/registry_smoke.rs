@@ -10,10 +10,14 @@ use scenarios::spec::{self, run_spec, run_sweep, RunOptions, ScaleSpec, Scenario
 /// target *kind* — only the measured window, cluster shape, and fleet
 /// sweep length are reduced.
 fn shrink(mut spec: ScenarioSpec) -> ScenarioSpec {
-    spec.scale = ScaleSpec::Custom {
-        warmup_ms: 100,
-        measure_ms: 300,
-    };
+    // Chaos timelines use absolute fire times, so fault scenarios keep
+    // their registered window (a shrunk window would skip the faults).
+    if spec.fault.is_empty() {
+        spec.scale = ScaleSpec::Custom {
+            warmup_ms: 100,
+            measure_ms: 300,
+        };
+    }
     spec.seeds = 1;
     match &mut spec.target {
         TargetSpec::SingleBox { .. } => {}

@@ -31,10 +31,17 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 fn ser_named_fields(fields: &[Field], access: &str) -> String {
     let mut body = String::new();
     for f in fields.iter().filter(|f| !f.skip) {
-        body.push_str(&format!(
+        let push = format!(
             "__fields.push((\"{name}\".to_string(), ::serde::Serialize::to_value({access}{name})));\n",
             name = f.name,
-        ));
+        );
+        match &f.skip_ser_if {
+            Some(pred) => body.push_str(&format!(
+                "if !{pred}({access}{name}) {{\n{push}}}\n",
+                name = f.name,
+            )),
+            None => body.push_str(&push),
+        }
     }
     body
 }
@@ -47,7 +54,7 @@ fn de_named_fields(ty: &str, fields: &[Field], obj: &str) -> String {
                 "{}: ::std::default::Default::default(),\n",
                 f.name
             ));
-        } else if f.default {
+        } else if f.default || f.skip_ser_if.is_some() {
             body.push_str(&format!(
                 "{name}: match {obj}.iter().find(|(__k, _)| __k.as_str() == \"{name}\") {{\n\
                      ::std::option::Option::Some((_, __val)) => ::serde::Deserialize::from_value(__val)?,\n\
@@ -228,25 +235,50 @@ fn gen_deserialize(input: &Input) -> String {
     )
 }
 
-/// The `(skip, default)` requests in an attribute group body (`serde(...)`).
-fn serde_attr_flags(stream: TokenStream) -> (bool, bool) {
+/// The serde requests recognized in a field attribute body (`serde(...)`).
+#[derive(Default)]
+pub(crate) struct SerdeFlags {
+    pub skip: bool,
+    pub default: bool,
+    pub skip_ser_if: Option<String>,
+}
+
+/// Parses one attribute group body for serde flags (`serde(...)`).
+fn serde_attr_flags(stream: TokenStream) -> SerdeFlags {
     let mut tokens = stream.into_iter();
+    let mut flags = SerdeFlags::default();
     match (tokens.next(), tokens.next()) {
         (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
             if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
         {
-            let mut flags = (false, false);
-            for t in args.stream() {
-                if let TokenTree::Ident(i) = t {
-                    match i.to_string().as_str() {
-                        "skip" => flags.0 = true,
-                        "default" => flags.1 = true,
-                        _ => {}
-                    }
+            let mut args = args.stream().into_iter().peekable();
+            while let Some(t) = args.next() {
+                let TokenTree::Ident(i) = t else { continue };
+                match i.to_string().as_str() {
+                    "skip" => flags.skip = true,
+                    "default" => flags.default = true,
+                    "skip_serializing_if" => match (args.next(), args.next()) {
+                        (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                            if eq.as_char() == '=' =>
+                        {
+                            let s = lit.to_string();
+                            let path = s.trim_matches('"').to_string();
+                            assert!(
+                                !path.is_empty() && !path.contains('"'),
+                                "serde_derive: skip_serializing_if expects a \
+                                     string literal path, got {s}"
+                            );
+                            flags.skip_ser_if = Some(path);
+                        }
+                        other => {
+                            panic!("serde_derive: malformed skip_serializing_if, got {other:?}")
+                        }
+                    },
+                    _ => {}
                 }
             }
             flags
         }
-        _ => (false, false),
+        _ => flags,
     }
 }

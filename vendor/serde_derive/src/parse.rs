@@ -19,6 +19,9 @@ pub struct Field {
     pub name: String,
     pub skip: bool,
     pub default: bool,
+    /// `#[serde(skip_serializing_if = "path")]`: the field is omitted from
+    /// serialized output whenever `path(&value)` returns true.
+    pub skip_ser_if: Option<String>,
 }
 
 pub struct Variant {
@@ -34,28 +37,32 @@ pub enum VariantKind {
 
 type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
 
-/// Consumes leading attributes; returns `(skip, default)` flags.
+/// Consumes leading attributes; returns the accumulated serde flags.
 ///
 /// `#[serde(skip)]` means absent on the wire and `Default::default()` on
 /// read; `#[serde(default)]` means serialized normally but defaulted when
-/// the field is missing from the input (forward-compatible spec files).
-fn skip_attributes(tokens: &mut Tokens) -> (bool, bool) {
-    let mut skip = false;
-    let mut default = false;
+/// the field is missing from the input (forward-compatible spec files);
+/// `#[serde(skip_serializing_if = "path")]` omits the field from output
+/// when the predicate holds (fixture-stable new fields).
+fn skip_attributes(tokens: &mut Tokens) -> crate::SerdeFlags {
+    let mut flags = crate::SerdeFlags::default();
     loop {
         match tokens.peek() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 tokens.next();
                 match tokens.next() {
                     Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
-                        let (s, d) = crate::serde_attr_flags(g.stream());
-                        skip |= s;
-                        default |= d;
+                        let f = crate::serde_attr_flags(g.stream());
+                        flags.skip |= f.skip;
+                        flags.default |= f.default;
+                        if f.skip_ser_if.is_some() {
+                            flags.skip_ser_if = f.skip_ser_if;
+                        }
                     }
                     other => panic!("serde_derive: malformed attribute, got {other:?}"),
                 }
             }
-            _ => return (skip, default),
+            _ => return flags,
         }
     }
 }
@@ -117,7 +124,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut tokens = stream.into_iter().peekable();
     let mut fields = Vec::new();
     loop {
-        let (skip, default) = skip_attributes(&mut tokens);
+        let flags = skip_attributes(&mut tokens);
         if tokens.peek().is_none() {
             return fields;
         }
@@ -133,8 +140,9 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         skip_type(&mut tokens);
         fields.push(Field {
             name,
-            skip,
-            default,
+            skip: flags.skip,
+            default: flags.default,
+            skip_ser_if: flags.skip_ser_if,
         });
     }
 }
