@@ -158,6 +158,7 @@ impl ClusterSim {
                 BoxSim::new(BoxConfig {
                     machine: cfg.machine,
                     service: std::sync::Arc::clone(&service),
+                    hosted: Vec::new(),
                     secondary: cfg.secondary.clone(),
                     perfiso: perfiso.clone(),
                     seed: cfg.seed ^ (0x9E37 * (i as u64 + 1)),

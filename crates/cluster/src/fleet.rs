@@ -294,6 +294,7 @@ fn run_fleet_slice(cfg: &FleetConfig, shared: &FleetShared, m: u32, s: u32) -> S
     let box_cfg = BoxConfig {
         machine: shared.machine,
         service: Arc::clone(&shared.service),
+        hosted: Vec::new(),
         // The trainer is spawned via the generic CPU-bully hook: fleet
         // sampling reuses BoxSim by running the trainer as a custom
         // secondary below.

@@ -34,11 +34,16 @@ use telemetry::{CpuBreakdown, LatencyRecorder, TenantClass};
 use workloads::cpu_bully::{CpuBully, CpuBullyHandle};
 use workloads::disk_bully::{DiskBully, DISK_BULLY_TAG_BASE};
 use workloads::hdfs::{HdfsCpuProgram, HdfsNode, HDFS_TAG_BASE};
+use workloads::service_graph::{GraphEngine, GraphWorkload};
 use workloads::BullyIntensity;
 
 use crate::chaos::{FaultPlan, FaultRecord, PlannedFaultKind};
+use crate::port::{BlockedAction, GraphPort, ServicePort};
 use crate::service::{IndexServe, QueryOutcome, ServiceConfig};
-use crate::tags::{parse_stage_tag, parse_wake_token, wake_token, FIRE_AND_FORGET};
+use crate::tags::{
+    parse_wake_token, service_bits, tag_service, wake_token, FIRE_AND_FORGET, MAX_SERVICES,
+    PRIMARY_BIT,
+};
 
 /// Which secondary tenants run on the box.
 #[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -74,6 +79,46 @@ impl SecondaryKind {
     }
 }
 
+/// One service hosted on a box (the multi-service roster entry).
+///
+/// Configs sit behind `Arc` for the same stamp-out-cheaply reason as
+/// [`BoxConfig::service`].
+#[derive(Clone, Debug)]
+pub enum HostedSpec {
+    /// A classic IndexServe primary under a per-slot display name.
+    IndexServe {
+        /// Display name (per-service report rows).
+        name: String,
+        /// Service-model parameters.
+        service: Arc<ServiceConfig>,
+    },
+    /// A microservice-graph workload executed by
+    /// [`workloads::service_graph::GraphEngine`].
+    Graph {
+        /// Display name (per-service report rows).
+        name: String,
+        /// The validated stage DAG.
+        graph: Arc<GraphWorkload>,
+    },
+}
+
+impl HostedSpec {
+    /// Display name of the hosted service.
+    pub fn name(&self) -> &str {
+        match self {
+            HostedSpec::IndexServe { name, .. } | HostedSpec::Graph { name, .. } => name,
+        }
+    }
+
+    /// Declared working-set bytes, registered against the service's job.
+    pub fn working_set(&self) -> u64 {
+        match self {
+            HostedSpec::IndexServe { service, .. } => service.working_set(),
+            HostedSpec::Graph { graph, .. } => graph.working_set(),
+        }
+    }
+}
+
 /// Full configuration of one simulated box.
 ///
 /// The service and controller configurations are behind `Arc` so that
@@ -83,8 +128,15 @@ impl SecondaryKind {
 pub struct BoxConfig {
     /// Machine parameters.
     pub machine: MachineConfig,
-    /// Service-model parameters (shared, immutable).
+    /// Service-model parameters (shared, immutable). Used by the default
+    /// single-service roster; ignored when `hosted` is non-empty.
     pub service: Arc<ServiceConfig>,
+    /// The service roster. Empty (the default everywhere predating
+    /// multi-service boxes) hosts exactly one IndexServe primary built
+    /// from `service` — bit-identical to the pre-roster behaviour.
+    /// Non-empty hosts one primary job per entry, capped at
+    /// [`MAX_SERVICES`].
+    pub hosted: Vec<HostedSpec>,
     /// Secondary tenants.
     pub secondary: SecondaryKind,
     /// PerfIso configuration (`None` = controller absent; note that
@@ -104,6 +156,7 @@ impl BoxConfig {
         BoxConfig {
             machine: MachineConfig::paper_server(),
             service: Arc::new(ServiceConfig::default()),
+            hosted: Vec::new(),
             secondary,
             perfiso: perfiso.map(Arc::new),
             fault: None,
@@ -124,6 +177,9 @@ pub enum BoxEvent {
 
 #[derive(Debug)]
 enum AppEvent {
+    /// A query deadline: service index in the top byte, service-local
+    /// query index below (service 0 packs to the bare index, so
+    /// single-service timelines are unchanged).
     Timeout(u64),
     CpuPoll,
     IoPoll,
@@ -251,6 +307,16 @@ impl ChaosState {
     }
 }
 
+/// Shift packing a service index into a [`AppEvent::Timeout`] payload.
+const TIMEOUT_SVC_SHIFT: u32 = 56;
+
+/// One hosted service and its machine job.
+struct ServiceSlot {
+    name: String,
+    port: Box<dyn ServicePort>,
+    job: JobId,
+}
+
 /// One simulated production server.
 pub struct BoxSim {
     cfg: BoxConfig,
@@ -258,7 +324,10 @@ pub struct BoxSim {
     disk: DiskSim,
     ssd: VolumeId,
     hdd: VolumeId,
-    service: IndexServe,
+    /// Hosted latency-sensitive services; slot 0 is "the primary" for
+    /// single-service accessors. Thread tags route back by their
+    /// [`service_bits`].
+    services: Vec<ServiceSlot>,
     primary_job: JobId,
     secondary_job: JobId,
     owners: Owners,
@@ -295,10 +364,34 @@ impl BoxSim {
         let ssd = disk.add_volume(VolumeSpec::paper_ssd_volume());
         let hdd = disk.add_volume(VolumeSpec::paper_hdd_volume());
         let total = CoreMask::all(cfg.machine.cores);
-        let primary_job = machine.create_job(TenantClass::Primary, total);
+        // The service roster: the (default) empty `hosted` list means one
+        // IndexServe primary built from `cfg.service`, reproducing the
+        // single-service box bit for bit (job ids, seeds, tags).
+        let roster: Vec<HostedSpec> = if cfg.hosted.is_empty() {
+            vec![HostedSpec::IndexServe {
+                name: "indexserve".to_string(),
+                service: cfg.service.clone(),
+            }]
+        } else {
+            assert!(
+                cfg.hosted.len() <= MAX_SERVICES,
+                "a box hosts at most {MAX_SERVICES} services, got {}",
+                cfg.hosted.len()
+            );
+            cfg.hosted.clone()
+        };
+        let service_jobs: Vec<JobId> = roster
+            .iter()
+            .map(|_| machine.create_job(TenantClass::Primary, total))
+            .collect();
         let secondary_job = machine.create_job(TenantClass::Secondary, total);
-        // IndexServe's fixed working set: index cache + process overhead.
-        machine.set_job_memory(primary_job, 110 * (1 << 30) + (6 << 30));
+        // Per-service working sets (satellite of the multi-service
+        // refactor: the 110 GiB + 6 GiB literal now lives in
+        // `ServiceConfig::PAPER_WORKING_SET` as the default).
+        for (h, job) in roster.iter().zip(&service_jobs) {
+            machine.set_job_memory(*job, h.working_set());
+        }
+        let primary_job = service_jobs[0];
 
         let owners = Owners {
             primary_log: disk.register_owner(IoPriority::HIGH),
@@ -306,7 +399,28 @@ impl BoxSim {
             hdfs_repl: disk.register_owner(IoPriority::LOW),
             hdfs_client: disk.register_owner(IoPriority::LOW),
         };
-        let service = IndexServe::new(cfg.service.clone(), primary_job, cfg.seed ^ 0x5E47);
+        let services: Vec<ServiceSlot> = roster
+            .into_iter()
+            .zip(service_jobs)
+            .enumerate()
+            .map(|(i, (h, job))| {
+                // Per-slot seed stream; slot 0 collapses to the classic
+                // IndexServe seed.
+                let seed = cfg.seed ^ 0x5E47 ^ ((i as u64) * 0x9E37_79B9);
+                let name = h.name().to_string();
+                let port: Box<dyn ServicePort> = match h {
+                    HostedSpec::IndexServe { service, .. } => {
+                        Box::new(IndexServe::for_service(service, job, seed, i as u8))
+                    }
+                    HostedSpec::Graph { graph, .. } => Box::new(GraphPort::new(
+                        name.clone(),
+                        GraphEngine::new(graph, job, PRIMARY_BIT | service_bits(i as u8), seed),
+                        i as u8,
+                    )),
+                };
+                ServiceSlot { name, port, job }
+            })
+            .collect();
         let rng = SimRng::seed_from_u64(cfg.seed ^ 0xB0);
         let app = EventQueue::with_capacity(256);
         let hdfs_repl = HdfsNode::replication();
@@ -319,7 +433,7 @@ impl BoxSim {
             disk,
             ssd,
             hdd,
-            service,
+            services,
             primary_job,
             secondary_job,
             owners,
@@ -511,9 +625,53 @@ impl BoxSim {
         self.now
     }
 
-    /// The service instance (for inspection).
+    /// The slot-0 IndexServe instance (for inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics when slot 0 hosts a non-IndexServe service (a graph
+    /// workload); multi-service embedders should use the per-slot
+    /// accessors instead.
     pub fn service(&self) -> &IndexServe {
-        &self.service
+        self.services[0]
+            .port
+            .as_indexserve()
+            .expect("slot-0 service is not IndexServe")
+    }
+
+    /// Number of hosted services.
+    pub fn service_count(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Display name of service slot `i`.
+    pub fn service_name(&self, i: usize) -> &str {
+        &self.services[i].name
+    }
+
+    /// The machine job hosting service slot `i`.
+    pub fn service_job(&self, i: usize) -> JobId {
+        self.services[i].job
+    }
+
+    /// CPU time consumed by service slot `i`.
+    pub fn service_cpu_time(&self, i: usize) -> SimDuration {
+        self.machine.job_cpu_time(self.services[i].job)
+    }
+
+    /// Total worker/stage threads spawned across all hosted services.
+    pub fn workers_spawned(&self) -> u64 {
+        self.services.iter().map(|s| s.port.workers_spawned()).sum()
+    }
+
+    /// The longest per-request deadline across hosted services (tail
+    /// drain horizon).
+    pub fn max_timeout(&self) -> SimDuration {
+        self.services
+            .iter()
+            .map(|s| s.port.timeout())
+            .max()
+            .expect("at least one service")
     }
 
     /// The primary tenant's job id on the machine.
@@ -659,24 +817,35 @@ impl BoxSim {
         self.machine.set_job_memory(self.secondary_job, bytes);
     }
 
-    /// Injects a query arriving now; schedules its deadline. Returns the
-    /// box-local query index echoed in [`BoxEvent::QueryDone`].
+    /// Injects a query arriving now at service slot 0; schedules its
+    /// deadline. Returns the service-local query index echoed in
+    /// [`BoxEvent::QueryDone`].
     pub fn inject_query(&mut self, now: SimTime, spec: QuerySpec) -> u64 {
+        self.inject_query_for(0, now, spec)
+    }
+
+    /// Injects a query arriving now at service slot `service`.
+    pub fn inject_query_for(&mut self, service: usize, now: SimTime, spec: QuerySpec) -> u64 {
         self.advance_to(now);
         if self
             .chaos
             .as_ref()
             .is_some_and(|c| c.primary_down_until.is_some())
         {
-            // The IndexServe process is restarting: the connection is
+            // The primary process is restarting: the connection is
             // refused and the query counts as dropped immediately.
-            let qidx = self.service.refuse_arrival(now, spec);
+            let qidx = self.services[service].port.refuse_arrival(now, spec);
             self.settle();
             return qidx;
         }
-        let qidx = self.service.on_arrival(now, spec, &mut self.machine);
-        self.app
-            .push(now + self.cfg.service.timeout, AppEvent::Timeout(qidx));
+        let qidx = self.services[service]
+            .port
+            .on_arrival(now, spec, &mut self.machine);
+        let deadline = now + self.services[service].port.timeout();
+        self.app.push(
+            deadline,
+            AppEvent::Timeout(((service as u64) << TIMEOUT_SVC_SHIFT) | qidx),
+        );
         self.settle();
         qidx
     }
@@ -726,6 +895,7 @@ impl BoxSim {
         ]
         .into_iter()
         .flatten()
+        .chain(self.services.iter().filter_map(|s| s.port.next_timer_at()))
         {
             next = Some(next.map_or(c, |n: SimTime| n.min(c)));
         }
@@ -743,6 +913,7 @@ impl BoxSim {
             self.now = next;
             self.machine.advance_to(next);
             self.disk.advance_to(next);
+            self.advance_services(next);
             while let Some((_, ev)) = self.app.pop_before(next) {
                 self.handle_app_event(ev);
             }
@@ -751,7 +922,15 @@ impl BoxSim {
         self.now = t;
         self.machine.advance_to(t);
         self.disk.advance_to(t);
+        self.advance_services(t);
         self.settle();
+    }
+
+    /// Pumps services with internal event sources (graph fabrics) to `t`.
+    fn advance_services(&mut self, t: SimTime) {
+        for i in 0..self.services.len() {
+            self.services[i].port.advance_to(t, &mut self.machine);
+        }
     }
 
     /// Routes machine outputs and disk completions until quiescent at the
@@ -781,25 +960,29 @@ impl BoxSim {
             }
             self.scratch_outputs = outs;
             self.scratch_completions = comps;
-            // Collect service outcomes produced by routing.
-            if self.service.has_outcomes() {
+            // Collect service outcomes produced by routing, slot order.
+            for i in 0..self.services.len() {
+                if !self.services[i].port.has_outcomes() {
+                    continue;
+                }
+                let log_write_bytes = self.services[i].port.log_write_bytes();
                 let mut outcomes = std::mem::take(&mut self.scratch_outcomes);
                 outcomes.clear();
-                self.service.drain_outcomes_into(&mut outcomes);
+                self.services[i].port.drain_outcomes_into(&mut outcomes);
                 for outcome in outcomes.drain(..) {
                     // Feed the rollout watchdog (dropped queries contribute
                     // their full deadline as the observed latency).
                     if let Some(w) = self.chaos.as_mut().and_then(|ch| ch.rollout.as_mut()) {
                         w.samples.push(outcome.latency);
                     }
-                    if !outcome.dropped {
+                    if !outcome.dropped && log_write_bytes > 0 {
                         // Asynchronous query log on the shared HDD volume.
                         self.disk.submit(
                             self.now,
                             self.hdd,
                             self.owners.primary_log,
                             IoKind::Write,
-                            self.cfg.service.log_write_bytes,
+                            log_write_bytes,
                             AccessPattern::Sequential,
                             FIRE_AND_FORGET,
                         );
@@ -814,17 +997,31 @@ impl BoxSim {
     fn route_machine_output(&mut self, out: MachineOutput) {
         match out {
             MachineOutput::ThreadBlocked { tid, tag, .. } => {
-                if parse_stage_tag(tag).is_some() {
-                    // Primary index read on the exclusive SSD volume.
-                    self.disk.submit(
-                        self.now,
-                        self.ssd,
-                        self.owners.primary_log, // same process identity
-                        IoKind::Read,
-                        self.cfg.service.index_read_bytes,
-                        AccessPattern::Random,
-                        wake_token(tid),
-                    );
+                if tag & PRIMARY_BIT != 0 {
+                    // A hosted service's thread: the owning slot decides
+                    // whether this is an index read or a spurious block.
+                    let svc = tag_service(tag) as usize;
+                    let action = match self.services.get_mut(svc) {
+                        Some(slot) => slot.port.on_thread_blocked(self.now, tag, tid),
+                        None => BlockedAction::Wake,
+                    };
+                    match action {
+                        BlockedAction::IndexRead { bytes } => {
+                            // Primary index read on the exclusive SSD volume.
+                            self.disk.submit(
+                                self.now,
+                                self.ssd,
+                                self.owners.primary_log, // same process identity
+                                IoKind::Read,
+                                bytes,
+                                AccessPattern::Random,
+                                wake_token(tid),
+                            );
+                        }
+                        BlockedAction::Wake => {
+                            self.machine.wake(self.now, tid);
+                        }
+                    }
                 } else if (DISK_BULLY_TAG_BASE..DISK_BULLY_TAG_BASE + (1 << 16)).contains(&tag) {
                     let op = self
                         .cfg
@@ -847,10 +1044,14 @@ impl BoxSim {
                     self.machine.wake(self.now, tid);
                 }
             }
-            MachineOutput::ThreadExited { tag, .. } => {
-                if let Some((stage, qidx, _)) = parse_stage_tag(tag) {
-                    self.service
-                        .on_stage_exited(self.now, stage, qidx, &mut self.machine);
+            MachineOutput::ThreadExited { tid, tag, .. } => {
+                if tag & PRIMARY_BIT != 0 {
+                    let svc = tag_service(tag) as usize;
+                    if svc < self.services.len() {
+                        self.services[svc]
+                            .port
+                            .on_thread_exited(self.now, tag, tid, &mut self.machine);
+                    }
                 } else if let Some(user) = crate::tags::parse_aux_tag(tag) {
                     self.events.push(BoxEvent::AuxDone(user));
                 }
@@ -861,8 +1062,14 @@ impl BoxSim {
 
     fn handle_app_event(&mut self, ev: AppEvent) {
         match ev {
-            AppEvent::Timeout(qidx) => {
-                self.service.on_timeout(self.now, qidx, &mut self.machine);
+            AppEvent::Timeout(packed) => {
+                let svc = (packed >> TIMEOUT_SVC_SHIFT) as usize;
+                let qidx = packed & ((1 << TIMEOUT_SVC_SHIFT) - 1);
+                if svc < self.services.len() {
+                    self.services[svc]
+                        .port
+                        .on_timeout(self.now, qidx, &mut self.machine);
+                }
             }
             AppEvent::CpuPoll => {
                 // The controller's poll loop also checks the Autopilot
@@ -1029,8 +1236,11 @@ impl BoxSim {
                 if ch.primary_record.is_none() {
                     ch.records.push(FaultRecord::fired(&fault.kind, self.now));
                     let ridx = ch.records.len() - 1;
-                    // Every in-flight query dies with the process.
-                    self.service.fail_all(self.now, &mut self.machine);
+                    // Every in-flight request on every service dies with
+                    // the box.
+                    for i in 0..self.services.len() {
+                        self.services[i].port.fail_all(self.now, &mut self.machine);
+                    }
                     match ch.manager.report_crash(&mut ch.registry, "indexserve") {
                         RestartDecision::RestartAfterMs(ms) => {
                             let dt = (*downtime).max(SimDuration::from_millis(ms));
@@ -1362,6 +1572,19 @@ impl RunPlan {
     }
 }
 
+/// Per-service measurement row of a multi-service box run.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct ServiceReport {
+    /// Service display name (roster order).
+    pub name: String,
+    /// Offered load for this service, queries/second.
+    pub qps: f64,
+    /// Completed-request latency statistics (measured window only).
+    pub latency: PercentileSummary,
+    /// CPU time the service's job consumed over the whole run.
+    pub cpu_time: SimDuration,
+}
+
 /// What a standalone run measured (one bar group of a paper figure).
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct BoxReport {
@@ -1384,6 +1607,11 @@ pub struct BoxReport {
     /// Executed fault-injection timeline, when a chaos plan ran.
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub faults: Vec<FaultRecord>,
+    /// Per-service breakdown. Populated only for boxes with an explicit
+    /// service roster; empty (and absent from JSON) on classic
+    /// single-service runs, so pre-roster reports parse unchanged.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub services: Vec<ServiceReport>,
 }
 
 impl BoxReport {
@@ -1391,6 +1619,85 @@ impl BoxReport {
     pub fn drop_ratio(&self) -> f64 {
         self.latency.drop_ratio()
     }
+}
+
+/// Per-service offered load for a multi-primary run (see [`run_multi`]).
+#[derive(Clone, Debug)]
+pub struct ServicePlan {
+    /// Offered load in queries/second.
+    pub qps: f64,
+    /// Trace-generation parameters (the query count is derived).
+    pub trace: TraceConfig,
+}
+
+impl ServicePlan {
+    /// A plan offering `qps` with default trace parameters.
+    pub fn at_qps(qps: f64) -> Self {
+        ServicePlan {
+            qps,
+            trace: TraceConfig::default(),
+        }
+    }
+}
+
+/// Latency recorders for one box run: the merged stream plus one
+/// recorder per hosted service.
+struct RunRecorders {
+    overall: LatencyRecorder,
+    per_service: Vec<LatencyRecorder>,
+    warmup_end: SimTime,
+}
+
+impl RunRecorders {
+    fn new(services: usize, warmup_end: SimTime) -> Self {
+        RunRecorders {
+            overall: LatencyRecorder::new(),
+            per_service: (0..services).map(|_| LatencyRecorder::new()).collect(),
+            warmup_end,
+        }
+    }
+
+    /// Drains box events, recording measured-window completions into the
+    /// merged and per-service recorders.
+    fn drain(&mut self, sim: &mut BoxSim, events: &mut Vec<BoxEvent>) {
+        sim.drain_events_into(events);
+        for ev in events.drain(..) {
+            if let BoxEvent::QueryDone(out) = ev {
+                if out.arrival >= self.warmup_end {
+                    let svc = &mut self.per_service[out.service as usize];
+                    if out.dropped {
+                        self.overall.record_dropped();
+                        svc.record_dropped();
+                    } else {
+                        self.overall.record(out.latency);
+                        svc.record(out.latency);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Builds the per-service report rows; empty unless the box was
+/// configured with an explicit roster (so classic reports are unchanged).
+fn service_rows(
+    sim: &BoxSim,
+    rec: &mut RunRecorders,
+    qps_of: impl Fn(usize) -> f64,
+) -> Vec<ServiceReport> {
+    if sim.cfg.hosted.is_empty() {
+        return Vec::new();
+    }
+    rec.per_service
+        .iter_mut()
+        .enumerate()
+        .map(|(i, r)| ServiceReport {
+            name: sim.service_name(i).to_string(),
+            qps: qps_of(i),
+            latency: r.summary(),
+            cpu_time: sim.service_cpu_time(i),
+        })
+        .collect()
 }
 
 /// Runs one standalone single-box experiment.
@@ -1407,26 +1714,11 @@ pub fn run_standalone(cfg: BoxConfig, plan: &RunPlan) -> BoxReport {
 
     let warmup_end = SimTime::ZERO + plan.warmup;
     let end = SimTime::ZERO + total;
-    let mut recorder = LatencyRecorder::new();
+    let mut rec = RunRecorders::new(sim.service_count(), warmup_end);
     let mut warm_snapshot: Option<(CpuBreakdown, SimDuration)> = None;
     let mut queries_measured = 0u64;
     let mut workers_at_warm = 0u64;
-
     let mut events: Vec<BoxEvent> = Vec::with_capacity(64);
-    let mut record_events = |sim: &mut BoxSim, recorder: &mut LatencyRecorder| {
-        sim.drain_events_into(&mut events);
-        for ev in events.drain(..) {
-            if let BoxEvent::QueryDone(out) = ev {
-                if out.arrival >= warmup_end {
-                    if out.dropped {
-                        recorder.record_dropped();
-                    } else {
-                        recorder.record(out.latency);
-                    }
-                }
-            }
-        }
-    };
 
     while let Some(at) = client.next_arrival_time() {
         if at > end {
@@ -1434,42 +1726,148 @@ pub fn run_standalone(cfg: BoxConfig, plan: &RunPlan) -> BoxReport {
         }
         if warm_snapshot.is_none() && at >= warmup_end {
             sim.advance_to(warmup_end);
-            record_events(&mut sim, &mut recorder);
+            rec.drain(&mut sim, &mut events);
             warm_snapshot = Some((sim.breakdown(), sim.secondary_cpu_time()));
-            workers_at_warm = sim.service().workers_spawned;
+            workers_at_warm = sim.workers_spawned();
         }
         let (_, spec) = client.pop().expect("peeked");
         sim.inject_query(at, spec);
-        record_events(&mut sim, &mut recorder);
+        rec.drain(&mut sim, &mut events);
         if at >= warmup_end {
             queries_measured += 1;
         }
     }
     if warm_snapshot.is_none() {
         sim.advance_to(warmup_end);
-        record_events(&mut sim, &mut recorder);
+        rec.drain(&mut sim, &mut events);
         warm_snapshot = Some((sim.breakdown(), sim.secondary_cpu_time()));
-        workers_at_warm = sim.service().workers_spawned;
+        workers_at_warm = sim.workers_spawned();
     }
     // Let the tail drain one timeout beyond the end so nothing hangs.
-    sim.advance_to(end + sim.cfg.service.timeout);
-    record_events(&mut sim, &mut recorder);
+    sim.advance_to(end + sim.max_timeout());
+    rec.drain(&mut sim, &mut events);
 
     let (warm_bd, warm_sec_cpu) = warm_snapshot.expect("snapshot taken");
     let final_bd = sim.breakdown();
+    let services = service_rows(&sim, &mut rec, |i| if i == 0 { plan.qps } else { 0.0 });
     BoxReport {
         qps: plan.qps,
-        latency: recorder.summary(),
+        latency: rec.overall.summary(),
         breakdown: final_bd.since(&warm_bd),
         secondary_cpu: sim.secondary_cpu_time().saturating_sub(warm_sec_cpu),
         avg_fanout: if queries_measured == 0 {
             0.0
         } else {
-            (sim.service().workers_spawned - workers_at_warm) as f64 / queries_measured as f64
+            (sim.workers_spawned() - workers_at_warm) as f64 / queries_measured as f64
         },
         machine: sim.machine_stats(),
         controller: sim.controller_stats(),
         faults: sim.take_fault_records(),
+        services,
+    }
+}
+
+/// Runs one multi-primary box experiment: every hosted service gets its
+/// own open-loop client at its own offered load, arrivals are merged in
+/// time order (ties break toward the lower slot), and the report carries
+/// both the merged and the per-service latency views — the measurement
+/// surface for PerfIso arbitrating between colocated latency-sensitive
+/// services.
+///
+/// # Panics
+///
+/// Panics unless `plans` has exactly one entry per hosted service.
+pub fn run_multi(
+    cfg: BoxConfig,
+    plans: &[ServicePlan],
+    warmup: SimDuration,
+    measure: SimDuration,
+) -> BoxReport {
+    let seed = cfg.seed;
+    let mut sim = BoxSim::new(cfg);
+    assert_eq!(
+        plans.len(),
+        sim.service_count(),
+        "one ServicePlan per hosted service"
+    );
+    let total = warmup + measure;
+    let warmup_end = SimTime::ZERO + warmup;
+    let end = SimTime::ZERO + total;
+    // Per-service trace/client seed streams, salted by slot so no two
+    // services replay correlated arrival processes.
+    let mut clients: Vec<OpenLoopClient> = plans
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let n_queries = (p.qps * total.as_secs_f64() * 1.05) as usize + 16;
+            let trace = TraceGenerator::new(TraceConfig {
+                queries: n_queries,
+                ..p.trace.clone()
+            })
+            .generate(seed ^ 0x7ACE ^ ((i as u64) << 16));
+            OpenLoopClient::new(trace, p.qps, seed ^ 0xC1 ^ ((i as u64) << 16))
+        })
+        .collect();
+
+    let mut rec = RunRecorders::new(sim.service_count(), warmup_end);
+    let mut warm_snapshot: Option<(CpuBreakdown, SimDuration)> = None;
+    let mut queries_measured = 0u64;
+    let mut workers_at_warm = 0u64;
+    let mut events: Vec<BoxEvent> = Vec::with_capacity(64);
+
+    loop {
+        // Earliest next arrival across services (strict `<`: ties go to
+        // the lowest slot, keeping the merge deterministic).
+        let mut best: Option<(usize, SimTime)> = None;
+        for (i, c) in clients.iter_mut().enumerate() {
+            if let Some(at) = c.next_arrival_time() {
+                if at <= end && best.map_or(true, |(_, b)| at < b) {
+                    best = Some((i, at));
+                }
+            }
+        }
+        let Some((svc, at)) = best else {
+            break;
+        };
+        if warm_snapshot.is_none() && at >= warmup_end {
+            sim.advance_to(warmup_end);
+            rec.drain(&mut sim, &mut events);
+            warm_snapshot = Some((sim.breakdown(), sim.secondary_cpu_time()));
+            workers_at_warm = sim.workers_spawned();
+        }
+        let (_, spec) = clients[svc].pop().expect("peeked");
+        sim.inject_query_for(svc, at, spec);
+        rec.drain(&mut sim, &mut events);
+        if at >= warmup_end {
+            queries_measured += 1;
+        }
+    }
+    if warm_snapshot.is_none() {
+        sim.advance_to(warmup_end);
+        rec.drain(&mut sim, &mut events);
+        warm_snapshot = Some((sim.breakdown(), sim.secondary_cpu_time()));
+        workers_at_warm = sim.workers_spawned();
+    }
+    sim.advance_to(end + sim.max_timeout());
+    rec.drain(&mut sim, &mut events);
+
+    let (warm_bd, warm_sec_cpu) = warm_snapshot.expect("snapshot taken");
+    let final_bd = sim.breakdown();
+    let services = service_rows(&sim, &mut rec, |i| plans[i].qps);
+    BoxReport {
+        qps: plans.iter().map(|p| p.qps).sum(),
+        latency: rec.overall.summary(),
+        breakdown: final_bd.since(&warm_bd),
+        secondary_cpu: sim.secondary_cpu_time().saturating_sub(warm_sec_cpu),
+        avg_fanout: if queries_measured == 0 {
+            0.0
+        } else {
+            (sim.workers_spawned() - workers_at_warm) as f64 / queries_measured as f64
+        },
+        machine: sim.machine_stats(),
+        controller: sim.controller_stats(),
+        faults: sim.take_fault_records(),
+        services,
     }
 }
 

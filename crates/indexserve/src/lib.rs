@@ -31,10 +31,14 @@
 pub mod boxsim;
 pub mod cache;
 pub mod chaos;
+pub mod port;
 pub mod service;
 pub mod tags;
 
-pub use boxsim::{BoxConfig, BoxEvent, BoxReport, BoxSim, SecondaryKind};
+pub use boxsim::{
+    BoxConfig, BoxEvent, BoxReport, BoxSim, HostedSpec, SecondaryKind, ServicePlan, ServiceReport,
+};
 pub use cache::CacheModel;
 pub use chaos::{FaultPlan, FaultRecord, PlannedFault, PlannedFaultKind};
+pub use port::{BlockedAction, GraphPort, ServicePort};
 pub use service::{IndexServe, ServiceConfig};

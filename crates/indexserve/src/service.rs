@@ -15,7 +15,7 @@ use simcore::{SimDuration, SimRng, SimTime};
 use simcpu::{JobId, Machine, Program, ThreadId};
 
 use crate::cache::CacheModel;
-use crate::tags::{stage_tag, Stage};
+use crate::tags::{service_bits, stage_tag, Stage};
 
 /// Service-model parameters (calibrated to the paper's standalone profile).
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -58,6 +58,24 @@ pub struct ServiceConfig {
     pub cache: CacheModel,
     /// Per-query log write to the shared HDD volume.
     pub log_write_bytes: u64,
+    /// Declared working-set size registered against the primary job.
+    ///
+    /// `None` means the paper's production footprint
+    /// ([`ServiceConfig::PAPER_WORKING_SET`]); multi-primary boxes set an
+    /// explicit per-service value so two services fit one machine.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub working_set_bytes: Option<u64>,
+}
+
+impl ServiceConfig {
+    /// The paper's IndexServe footprint: 110 GiB index cache plus 6 GiB
+    /// process overhead.
+    pub const PAPER_WORKING_SET: u64 = 110 * (1 << 30) + (6 << 30);
+
+    /// The effective working set registered with the machine.
+    pub fn working_set(&self) -> u64 {
+        self.working_set_bytes.unwrap_or(Self::PAPER_WORKING_SET)
+    }
 }
 
 impl Default for ServiceConfig {
@@ -84,6 +102,7 @@ impl Default for ServiceConfig {
             comp_max: 1.5,
             cache: CacheModel::paper_default(200_000),
             log_write_bytes: 4 << 10,
+            working_set_bytes: None,
         }
     }
 }
@@ -99,6 +118,8 @@ pub struct QueryOutcome {
     pub latency: SimDuration,
     /// True when the query timed out.
     pub dropped: bool,
+    /// Index of the hosting service on its box (0 on single-service boxes).
+    pub service: u8,
 }
 
 #[derive(Debug)]
@@ -127,6 +148,10 @@ pub struct IndexServe {
     pub queued_admissions: u64,
     /// Queries shed at admission for lack of remaining deadline budget.
     pub shed_admissions: u64,
+    /// Index of this service on its box; ORed into every stage tag (as
+    /// [`crate::tags::service_bits`]) and stamped on outcomes. Zero for the
+    /// classic single-service box, so tags stay bit-identical there.
+    service: u8,
     /// Recycled `live_tids` vectors: finished queries return their vector
     /// here so steady-state arrivals never allocate one.
     tid_pool: Vec<Vec<ThreadId>>,
@@ -147,6 +172,13 @@ impl IndexServe {
     /// The configuration is shared: cluster and fleet drivers instantiate
     /// hundreds of services from one `Arc` without cloning the config.
     pub fn new(cfg: Arc<ServiceConfig>, job: JobId, seed: u64) -> Self {
+        Self::for_service(cfg, job, seed, 0)
+    }
+
+    /// Creates a service bound to slot `service` of a multi-service box:
+    /// its stage tags carry the service index so the box driver can route
+    /// machine outputs back to it.
+    pub fn for_service(cfg: Arc<ServiceConfig>, job: JobId, seed: u64, service: u8) -> Self {
         let parse_dist = LogNormal::from_median(cfg.parse_cost_us, cfg.stage_sigma);
         let worker_jitter = LogNormal::unit_median(cfg.worker_jitter_sigma);
         let rank_dist = LogNormal::from_median(cfg.rank_burst_us, cfg.stage_sigma);
@@ -162,6 +194,7 @@ impl IndexServe {
             workers_spawned: 0,
             queued_admissions: 0,
             shed_admissions: 0,
+            service,
             tid_pool: Vec::new(),
             kill_scratch: Vec::new(),
             parse_dist,
@@ -174,6 +207,16 @@ impl IndexServe {
     /// The service configuration.
     pub fn config(&self) -> &ServiceConfig {
         &self.cfg
+    }
+
+    /// This service's slot index on its box.
+    pub fn service_index(&self) -> u8 {
+        self.service
+    }
+
+    /// A stage tag carrying this service's index bits.
+    fn tag(&self, stage: Stage, qidx: u64, worker: u16) -> u64 {
+        stage_tag(stage, qidx, worker) | service_bits(self.service)
     }
 
     /// Queries currently being processed (admitted, not finished).
@@ -237,7 +280,7 @@ impl IndexServe {
             now,
             self.job,
             Program::compute_once(SimDuration::from_micros_f64(burst)),
-            stage_tag(Stage::Parse, qidx, 0),
+            self.tag(Stage::Parse, qidx, 0),
         );
         self.queries[qidx as usize].live_tids.push(tid);
     }
@@ -316,7 +359,7 @@ impl IndexServe {
             // and cache misses — streaming the steps straight into recycled
             // arena memory.
             let mut writer =
-                machine.spawn_scripted(now, self.job, stage_tag(Stage::Worker, qidx, w as u16));
+                machine.spawn_scripted(now, self.job, self.tag(Stage::Worker, qidx, w as u16));
             for round in 0..rounds {
                 let burst = base_burst_ns * jitter.sample(&mut self.rng);
                 writer.compute(SimDuration::from_nanos(burst as u64));
@@ -341,7 +384,7 @@ impl IndexServe {
         // the last worker's completion), so it carries the wake boost —
         // only the initial fan-out pays the back-of-queue price.
         let mut writer = machine
-            .spawn_scripted(now, self.job, stage_tag(Stage::Rank, qidx, 0))
+            .spawn_scripted(now, self.job, self.tag(Stage::Rank, qidx, 0))
             .boosted(true);
         for round in 0..rounds {
             let burst = dist.sample(&mut self.rng);
@@ -359,7 +402,7 @@ impl IndexServe {
             now,
             self.job,
             Program::compute_once(SimDuration::from_micros_f64(burst)),
-            stage_tag(Stage::Aggregate, qidx, 0),
+            self.tag(Stage::Aggregate, qidx, 0),
             true,
         );
         self.queries[qidx as usize].live_tids.push(tid);
@@ -372,6 +415,7 @@ impl IndexServe {
             arrival,
             latency: now.since(arrival),
             dropped: false,
+            service: self.service,
         };
         self.finish(now, qidx, machine);
         self.outcomes.push(outcome);
@@ -415,6 +459,7 @@ impl IndexServe {
             arrival,
             latency: now.since(arrival),
             dropped: true,
+            service: self.service,
         };
         self.outcomes.push(outcome);
         Some(outcome)
@@ -446,6 +491,7 @@ impl IndexServe {
             arrival: now,
             latency: SimDuration::ZERO,
             dropped: true,
+            service: self.service,
         });
         qidx
     }
@@ -471,6 +517,7 @@ impl IndexServe {
             arrival,
             latency: now.since(arrival),
             dropped: true,
+            service: self.service,
         });
     }
 

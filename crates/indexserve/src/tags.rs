@@ -21,7 +21,28 @@ pub enum Stage {
 
 const STAGE_SHIFT: u32 = 56;
 const QUERY_SHIFT: u32 = 16;
-const PRIMARY_BIT: u64 = 1 << 62;
+
+/// Bit marking a tag as belonging to a primary (latency-sensitive) service.
+pub const PRIMARY_BIT: u64 = 1 << 62;
+
+/// Shift of the 2-bit per-box service index (bits 60..62, between the
+/// stage nibble and `PRIMARY_BIT`). Service 0 tags are bit-identical to
+/// the single-service encoding.
+pub const SERVICE_SHIFT: u32 = 60;
+
+/// Maximum number of primary services one box can host (2 index bits).
+pub const MAX_SERVICES: usize = 4;
+
+/// Packs a service index into tag bits; OR this into any primary tag.
+pub fn service_bits(service: u8) -> u64 {
+    debug_assert!((service as usize) < MAX_SERVICES);
+    (service as u64) << SERVICE_SHIFT
+}
+
+/// Extracts the service index from a primary tag.
+pub fn tag_service(tag: u64) -> u8 {
+    ((tag >> SERVICE_SHIFT) & 0x3) as u8
+}
 
 /// Packs a primary-tenant stage tag.
 pub fn stage_tag(stage: Stage, query_idx: u64, worker_idx: u16) -> u64 {
@@ -127,5 +148,17 @@ mod tests {
         let t = stage_tag(Stage::Worker, 42, 1);
         assert_ne!(t & workloads::cpu_bully::CPU_BULLY_TAG_BASE, t);
         assert!(parse_stage_tag(workloads::disk_bully::DISK_BULLY_TAG_BASE).is_none());
+    }
+
+    #[test]
+    fn service_bits_do_not_disturb_stage_fields() {
+        let base = stage_tag(Stage::Rank, 9_999, 7);
+        for svc in 0..MAX_SERVICES as u8 {
+            let tag = base | service_bits(svc);
+            assert_eq!(tag_service(tag), svc);
+            assert_eq!(parse_stage_tag(tag), Some((Stage::Rank, 9_999, 7)));
+        }
+        // Service 0 is the identity encoding.
+        assert_eq!(base | service_bits(0), base);
     }
 }

@@ -55,7 +55,15 @@ fn main() -> ExitCode {
 }
 
 fn cmd_list() -> Result<(), String> {
-    let mut t = Table::new(&["name", "target", "policy", "sweep", "seeds", "description"]);
+    let mut t = Table::new(&[
+        "name",
+        "target",
+        "workload",
+        "policy",
+        "sweep",
+        "seeds",
+        "description",
+    ]);
     for s in spec::registry() {
         let sweep = match &s.sweep {
             Some(sw) => format!("{} cells", sw.cell_count()),
@@ -64,6 +72,7 @@ fn cmd_list() -> Result<(), String> {
         t.row_owned(vec![
             s.name.clone(),
             s.target.describe(),
+            s.workload.class_label().to_string(),
             s.policy.label(),
             sweep,
             format!("{}", s.seeds),
@@ -77,6 +86,36 @@ fn cmd_list() -> Result<(), String> {
 fn cmd_show(name: &str) -> Result<(), String> {
     let s = spec::named(name).map_err(|e| e.to_string())?;
     println!("{}", s.to_json());
+    if let Some(g) = s.workload.as_graph() {
+        println!("\nservice graph ({}):", g.shape_summary());
+        let mut t = Table::new(&["stage", "fan-out", "compute (us)", "sigma", "memory (mb)"]);
+        for st in &g.stages {
+            t.row_owned(vec![
+                st.name.clone(),
+                format!("{}", st.fan_out),
+                format!("{:.0}", st.compute_us),
+                format!("{:.2}", st.sigma),
+                format!("{}", st.memory_mb),
+            ]);
+        }
+        print!("{}", t.render());
+        for e in &g.edges {
+            println!("  {} -> {} ({} B, +{} us)", e.from, e.to, e.bytes, e.latency_us);
+        }
+        println!("  deadline: {} ms", g.timeout_ms);
+    }
+    if let spec::TargetSpec::MultiBox { services } = &s.target {
+        println!("\nhosted services ({}):", services.len());
+        let mut t = Table::new(&["service", "qps", "working set (mb)"]);
+        for svc in services {
+            t.row_owned(vec![
+                svc.name.clone(),
+                format!("{:.0}", svc.qps),
+                format!("{}", svc.working_set_mb),
+            ]);
+        }
+        print!("{}", t.render());
+    }
     if !s.fault.is_empty() {
         let r = &s.fault.restart;
         println!(
@@ -277,6 +316,42 @@ fn print_report(report: &Report) {
         ]);
     }
     print!("{}", t.render());
+    // Per-service breakdowns (multi-service boxes only; classic runs
+    // carry no service rows).
+    if report
+        .box_reports()
+        .iter()
+        .any(|r| !r.services.is_empty())
+    {
+        let mut t = Table::new(&[
+            "seed",
+            "service",
+            "qps",
+            "p50 (ms)",
+            "p99 (ms)",
+            "completed",
+            "dropped",
+            "cpu (s)",
+        ]);
+        for (seed, run) in report.seeds.iter().zip(report.runs.iter()) {
+            let Some(r) = run.as_single_box() else {
+                continue;
+            };
+            for svc in &r.services {
+                t.row_owned(vec![
+                    format!("{seed}"),
+                    svc.name.clone(),
+                    format!("{:.0}", svc.qps),
+                    ms(svc.latency.p50),
+                    ms(svc.latency.p99),
+                    format!("{}", svc.latency.count),
+                    format!("{}", svc.latency.dropped),
+                    format!("{:.2}", svc.cpu_time.as_secs_f64()),
+                ]);
+            }
+        }
+        print!("{}", t.render());
+    }
     for (seed, run) in report.seeds.iter().zip(report.runs.iter()) {
         match run {
             SeedReport::SingleBox(r) => {

@@ -47,6 +47,7 @@
 
 mod controller;
 mod fault;
+mod graph;
 mod registry;
 mod runner;
 
@@ -54,6 +55,7 @@ pub use controller::{
     ControllerSpec, SweepAxis, SweepCell, SweepSpec, TenantLimitSpec, MAX_SWEEP_CELLS,
 };
 pub use fault::{FaultEvent, FaultSpec, RestartSpec};
+pub use graph::{EdgeSpec, ServiceGraphSpec, StageSpec, WorkloadSpec};
 pub use registry::{named, names, registry};
 pub use runner::{
     run_spec, run_sweep, Report, RunOptions, SeedReport, Summary, SweepCellReport, SweepReport,
@@ -65,7 +67,8 @@ use perfiso::{CpuPolicy, PerfIsoConfig};
 use cluster::fleet::FleetConfig;
 use cluster::{ClusterConfig, ClusterSim, Topology};
 use indexserve::boxsim::RunPlan;
-use indexserve::{BoxConfig, BoxSim, SecondaryKind};
+use indexserve::tags::MAX_SERVICES;
+use indexserve::{BoxConfig, BoxSim, HostedSpec, SecondaryKind, ServiceConfig};
 use qtrace::{DiurnalCurve, OpenLoopClient, TraceConfig, TraceGenerator};
 use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
@@ -76,6 +79,12 @@ use crate::Policy;
 
 /// Paper-server core count, used by policy validation.
 const PAPER_CORES: u32 = 48;
+
+/// Paper-server physical memory in megabytes, used by roster validation.
+const PAPER_MEMORY_MB: u64 = 128 * 1024;
+
+/// Megabytes reserved for the secondary tenants when sizing a roster.
+const SECONDARY_RESERVE_MB: u64 = 2 * 1024;
 
 /// Why a spec is not runnable.
 #[derive(Clone, Debug, PartialEq)]
@@ -117,6 +126,9 @@ pub enum SpecError {
     /// The fault-injection timeline is degenerate or targets components
     /// the scenario does not run.
     InvalidFault(String),
+    /// The primary workload declaration (service graph or multi-box
+    /// roster) is malformed or incompatible with the target.
+    InvalidWorkload(String),
     /// No scenario with this name in the registry.
     UnknownScenario(String),
     /// A JSON spec file failed to load or parse.
@@ -162,6 +174,7 @@ impl std::fmt::Display for SpecError {
                 )
             }
             SpecError::InvalidFault(m) => write!(f, "invalid fault timeline: {m}"),
+            SpecError::InvalidWorkload(m) => write!(f, "invalid workload: {m}"),
             SpecError::UnknownScenario(n) => write!(f, "unknown scenario {n:?} (try `list`)"),
             SpecError::InvalidSpecFile(m) => write!(f, "cannot load spec file: {m}"),
         }
@@ -233,6 +246,18 @@ impl CurveSpec {
     }
 }
 
+/// One latency-sensitive service of a multi-primary box: its display
+/// name, its own open-loop offered load, and its declared footprint.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServiceLoadSpec {
+    /// Service display name (report rows; unique within the roster).
+    pub name: String,
+    /// Offered load in queries/second.
+    pub qps: f64,
+    /// Declared resident working set, megabytes.
+    pub working_set_mb: u64,
+}
+
 /// Which driver executes the scenario.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum TargetSpec {
@@ -240,6 +265,13 @@ pub enum TargetSpec {
     SingleBox {
         /// Offered load in queries/second.
         qps: f64,
+    },
+    /// One production server hosting several latency-sensitive services
+    /// that PerfIso must arbitrate between
+    /// ([`indexserve::boxsim::run_multi`]).
+    MultiBox {
+        /// The service roster, in slot order.
+        services: Vec<ServiceLoadSpec>,
     },
     /// The Fig 9 TLA/MLA/IndexServe cluster ([`ClusterSim`]).
     Cluster {
@@ -274,6 +306,7 @@ impl TargetSpec {
     pub fn kind(&self) -> &'static str {
         match self {
             TargetSpec::SingleBox { .. } => "single-box",
+            TargetSpec::MultiBox { .. } => "multi-box",
             TargetSpec::Cluster { .. } => "cluster",
             TargetSpec::Fleet { .. } => "fleet",
         }
@@ -283,6 +316,13 @@ impl TargetSpec {
     pub fn describe(&self) -> String {
         match self {
             TargetSpec::SingleBox { qps } => format!("single-box @ {qps:.0} qps"),
+            TargetSpec::MultiBox { services } => {
+                let roster: Vec<String> = services
+                    .iter()
+                    .map(|s| format!("{}@{:.0}", s.name, s.qps))
+                    .collect();
+                format!("multi-box [{}] qps", roster.join(" + "))
+            }
             TargetSpec::Cluster {
                 columns,
                 rows,
@@ -314,6 +354,11 @@ pub struct ScenarioSpec {
     pub description: String,
     /// Which driver runs it, with its load.
     pub target: TargetSpec,
+    /// The primary workload class (absent in older spec files =
+    /// IndexServe; the default is never serialized, keeping pre-workload
+    /// fixtures byte-stable).
+    #[serde(default, skip_serializing_if = "WorkloadSpec::is_index_serve")]
+    pub workload: WorkloadSpec,
     /// Secondary tenants on each simulated machine.
     pub secondary: SecondaryKind,
     /// The isolation policy under test.
@@ -348,6 +393,7 @@ impl ScenarioSpec {
                 name: name.to_string(),
                 description: String::new(),
                 target: TargetSpec::SingleBox { qps: 2_000.0 },
+                workload: WorkloadSpec::IndexServe,
                 secondary: SecondaryKind::none(),
                 policy: Policy::Standalone,
                 controller: ControllerSpec::default(),
@@ -500,10 +546,73 @@ impl ScenarioSpec {
                     .map_err(|e| SpecError::InvalidSweep(format!("cell [{}]: {e}", cell.label)))?;
             }
         }
+        if let WorkloadSpec::ServiceGraph(g) = &self.workload {
+            g.check_shape().map_err(SpecError::InvalidWorkload)?;
+            if !matches!(self.target, TargetSpec::SingleBox { .. }) {
+                return Err(SpecError::InvalidWorkload(format!(
+                    "service-graph workloads run on a single-box target, not {}",
+                    self.target.kind()
+                )));
+            }
+            if g.working_set_mb() + SECONDARY_RESERVE_MB > PAPER_MEMORY_MB {
+                return Err(SpecError::InvalidWorkload(format!(
+                    "graph working set {} MB leaves no room for secondaries on a \
+                     {PAPER_MEMORY_MB} MB box",
+                    g.working_set_mb()
+                )));
+            }
+        }
         match &self.target {
             TargetSpec::SingleBox { qps } => {
                 if !(qps.is_finite() && *qps > 0.0) {
                     return Err(SpecError::InvalidQps(*qps));
+                }
+            }
+            TargetSpec::MultiBox { services } => {
+                if !self.workload.is_index_serve() {
+                    return Err(SpecError::InvalidWorkload(
+                        "multi-box rosters host IndexServe services; graph workloads \
+                         use a single-box target"
+                            .into(),
+                    ));
+                }
+                if services.is_empty() || services.len() > MAX_SERVICES {
+                    return Err(SpecError::InvalidWorkload(format!(
+                        "multi-box rosters host 1..={MAX_SERVICES} services, got {}",
+                        services.len()
+                    )));
+                }
+                let mut names = std::collections::HashSet::new();
+                let mut total_mb = 0u64;
+                for s in services {
+                    if s.name.is_empty() || s.name.chars().any(char::is_whitespace) {
+                        return Err(SpecError::InvalidWorkload(format!(
+                            "service name {:?} must be non-empty, no whitespace",
+                            s.name
+                        )));
+                    }
+                    if !names.insert(s.name.as_str()) {
+                        return Err(SpecError::InvalidWorkload(format!(
+                            "duplicate service name {:?}",
+                            s.name
+                        )));
+                    }
+                    if !(s.qps.is_finite() && s.qps > 0.0) {
+                        return Err(SpecError::InvalidQps(s.qps));
+                    }
+                    if s.working_set_mb == 0 {
+                        return Err(SpecError::InvalidWorkload(format!(
+                            "service {:?} declares an empty working set",
+                            s.name
+                        )));
+                    }
+                    total_mb += s.working_set_mb;
+                }
+                if total_mb + SECONDARY_RESERVE_MB > PAPER_MEMORY_MB {
+                    return Err(SpecError::InvalidWorkload(format!(
+                        "roster working sets total {total_mb} MB; with the secondary \
+                         reserve that exceeds the {PAPER_MEMORY_MB} MB box"
+                    )));
                 }
             }
             TargetSpec::Cluster {
@@ -623,9 +732,12 @@ impl ScenarioSpec {
     /// Fails on validation errors or a non-single-box target.
     pub fn box_config(&self, seed: u64) -> Result<BoxConfig, SpecError> {
         self.validate()?;
-        if !matches!(self.target, TargetSpec::SingleBox { .. }) {
+        if !matches!(
+            self.target,
+            TargetSpec::SingleBox { .. } | TargetSpec::MultiBox { .. }
+        ) {
             return Err(SpecError::TargetMismatch {
-                expected: "single-box",
+                expected: "single-box or multi-box",
                 found: self.target.kind(),
             });
         }
@@ -637,7 +749,35 @@ impl ScenarioSpec {
             .map(std::sync::Arc::new);
         let mut cfg = BoxConfig::paper_box(self.secondary.clone(), effective, seed);
         cfg.fault = fault;
+        cfg.hosted = self.hosted_roster()?;
         Ok(cfg)
+    }
+
+    /// The service roster [`box_config`](Self::box_config) installs:
+    /// empty for the classic single-IndexServe box (bit-identical to the
+    /// pre-roster driver), one graph slot for service-graph workloads,
+    /// one sized IndexServe slot per [`ServiceLoadSpec`] for multi-box
+    /// targets.
+    fn hosted_roster(&self) -> Result<Vec<HostedSpec>, SpecError> {
+        match (&self.target, &self.workload) {
+            (TargetSpec::MultiBox { services }, _) => Ok(services
+                .iter()
+                .map(|s| HostedSpec::IndexServe {
+                    name: s.name.clone(),
+                    service: std::sync::Arc::new(ServiceConfig {
+                        working_set_bytes: Some(s.working_set_mb << 20),
+                        ..ServiceConfig::default()
+                    }),
+                })
+                .collect()),
+            (_, WorkloadSpec::ServiceGraph(g)) => Ok(vec![HostedSpec::Graph {
+                name: "graph".to_string(),
+                graph: std::sync::Arc::new(
+                    g.to_workload().map_err(SpecError::InvalidWorkload)?,
+                ),
+            }]),
+            (_, WorkloadSpec::IndexServe) => Ok(Vec::new()),
+        }
     }
 
     /// A live [`BoxSim`] for embedding-style experiments (runtime
@@ -788,6 +928,43 @@ impl ScenarioBuilder {
     /// Targets one production server at the given load.
     pub fn single_box(mut self, qps: f64) -> Self {
         self.spec.target = TargetSpec::SingleBox { qps };
+        self
+    }
+
+    /// Targets one production server hosting the given service roster.
+    pub fn multi_box(mut self, services: Vec<ServiceLoadSpec>) -> Self {
+        self.spec.target = TargetSpec::MultiBox { services };
+        self
+    }
+
+    /// Appends one service to the multi-box roster (converting a
+    /// single-box target into a multi-box one if needed).
+    pub fn hosted_service(mut self, name: &str, qps: f64, working_set_mb: u64) -> Self {
+        let entry = ServiceLoadSpec {
+            name: name.to_string(),
+            qps,
+            working_set_mb,
+        };
+        match &mut self.spec.target {
+            TargetSpec::MultiBox { services } => services.push(entry),
+            _ => {
+                self.spec.target = TargetSpec::MultiBox {
+                    services: vec![entry],
+                };
+            }
+        }
+        self
+    }
+
+    /// Sets the primary workload class wholesale.
+    pub fn workload(mut self, workload: WorkloadSpec) -> Self {
+        self.spec.workload = workload;
+        self
+    }
+
+    /// Runs a service-graph primary instead of IndexServe.
+    pub fn graph(mut self, graph: ServiceGraphSpec) -> Self {
+        self.spec.workload = WorkloadSpec::ServiceGraph(graph);
         self
     }
 

@@ -11,9 +11,70 @@ use cluster::Topology;
 use workloads::{BullyIntensity, DiskBully};
 
 use super::{
-    ControllerSpec, CurveSpec, FaultEvent, RestartSpec, ScaleSpec, ScenarioSpec, SweepAxis,
+    ControllerSpec, CurveSpec, EdgeSpec, FaultEvent, RestartSpec, ScaleSpec, ScenarioSpec,
+    ServiceGraphSpec, StageSpec, SweepAxis,
 };
 use crate::Policy;
+
+/// Stage-literal shorthand for the registry graphs.
+fn stage(name: &str, fan_out: u32, compute_us: f64, sigma: f64, memory_mb: u64) -> StageSpec {
+    StageSpec {
+        name: name.to_string(),
+        fan_out,
+        compute_us,
+        sigma,
+        memory_mb,
+    }
+}
+
+/// Edge-literal shorthand for the registry graphs.
+fn edge(from: &str, to: &str, bytes: u64, latency_us: u64) -> EdgeSpec {
+    EdgeSpec {
+        from: from.to_string(),
+        to: to.to_string(),
+        bytes,
+        latency_us,
+    }
+}
+
+/// The four-stage microservice chain `graph-chain` serves: an
+/// IndexServe-shaped pipeline expressed as explicit services connected
+/// by fabric hops.
+fn chain_graph() -> ServiceGraphSpec {
+    ServiceGraphSpec {
+        stages: vec![
+            stage("gateway", 1, 150.0, 0.3, 2_048),
+            stage("match", 8, 250.0, 0.4, 65_536),
+            stage("rank", 4, 200.0, 0.35, 32_768),
+            stage("respond", 1, 120.0, 0.25, 2_048),
+        ],
+        edges: vec![
+            edge("gateway", "match", 16_384, 50),
+            edge("match", "rank", 65_536, 80),
+            edge("rank", "respond", 8_192, 40),
+        ],
+        timeout_ms: 25,
+    }
+}
+
+/// The scatter-gather DAG `graph-fanout` serves: one root scattering to
+/// four parallel shards, gathered by a merge stage.
+fn fanout_graph() -> ServiceGraphSpec {
+    let shards = ["shard-0", "shard-1", "shard-2", "shard-3"];
+    let mut stages = vec![stage("root", 1, 120.0, 0.25, 1_024)];
+    let mut edges = Vec::new();
+    for s in shards {
+        stages.push(stage(s, 4, 300.0, 0.4, 16_384));
+        edges.push(edge("root", s, 8_192, 40));
+        edges.push(edge(s, "merge", 32_768, 60));
+    }
+    stages.push(stage("merge", 1, 150.0, 0.3, 2_048));
+    ServiceGraphSpec {
+        stages,
+        edges,
+        timeout_ms: 25,
+    }
+}
 
 /// All named scenarios, in presentation order.
 pub fn registry() -> Vec<ScenarioSpec> {
@@ -254,6 +315,32 @@ pub fn registry() -> Vec<ScenarioSpec> {
             .custom_scale(300, 1_200)
             .build()
             .expect("registry spec"),
+        b("graph-chain")
+            .describe("four-stage microservice chain under a high CPU bully, blind isolation")
+            .single_box(1_500.0)
+            .graph(chain_graph())
+            .cpu_bully(BullyIntensity::High)
+            .policy(Policy::Blind { buffer_cores: 8 })
+            .custom_scale(400, 1_600)
+            .build()
+            .expect("registry spec"),
+        b("graph-fanout")
+            .describe("scatter-gather service graph (root, 4 shards, merge) running standalone")
+            .single_box(1_000.0)
+            .graph(fanout_graph())
+            .policy(Policy::Standalone)
+            .custom_scale(400, 1_600)
+            .build()
+            .expect("registry spec"),
+        b("dual-primary-arbitration")
+            .describe("two latency-sensitive services share one box; PerfIso arbitrates both tails against a high bully")
+            .hosted_service("web", 1_800.0, 53_248)
+            .hosted_service("ads", 1_200.0, 40_960)
+            .cpu_bully(BullyIntensity::High)
+            .policy(Policy::Blind { buffer_cores: 8 })
+            .custom_scale(400, 1_600)
+            .build()
+            .expect("registry spec"),
     ]
 }
 
@@ -310,6 +397,22 @@ mod tests {
             let spec = named(sweep).unwrap_or_else(|_| panic!("{sweep} missing"));
             let cells = spec.expand_sweep().expect("sweep expands");
             assert!(cells.len() >= 2, "{sweep} should be a real grid");
+        }
+        for graph in ["graph-chain", "graph-fanout"] {
+            let spec = named(graph).unwrap_or_else(|_| panic!("{graph} missing"));
+            assert_eq!(spec.workload.class_label(), "service-graph", "{graph}");
+            spec.workload
+                .as_graph()
+                .expect("graph workload")
+                .check_shape()
+                .expect("registered graph is well-formed");
+        }
+        let dual = named("dual-primary-arbitration").expect("dual-primary missing");
+        match &dual.target {
+            super::super::TargetSpec::MultiBox { services } => {
+                assert_eq!(services.len(), 2, "two colocated primaries");
+            }
+            other => panic!("dual-primary should be multi-box, got {}", other.kind()),
         }
         assert!(matches!(
             named("no-such-scenario"),

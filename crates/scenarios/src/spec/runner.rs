@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use cluster::fleet::{effective_threads, run_fleet, FleetReport};
 use cluster::{ClusterReport, ClusterSim};
-use indexserve::boxsim::run_standalone;
+use indexserve::boxsim::{run_multi, run_standalone, ServicePlan};
 use indexserve::BoxReport;
 use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
@@ -243,6 +243,13 @@ fn run_seed(spec: &ScenarioSpec, seed: u64, inner_threads: usize) -> SeedReport 
             let plan = spec.run_plan().expect("validated");
             let cfg = spec.box_config(seed).expect("validated");
             SeedReport::SingleBox(run_standalone(cfg, &plan))
+        }
+        TargetSpec::MultiBox { services } => {
+            let cfg = spec.box_config(seed).expect("validated");
+            let scale = spec.run_scale();
+            let plans: Vec<ServicePlan> =
+                services.iter().map(|s| ServicePlan::at_qps(s.qps)).collect();
+            SeedReport::SingleBox(run_multi(cfg, &plans, scale.warmup, scale.measure))
         }
         TargetSpec::Cluster { .. } => {
             let cfg = spec.cluster_config(seed, inner_threads).expect("validated");

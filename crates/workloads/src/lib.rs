@@ -14,13 +14,20 @@
 //! CPU-side behaviour plugs into `simcpu` as [`simcpu::ThreadProgram`]s;
 //! I/O-side behaviour is expressed as operation generators the machine
 //! driver submits to `simdisk`.
+//!
+//! Beyond the paper's antagonists, [`service_graph`] adds a *primary*
+//! workload class: microservice chains expressed as DAGs of compute
+//! stages connected by `simnet` hops, for scenarios the paper's
+//! single-service setup cannot express.
 
 pub mod cpu_bully;
 pub mod disk_bully;
 pub mod hdfs;
 pub mod ml_trainer;
+pub mod service_graph;
 
 pub use cpu_bully::{BullyIntensity, CpuBully, CpuBullyHandle};
 pub use disk_bully::{DiskBully, DiskOp};
 pub use hdfs::{HdfsNode, HdfsTrafficKind};
 pub use ml_trainer::MlTrainer;
+pub use service_graph::{GraphEdge, GraphEngine, GraphOutcome, GraphStage, GraphWorkload};

@@ -1,0 +1,596 @@
+//! Microservice-chain workload: a DAG of compute stages connected by
+//! simnet hops.
+//!
+//! [`GraphWorkload`] describes the topology — each stage is a fan-out of
+//! arena-backed compute threads with a log-normal service-time
+//! distribution and a declared memory footprint; each edge is a network
+//! hop with a payload size and an extra propagation latency. The
+//! [`GraphEngine`] executes requests against a [`Machine`]: every root
+//! stage activates on arrival, a stage completes when all its workers
+//! exit, completion pushes one message per out-edge through an internal
+//! [`NetSim`] (one node per stage), and a downstream stage activates once
+//! every in-edge has delivered. A request completes when all sink stages
+//! have finished.
+//!
+//! The engine is workload-layer only: it knows nothing about boxes,
+//! controllers, or tenants. The hosting driver supplies the `tag_base`
+//! ORed into every thread tag (primary/service routing bits), pumps
+//! [`GraphEngine::advance_to`] alongside its other event sources, and
+//! routes thread exits back via [`GraphEngine::on_thread_exited`].
+
+use std::sync::Arc;
+
+use simcore::dist::{LogNormal, Sample};
+use simcore::{SimDuration, SimRng, SimTime};
+use simcpu::{JobId, Machine, Program, ThreadId};
+use simnet::{NetConfig, NetSim, NodeId, TrafficClass};
+
+/// Worker index bits in a stage-thread tag (fan-out ≤ 1024).
+const WORKER_BITS: u32 = 10;
+/// Stage index bits (≤ 64 stages).
+const STAGE_BITS: u32 = 6;
+const STAGE_SHIFT: u32 = WORKER_BITS;
+const REQUEST_SHIFT: u32 = WORKER_BITS + STAGE_BITS;
+/// Request index bits (dense per-run indices; 40 bits is plenty).
+const REQUEST_BITS: u32 = 40;
+
+/// Largest per-stage fan-out the tag encoding supports.
+pub const MAX_FAN_OUT: u32 = 1 << WORKER_BITS;
+/// Largest stage count the tag encoding supports.
+pub const MAX_STAGES: usize = 1 << STAGE_BITS;
+/// Largest edge count the net-token encoding supports.
+pub const MAX_EDGES: usize = 256;
+
+/// One compute stage of a service graph.
+#[derive(Clone, Debug)]
+pub struct GraphStage {
+    /// Stage name (diagnostics; uniqueness enforced by the spec layer).
+    pub name: String,
+    /// Number of parallel worker threads spawned per activation.
+    pub fan_out: u32,
+    /// Median per-worker compute time in microseconds.
+    pub compute_us: f64,
+    /// Log-normal shape of the compute-time distribution.
+    pub sigma: f64,
+    /// Resident memory this stage contributes to the service working set.
+    pub memory_bytes: u64,
+}
+
+/// A directed network hop between two stages.
+#[derive(Clone, Debug)]
+pub struct GraphEdge {
+    /// Source stage index.
+    pub from: u32,
+    /// Destination stage index.
+    pub to: u32,
+    /// Message payload in bytes (serialization cost on the fabric).
+    pub bytes: u64,
+    /// Extra propagation latency added before the message enters the
+    /// fabric (models an RPC hop longer than the base NIC latency).
+    pub latency: SimDuration,
+}
+
+/// A validated service-graph workload description.
+#[derive(Clone, Debug)]
+pub struct GraphWorkload {
+    /// The stages, indexed by `GraphEdge::{from,to}`.
+    pub stages: Vec<GraphStage>,
+    /// The hops; an empty list means every stage is both root and sink.
+    pub edges: Vec<GraphEdge>,
+    /// Per-request deadline.
+    pub timeout: SimDuration,
+}
+
+impl GraphWorkload {
+    /// Total declared resident memory across all stages.
+    pub fn working_set(&self) -> u64 {
+        self.stages.iter().map(|s| s.memory_bytes).sum()
+    }
+
+    /// Checks structural soundness: stage/edge bounds, index validity,
+    /// no self-edges or duplicate edges, and acyclicity (iterative
+    /// Kahn's algorithm — never recurses, never panics on bad input).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.stages.is_empty() {
+            return Err("graph has no stages".into());
+        }
+        if self.stages.len() > MAX_STAGES {
+            return Err(format!(
+                "too many stages: {} > {MAX_STAGES}",
+                self.stages.len()
+            ));
+        }
+        if self.edges.len() > MAX_EDGES {
+            return Err(format!("too many edges: {} > {MAX_EDGES}", self.edges.len()));
+        }
+        for (i, s) in self.stages.iter().enumerate() {
+            if s.fan_out == 0 || s.fan_out > MAX_FAN_OUT {
+                return Err(format!(
+                    "stage {i} ({}) fan_out {} out of range 1..={MAX_FAN_OUT}",
+                    s.name, s.fan_out
+                ));
+            }
+            if !s.compute_us.is_finite() || s.compute_us <= 0.0 {
+                return Err(format!(
+                    "stage {i} ({}) compute_us must be positive and finite",
+                    s.name
+                ));
+            }
+            if !s.sigma.is_finite() || s.sigma < 0.0 || s.sigma > 4.0 {
+                return Err(format!(
+                    "stage {i} ({}) sigma must be in [0, 4]",
+                    s.name
+                ));
+            }
+        }
+        let n = self.stages.len() as u32;
+        let mut seen = std::collections::BTreeSet::new();
+        let mut in_degree = vec![0u32; n as usize];
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.from >= n || e.to >= n {
+                return Err(format!("edge {i} references a missing stage"));
+            }
+            if e.from == e.to {
+                return Err(format!("edge {i} is a self-loop on stage {}", e.from));
+            }
+            if !seen.insert((e.from, e.to)) {
+                return Err(format!("duplicate edge {} -> {}", e.from, e.to));
+            }
+            in_degree[e.to as usize] += 1;
+        }
+        // Kahn's algorithm: all stages must drain, else a cycle remains.
+        let mut ready: Vec<u32> = (0..n).filter(|&i| in_degree[i as usize] == 0).collect();
+        let mut drained = 0u32;
+        while let Some(s) = ready.pop() {
+            drained += 1;
+            for e in self.edges.iter().filter(|e| e.from == s) {
+                in_degree[e.to as usize] -= 1;
+                if in_degree[e.to as usize] == 0 {
+                    ready.push(e.to);
+                }
+            }
+        }
+        if drained != n {
+            return Err("graph contains a cycle".into());
+        }
+        if self.timeout <= SimDuration::ZERO {
+            return Err("timeout must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// A finished (or dropped) request.
+#[derive(Clone, Copy, Debug)]
+pub struct GraphOutcome {
+    /// Dense request index assigned at arrival.
+    pub ridx: u64,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// End-to-end latency (valid when not dropped).
+    pub latency: SimDuration,
+    /// True when the request timed out, was refused, or was failed.
+    pub dropped: bool,
+}
+
+/// Per-request execution state. Vectors are recycled through a pool when
+/// the request retires, keeping the steady-state arrival path
+/// allocation-free.
+#[derive(Debug, Default)]
+struct RequestState {
+    arrival: SimTime,
+    done: bool,
+    /// Sink stages still to finish before the request completes.
+    pending_sinks: u32,
+    /// Per-stage live worker count (0 = inactive or finished).
+    pending_workers: Vec<u32>,
+    /// Per-stage input edges still undelivered.
+    pending_inputs: Vec<u32>,
+    /// Threads currently running for this request (killed on failure).
+    live_tids: Vec<ThreadId>,
+}
+
+/// Executes [`GraphWorkload`] requests against a machine.
+pub struct GraphEngine {
+    graph: Arc<GraphWorkload>,
+    job: JobId,
+    /// Routing bits ORed into every thread tag (supplied by the host).
+    tag_base: u64,
+    net: NetSim,
+    rng: SimRng,
+    /// Per-stage compute-time distributions (same order as stages).
+    dists: Vec<LogNormal>,
+    /// Root stages (no in-edges), activated on arrival.
+    roots: Vec<u32>,
+    /// Per-stage in-degree template copied into each request.
+    in_degree: Vec<u32>,
+    /// Sink count (stages with no out-edges).
+    n_sinks: u32,
+    requests: Vec<RequestState>,
+    /// Retired request-state vectors awaiting reuse.
+    pool: Vec<RequestState>,
+    outcomes: Vec<GraphOutcome>,
+    deliveries: Vec<simnet::Delivery>,
+    /// Total stage worker threads spawned (fan-out statistics).
+    pub workers_spawned: u64,
+}
+
+impl GraphEngine {
+    /// Builds an engine for a validated graph.
+    ///
+    /// `tag_base` is ORed into every spawned thread's tag — the host uses
+    /// it to route machine outputs back to this engine. The low
+    /// `REQUEST_SHIFT + REQUEST_BITS` bits must be zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the graph fails [`GraphWorkload::validate`].
+    pub fn new(graph: Arc<GraphWorkload>, job: JobId, tag_base: u64, seed: u64) -> Self {
+        if let Err(e) = graph.validate() {
+            panic!("invalid service graph: {e}");
+        }
+        debug_assert_eq!(tag_base & ((1 << (REQUEST_SHIFT + REQUEST_BITS)) - 1), 0);
+        let n = graph.stages.len();
+        let dists = graph
+            .stages
+            .iter()
+            .map(|s| LogNormal::from_median(s.compute_us, s.sigma))
+            .collect();
+        let mut in_degree = vec![0u32; n];
+        let mut has_out = vec![false; n];
+        for e in &graph.edges {
+            in_degree[e.to as usize] += 1;
+            has_out[e.from as usize] = true;
+        }
+        let roots = (0..n as u32).filter(|&i| in_degree[i as usize] == 0).collect();
+        let n_sinks = has_out.iter().filter(|o| !**o).count() as u32;
+        GraphEngine {
+            net: NetSim::new(NetConfig::default(), n as u32, seed ^ 0x6E7),
+            graph,
+            job,
+            tag_base,
+            rng: SimRng::seed_from_u64(seed),
+            dists,
+            roots,
+            in_degree,
+            n_sinks,
+            requests: Vec::new(),
+            pool: Vec::new(),
+            outcomes: Vec::new(),
+            deliveries: Vec::new(),
+            workers_spawned: 0,
+        }
+    }
+
+    /// The workload this engine executes.
+    pub fn graph(&self) -> &Arc<GraphWorkload> {
+        &self.graph
+    }
+
+    /// Requests admitted but not yet retired.
+    pub fn in_flight(&self) -> usize {
+        self.requests.iter().filter(|r| !r.done).count()
+    }
+
+    fn tag(&self, ridx: u64, stage: u32, worker: u32) -> u64 {
+        self.tag_base
+            | ((ridx & ((1 << REQUEST_BITS) - 1)) << REQUEST_SHIFT)
+            | ((stage as u64) << STAGE_SHIFT)
+            | worker as u64
+    }
+
+    /// Splits a thread tag into (request, stage) indices.
+    fn parse_tag(tag: u64) -> (u64, u32) {
+        (
+            (tag >> REQUEST_SHIFT) & ((1 << REQUEST_BITS) - 1),
+            ((tag >> STAGE_SHIFT) & ((1 << STAGE_BITS) as u64 - 1)) as u32,
+        )
+    }
+
+    /// Packs a (request, edge) pair into a net token.
+    fn net_token(ridx: u64, eidx: usize) -> u64 {
+        (ridx << 8) | eidx as u64
+    }
+
+    fn fresh_request(&mut self, arrival: SimTime) -> u64 {
+        let ridx = self.requests.len() as u64;
+        let mut st = self.pool.pop().unwrap_or_default();
+        st.arrival = arrival;
+        st.done = false;
+        st.pending_sinks = self.n_sinks;
+        st.pending_workers.clear();
+        st.pending_workers.resize(self.graph.stages.len(), 0);
+        st.pending_inputs.clear();
+        st.pending_inputs.extend_from_slice(&self.in_degree);
+        st.live_tids.clear();
+        self.requests.push(st);
+        ridx
+    }
+
+    /// Admits a request: every root stage activates immediately.
+    /// Returns the dense request index.
+    pub fn on_arrival(&mut self, now: SimTime, machine: &mut Machine) -> u64 {
+        let ridx = self.fresh_request(now);
+        for i in 0..self.roots.len() {
+            let stage = self.roots[i];
+            self.activate_stage(now, ridx, stage, machine);
+        }
+        ridx
+    }
+
+    /// Records a refused request (the hosting process is down): dropped
+    /// immediately without touching the machine.
+    pub fn refuse_arrival(&mut self, now: SimTime) -> u64 {
+        let ridx = self.fresh_request(now);
+        self.retire(now, ridx, true);
+        ridx
+    }
+
+    fn activate_stage(&mut self, now: SimTime, ridx: u64, stage: u32, machine: &mut Machine) {
+        let spec = &self.graph.stages[stage as usize];
+        let fan_out = spec.fan_out;
+        let dist = self.dists[stage as usize];
+        // Continuation stages carry the wake boost: they resume a request
+        // that already queued once, exactly like a woken index worker.
+        let boosted = self.in_degree[stage as usize] > 0;
+        self.requests[ridx as usize].pending_workers[stage as usize] = fan_out;
+        for w in 0..fan_out {
+            let d = SimDuration::from_micros_f64(dist.sample(&mut self.rng));
+            let tag = self.tag(ridx, stage, w);
+            let tid = machine.spawn_program_with(now, self.job, Program::compute_once(d), tag, boosted);
+            self.requests[ridx as usize].live_tids.push(tid);
+            self.workers_spawned += 1;
+        }
+    }
+
+    /// Routes one of this engine's threads exiting back into the graph.
+    /// (Stage hand-off happens over the fabric, so the machine is only
+    /// part of the signature for symmetry with the other hooks.)
+    pub fn on_thread_exited(&mut self, now: SimTime, tag: u64, tid: ThreadId, _machine: &mut Machine) {
+        let (ridx, stage) = Self::parse_tag(tag);
+        let Some(req) = self.requests.get_mut(ridx as usize) else {
+            return;
+        };
+        if let Some(pos) = req.live_tids.iter().position(|t| *t == tid) {
+            req.live_tids.swap_remove(pos);
+        }
+        if req.done {
+            return;
+        }
+        let workers = &mut req.pending_workers[stage as usize];
+        debug_assert!(*workers > 0, "exit for inactive stage {stage}");
+        *workers -= 1;
+        if *workers > 0 {
+            return;
+        }
+        self.stage_complete(now, ridx, stage);
+    }
+
+    fn stage_complete(&mut self, now: SimTime, ridx: u64, stage: u32) {
+        let mut sent = false;
+        for (eidx, e) in self.graph.edges.iter().enumerate() {
+            if e.from != stage {
+                continue;
+            }
+            sent = true;
+            self.net.send(
+                now + e.latency,
+                NodeId(e.from),
+                NodeId(e.to),
+                e.bytes,
+                TrafficClass::High,
+                Self::net_token(ridx, eidx),
+            );
+        }
+        if !sent {
+            // Sink stage: the request completes when every sink is done.
+            let req = &mut self.requests[ridx as usize];
+            req.pending_sinks -= 1;
+            if req.pending_sinks == 0 {
+                self.retire(now, ridx, false);
+            }
+        }
+    }
+
+    /// Fails a request whose deadline fired: kills its live threads and
+    /// records a drop. In-flight fabric messages are ignored on delivery.
+    pub fn on_timeout(&mut self, now: SimTime, ridx: u64, machine: &mut Machine) {
+        let Some(req) = self.requests.get_mut(ridx as usize) else {
+            return;
+        };
+        if req.done {
+            return;
+        }
+        // kill_thread reports the exit back through on_thread_exited;
+        // clearing live_tids first makes those exits no-ops.
+        let mut tids = std::mem::take(&mut req.live_tids);
+        for tid in tids.drain(..) {
+            machine.kill_thread(now, tid);
+        }
+        self.requests[ridx as usize].live_tids = tids;
+        self.retire(now, ridx, true);
+    }
+
+    /// Fails every unfinished request (the hosting process died).
+    pub fn fail_all(&mut self, now: SimTime, machine: &mut Machine) {
+        for ridx in 0..self.requests.len() as u64 {
+            self.on_timeout(now, ridx, machine);
+        }
+    }
+
+    /// Records the request's outcome and recycles its state. The slot
+    /// left behind in `requests` is a tombstone with `done = true`, so
+    /// late thread exits and fabric deliveries are ignored safely.
+    fn retire(&mut self, now: SimTime, ridx: u64, dropped: bool) {
+        let req = &mut self.requests[ridx as usize];
+        req.done = true;
+        self.outcomes.push(GraphOutcome {
+            ridx,
+            arrival: req.arrival,
+            latency: now.since(req.arrival),
+            dropped,
+        });
+        if req.live_tids.is_empty() {
+            let st = std::mem::take(req);
+            self.requests[ridx as usize].done = true;
+            self.pool.push(st);
+        }
+    }
+
+    /// Next fabric event, if any messages are in flight.
+    pub fn next_timer_at(&self) -> Option<SimTime> {
+        self.net.next_timer_at()
+    }
+
+    /// Pumps the fabric to `now`, activating stages whose inputs have all
+    /// delivered.
+    pub fn advance_to(&mut self, now: SimTime, machine: &mut Machine) {
+        while self.net.next_timer_at().is_some_and(|t| t <= now) {
+            self.net.advance_to(self.net.next_timer_at().expect("checked"));
+            self.net.drain_deliveries_into(&mut self.deliveries);
+            while let Some(d) = self.deliveries.pop() {
+                let ridx = d.token >> 8;
+                let stage = d.to.0;
+                let req = &mut self.requests[ridx as usize];
+                if req.done {
+                    continue;
+                }
+                let inputs = &mut req.pending_inputs[stage as usize];
+                debug_assert!(*inputs > 0, "delivery for saturated stage {stage}");
+                *inputs -= 1;
+                if *inputs == 0 {
+                    self.activate_stage(d.at, ridx, stage, machine);
+                }
+            }
+        }
+    }
+
+    /// True when completions are pending.
+    pub fn has_outcomes(&self) -> bool {
+        !self.outcomes.is_empty()
+    }
+
+    /// Moves accumulated completions into `buf` (appending).
+    pub fn drain_outcomes_into(&mut self, buf: &mut Vec<GraphOutcome>) {
+        buf.append(&mut self.outcomes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimTime;
+    use simcpu::MachineConfig;
+    use telemetry::TenantClass;
+
+    fn chain(n: usize) -> GraphWorkload {
+        GraphWorkload {
+            stages: (0..n)
+                .map(|i| GraphStage {
+                    name: format!("s{i}"),
+                    fan_out: if i == 1 { 4 } else { 1 },
+                    compute_us: 500.0,
+                    sigma: 0.3,
+                    memory_bytes: 1 << 30,
+                })
+                .collect(),
+            edges: (1..n)
+                .map(|i| GraphEdge {
+                    from: (i - 1) as u32,
+                    to: i as u32,
+                    bytes: 16 << 10,
+                    latency: SimDuration::from_micros(50),
+                })
+                .collect(),
+            timeout: SimDuration::from_millis(500),
+        }
+    }
+
+    fn drive(engine: &mut GraphEngine, machine: &mut Machine, until: SimTime) {
+        let mut now = SimTime::ZERO;
+        while now < until {
+            let mut next = until;
+            if let Some(t) = machine.next_timer_at() {
+                next = next.min(t);
+            }
+            if let Some(t) = engine.next_timer_at() {
+                next = next.min(t);
+            }
+            now = next.max(now + SimDuration::from_micros(1));
+            machine.advance_to(now);
+            engine.advance_to(now, machine);
+            let mut outs = Vec::new();
+            machine.drain_outputs_into(&mut outs);
+            for out in outs {
+                if let simcpu::MachineOutput::ThreadExited { tid, tag, .. } = out {
+                    engine.on_thread_exited(now, tag, tid, machine);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_completes_requests() {
+        let g = Arc::new(chain(4));
+        assert!(g.validate().is_ok());
+        let mut machine = Machine::with_seed(MachineConfig::small(8), 1);
+        let job = machine.create_job(TenantClass::Primary, simcpu::CoreMask::all(8));
+        let mut engine = GraphEngine::new(Arc::clone(&g), job, 0, 7);
+        for i in 0..10 {
+            let at = SimTime::ZERO + SimDuration::from_millis(i * 2);
+            machine.advance_to(at);
+            engine.on_arrival(at, &mut machine);
+        }
+        drive(&mut engine, &mut machine, SimTime::ZERO + SimDuration::from_secs(1));
+        let mut outs = Vec::new();
+        engine.drain_outcomes_into(&mut outs);
+        assert_eq!(outs.len(), 10);
+        assert!(outs.iter().all(|o| !o.dropped));
+        // 4-stage chain with one fan-out-4 stage = 7 workers per request.
+        assert_eq!(engine.workers_spawned, 70);
+        // Latency covers 4 stages of ~500us compute plus 3 net hops.
+        assert!(outs.iter().all(|o| o.latency >= SimDuration::from_millis(2)));
+    }
+
+    #[test]
+    fn validate_rejects_cycles_and_bad_indices() {
+        let mut g = chain(3);
+        g.edges.push(GraphEdge {
+            from: 2,
+            to: 0,
+            bytes: 1,
+            latency: SimDuration::ZERO,
+        });
+        assert!(g.validate().unwrap_err().contains("cycle"));
+
+        let mut g = chain(2);
+        g.edges[0].to = 9;
+        assert!(g.validate().unwrap_err().contains("missing stage"));
+
+        let g = GraphWorkload {
+            stages: vec![],
+            edges: vec![],
+            timeout: SimDuration::from_millis(1),
+        };
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn timeout_kills_and_drops() {
+        let mut g = chain(3);
+        g.timeout = SimDuration::from_micros(100);
+        let g = Arc::new(g);
+        let mut machine = Machine::with_seed(MachineConfig::small(4), 1);
+        let job = machine.create_job(TenantClass::Primary, simcpu::CoreMask::all(4));
+        let mut engine = GraphEngine::new(g, job, 0, 7);
+        let ridx = engine.on_arrival(SimTime::ZERO, &mut machine);
+        let deadline = SimTime::ZERO + SimDuration::from_micros(100);
+        machine.advance_to(deadline);
+        engine.on_timeout(deadline, ridx, &mut machine);
+        let mut outs = Vec::new();
+        engine.drain_outcomes_into(&mut outs);
+        assert_eq!(outs.len(), 1);
+        assert!(outs[0].dropped);
+        assert_eq!(engine.in_flight(), 0);
+    }
+}

@@ -165,6 +165,53 @@ fn chaos_parallel_equals_serial() {
     );
 }
 
+/// Multi-service boxes must be as deterministic as classic ones: for the
+/// service-graph scenarios and the dual-primary roster, the full JSON
+/// report — per-service breakdowns included — is byte-identical between
+/// the serial runner, an 8-thread seed fan-out, and a fresh rerun.
+#[test]
+fn multi_service_parallel_equals_serial_and_rerun() {
+    for name in ["graph-chain", "graph-fanout", "dual-primary-arbitration"] {
+        let mut spec = spec::named(name).expect("registered scenario");
+        spec.scale = spec::ScaleSpec::Custom {
+            warmup_ms: 150,
+            measure_ms: 400,
+        };
+        spec.seeds = 4; // fan out so the parallel runner actually engages
+        let serial = run_spec(&spec, &RunOptions::serial()).expect("runnable");
+        let parallel = run_spec(
+            &spec,
+            &RunOptions {
+                seeds: None,
+                threads: 8,
+            },
+        )
+        .expect("runnable");
+        let rerun = run_spec(&spec, &RunOptions::serial()).expect("runnable");
+
+        for run in &serial.runs {
+            let r = run.as_single_box().expect("single box");
+            assert!(
+                !r.services.is_empty(),
+                "{name}: multi-service runs report per-service rows"
+            );
+            for svc in &r.services {
+                assert!(svc.latency.count > 0, "{name}/{}: no completions", svc.name);
+            }
+        }
+        assert_eq!(
+            serial.to_json(),
+            parallel.to_json(),
+            "{name}: report diverged across thread counts"
+        );
+        assert_eq!(
+            serial.to_json(),
+            rerun.to_json(),
+            "{name}: report unstable across reruns"
+        );
+    }
+}
+
 /// The cluster simulator's persistent worker pool (engaged whenever ≥ 8
 /// boxes are due at one instant and more than one worker is configured)
 /// must match the serial run exactly — forced to 4 workers here so the

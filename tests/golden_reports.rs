@@ -178,6 +178,48 @@ fn golden_chaos_secondary_churn() {
     check_golden("chaos-secondary-churn");
 }
 
+#[test]
+fn golden_graph_chain() {
+    check_golden("graph-chain");
+}
+
+#[test]
+fn golden_graph_fanout() {
+    check_golden("graph-fanout");
+}
+
+#[test]
+fn golden_dual_primary_arbitration() {
+    check_golden("dual-primary-arbitration");
+}
+
+/// The arbitration fixture is the acceptance surface for multi-primary
+/// boxes: both colocated services must appear with their own measured
+/// tails, and both must actually complete queries under the bully.
+#[test]
+fn dual_primary_fixture_reports_both_service_tails() {
+    if blessing() {
+        return; // fixtures may be mid-regeneration
+    }
+    let path = golden_dir().join("dual-primary-arbitration.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+    let report: spec::Report = serde_json::from_str(&text).expect("fixture parses");
+    for run in report.box_reports() {
+        assert_eq!(run.services.len(), 2, "two service rows per seed");
+        assert_eq!(run.services[0].name, "web");
+        assert_eq!(run.services[1].name, "ads");
+        for svc in &run.services {
+            assert!(svc.latency.count > 0, "{}: no completions", svc.name);
+            assert!(
+                svc.latency.p99 > simcore::SimDuration::ZERO,
+                "{}: p99 unmeasured",
+                svc.name
+            );
+        }
+    }
+}
+
 /// The fixtures themselves must round-trip through serde — guards
 /// against committing a hand-edited fixture the loader cannot parse.
 #[test]
@@ -194,6 +236,9 @@ fn golden_fixtures_parse_as_reports() {
         "chaos-crash-loop",
         "chaos-config-rollout",
         "chaos-secondary-churn",
+        "graph-chain",
+        "graph-fanout",
+        "dual-primary-arbitration",
     ] {
         let path = golden_dir().join(format!("{name}.json"));
         let text = std::fs::read_to_string(&path)

@@ -5,8 +5,9 @@
 
 use proptest::prelude::*;
 use scenarios::spec::{
-    ControllerSpec, FaultEvent, FaultSpec, RestartSpec, ScaleSpec, ScenarioSpec, SpecError,
-    SweepAxis, SweepSpec, TargetSpec, TenantLimitSpec,
+    ControllerSpec, EdgeSpec, FaultEvent, FaultSpec, RestartSpec, ScaleSpec, ScenarioSpec,
+    ServiceGraphSpec, ServiceLoadSpec, SpecError, StageSpec, SweepAxis, SweepSpec, TargetSpec,
+    TenantLimitSpec, WorkloadSpec,
 };
 use scenarios::Policy;
 use workloads::BullyIntensity;
@@ -45,8 +46,27 @@ fn secondary_strategy() -> impl Strategy<Value = indexserve::SecondaryKind> {
 }
 
 fn target_strategy() -> impl Strategy<Value = TargetSpec> {
+    // Roster entries straddle validity: zero qps, empty/duplicate names
+    // (name collisions arise naturally from the tiny name pool), and
+    // working sets big enough that two of them overflow the box.
+    let service = (
+        prop_oneof![
+            Just(String::new()),
+            Just("web".to_string()),
+            Just("ads".to_string()),
+        ],
+        prop_oneof![Just(0.0f64), 100.0f64..3_000.0],
+        prop_oneof![Just(0u64), 1_024u64..70_000],
+    )
+        .prop_map(|(name, qps, working_set_mb)| ServiceLoadSpec {
+            name,
+            qps,
+            working_set_mb,
+        });
     prop_oneof![
         prop_oneof![Just(0.0f64), 100.0f64..5_000.0].prop_map(|qps| TargetSpec::SingleBox { qps }),
+        proptest::collection::vec(service, 0..6)
+            .prop_map(|services| TargetSpec::MultiBox { services }),
         (0u32..4, 0u32..3, 0u32..3, (100.0f64..2_000.0)).prop_map(
             |(columns, rows, tlas, qps_total)| TargetSpec::Cluster {
                 columns,
@@ -55,6 +75,71 @@ fn target_strategy() -> impl Strategy<Value = TargetSpec> {
                 qps_total,
             }
         ),
+    ]
+}
+
+/// Service graphs straddle validity exactly like the other strategies:
+/// empty graphs, zero fan-outs, dangling edge names, self-loops, and —
+/// because edges are drawn from a tiny stage-name pool in both
+/// directions — cycles, all alongside genuinely well-formed DAGs.
+fn graph_strategy() -> impl Strategy<Value = ServiceGraphSpec> {
+    let stage_name = || {
+        prop_oneof![
+            Just("".to_string()),
+            Just("a".to_string()),
+            Just("b".to_string()),
+            Just("c".to_string()),
+            Just("d".to_string()),
+        ]
+    };
+    let stage = (
+        stage_name(),
+        prop_oneof![Just(0u32), 1u32..16],
+        prop_oneof![Just(0.0f64), 50.0f64..500.0],
+        0.0f64..0.6,
+        prop_oneof![Just(0u64), 64u64..4_096],
+    )
+        .prop_map(|(name, fan_out, compute_us, sigma, memory_mb)| StageSpec {
+            name,
+            fan_out,
+            compute_us,
+            sigma,
+            memory_mb,
+        });
+    let edge_name = || {
+        prop_oneof![
+            Just("a".to_string()),
+            Just("b".to_string()),
+            Just("c".to_string()),
+            Just("d".to_string()),
+            Just("dangling".to_string()),
+        ]
+    };
+    let edge = (edge_name(), edge_name(), 1u64..65_536, 0u64..200).prop_map(
+        |(from, to, bytes, latency_us)| EdgeSpec {
+            from,
+            to,
+            bytes,
+            latency_us,
+        },
+    );
+    (
+        proptest::collection::vec(stage, 0..5),
+        proptest::collection::vec(edge, 0..6),
+        prop_oneof![Just(0u64), 1u64..100],
+    )
+        .prop_map(|(stages, edges, timeout_ms)| ServiceGraphSpec {
+            stages,
+            edges,
+            timeout_ms,
+        })
+}
+
+fn workload_strategy() -> impl Strategy<Value = WorkloadSpec> {
+    prop_oneof![
+        Just(WorkloadSpec::IndexServe),
+        Just(WorkloadSpec::IndexServe),
+        graph_strategy().prop_map(WorkloadSpec::ServiceGraph),
     ]
 }
 
@@ -187,6 +272,7 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
                 Just("has space".to_string()),
             ],
             target_strategy(),
+            workload_strategy(),
             secondary_strategy(),
         ),
         (policy_strategy(), controller_strategy(), sweep_strategy()),
@@ -205,7 +291,7 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
     )
         .prop_map(
             |(
-                (name, target, secondary),
+                (name, target, workload, secondary),
                 (policy, controller, sweep),
                 (scale, seed, seeds, fault),
             )| {
@@ -213,6 +299,7 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
                     name,
                     description: "generated by proptest".into(),
                     target,
+                    workload,
                     secondary,
                     policy,
                     controller,
@@ -245,6 +332,32 @@ proptest! {
                 // Errors must render (no panicking Display impls).
                 prop_assert!(!e.to_string().is_empty());
             }
+        }
+    }
+
+    /// `check_shape()` must classify every generated graph — including
+    /// empty graphs, cycles, and dangling edges — with `Ok`/`Err`, never
+    /// a panic; accepted graphs must convert to an executable workload
+    /// and round-trip through JSON bit-identically.
+    #[test]
+    fn prop_graph_check_shape_never_panics_and_valid_graphs_round_trip(
+        graph in graph_strategy()
+    ) {
+        match graph.check_shape() {
+            Ok(()) => {
+                let wl = graph.to_workload().expect("accepted graph converts");
+                prop_assert_eq!(wl.stages.len(), graph.stages.len());
+                let text = serde_json::to_string(&graph).expect("serializes");
+                let back: ServiceGraphSpec =
+                    serde_json::from_str(&text).expect("parses back");
+                prop_assert_eq!(&back, &graph);
+                // Bit-identical: re-serializing reproduces the same bytes.
+                prop_assert_eq!(
+                    serde_json::to_string(&back).expect("serializes"),
+                    text
+                );
+            }
+            Err(e) => prop_assert!(!e.is_empty(), "error must describe the defect"),
         }
     }
 
@@ -298,4 +411,93 @@ fn named_bad_inputs_are_rejected_without_panicking() {
             "buffer_cores {b} accepted"
         );
     }
+}
+
+/// The canonical malformed graphs must be `Err` with a telling message —
+/// never a panic, a hang (the cycle check is iterative), or acceptance.
+#[test]
+fn named_bad_graphs_are_rejected_without_panicking() {
+    let stage = |name: &str| StageSpec {
+        name: name.to_string(),
+        fan_out: 2,
+        compute_us: 100.0,
+        sigma: 0.2,
+        memory_mb: 128,
+    };
+    let edge = |from: &str, to: &str| EdgeSpec {
+        from: from.to_string(),
+        to: to.to_string(),
+        bytes: 1_024,
+        latency_us: 10,
+    };
+    // Empty graph.
+    let empty = ServiceGraphSpec {
+        stages: Vec::new(),
+        edges: Vec::new(),
+        timeout_ms: 10,
+    };
+    assert!(empty.check_shape().unwrap_err().contains("no stages"));
+    // Two-stage cycle.
+    let cycle = ServiceGraphSpec {
+        stages: vec![stage("a"), stage("b")],
+        edges: vec![edge("a", "b"), edge("b", "a")],
+        timeout_ms: 10,
+    };
+    assert!(cycle.check_shape().unwrap_err().contains("cycle"));
+    // Self-loop.
+    let lasso = ServiceGraphSpec {
+        stages: vec![stage("a")],
+        edges: vec![edge("a", "a")],
+        timeout_ms: 10,
+    };
+    assert!(lasso.check_shape().unwrap_err().contains("self-loop"));
+    // Longer cycle threaded through a valid prefix.
+    let ring = ServiceGraphSpec {
+        stages: vec![stage("a"), stage("b"), stage("c"), stage("d")],
+        edges: vec![
+            edge("a", "b"),
+            edge("b", "c"),
+            edge("c", "d"),
+            edge("d", "b"),
+        ],
+        timeout_ms: 10,
+    };
+    assert!(ring.check_shape().unwrap_err().contains("cycle"));
+    // A valid spec embedding an invalid graph is rejected as a whole.
+    let mut s = ScenarioSpec::builder("bad-graph").build().unwrap();
+    s.workload = WorkloadSpec::ServiceGraph(cycle);
+    assert!(matches!(s.validate(), Err(SpecError::InvalidWorkload(_))));
+    // Graph workloads only run on single-box targets.
+    let ok_graph = ServiceGraphSpec {
+        stages: vec![stage("a"), stage("b")],
+        edges: vec![edge("a", "b")],
+        timeout_ms: 10,
+    };
+    assert!(ok_graph.check_shape().is_ok());
+    let mut s = ScenarioSpec::builder("graph-on-cluster").build().unwrap();
+    s.workload = WorkloadSpec::ServiceGraph(ok_graph);
+    s.target = TargetSpec::Cluster {
+        columns: 2,
+        rows: 1,
+        tlas: 1,
+        qps_total: 500.0,
+    };
+    assert!(matches!(s.validate(), Err(SpecError::InvalidWorkload(_))));
+    // Multi-box rosters must fit the machine's memory.
+    let mut s = ScenarioSpec::builder("oversize").build().unwrap();
+    s.target = TargetSpec::MultiBox {
+        services: vec![
+            ServiceLoadSpec {
+                name: "web".into(),
+                qps: 1_000.0,
+                working_set_mb: 90_000,
+            },
+            ServiceLoadSpec {
+                name: "ads".into(),
+                qps: 1_000.0,
+                working_set_mb: 90_000,
+            },
+        ],
+    };
+    assert!(matches!(s.validate(), Err(SpecError::InvalidWorkload(_))));
 }

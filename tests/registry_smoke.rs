@@ -20,7 +20,7 @@ fn shrink(mut spec: ScenarioSpec) -> ScenarioSpec {
     }
     spec.seeds = 1;
     match &mut spec.target {
-        TargetSpec::SingleBox { .. } => {}
+        TargetSpec::SingleBox { .. } | TargetSpec::MultiBox { .. } => {}
         TargetSpec::Cluster {
             columns,
             rows,
