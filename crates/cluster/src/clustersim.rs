@@ -17,7 +17,7 @@ use simcore::dist::{LogNormal, Sample};
 use simcore::{SimDuration, SimRng, SimTime};
 use simcpu::MachineConfig;
 use simnet::{Delivery, NetConfig, NetSim, NodeId, TrafficClass};
-use telemetry::{CpuBreakdown, LatencyRecorder};
+use telemetry::{CpuBreakdown, LatencyRecorder, TelemetryMode};
 
 use crate::pool::WorkerPool;
 use crate::report::{ClusterReport, LayerStats};
@@ -56,6 +56,10 @@ pub struct ClusterConfig {
     /// Cluster-wide fault timeline; each index box receives its slice
     /// (staged config rollouts reach only the leading boxes).
     pub fault: Option<std::sync::Arc<FaultPlan>>,
+    /// Latency-recording backend for the boxes and the three layer
+    /// recorders. `Exact` (the default) keeps every sample; `Sketch`
+    /// bounds memory and adds a TLA sketch summary to the report.
+    pub telemetry: TelemetryMode,
 }
 
 impl ClusterConfig {
@@ -75,6 +79,7 @@ impl ClusterConfig {
             seed,
             threads: 0,
             fault: None,
+            telemetry: TelemetryMode::Exact,
         }
     }
 }
@@ -161,12 +166,13 @@ impl ClusterSim {
                     hosted: Vec::new(),
                     secondary: cfg.secondary.clone(),
                     perfiso: perfiso.clone(),
-                    seed: cfg.seed ^ (0x9E37 * (i as u64 + 1)),
                     fault: cfg
                         .fault
                         .as_ref()
                         .and_then(|p| p.slice_for_box(i as usize, n_index as usize))
                         .map(std::sync::Arc::new),
+                    telemetry: cfg.telemetry,
+                    seed: cfg.seed ^ (0x9E37 * (i as u64 + 1)),
                 })
             })
             .collect();
@@ -187,9 +193,9 @@ impl ClusterSim {
             rr_tla: 0,
             rr_row: 0,
             rng: SimRng::seed_from_u64(cfg.seed ^ 0xC1B5),
-            local_lat: LatencyRecorder::new(),
-            mla_lat: LatencyRecorder::new(),
-            tla_lat: LatencyRecorder::new(),
+            local_lat: cfg.telemetry.recorder(),
+            mla_lat: cfg.telemetry.recorder(),
+            tla_lat: cfg.telemetry.recorder(),
             completed: 0,
             degraded: 0,
             now: SimTime::ZERO,
@@ -300,6 +306,7 @@ impl ClusterSim {
             local: LayerStats::from_recorder(&mut self.local_lat),
             mla: LayerStats::from_recorder(&mut self.mla_lat),
             tla: LayerStats::from_recorder(&mut self.tla_lat),
+            latency_sketch: self.tla_lat.sketch_summary(),
             completed: self.completed,
             degraded: self.degraded,
             mean_utilization: agg.utilization(),

@@ -33,7 +33,7 @@ use perfiso::PerfIsoConfig;
 use qtrace::{DiurnalCurve, OpenLoopClient, QuerySpec, TraceConfig, TraceGenerator};
 use simcore::{SimDuration, SimTime};
 use simcpu::MachineConfig;
-use telemetry::{LatencyRecorder, TimeSeries};
+use telemetry::{LatencyRecorder, Sketch, SketchSummary, TelemetryMode, TimeSeries};
 use workloads::MlTrainer;
 
 /// Fleet experiment parameters.
@@ -58,6 +58,24 @@ pub struct FleetConfig {
     /// Worker threads for the slice sweep: `0` = all available cores,
     /// `1` = serial. The report is bit-identical across thread counts.
     pub threads: usize,
+    /// Simulated minutes covered by each sampled slice: slice `m` runs at
+    /// the load of wall minute `m * minute_stride`, so a 24-hour day fits
+    /// in `1440 / minute_stride` slices. `1` (the default) is the classic
+    /// per-minute sweep.
+    pub minute_stride: u32,
+    /// Hardware roster the sampled machines cycle through (weighted
+    /// expansion from [`crate::topology::BoxShape::roster`]). The default
+    /// single-entry roster is the paper's uniform 48-core server.
+    pub shapes: Vec<MachineConfig>,
+    /// Tenant churn: when on, each machine-minute deterministically
+    /// reschedules its batch tenant — roughly one slice in eight runs
+    /// with the trainer evicted, the rest scale its worker count by
+    /// 0.5–1.5×, mimicking a production bin-packer reshuffling batch work.
+    pub churn: bool,
+    /// Latency-recording backend for the slices. `Sketch` bounds memory
+    /// at production scale and adds a fleet-wide merged percentile sketch
+    /// to the report.
+    pub telemetry: TelemetryMode,
 }
 
 impl Default for FleetConfig {
@@ -77,6 +95,10 @@ impl Default for FleetConfig {
             perfiso: PerfIsoConfig::default(),
             seed: 99,
             threads: 0,
+            minute_stride: 1,
+            shapes: vec![MachineConfig::paper_server()],
+            churn: false,
+            telemetry: TelemetryMode::Exact,
         }
     }
 }
@@ -102,6 +124,12 @@ pub struct FleetReport {
     /// switches, IPIs, spawns, exits) — the throughput denominator the
     /// fleet bench reports as events/second.
     pub sim_events: u64,
+    /// Fleet-wide latency distribution, tree-merged across every slice's
+    /// sketch, with its relative-error bound. Present only when the run
+    /// used [`TelemetryMode::Sketch`]; exact runs omit the key so
+    /// pre-sketch fleet reports are byte-identical.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub latency_sketch: Option<SketchSummary>,
 }
 
 impl FleetReport {
@@ -124,6 +152,11 @@ impl FleetReport {
             && self.max_p99 == other.max_p99
             && self.slices == other.slices
             && self.sim_events == other.sim_events
+            && match (&self.latency_sketch, &other.latency_sketch) {
+                (None, None) => true,
+                (Some(a), Some(b)) => a.bits_eq(b),
+                _ => false,
+            }
             && series_eq(&self.qps, &other.qps)
             && series_eq(&self.p99_ms, &other.p99_ms)
             && series_eq(&self.utilization_pct, &other.utilization_pct)
@@ -137,6 +170,10 @@ struct SliceResult {
     p99: SimDuration,
     minibatches_per_min: f64,
     events: u64,
+    /// The slice's latency sketch, when the run uses sketch telemetry.
+    /// Merged tree-wise in the reduction; counter addition commutes, so
+    /// the merged sketch is independent of worker scheduling.
+    sketch: Option<Sketch>,
 }
 
 /// Immutable inputs shared by every slice (and every worker thread).
@@ -146,7 +183,8 @@ struct FleetShared {
     /// One trace template per minute, replayed by all of that minute's
     /// sampled machines under independent arrival processes.
     templates: Vec<Arc<Vec<QuerySpec>>>,
-    machine: MachineConfig,
+    /// Hardware cycle; sampled machine `s` runs shape `s % len`.
+    machines: Vec<MachineConfig>,
     /// Avalanched base seed; slice streams derive from this, see [`mix64`].
     mixed_seed: u64,
 }
@@ -191,18 +229,23 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
         queries: 16,
         ..Default::default()
     });
+    let stride = cfg.minute_stride.max(1);
     let mixed_seed = mix64(cfg.seed);
     let shared = FleetShared {
         service: Arc::new(ServiceConfig::default()),
         perfiso: Arc::new(cfg.perfiso.clone()),
         templates: (0..cfg.minutes)
             .map(|m| {
-                let qps = cfg.curve.qps_at_minute(m);
+                let qps = cfg.curve.qps_at_minute(m * stride);
                 let seed = mixed_seed ^ 0xF1EE7 ^ ((m as u64) << 8);
                 Arc::new(generator.generate_n(seed, slice_queries(qps, total)))
             })
             .collect(),
-        machine: MachineConfig::paper_server(),
+        machines: if cfg.shapes.is_empty() {
+            vec![MachineConfig::paper_server()]
+        } else {
+            cfg.shapes.clone()
+        },
         mixed_seed,
     };
 
@@ -250,7 +293,9 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
 
     // Serial reduction in slice-index order: identical arithmetic to the
     // fully serial sweep, so parallel output is bit-for-bit the same.
-    let minute = SimDuration::from_secs(60);
+    // (Sketch merging is integer counter addition, also order-safe, but
+    // the fixed order keeps the guarantee trivially uniform.)
+    let minute = SimDuration::from_secs(60 * stride as u64);
     let mut report = FleetReport {
         qps: TimeSeries::new(minute),
         p99_ms: TimeSeries::new(minute),
@@ -260,21 +305,26 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
         max_p99: SimDuration::ZERO,
         slices: n_slices as u64,
         sim_events: 0,
+        latency_sketch: None,
     };
     let mut util_acc = 0.0;
+    let mut sketches: Vec<Sketch> = Vec::new();
     let mut results = results.into_iter();
     for m in 0..cfg.minutes {
-        let qps = cfg.curve.qps_at_minute(m);
-        let stamp = SimTime::from_secs(m as u64 * 60);
+        let qps = cfg.curve.qps_at_minute(m * stride);
+        let stamp = SimTime::from_secs(m as u64 * 60 * stride as u64);
         let mut minute_util = 0.0;
         let mut minute_p99 = SimDuration::ZERO;
         let mut minute_prog = 0.0;
         for _ in 0..cfg.sampled_machines {
-            let r = results.next().flatten().expect("slice result present");
+            let mut r = results.next().flatten().expect("slice result present");
             minute_util += r.utilization / cfg.sampled_machines as f64;
             minute_p99 = minute_p99.max(r.p99);
             minute_prog += r.minibatches_per_min / cfg.sampled_machines as f64;
             report.sim_events += r.events;
+            if let Some(sk) = r.sketch.take() {
+                sketches.push(sk);
+            }
         }
         report.qps.record(stamp, qps);
         report.p99_ms.record(stamp, minute_p99.as_millis_f64());
@@ -284,15 +334,36 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
         report.max_p99 = report.max_p99.max(minute_p99);
     }
     report.mean_utilization = util_acc / cfg.minutes as f64;
+    report.latency_sketch = Sketch::merge_tree(sketches).map(|s| s.summary());
     report
+}
+
+/// The tenant-churn decision for one machine-minute, derived purely from
+/// the slice coordinates so it is identical across thread counts.
+fn churned_trainer(cfg: &FleetConfig, shared: &FleetShared, m: u32, s: u32) -> Option<MlTrainer> {
+    if !cfg.churn {
+        return Some(cfg.trainer.clone());
+    }
+    let h = mix64(shared.mixed_seed ^ 0xC0FFEE ^ ((m as u64) << 20) ^ ((s as u64) << 2));
+    if h.is_multiple_of(8) {
+        // The bin-packer scheduled the batch job elsewhere this minute.
+        return None;
+    }
+    // Worker count wobbles 0.5–1.5× around the configured trainer.
+    let scale = 0.5 + ((h >> 8) % 101) as f64 / 100.0;
+    let workers = ((cfg.trainer.workers as f64 * scale).round() as u32).max(1);
+    Some(MlTrainer {
+        workers,
+        ..cfg.trainer.clone()
+    })
 }
 
 /// Runs one sampled machine-minute.
 fn run_fleet_slice(cfg: &FleetConfig, shared: &FleetShared, m: u32, s: u32) -> SliceResult {
     let seed = shared.mixed_seed ^ ((m as u64) << 8) ^ s as u64;
-    let qps = cfg.curve.qps_at_minute(m);
+    let qps = cfg.curve.qps_at_minute(m * cfg.minute_stride.max(1));
     let box_cfg = BoxConfig {
-        machine: shared.machine,
+        machine: shared.machines[s as usize % shared.machines.len()],
         service: Arc::clone(&shared.service),
         hosted: Vec::new(),
         // The trainer is spawned via the generic CPU-bully hook: fleet
@@ -300,22 +371,26 @@ fn run_fleet_slice(cfg: &FleetConfig, shared: &FleetShared, m: u32, s: u32) -> S
         // secondary below.
         secondary: SecondaryKind::none(),
         perfiso: Some(Arc::clone(&shared.perfiso)),
+        telemetry: cfg.telemetry,
         seed,
         fault: None,
     };
     let mut client =
         OpenLoopClient::replay_shared(Arc::clone(&shared.templates[m as usize]), qps, seed ^ 0xC1);
     let mut sim = BoxSim::new(box_cfg);
-    // Spawn the trainer into the secondary job.
-    let handle = {
+    // Spawn the (possibly churned-away or rescaled) trainer into the
+    // secondary job.
+    let handle = churned_trainer(cfg, shared, m, s).map(|trainer| {
         let (machine, job) = sim.secondary_spawn_access();
-        cfg.trainer.spawn(machine, job, SimTime::ZERO)
-    };
-    sim.track_secondary_threads(&handle.tids);
+        trainer.spawn(machine, job, SimTime::ZERO)
+    });
+    if let Some(h) = &handle {
+        sim.track_secondary_threads(&h.tids);
+    }
 
     let warmup_end = SimTime::ZERO + WARMUP;
     let end = SimTime::ZERO + WARMUP + cfg.slice;
-    let mut recorder = LatencyRecorder::new();
+    let mut recorder = cfg.telemetry.recorder();
     let mut warm_snapshot = None;
     let mut prog_at_warm = 0;
     let mut events: Vec<BoxEvent> = Vec::with_capacity(64);
@@ -325,8 +400,12 @@ fn run_fleet_slice(cfg: &FleetConfig, shared: &FleetShared, m: u32, s: u32) -> S
             sim.drain_events_into(events);
             for ev in events.drain(..) {
                 if let BoxEvent::QueryDone(out) = ev {
-                    if out.arrival >= warmup_end && !out.dropped {
-                        recorder.record(out.latency);
+                    if out.arrival >= warmup_end {
+                        if out.dropped {
+                            recorder.record_dropped();
+                        } else {
+                            recorder.record(out.latency);
+                        }
                     }
                 }
             }
@@ -339,7 +418,7 @@ fn run_fleet_slice(cfg: &FleetConfig, shared: &FleetShared, m: u32, s: u32) -> S
         if warm_snapshot.is_none() && at >= warmup_end {
             sim.advance_to(warmup_end);
             warm_snapshot = Some(sim.breakdown());
-            prog_at_warm = handle.minibatches();
+            prog_at_warm = handle.as_ref().map_or(0, |h| h.minibatches());
         }
         let (_, spec) = client.pop().expect("peeked");
         sim.inject_query(at, spec);
@@ -350,12 +429,13 @@ fn run_fleet_slice(cfg: &FleetConfig, shared: &FleetShared, m: u32, s: u32) -> S
     let warm = warm_snapshot.unwrap_or_else(|| sim.breakdown());
     let window = sim.breakdown().since(&warm);
     let stats = sim.machine_stats();
+    let progress = handle.as_ref().map_or(0, |h| h.minibatches()) - prog_at_warm;
     SliceResult {
         utilization: window.utilization(),
         p99: recorder.percentile(0.99),
-        minibatches_per_min: (handle.minibatches() - prog_at_warm) as f64 / cfg.slice.as_secs_f64()
-            * 60.0,
+        minibatches_per_min: progress as f64 / cfg.slice.as_secs_f64() * 60.0,
         events: stats.dispatches + stats.ctx_switches + stats.ipis + stats.spawns + stats.exits,
+        sketch: recorder.take_sketch(),
     }
 }
 
@@ -385,6 +465,57 @@ mod tests {
             "p99 stayed flat: {}",
             r.max_p99
         );
+    }
+
+    #[test]
+    fn production_features_compose_and_stay_deterministic() {
+        let base = FleetConfig {
+            minutes: 4,
+            sampled_machines: 3,
+            slice: SimDuration::from_millis(150),
+            minute_stride: 15,
+            shapes: crate::topology::BoxShape::roster(
+                &crate::topology::BoxShape::production_shapes(),
+            ),
+            churn: true,
+            telemetry: TelemetryMode::Sketch,
+            curve: DiurnalCurve::production_day(),
+            ..Default::default()
+        };
+        let serial = run_fleet(&FleetConfig {
+            threads: 1,
+            ..base.clone()
+        });
+        let parallel = run_fleet(&FleetConfig {
+            threads: 4,
+            ..base.clone()
+        });
+        assert!(
+            serial.bits_eq(&parallel),
+            "production fleet report diverged between serial and parallel"
+        );
+        // Strided minutes stamp the series at 15-minute buckets.
+        assert_eq!(serial.qps.len(), 4);
+        assert_eq!(serial.qps.width(), SimDuration::from_secs(900));
+        // The merged sketch covers every completed sample and carries
+        // its error bound.
+        let sk = serial.latency_sketch.expect("sketch telemetry on");
+        assert!(sk.count > 0);
+        assert!((sk.relative_error - telemetry::sketch::RELATIVE_ERROR).abs() < 1e-12);
+        assert!(sk.p99 >= sk.p50 && sk.max >= sk.p99);
+        // Churn must actually vary the trainer mix: with 12 slices at
+        // least one should run trainer-free (probability of none being
+        // evicted is (7/8)^12 under the deterministic hash, and this
+        // seed does evict some).
+        let evicted = (0..12u32)
+            .filter(|i| {
+                let m = i / 3;
+                let s = i % 3;
+                let h = mix64(mix64(base.seed) ^ 0xC0FFEE ^ ((m as u64) << 20) ^ ((s as u64) << 2));
+                h % 8 == 0
+            })
+            .count();
+        assert!(evicted > 0, "seed 99 should evict at least one trainer");
     }
 
     #[test]

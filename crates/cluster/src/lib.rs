@@ -26,4 +26,4 @@ pub mod topology;
 pub use clustersim::{ClusterConfig, ClusterSim};
 pub use fleet::{FleetConfig, FleetReport};
 pub use report::{BoxFaults, ClusterReport, LayerStats};
-pub use topology::Topology;
+pub use topology::{BoxShape, Topology};

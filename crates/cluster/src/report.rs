@@ -4,7 +4,7 @@ use indexserve::FaultRecord;
 use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 use telemetry::recorder::PercentileSummary;
-use telemetry::{CpuBreakdown, LatencyRecorder};
+use telemetry::{CpuBreakdown, LatencyRecorder, SketchSummary};
 
 /// Latency statistics for one aggregation layer (Fig 9's bar groups).
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -52,6 +52,11 @@ pub struct ClusterReport {
     /// Executed fault timelines, per index box, when a chaos plan ran.
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub faults: Vec<BoxFaults>,
+    /// End-to-end (TLA) latency sketch with its error bound, when the
+    /// run used `TelemetryMode::Sketch`; exact runs omit the key so
+    /// pre-sketch reports are unchanged.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub latency_sketch: Option<SketchSummary>,
 }
 
 /// The fault records one index box executed during a cluster run.

@@ -1,6 +1,8 @@
-//! The cluster layout: rows, columns, TLAs, and node numbering.
+//! The cluster layout: rows, columns, TLAs, and node numbering — plus the
+//! heterogeneous box shapes a production fleet mixes.
 
 use serde::{Deserialize, Serialize};
+use simcpu::MachineConfig;
 use simnet::NodeId;
 
 /// The cluster shape (paper default: 22 columns × 2 rows + 31 TLAs = 75).
@@ -93,6 +95,80 @@ impl Topology {
     }
 }
 
+/// One hardware generation in a heterogeneous fleet.
+///
+/// Production fleets are never uniform: machines are bought in waves, so
+/// at any moment several shapes coexist. A shape's `weight` is its share
+/// of the fleet; [`BoxShape::roster`] expands a shape list into a
+/// deterministic weighted round-robin of [`MachineConfig`]s for the fleet
+/// driver to deal out across machines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BoxShape {
+    /// Human-readable generation label.
+    pub name: &'static str,
+    /// Logical cores (1..=64).
+    pub cores: u32,
+    /// Memory in GiB.
+    pub memory_gb: u64,
+    /// Relative share of the fleet.
+    pub weight: u32,
+}
+
+impl BoxShape {
+    /// The machine this shape describes: the paper server's kernel-cost
+    /// model with this generation's core count and memory.
+    pub fn machine(&self) -> MachineConfig {
+        MachineConfig {
+            cores: self.cores,
+            memory_bytes: self.memory_gb << 30,
+            ..MachineConfig::paper_server()
+        }
+    }
+
+    /// A production-like mix of three hardware generations: the paper's
+    /// 48-core/128 GB workhorse dominating, a trailing wave of smaller
+    /// 32-core boxes, and a leading wave of 64-core/256 GB machines.
+    pub fn production_shapes() -> Vec<BoxShape> {
+        vec![
+            BoxShape {
+                name: "std-48",
+                cores: 48,
+                memory_gb: 128,
+                weight: 3,
+            },
+            BoxShape {
+                name: "small-32",
+                cores: 32,
+                memory_gb: 64,
+                weight: 2,
+            },
+            BoxShape {
+                name: "big-64",
+                cores: 64,
+                memory_gb: 256,
+                weight: 1,
+            },
+        ]
+    }
+
+    /// Expands a weighted shape list into one weighted cycle of machine
+    /// configs (each shape repeated `weight` times, in list order). The
+    /// fleet driver indexes into this cycle to assign a deterministic
+    /// shape per machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics when every weight is zero.
+    pub fn roster(shapes: &[BoxShape]) -> Vec<MachineConfig> {
+        let cycle: Vec<MachineConfig> = shapes
+            .iter()
+            .flat_map(|s| std::iter::repeat_n(s.machine(), s.weight as usize))
+            .collect();
+        assert!(!cycle.is_empty(), "box-shape roster needs a nonzero weight");
+        cycle
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,5 +199,32 @@ mod tests {
     fn bad_position_panics() {
         let t = Topology::small();
         let _ = t.index_node(5, 0);
+    }
+
+    #[test]
+    fn production_shapes_expand_by_weight() {
+        let shapes = BoxShape::production_shapes();
+        let roster = BoxShape::roster(&shapes);
+        let total_weight: u32 = shapes.iter().map(|s| s.weight).sum();
+        assert_eq!(roster.len(), total_weight as usize);
+        // The dominant generation fills the front of the cycle.
+        assert_eq!(roster[0].cores, 48);
+        assert_eq!(roster[3].cores, 32);
+        assert_eq!(roster[5].cores, 64);
+        assert_eq!(roster[5].memory_bytes, 256 << 30);
+        for m in &roster {
+            m.validate().expect("every shape is a valid machine");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero weight")]
+    fn zero_weight_roster_panics() {
+        let _ = BoxShape::roster(&[BoxShape {
+            name: "ghost",
+            cores: 8,
+            memory_gb: 16,
+            weight: 0,
+        }]);
     }
 }

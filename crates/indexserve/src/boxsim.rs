@@ -30,7 +30,7 @@ use simdisk::{
     AccessPattern, DiskSim, IoKind, IoPriority, OwnerId, RateLimit, VolumeId, VolumeSpec,
 };
 use telemetry::recorder::PercentileSummary;
-use telemetry::{CpuBreakdown, LatencyRecorder, TenantClass};
+use telemetry::{CpuBreakdown, LatencyRecorder, SketchSummary, TelemetryMode, TenantClass};
 use workloads::cpu_bully::{CpuBully, CpuBullyHandle};
 use workloads::disk_bully::{DiskBully, DISK_BULLY_TAG_BASE};
 use workloads::hdfs::{HdfsCpuProgram, HdfsNode, HDFS_TAG_BASE};
@@ -146,6 +146,10 @@ pub struct BoxConfig {
     /// Injected-fault timeline (`None` = steady state). Shared so cluster
     /// drivers can stamp the same plan across boxes.
     pub fault: Option<Arc<FaultPlan>>,
+    /// Latency-recording backend. `Exact` (the default) keeps every
+    /// sample; `Sketch` bounds memory for production-scale runs and adds
+    /// a `latency_sketch` summary (with its error bound) to the report.
+    pub telemetry: TelemetryMode,
     /// RNG seed.
     pub seed: u64,
 }
@@ -160,6 +164,7 @@ impl BoxConfig {
             secondary,
             perfiso: perfiso.map(Arc::new),
             fault: None,
+            telemetry: TelemetryMode::Exact,
             seed,
         }
     }
@@ -1048,9 +1053,12 @@ impl BoxSim {
                 if tag & PRIMARY_BIT != 0 {
                     let svc = tag_service(tag) as usize;
                     if svc < self.services.len() {
-                        self.services[svc]
-                            .port
-                            .on_thread_exited(self.now, tag, tid, &mut self.machine);
+                        self.services[svc].port.on_thread_exited(
+                            self.now,
+                            tag,
+                            tid,
+                            &mut self.machine,
+                        );
                     }
                 } else if let Some(user) = crate::tags::parse_aux_tag(tag) {
                     self.events.push(BoxEvent::AuxDone(user));
@@ -1612,6 +1620,12 @@ pub struct BoxReport {
     /// single-service runs, so pre-roster reports parse unchanged.
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub services: Vec<ServiceReport>,
+    /// The sketch estimate of the latency distribution plus its error
+    /// bound. Present only when the box ran with
+    /// [`TelemetryMode::Sketch`]; exact-mode reports (every pre-sketch
+    /// fixture) omit the key, so their JSON is unchanged.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub latency_sketch: Option<SketchSummary>,
 }
 
 impl BoxReport {
@@ -1649,10 +1663,10 @@ struct RunRecorders {
 }
 
 impl RunRecorders {
-    fn new(services: usize, warmup_end: SimTime) -> Self {
+    fn new(services: usize, warmup_end: SimTime, mode: TelemetryMode) -> Self {
         RunRecorders {
-            overall: LatencyRecorder::new(),
-            per_service: (0..services).map(|_| LatencyRecorder::new()).collect(),
+            overall: mode.recorder(),
+            per_service: (0..services).map(|_| mode.recorder()).collect(),
             warmup_end,
         }
     }
@@ -1714,7 +1728,7 @@ pub fn run_standalone(cfg: BoxConfig, plan: &RunPlan) -> BoxReport {
 
     let warmup_end = SimTime::ZERO + plan.warmup;
     let end = SimTime::ZERO + total;
-    let mut rec = RunRecorders::new(sim.service_count(), warmup_end);
+    let mut rec = RunRecorders::new(sim.service_count(), warmup_end, sim.cfg.telemetry);
     let mut warm_snapshot: Option<(CpuBreakdown, SimDuration)> = None;
     let mut queries_measured = 0u64;
     let mut workers_at_warm = 0u64;
@@ -1753,6 +1767,7 @@ pub fn run_standalone(cfg: BoxConfig, plan: &RunPlan) -> BoxReport {
     BoxReport {
         qps: plan.qps,
         latency: rec.overall.summary(),
+        latency_sketch: rec.overall.sketch_summary(),
         breakdown: final_bd.since(&warm_bd),
         secondary_cpu: sim.secondary_cpu_time().saturating_sub(warm_sec_cpu),
         avg_fanout: if queries_measured == 0 {
@@ -1809,7 +1824,7 @@ pub fn run_multi(
         })
         .collect();
 
-    let mut rec = RunRecorders::new(sim.service_count(), warmup_end);
+    let mut rec = RunRecorders::new(sim.service_count(), warmup_end, sim.cfg.telemetry);
     let mut warm_snapshot: Option<(CpuBreakdown, SimDuration)> = None;
     let mut queries_measured = 0u64;
     let mut workers_at_warm = 0u64;
@@ -1857,6 +1872,7 @@ pub fn run_multi(
     BoxReport {
         qps: plans.iter().map(|p| p.qps).sum(),
         latency: rec.overall.summary(),
+        latency_sketch: rec.overall.sketch_summary(),
         breakdown: final_bd.since(&warm_bd),
         secondary_cpu: sim.secondary_cpu_time().saturating_sub(warm_sec_cpu),
         avg_fanout: if queries_measured == 0 {

@@ -41,6 +41,21 @@ impl DiurnalCurve {
         }
     }
 
+    /// A full 24-hour production day: a slow diurnal swing (period 1 440
+    /// minutes) around the paper's per-machine baseline, with a morning
+    /// ramp surge and a broad evening peak. Minute 0 is midnight; the
+    /// negative amplitude inverts the sinusoid's phase so the trough
+    /// lands in the early morning (~06:00) and the crest in the evening
+    /// (~18:00), where the surge windows stack on top.
+    pub fn production_day() -> Self {
+        DiurnalCurve {
+            base_qps: 2_200.0,
+            amplitude: -0.45,
+            period_min: 1_440.0,
+            surges: vec![(480, 540, 1.10), (1_140, 1_260, 1.22)],
+        }
+    }
+
     /// A flat curve (useful as a control).
     pub fn flat(qps: f64) -> Self {
         DiurnalCurve {
@@ -109,6 +124,30 @@ mod tests {
         assert_eq!(c.qps_at_minute(10), 200.0);
         assert_eq!(c.qps_at_minute(19), 200.0);
         assert_eq!(c.qps_at_minute(20), 100.0);
+    }
+
+    #[test]
+    fn production_day_has_morning_trough_and_evening_crest() {
+        let c = DiurnalCurve::production_day();
+        let day: Vec<f64> = (0..1_440).map(|m| c.qps_at_minute(m)).collect();
+        let (lo_min, _) = day
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let (hi_min, _) = day
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        // Trough in the early morning, crest inside the evening peak.
+        assert!((300..480).contains(&lo_min), "trough at minute {lo_min}");
+        assert!((1_140..1_260).contains(&hi_min), "crest at minute {hi_min}");
+        assert!(day.iter().all(|&q| q > 1_000.0), "load never collapses");
+        // Peak-to-trough swing is production-like (~3x).
+        assert!(day[hi_min] / day[lo_min] > 2.5);
+        // The morning ramp surge is visible against its neighborhood.
+        assert!(c.qps_at_minute(500) > c.qps_at_minute(470) * 1.05);
     }
 
     #[test]

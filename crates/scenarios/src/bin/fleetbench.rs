@@ -1,9 +1,12 @@
 //! Fleet throughput benchmark: the perf gate for the simulation hot path.
 //!
-//! Runs the Fig 10 fleet sweep twice — serial (`--threads 1`) and parallel
-//! (`--threads 0`, all cores) — asserts the reports are bit-identical, and
-//! reports wall-clock, slices/second, scheduler events/second, and the
-//! parallel speedup. A single-box run under a counting allocator reports
+//! Runs the Fig 10 fleet sweep serially three times (keeping the
+//! median-wall run, so one noisy timing cannot flap the regression check)
+//! and once in parallel (`--threads 0`, all cores), asserts the reports
+//! are bit-identical, and reports wall-clock, slices/second, scheduler
+//! events/second, and the parallel speedup. A `fleet-production` probe
+//! runs the 24-hour production-day scenario with sketch telemetry and
+//! reports its events/second and peak-memory high-water. A single-box run under a counting allocator reports
 //! allocations per simulated second for the inner step loop. Both
 //! experiments are described by [`ScenarioSpec`]s and executed through
 //! [`scenarios::spec::run_spec`].
@@ -25,33 +28,44 @@ use cluster::fleet::FleetReport;
 use indexserve::{BoxConfig, BoxSim, SecondaryKind};
 use perfiso::PerfIsoConfig;
 use qtrace::{OpenLoopClient, TraceConfig, TraceGenerator};
-use scenarios::spec::{run_spec, RunOptions, ScenarioSpec};
+use scenarios::spec::{run_spec, RunOptions, ScenarioSpec, TargetSpec};
 use scenarios::Policy;
 use serde_json::{json, Value};
 use simcore::{EventQueue, SimDuration, SimRng, SimTime};
 use telemetry::table::Table;
 use workloads::BullyIntensity;
 
-/// Counts every heap allocation made through the global allocator.
+/// Counts every heap allocation made through the global allocator, and
+/// tracks live bytes so sections can report their peak-memory high-water
+/// (the bounded-telemetry evidence for the production fleet run).
 struct CountingAlloc;
 
 static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
 static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+fn track_alloc(size: u64) {
+    ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+    ALLOC_BYTES.fetch_add(size, Ordering::Relaxed);
+    let live = LIVE_BYTES.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
-        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        track_alloc(layout.size() as u64);
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
-        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        track_alloc(new_size as u64);
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -64,6 +78,19 @@ fn alloc_snapshot() -> (u64, u64) {
         ALLOC_COUNT.load(Ordering::Relaxed),
         ALLOC_BYTES.load(Ordering::Relaxed),
     )
+}
+
+/// Resets the peak-live-bytes high-water to the current live level and
+/// returns that level; `peak_since(level)` after a section gives the
+/// section's own high-water delta.
+fn reset_peak() -> u64 {
+    let live = LIVE_BYTES.load(Ordering::Relaxed);
+    PEAK_BYTES.store(live, Ordering::Relaxed);
+    live
+}
+
+fn peak_since(level: u64) -> u64 {
+    PEAK_BYTES.load(Ordering::Relaxed).saturating_sub(level)
 }
 
 /// Allocation profile of one complete standalone single-box run — trace
@@ -231,11 +258,13 @@ struct FleetRun {
     wall: f64,
     allocs: u64,
     alloc_bytes: u64,
+    peak_bytes: u64,
     report: FleetReport,
 }
 
 fn timed_fleet(spec: &ScenarioSpec, threads: usize) -> FleetRun {
     let (allocs_before, bytes_before) = alloc_snapshot();
+    let live = reset_peak();
     let wall = Instant::now();
     let report = run_spec(
         spec,
@@ -251,8 +280,28 @@ fn timed_fleet(spec: &ScenarioSpec, threads: usize) -> FleetRun {
         wall,
         allocs: allocs_after - allocs_before,
         alloc_bytes: bytes_after - bytes_before,
+        peak_bytes: peak_since(live),
         report: report.runs[0].as_fleet().expect("fleet target").clone(),
     }
+}
+
+/// Runs the serial sweep `repeats` times and keeps the median-wall run.
+/// Wall-clock throughput on shared runners is noisy; a single slow timing
+/// used to flap the `EVENTS-REGRESSION WARNING` against the committed
+/// baseline, so the regression check now judges the median of at least
+/// three repeats. Every repeat is the same deterministic simulation — the
+/// reports are asserted bit-identical along the way.
+fn median_serial_fleet(spec: &ScenarioSpec, repeats: usize) -> FleetRun {
+    assert!(repeats >= 3, "median needs at least 3 repeats");
+    let mut runs: Vec<FleetRun> = (0..repeats).map(|_| timed_fleet(spec, 1)).collect();
+    for r in &runs[1..] {
+        assert!(
+            runs[0].report.bits_eq(&r.report),
+            "serial fleet repeats diverged"
+        );
+    }
+    runs.sort_by(|a, b| a.wall.partial_cmp(&b.wall).expect("finite wall times"));
+    runs.swap_remove(repeats / 2)
 }
 
 fn fleet_run_json(label: &str, threads: usize, run: &FleetRun) -> Value {
@@ -268,6 +317,7 @@ fn fleet_run_json(label: &str, threads: usize, run: &FleetRun) -> Value {
         "events_per_second": events_per_sec,
         "allocations": run.allocs,
         "allocated_bytes": run.alloc_bytes,
+        "peak_memory_bytes": run.peak_bytes,
         "allocations_per_slice": run.allocs as f64 / run.report.slices as f64,
         "allocations_per_sim_event": run.allocs as f64 / run.report.sim_events as f64,
         "mean_utilization": run.report.mean_utilization,
@@ -376,6 +426,74 @@ fn baseline_delta(path: &str, profile: &Value, smoke: bool, serial: &FleetRun) -
     })
 }
 
+/// The production-day probe: runs the registry's `fleet-production`
+/// scenario (24 simulated hours, heterogeneous hardware, tenant churn,
+/// sketch telemetry) and reports its events/second, peak-memory
+/// high-water, and the merged latency sketch. `--smoke` shrinks the
+/// day to a seconds-scale sample; the committed full-mode baseline runs
+/// the whole 1152-slice day (shrink it further with `PERFISO_SCALE`).
+fn fleet_production_probe(smoke: bool) -> Value {
+    let mut spec = scenarios::spec::named("fleet-production").expect("registered scenario");
+    if smoke {
+        if let TargetSpec::Fleet {
+            ref mut sampled_machines,
+            ref mut minutes,
+            ref mut slice_ms,
+            ..
+        } = spec.target
+        {
+            *sampled_machines = 1;
+            *minutes = 8;
+            *slice_ms = 120;
+        }
+        spec.validate().expect("still a valid spec");
+    }
+    let live = reset_peak();
+    let wall = Instant::now();
+    let report = run_spec(
+        &spec,
+        &RunOptions {
+            seeds: None,
+            threads: 0,
+        },
+    )
+    .expect("runnable scenario");
+    let wall = wall.elapsed().as_secs_f64();
+    let peak = peak_since(live);
+    let fleet = report.runs[0].as_fleet().expect("fleet target");
+    let sketch = fleet
+        .latency_sketch
+        .expect("fleet-production uses sketch telemetry");
+    println!(
+        "fleet-production: {} slices in {:.2}s wall, {:.2}M events/s, \
+         peak memory {:.1} MiB, sketch p99 {:.2} ms (±{:.1}% of {} samples)",
+        fleet.slices,
+        wall,
+        fleet.sim_events as f64 / wall / 1e6,
+        peak as f64 / (1 << 20) as f64,
+        sketch.p99.as_millis_f64(),
+        sketch.relative_error * 100.0,
+        sketch.count,
+    );
+    json!({
+        "smoke": smoke,
+        "slices": fleet.slices,
+        "wall_seconds": wall,
+        "sim_events": fleet.sim_events,
+        "events_per_second": fleet.sim_events as f64 / wall,
+        "peak_memory_bytes": peak,
+        "mean_utilization": fleet.mean_utilization,
+        "sketch": {
+            "count": sketch.count,
+            "dropped": sketch.dropped,
+            "p50_ms": sketch.p50.as_millis_f64(),
+            "p99_ms": sketch.p99.as_millis_f64(),
+            "max_ms": sketch.max.as_millis_f64(),
+            "relative_error": sketch.relative_error
+        }
+    })
+}
+
 /// Bit-exact comparison of the two reports; parallelism must not change a
 /// single ULP anywhere.
 fn assert_identical(serial: &FleetReport, parallel: &FleetReport) {
@@ -411,7 +529,7 @@ fn main() {
     let arena = arena_probe();
     let queue = queue_probe();
 
-    let serial = timed_fleet(&spec, 1);
+    let serial = median_serial_fleet(&spec, 3);
     let parallel = timed_fleet(&spec, 0);
     assert_identical(&serial.report, &parallel.report);
     let speedup = serial.wall / parallel.wall;
@@ -441,6 +559,8 @@ fn main() {
         serial.allocs as f64 / serial.report.sim_events as f64,
     );
 
+    let production = fleet_production_probe(smoke);
+
     let path = std::env::var("PERFISO_BENCH_OUT").unwrap_or_else(|_| "BENCH_fleet.json".into());
     let baseline = baseline_delta(&path, &alloc_profile, smoke, &serial);
 
@@ -455,6 +575,7 @@ fn main() {
         "singlebox_allocations": alloc_profile,
         "arena": arena,
         "queue": queue,
+        "fleet_production": production,
         "baseline_delta": baseline,
         "runs": [
             fleet_run_json("serial", 1, &serial),

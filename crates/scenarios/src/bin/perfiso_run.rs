@@ -100,7 +100,10 @@ fn cmd_show(name: &str) -> Result<(), String> {
         }
         print!("{}", t.render());
         for e in &g.edges {
-            println!("  {} -> {} ({} B, +{} us)", e.from, e.to, e.bytes, e.latency_us);
+            println!(
+                "  {} -> {} ({} B, +{} us)",
+                e.from, e.to, e.bytes, e.latency_us
+            );
         }
         println!("  deadline: {} ms", g.timeout_ms);
     }
@@ -318,11 +321,7 @@ fn print_report(report: &Report) {
     print!("{}", t.render());
     // Per-service breakdowns (multi-service boxes only; classic runs
     // carry no service rows).
-    if report
-        .box_reports()
-        .iter()
-        .any(|r| !r.services.is_empty())
-    {
+    if report.box_reports().iter().any(|r| !r.services.is_empty()) {
         let mut t = Table::new(&[
             "seed",
             "service",
@@ -366,7 +365,20 @@ fn print_report(report: &Report) {
                     }
                 }
             }
-            SeedReport::Fleet(_) => {}
+            SeedReport::Fleet(r) => {
+                if let Some(sk) = &r.latency_sketch {
+                    println!(
+                        "seed {seed} fleet sketch: p50 {} ms  p99 {} ms  max {} ms \
+                         (±{:.1}% guaranteed, {} samples, {} dropped)",
+                        ms(sk.p50),
+                        ms(sk.p99),
+                        ms(sk.max),
+                        sk.relative_error * 100.0,
+                        sk.count,
+                        sk.dropped,
+                    );
+                }
+            }
         }
     }
     let s = &report.summary;

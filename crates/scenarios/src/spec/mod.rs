@@ -65,7 +65,7 @@ pub use runner::{
 use perfiso::{CpuPolicy, PerfIsoConfig};
 
 use cluster::fleet::FleetConfig;
-use cluster::{ClusterConfig, ClusterSim, Topology};
+use cluster::{BoxShape, ClusterConfig, ClusterSim, Topology};
 use indexserve::boxsim::RunPlan;
 use indexserve::tags::MAX_SERVICES;
 use indexserve::{BoxConfig, BoxSim, HostedSpec, SecondaryKind, ServiceConfig};
@@ -229,6 +229,9 @@ impl ScaleSpec {
 pub enum CurveSpec {
     /// The paper's Fig 10 hour: drifting load with a mid-hour surge.
     PaperHour,
+    /// A full 24-hour production day: early-morning trough, broad evening
+    /// crest, morning-ramp and evening surges.
+    ProductionDay,
     /// Constant per-machine load (control runs).
     Flat {
         /// QPS per machine.
@@ -241,9 +244,64 @@ impl CurveSpec {
     pub fn to_curve(self) -> DiurnalCurve {
         match self {
             CurveSpec::PaperHour => DiurnalCurve::paper_hour(),
+            CurveSpec::ProductionDay => DiurnalCurve::production_day(),
             CurveSpec::Flat { qps } => DiurnalCurve::flat(qps),
         }
     }
+}
+
+/// Latency-recording backend selection: the exact recorder keeps every
+/// sample (bit-stable percentiles, the historical default), the sketch
+/// recorder keeps log-spaced bucket counters with a guaranteed relative
+/// error ([`telemetry::sketch::RELATIVE_ERROR`]) and constant memory —
+/// the only affordable choice at production fleet scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TelemetrySpec {
+    /// Keep every sample (exact percentiles).
+    Exact,
+    /// Mergeable log-bucketed percentile sketch (bounded memory).
+    Sketch,
+}
+
+// The vendored serde_derive does not parse the `#[default]` variant
+// attribute, so this cannot be `#[derive(Default)]`.
+#[allow(clippy::derivable_impls)]
+impl Default for TelemetrySpec {
+    fn default() -> Self {
+        TelemetrySpec::Exact
+    }
+}
+
+impl TelemetrySpec {
+    /// True for the default exact backend (serde skip predicate: the
+    /// default is never serialized, keeping pre-sketch fixtures stable).
+    pub fn is_exact(&self) -> bool {
+        matches!(self, TelemetrySpec::Exact)
+    }
+
+    /// The concrete recorder mode.
+    pub fn mode(&self) -> telemetry::TelemetryMode {
+        match self {
+            TelemetrySpec::Exact => telemetry::TelemetryMode::Exact,
+            TelemetrySpec::Sketch => telemetry::TelemetryMode::Sketch,
+        }
+    }
+}
+
+/// Production-scale extensions of the fleet sweep: strided minutes (a
+/// 24-hour day in 1440/stride slices), a heterogeneous hardware roster,
+/// and deterministic tenant churn.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FleetProductionSpec {
+    /// Wall minutes each sampled slice represents (≥ 1).
+    pub minute_stride: u32,
+    /// Cycle the sampled machines through the three-generation
+    /// [`cluster::topology::BoxShape::production_shapes`] roster instead
+    /// of the uniform paper server.
+    pub heterogeneous_shapes: bool,
+    /// Deterministically reschedule the batch trainer per machine-minute
+    /// (evictions and 0.5–1.5× worker rescales).
+    pub tenant_churn: bool,
 }
 
 /// One latency-sensitive service of a multi-primary box: its display
@@ -298,6 +356,11 @@ pub enum TargetSpec {
         curve: CurveSpec,
         /// The colocated ML trainer.
         trainer: MlTrainer,
+        /// Production-scale extensions (absent in older spec files = the
+        /// classic per-minute sweep; `None` is never serialized, keeping
+        /// pre-production fleet fixtures byte-stable).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        production: Option<FleetProductionSpec>,
     },
 }
 
@@ -375,6 +438,11 @@ pub struct ScenarioSpec {
     /// empty timelines are not serialized, keeping old fixtures valid).
     #[serde(default, skip_serializing_if = "FaultSpec::is_empty")]
     pub fault: FaultSpec,
+    /// Latency-recording backend (absent in older spec files = exact;
+    /// the default is never serialized, keeping pre-sketch fixtures
+    /// byte-stable).
+    #[serde(default, skip_serializing_if = "TelemetrySpec::is_exact")]
+    pub telemetry: TelemetrySpec,
     /// Measurement window.
     pub scale: ScaleSpec,
     /// Base RNG seed; repetition `i` runs with `seed + i`.
@@ -399,6 +467,7 @@ impl ScenarioSpec {
                 controller: ControllerSpec::default(),
                 sweep: None,
                 fault: FaultSpec::default(),
+                telemetry: TelemetrySpec::default(),
                 scale: ScaleSpec::Quick,
                 seed: 42,
                 seeds: 1,
@@ -637,6 +706,7 @@ impl ScenarioSpec {
                 slice_ms,
                 curve,
                 trainer,
+                production,
                 ..
             } => {
                 if *minutes == 0 || *sampled_machines == 0 {
@@ -646,6 +716,13 @@ impl ScenarioSpec {
                 }
                 if *slice_ms == 0 {
                     return Err(SpecError::InvalidFleet("zero-length slice".into()));
+                }
+                if let Some(p) = production {
+                    if p.minute_stride == 0 {
+                        return Err(SpecError::InvalidFleet(
+                            "minute_stride must be at least 1".into(),
+                        ));
+                    }
                 }
                 if let CurveSpec::Flat { qps } = curve {
                     if !(qps.is_finite() && *qps > 0.0) {
@@ -750,6 +827,7 @@ impl ScenarioSpec {
         let mut cfg = BoxConfig::paper_box(self.secondary.clone(), effective, seed);
         cfg.fault = fault;
         cfg.hosted = self.hosted_roster()?;
+        cfg.telemetry = self.telemetry.mode();
         Ok(cfg)
     }
 
@@ -772,9 +850,7 @@ impl ScenarioSpec {
                 .collect()),
             (_, WorkloadSpec::ServiceGraph(g)) => Ok(vec![HostedSpec::Graph {
                 name: "graph".to_string(),
-                graph: std::sync::Arc::new(
-                    g.to_workload().map_err(SpecError::InvalidWorkload)?,
-                ),
+                graph: std::sync::Arc::new(g.to_workload().map_err(SpecError::InvalidWorkload)?),
             }]),
             (_, WorkloadSpec::IndexServe) => Ok(Vec::new()),
         }
@@ -845,6 +921,7 @@ impl ScenarioSpec {
                 .map(std::sync::Arc::new),
             perfiso: effective,
             threads,
+            telemetry: self.telemetry.mode(),
             ..ClusterConfig::paper_cluster(self.secondary.clone(), seed)
         })
     }
@@ -872,12 +949,21 @@ impl ScenarioSpec {
             slice_ms,
             curve,
             ref trainer,
+            production,
         } = self.target
         else {
             return Err(SpecError::TargetMismatch {
                 expected: "fleet",
                 found: self.target.kind(),
             });
+        };
+        // `PERFISO_SCALE` shrinks (or stretches) bench-scale fleet slices
+        // the same way it scales single-box bench windows, so the full
+        // production day stays affordable in CI.
+        let slice_ms = if self.scale == ScaleSpec::Bench {
+            ((slice_ms as f64 * crate::singlebox::scale_multiplier()) as u64).max(1)
+        } else {
+            slice_ms
         };
         Ok(FleetConfig {
             fleet_machines,
@@ -891,6 +977,14 @@ impl ScenarioSpec {
                 .expect("validated: fleet policy has a controller"),
             seed,
             threads,
+            minute_stride: production.map_or(1, |p| p.minute_stride),
+            shapes: if production.is_some_and(|p| p.heterogeneous_shapes) {
+                BoxShape::roster(&BoxShape::production_shapes())
+            } else {
+                FleetConfig::default().shapes
+            },
+            churn: production.is_some_and(|p| p.tenant_churn),
+            telemetry: self.telemetry.mode(),
         })
     }
 
@@ -991,7 +1085,33 @@ impl ScenarioBuilder {
             slice_ms,
             curve: CurveSpec::PaperHour,
             trainer: defaults.trainer,
+            production: None,
         };
+        self
+    }
+
+    /// Sets the extrapolated fleet size (fleet targets only; no-op
+    /// otherwise).
+    pub fn fleet_machines(mut self, n: u32) -> Self {
+        if let TargetSpec::Fleet {
+            ref mut fleet_machines,
+            ..
+        } = self.spec.target
+        {
+            *fleet_machines = n;
+        }
+        self
+    }
+
+    /// Enables the production-scale fleet extensions (fleet targets only;
+    /// no-op otherwise).
+    pub fn production(mut self, p: FleetProductionSpec) -> Self {
+        if let TargetSpec::Fleet {
+            ref mut production, ..
+        } = self.spec.target
+        {
+            *production = Some(p);
+        }
         self
     }
 
@@ -1087,6 +1207,12 @@ impl ScenarioBuilder {
     /// Sets the Autopilot restart policy for fault scenarios.
     pub fn restart(mut self, restart: RestartSpec) -> Self {
         self.spec.fault.restart = restart;
+        self
+    }
+
+    /// Selects the latency-recording backend.
+    pub fn telemetry(mut self, t: TelemetrySpec) -> Self {
+        self.spec.telemetry = t;
         self
     }
 

@@ -11,8 +11,8 @@ use cluster::Topology;
 use workloads::{BullyIntensity, DiskBully};
 
 use super::{
-    ControllerSpec, CurveSpec, EdgeSpec, FaultEvent, RestartSpec, ScaleSpec, ScenarioSpec,
-    ServiceGraphSpec, StageSpec, SweepAxis,
+    ControllerSpec, CurveSpec, EdgeSpec, FaultEvent, FleetProductionSpec, RestartSpec, ScaleSpec,
+    ScenarioSpec, ServiceGraphSpec, StageSpec, SweepAxis, TelemetrySpec,
 };
 use crate::Policy;
 
@@ -183,6 +183,21 @@ pub fn registry() -> Vec<ScenarioSpec> {
             .fleet(10, 1, 300)
             .curve(CurveSpec::Flat { qps: 2_200.0 })
             .policy(Policy::Blind { buffer_cores: 8 })
+            .build()
+            .expect("registry spec"),
+        b("fleet-production")
+            .describe("10k-machine production day: diurnal 24h curve, mixed hardware, tenant churn, sketch telemetry")
+            .fleet(96, 12, 300)
+            .fleet_machines(10_000)
+            .curve(CurveSpec::ProductionDay)
+            .production(FleetProductionSpec {
+                minute_stride: 15,
+                heterogeneous_shapes: true,
+                tenant_churn: true,
+            })
+            .telemetry(TelemetrySpec::Sketch)
+            .policy(Policy::Blind { buffer_cores: 8 })
+            .scale(ScaleSpec::Bench)
             .build()
             .expect("registry spec"),
         b("poll-sensitivity")
@@ -406,6 +421,27 @@ mod tests {
                 .expect("graph workload")
                 .check_shape()
                 .expect("registered graph is well-formed");
+        }
+        let prod = named("fleet-production").expect("fleet-production missing");
+        assert_eq!(prod.telemetry, TelemetrySpec::Sketch);
+        match &prod.target {
+            super::super::TargetSpec::Fleet {
+                fleet_machines,
+                sampled_machines,
+                minutes,
+                production,
+                ..
+            } => {
+                let p = production.expect("production extensions on");
+                assert!(p.heterogeneous_shapes && p.tenant_churn);
+                assert_eq!(minutes * p.minute_stride, 1_440, "covers a full 24h day");
+                assert!(
+                    minutes * sampled_machines >= 1_000,
+                    "production run simulates at least 1000 boxes"
+                );
+                assert!(*fleet_machines >= 1_000);
+            }
+            other => panic!("fleet-production should be a fleet, got {}", other.kind()),
         }
         let dual = named("dual-primary-arbitration").expect("dual-primary missing");
         match &dual.target {

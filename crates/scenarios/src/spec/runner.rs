@@ -247,8 +247,10 @@ fn run_seed(spec: &ScenarioSpec, seed: u64, inner_threads: usize) -> SeedReport 
         TargetSpec::MultiBox { services } => {
             let cfg = spec.box_config(seed).expect("validated");
             let scale = spec.run_scale();
-            let plans: Vec<ServicePlan> =
-                services.iter().map(|s| ServicePlan::at_qps(s.qps)).collect();
+            let plans: Vec<ServicePlan> = services
+                .iter()
+                .map(|s| ServicePlan::at_qps(s.qps))
+                .collect();
             SeedReport::SingleBox(run_multi(cfg, &plans, scale.warmup, scale.measure))
         }
         TargetSpec::Cluster { .. } => {

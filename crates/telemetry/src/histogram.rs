@@ -10,7 +10,7 @@ use simcore::SimDuration;
 const SUB_BUCKET_BITS: u32 = 6;
 const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS; // 64
 const OCTAVES: usize = 44; // covers 1ns .. ~4.8 hours
-const NUM_BUCKETS: usize = OCTAVES * SUB_BUCKETS;
+pub(crate) const NUM_BUCKETS: usize = OCTAVES * SUB_BUCKETS;
 
 /// A fixed-memory histogram with ~1.6 % relative error on quantiles.
 ///
@@ -51,7 +51,7 @@ impl std::fmt::Debug for LogHistogram {
     }
 }
 
-fn bucket_index(value_ns: u64) -> usize {
+pub(crate) fn bucket_index(value_ns: u64) -> usize {
     let v = value_ns.max(1);
     let msb = 63 - v.leading_zeros();
     if msb < SUB_BUCKET_BITS {
@@ -64,7 +64,7 @@ fn bucket_index(value_ns: u64) -> usize {
     idx.min(NUM_BUCKETS - 1)
 }
 
-fn bucket_midpoint(idx: usize) -> u64 {
+pub(crate) fn bucket_midpoint(idx: usize) -> u64 {
     if idx < SUB_BUCKETS {
         return idx as u64;
     }

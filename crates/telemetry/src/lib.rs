@@ -2,8 +2,11 @@
 //!
 //! Everything the paper's evaluation reports flows through this crate:
 //!
-//! - [`LatencyRecorder`] — exact query-latency percentiles (p50/p95/p99).
+//! - [`LatencyRecorder`] — query-latency percentiles (p50/p95/p99), exact
+//!   by default or sketch-backed via [`TelemetryMode`].
 //! - [`LogHistogram`] — HDR-style log-bucketed histogram for streaming use.
+//! - [`Sketch`] — mergeable bounded-memory quantile sketch with a
+//!   guaranteed relative error, for production-scale fleets.
 //! - [`CpuBreakdown`] — the Primary/Secondary/OS/Idle utilization split shown
 //!   in every CPU-utilization bar chart (Figs 4b–8b).
 //! - [`TimeSeries`] — bucketed series for the Fig 10 production timeline.
@@ -17,11 +20,13 @@ pub mod histogram;
 pub mod recorder;
 pub mod runstats;
 pub mod series;
+pub mod sketch;
 pub mod slo;
 pub mod table;
 
 pub use accounting::{CpuBreakdown, TenantClass};
 pub use histogram::LogHistogram;
-pub use recorder::LatencyRecorder;
+pub use recorder::{LatencyRecorder, TelemetryMode};
 pub use runstats::RunStats;
 pub use series::TimeSeries;
+pub use sketch::{Sketch, SketchSummary};

@@ -1,15 +1,63 @@
-//! Exact latency percentile recording.
+//! Latency percentile recording: exact by default, sketch-backed at scale.
 
 use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 
-/// Collects latency samples and reports exact percentiles.
+use crate::sketch::{Sketch, SketchSummary};
+
+/// Which recording backend a simulation's latency recorders use.
 ///
-/// Samples are kept in full (the experiments record at most a few hundred
-/// thousand queries), so percentiles are exact order statistics rather than
-/// histogram estimates. Dropped (timed-out) queries are counted separately
-/// and excluded from the latency distribution, matching the paper's
-/// methodology (completed-query percentiles plus a dropped-query ratio).
+/// `Exact` keeps every sample and reports exact order statistics — the
+/// default, and what every golden fixture was blessed with. `Sketch`
+/// switches to the bounded-memory [`Sketch`] estimator for
+/// production-scale runs where per-sample storage is unaffordable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TelemetryMode {
+    /// Keep all samples; percentiles are exact order statistics.
+    #[default]
+    Exact,
+    /// Log-bucketed sketch with a guaranteed relative error
+    /// ([`Sketch::RELATIVE_ERROR`]).
+    Sketch,
+}
+
+impl TelemetryMode {
+    /// Creates a recorder using this backend.
+    pub fn recorder(self) -> LatencyRecorder {
+        match self {
+            TelemetryMode::Exact => LatencyRecorder::new(),
+            TelemetryMode::Sketch => LatencyRecorder::sketch(),
+        }
+    }
+}
+
+/// The exact backend: every sample kept, percentiles by nearest rank.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+struct ExactRecorder {
+    samples_ns: Vec<u64>,
+    dropped: u64,
+    #[serde(skip)]
+    sorted: bool,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+enum Backend {
+    Exact(ExactRecorder),
+    Sketch(Sketch),
+}
+
+/// Collects latency samples and reports percentiles.
+///
+/// The default backend keeps samples in full (the paper-scale experiments
+/// record at most a few hundred thousand queries), so percentiles are
+/// exact order statistics rather than histogram estimates. Production-
+/// scale runs construct the recorder via [`TelemetryMode::Sketch`] /
+/// [`LatencyRecorder::sketch`], which stores a bounded bucket window
+/// instead of samples and estimates quantiles within
+/// [`Sketch::RELATIVE_ERROR`]. Dropped (timed-out) queries are counted
+/// separately and excluded from the latency distribution in both modes,
+/// matching the paper's methodology (completed-query percentiles plus a
+/// dropped-query ratio).
 ///
 /// # Examples
 ///
@@ -24,108 +72,175 @@ use simcore::SimDuration;
 /// assert_eq!(r.percentile(0.5).as_millis(), 3);
 /// assert_eq!(r.max().as_millis(), 100);
 /// ```
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct LatencyRecorder {
-    samples_ns: Vec<u64>,
-    dropped: u64,
-    #[serde(skip)]
-    sorted: bool,
+    backend: Backend,
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl LatencyRecorder {
-    /// Creates an empty recorder.
+    /// Creates an empty exact recorder.
     pub fn new() -> Self {
         LatencyRecorder {
-            samples_ns: Vec::new(),
-            dropped: 0,
-            sorted: true,
+            backend: Backend::Exact(ExactRecorder {
+                samples_ns: Vec::new(),
+                dropped: 0,
+                sorted: true,
+            }),
         }
+    }
+
+    /// Creates an empty sketch-backed recorder (bounded memory,
+    /// [`Sketch::RELATIVE_ERROR`] quantile estimates).
+    pub fn sketch() -> Self {
+        LatencyRecorder {
+            backend: Backend::Sketch(Sketch::new()),
+        }
+    }
+
+    /// True when this recorder uses the sketch backend.
+    pub fn is_sketch(&self) -> bool {
+        matches!(self.backend, Backend::Sketch(_))
     }
 
     /// Records a completed-query latency.
     pub fn record(&mut self, latency: SimDuration) {
-        self.samples_ns.push(latency.as_nanos());
-        self.sorted = false;
+        match &mut self.backend {
+            Backend::Exact(e) => {
+                e.samples_ns.push(latency.as_nanos());
+                e.sorted = false;
+            }
+            Backend::Sketch(s) => s.record(latency),
+        }
     }
 
     /// Records a dropped (timed-out) query.
     pub fn record_dropped(&mut self) {
-        self.dropped += 1;
+        match &mut self.backend {
+            Backend::Exact(e) => e.dropped += 1,
+            Backend::Sketch(s) => s.record_dropped(),
+        }
     }
 
     /// Number of completed samples.
     pub fn len(&self) -> usize {
-        self.samples_ns.len()
+        match &self.backend {
+            Backend::Exact(e) => e.samples_ns.len(),
+            Backend::Sketch(s) => s.count() as usize,
+        }
     }
 
     /// True when no samples have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples_ns.is_empty()
+        self.len() == 0
     }
 
     /// Number of dropped queries.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        match &self.backend {
+            Backend::Exact(e) => e.dropped,
+            Backend::Sketch(s) => s.dropped(),
+        }
     }
 
     /// Fraction of queries dropped, in `[0, 1]`.
     pub fn drop_ratio(&self) -> f64 {
-        let total = self.samples_ns.len() as u64 + self.dropped;
+        let total = self.len() as u64 + self.dropped();
         if total == 0 {
             0.0
         } else {
-            self.dropped as f64 / total as f64
+            self.dropped() as f64 / total as f64
         }
     }
 
-    fn ensure_sorted(&mut self) {
-        if !self.sorted {
-            self.samples_ns.sort_unstable();
-            self.sorted = true;
-        }
-    }
-
-    /// The exact `q`-quantile (`0 <= q <= 1`) of completed latencies.
+    /// The `q`-quantile (`0 <= q <= 1`) of completed latencies.
     ///
-    /// Returns [`SimDuration::ZERO`] when empty. Uses the nearest-rank
-    /// method: `ceil(q * n)`-th smallest sample.
+    /// Returns [`SimDuration::ZERO`] when empty. The exact backend uses
+    /// the nearest-rank method (`ceil(q * n)`-th smallest sample); the
+    /// sketch backend estimates within [`Sketch::RELATIVE_ERROR`].
     pub fn percentile(&mut self, q: f64) -> SimDuration {
-        if self.samples_ns.is_empty() {
-            return SimDuration::ZERO;
+        match &mut self.backend {
+            Backend::Exact(e) => {
+                if e.samples_ns.is_empty() {
+                    return SimDuration::ZERO;
+                }
+                if !e.sorted {
+                    e.samples_ns.sort_unstable();
+                    e.sorted = true;
+                }
+                let q = q.clamp(0.0, 1.0);
+                let n = e.samples_ns.len();
+                let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+                SimDuration::from_nanos(e.samples_ns[rank - 1])
+            }
+            Backend::Sketch(s) => s.percentile(q),
         }
-        self.ensure_sorted();
-        let q = q.clamp(0.0, 1.0);
-        let n = self.samples_ns.len();
-        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
-        SimDuration::from_nanos(self.samples_ns[rank - 1])
     }
 
     /// Mean of completed latencies (zero when empty).
     pub fn mean(&self) -> SimDuration {
-        if self.samples_ns.is_empty() {
-            return SimDuration::ZERO;
+        match &self.backend {
+            Backend::Exact(e) => {
+                if e.samples_ns.is_empty() {
+                    return SimDuration::ZERO;
+                }
+                let sum: u128 = e.samples_ns.iter().map(|&x| x as u128).sum();
+                SimDuration::from_nanos((sum / e.samples_ns.len() as u128) as u64)
+            }
+            Backend::Sketch(s) => s.mean(),
         }
-        let sum: u128 = self.samples_ns.iter().map(|&x| x as u128).sum();
-        SimDuration::from_nanos((sum / self.samples_ns.len() as u128) as u64)
     }
 
     /// Largest completed latency (zero when empty).
     pub fn max(&self) -> SimDuration {
-        SimDuration::from_nanos(self.samples_ns.iter().copied().max().unwrap_or(0))
+        match &self.backend {
+            Backend::Exact(e) => {
+                SimDuration::from_nanos(e.samples_ns.iter().copied().max().unwrap_or(0))
+            }
+            Backend::Sketch(s) => s.max(),
+        }
     }
 
-    /// Merges another recorder's samples into this one.
+    /// Merges another recorder into this one. Exact merges into exact,
+    /// sketch merges into sketch, and an exact recorder's samples replay
+    /// into a sketch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when merging a sketch into an exact recorder — the samples
+    /// behind the sketch's counters are gone, so no exact merge exists.
     pub fn merge(&mut self, other: &LatencyRecorder) {
-        self.samples_ns.extend_from_slice(&other.samples_ns);
-        self.dropped += other.dropped;
-        self.sorted = false;
+        match (&mut self.backend, &other.backend) {
+            (Backend::Exact(a), Backend::Exact(b)) => {
+                a.samples_ns.extend_from_slice(&b.samples_ns);
+                a.dropped += b.dropped;
+                a.sorted = false;
+            }
+            (Backend::Sketch(a), Backend::Sketch(b)) => a.merge(b),
+            (Backend::Sketch(a), Backend::Exact(b)) => {
+                for &ns in &b.samples_ns {
+                    a.record(SimDuration::from_nanos(ns));
+                }
+                for _ in 0..b.dropped {
+                    a.record_dropped();
+                }
+            }
+            (Backend::Exact(_), Backend::Sketch(_)) => {
+                panic!("cannot merge a sketch-backed recorder into an exact one")
+            }
+        }
     }
 
     /// Convenience: (p50, p95, p99) in one call.
     pub fn summary(&mut self) -> PercentileSummary {
         PercentileSummary {
             count: self.len() as u64,
-            dropped: self.dropped,
+            dropped: self.dropped(),
             mean: self.mean(),
             p50: self.percentile(0.50),
             p95: self.percentile(0.95),
@@ -133,10 +248,27 @@ impl LatencyRecorder {
             max: self.max(),
         }
     }
+
+    /// The sketch summary (statistics plus error bound) when this
+    /// recorder is sketch-backed; `None` on the exact backend.
+    pub fn sketch_summary(&self) -> Option<SketchSummary> {
+        match &self.backend {
+            Backend::Exact(_) => None,
+            Backend::Sketch(s) => Some(s.summary()),
+        }
+    }
+
+    /// Consumes the recorder and returns its sketch, if sketch-backed.
+    pub fn take_sketch(self) -> Option<Sketch> {
+        match self.backend {
+            Backend::Exact(_) => None,
+            Backend::Sketch(s) => Some(s),
+        }
+    }
 }
 
 /// A snapshot of the standard latency statistics.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct PercentileSummary {
     /// Completed-query count.
     pub count: u64,
@@ -169,6 +301,7 @@ impl PercentileSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Sketch;
     use proptest::prelude::*;
 
     #[test]
@@ -238,6 +371,63 @@ mod tests {
         assert_eq!(s.p50.as_micros(), 500);
         assert_eq!(s.p99.as_micros(), 990);
         assert_eq!(s.max.as_micros(), 1000);
+    }
+
+    #[test]
+    fn sketch_backend_tracks_exact_within_bound() {
+        let mut exact = LatencyRecorder::new();
+        let mut sk = LatencyRecorder::sketch();
+        assert!(sk.is_sketch() && !exact.is_sketch());
+        for i in 1..=5_000u64 {
+            let v = SimDuration::from_micros(i * 7 % 4_000 + 1);
+            exact.record(v);
+            sk.record(v);
+        }
+        sk.record_dropped();
+        assert_eq!(sk.len(), exact.len());
+        assert_eq!(sk.dropped(), 1);
+        for q in [0.5, 0.95, 0.99] {
+            let e = exact.percentile(q).as_nanos() as f64;
+            let s = sk.percentile(q).as_nanos() as f64;
+            assert!(
+                (s - e).abs() <= e * Sketch::RELATIVE_ERROR + 0.5,
+                "q={q} exact={e} sketch={s}"
+            );
+        }
+        let summary = sk.sketch_summary().expect("sketch backend");
+        assert_eq!(summary.count, 5_000);
+        assert_eq!(summary.relative_error, Sketch::RELATIVE_ERROR);
+        assert!(exact.sketch_summary().is_none());
+    }
+
+    #[test]
+    fn exact_samples_replay_into_sketch_merge() {
+        let mut sk = LatencyRecorder::sketch();
+        let mut exact = LatencyRecorder::new();
+        exact.record(SimDuration::from_millis(2));
+        exact.record_dropped();
+        sk.record(SimDuration::from_millis(8));
+        sk.merge(&exact);
+        assert_eq!(sk.len(), 2);
+        assert_eq!(sk.dropped(), 1);
+        assert_eq!(sk.max().as_millis(), 8);
+        let sketch = sk.take_sketch().expect("sketch backend");
+        assert_eq!(sketch.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge a sketch")]
+    fn sketch_into_exact_panics() {
+        let mut exact = LatencyRecorder::new();
+        let sk = LatencyRecorder::sketch();
+        exact.merge(&sk);
+    }
+
+    #[test]
+    fn mode_selects_backend() {
+        assert!(!TelemetryMode::Exact.recorder().is_sketch());
+        assert!(TelemetryMode::Sketch.recorder().is_sketch());
+        assert_eq!(TelemetryMode::default(), TelemetryMode::Exact);
     }
 
     proptest! {

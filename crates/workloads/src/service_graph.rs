@@ -101,7 +101,10 @@ impl GraphWorkload {
             ));
         }
         if self.edges.len() > MAX_EDGES {
-            return Err(format!("too many edges: {} > {MAX_EDGES}", self.edges.len()));
+            return Err(format!(
+                "too many edges: {} > {MAX_EDGES}",
+                self.edges.len()
+            ));
         }
         for (i, s) in self.stages.iter().enumerate() {
             if s.fan_out == 0 || s.fan_out > MAX_FAN_OUT {
@@ -117,10 +120,7 @@ impl GraphWorkload {
                 ));
             }
             if !s.sigma.is_finite() || s.sigma < 0.0 || s.sigma > 4.0 {
-                return Err(format!(
-                    "stage {i} ({}) sigma must be in [0, 4]",
-                    s.name
-                ));
+                return Err(format!("stage {i} ({}) sigma must be in [0, 4]", s.name));
             }
         }
         let n = self.stages.len() as u32;
@@ -242,7 +242,9 @@ impl GraphEngine {
             in_degree[e.to as usize] += 1;
             has_out[e.from as usize] = true;
         }
-        let roots = (0..n as u32).filter(|&i| in_degree[i as usize] == 0).collect();
+        let roots = (0..n as u32)
+            .filter(|&i| in_degree[i as usize] == 0)
+            .collect();
         let n_sinks = has_out.iter().filter(|o| !**o).count() as u32;
         GraphEngine {
             net: NetSim::new(NetConfig::default(), n as u32, seed ^ 0x6E7),
@@ -337,7 +339,8 @@ impl GraphEngine {
         for w in 0..fan_out {
             let d = SimDuration::from_micros_f64(dist.sample(&mut self.rng));
             let tag = self.tag(ridx, stage, w);
-            let tid = machine.spawn_program_with(now, self.job, Program::compute_once(d), tag, boosted);
+            let tid =
+                machine.spawn_program_with(now, self.job, Program::compute_once(d), tag, boosted);
             self.requests[ridx as usize].live_tids.push(tid);
             self.workers_spawned += 1;
         }
@@ -346,7 +349,13 @@ impl GraphEngine {
     /// Routes one of this engine's threads exiting back into the graph.
     /// (Stage hand-off happens over the fabric, so the machine is only
     /// part of the signature for symmetry with the other hooks.)
-    pub fn on_thread_exited(&mut self, now: SimTime, tag: u64, tid: ThreadId, _machine: &mut Machine) {
+    pub fn on_thread_exited(
+        &mut self,
+        now: SimTime,
+        tag: u64,
+        tid: ThreadId,
+        _machine: &mut Machine,
+    ) {
         let (ridx, stage) = Self::parse_tag(tag);
         let Some(req) = self.requests.get_mut(ridx as usize) else {
             return;
@@ -446,7 +455,8 @@ impl GraphEngine {
     /// delivered.
     pub fn advance_to(&mut self, now: SimTime, machine: &mut Machine) {
         while self.net.next_timer_at().is_some_and(|t| t <= now) {
-            self.net.advance_to(self.net.next_timer_at().expect("checked"));
+            self.net
+                .advance_to(self.net.next_timer_at().expect("checked"));
             self.net.drain_deliveries_into(&mut self.deliveries);
             while let Some(d) = self.deliveries.pop() {
                 let ridx = d.token >> 8;
@@ -541,7 +551,11 @@ mod tests {
             machine.advance_to(at);
             engine.on_arrival(at, &mut machine);
         }
-        drive(&mut engine, &mut machine, SimTime::ZERO + SimDuration::from_secs(1));
+        drive(
+            &mut engine,
+            &mut machine,
+            SimTime::ZERO + SimDuration::from_secs(1),
+        );
         let mut outs = Vec::new();
         engine.drain_outcomes_into(&mut outs);
         assert_eq!(outs.len(), 10);
@@ -549,7 +563,9 @@ mod tests {
         // 4-stage chain with one fan-out-4 stage = 7 workers per request.
         assert_eq!(engine.workers_spawned, 70);
         // Latency covers 4 stages of ~500us compute plus 3 net hops.
-        assert!(outs.iter().all(|o| o.latency >= SimDuration::from_millis(2)));
+        assert!(outs
+            .iter()
+            .all(|o| o.latency >= SimDuration::from_millis(2)));
     }
 
     #[test]

@@ -212,6 +212,56 @@ fn multi_service_parallel_equals_serial_and_rerun() {
     }
 }
 
+/// The production fleet scenario — diurnal stride, heterogeneous box
+/// shapes, tenant churn, and sketch telemetry all at once — must keep the
+/// bit-identity guarantee: the full JSON report (merged sketch summary
+/// included) is byte-identical between the serial slice sweep, an
+/// 8-thread sweep, and a fresh rerun. Shrunk dimensions keep this CI-fast
+/// while still exercising every production code path.
+#[test]
+fn fleet_production_parallel_equals_serial_and_rerun() {
+    let mut spec = spec::named("fleet-production").expect("registered scenario");
+    if let spec::TargetSpec::Fleet {
+        sampled_machines,
+        minutes,
+        slice_ms,
+        ..
+    } = &mut spec.target
+    {
+        *sampled_machines = 3;
+        *minutes = 8;
+        *slice_ms = 120;
+    }
+    spec.validate().expect("shrunk spec stays valid");
+    let serial = run_spec(&spec, &RunOptions::serial()).expect("runnable");
+    let parallel = run_spec(
+        &spec,
+        &RunOptions {
+            seeds: None,
+            threads: 8,
+        },
+    )
+    .expect("runnable");
+    let rerun = run_spec(&spec, &RunOptions::serial()).expect("runnable");
+
+    let report = serial.runs[0].as_fleet().expect("fleet");
+    let sketch = report
+        .latency_sketch
+        .as_ref()
+        .expect("sketch telemetry produces a merged summary");
+    assert!(sketch.count > 0, "merged sketch saw traffic");
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "fleet-production report diverged across thread counts"
+    );
+    assert_eq!(
+        serial.to_json(),
+        rerun.to_json(),
+        "fleet-production report unstable across reruns"
+    );
+}
+
 /// The cluster simulator's persistent worker pool (engaged whenever ≥ 8
 /// boxes are due at one instant and more than one worker is configured)
 /// must match the serial run exactly — forced to 4 workers here so the

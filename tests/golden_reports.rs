@@ -159,6 +159,11 @@ fn golden_fleet_smoke() {
 }
 
 #[test]
+fn golden_fleet_production() {
+    check_golden("fleet-production");
+}
+
+#[test]
 fn golden_chaos_controller_crash() {
     check_golden("chaos-controller-crash");
 }
@@ -220,6 +225,38 @@ fn dual_primary_fixture_reports_both_service_tails() {
     }
 }
 
+/// The production-fleet fixture is the acceptance surface for sketch
+/// telemetry: the committed report must carry a merged percentile
+/// summary with the advertised relative-error guarantee, and the other
+/// fleet fixture (exact telemetry) must not grow a sketch key.
+#[test]
+fn fleet_production_fixture_reports_merged_sketch() {
+    if blessing() {
+        return; // fixtures may be mid-regeneration
+    }
+    let path = golden_dir().join("fleet-production.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+    let report: spec::Report = serde_json::from_str(&text).expect("fixture parses");
+    for run in &report.runs {
+        let fleet = run.as_fleet().expect("fleet report");
+        let sketch = fleet
+            .latency_sketch
+            .as_ref()
+            .expect("sketch telemetry merged into the report");
+        assert!(sketch.count > 0, "sketch saw measured traffic");
+        assert!(sketch.relative_error > 0.0 && sketch.relative_error < 0.02);
+        assert!(sketch.p50 <= sketch.p99 && sketch.p99 <= sketch.max);
+    }
+
+    let exact = std::fs::read_to_string(golden_dir().join("fleet-smoke.json"))
+        .expect("fleet-smoke fixture");
+    assert!(
+        !exact.contains("latency_sketch"),
+        "exact-telemetry fleet fixture must stay sketch-free"
+    );
+}
+
 /// The fixtures themselves must round-trip through serde — guards
 /// against committing a hand-edited fixture the loader cannot parse.
 #[test]
@@ -232,6 +269,7 @@ fn golden_fixtures_parse_as_reports() {
         "fig04",
         "io-throttle",
         "fleet-smoke",
+        "fleet-production",
         "chaos-controller-crash",
         "chaos-crash-loop",
         "chaos-config-rollout",

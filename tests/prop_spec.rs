@@ -5,9 +5,9 @@
 
 use proptest::prelude::*;
 use scenarios::spec::{
-    ControllerSpec, EdgeSpec, FaultEvent, FaultSpec, RestartSpec, ScaleSpec, ScenarioSpec,
-    ServiceGraphSpec, ServiceLoadSpec, SpecError, StageSpec, SweepAxis, SweepSpec, TargetSpec,
-    TenantLimitSpec, WorkloadSpec,
+    ControllerSpec, CurveSpec, EdgeSpec, FaultEvent, FaultSpec, FleetProductionSpec, RestartSpec,
+    ScaleSpec, ScenarioSpec, ServiceGraphSpec, ServiceLoadSpec, SpecError, StageSpec, SweepAxis,
+    SweepSpec, TargetSpec, TelemetrySpec, TenantLimitSpec, WorkloadSpec,
 };
 use scenarios::Policy;
 use workloads::BullyIntensity;
@@ -63,6 +63,43 @@ fn target_strategy() -> impl Strategy<Value = TargetSpec> {
             qps,
             working_set_mb,
         });
+    // Fleet targets straddle validity the same way: zero minutes/samples/
+    // slices, zero trainer workers, zero-QPS flat curves, and zero-stride
+    // production extensions must all be rejected, never panic.
+    let fleet = (
+        (0u32..20, 0u32..4, prop_oneof![Just(0u64), 50u64..300]),
+        prop_oneof![
+            Just(CurveSpec::PaperHour),
+            Just(CurveSpec::ProductionDay),
+            prop_oneof![Just(0.0f64), 500.0f64..3_000.0].prop_map(|qps| CurveSpec::Flat { qps }),
+        ],
+        prop_oneof![Just(0u32), 1u32..32],
+        proptest::option::of((0u32..20, any::<bool>(), any::<bool>()).prop_map(
+            |(minute_stride, heterogeneous_shapes, tenant_churn)| FleetProductionSpec {
+                minute_stride,
+                heterogeneous_shapes,
+                tenant_churn,
+            },
+        )),
+    )
+        .prop_map(
+            |((minutes, sampled_machines, slice_ms), curve, workers, production)| {
+                TargetSpec::Fleet {
+                    fleet_machines: 650,
+                    sampled_machines,
+                    minutes,
+                    slice_ms,
+                    curve,
+                    trainer: workloads::MlTrainer {
+                        workers,
+                        minibatch: simcore::SimDuration::from_millis(2),
+                        steps_per_sync: 20,
+                        sync_pause: simcore::SimDuration::from_millis(8),
+                    },
+                    production,
+                }
+            },
+        );
     prop_oneof![
         prop_oneof![Just(0.0f64), 100.0f64..5_000.0].prop_map(|qps| TargetSpec::SingleBox { qps }),
         proptest::collection::vec(service, 0..6)
@@ -75,6 +112,7 @@ fn target_strategy() -> impl Strategy<Value = TargetSpec> {
                 qps_total,
             }
         ),
+        fleet,
     ]
 }
 
@@ -287,13 +325,14 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
             any::<u64>(),
             0u32..4,
             fault_strategy(),
+            prop_oneof![Just(TelemetrySpec::Exact), Just(TelemetrySpec::Sketch)],
         ),
     )
         .prop_map(
             |(
                 (name, target, workload, secondary),
                 (policy, controller, sweep),
-                (scale, seed, seeds, fault),
+                (scale, seed, seeds, fault, telemetry),
             )| {
                 ScenarioSpec {
                     name,
@@ -308,6 +347,7 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
                     seed,
                     seeds,
                     fault,
+                    telemetry,
                 }
             },
         )
