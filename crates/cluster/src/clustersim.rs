@@ -60,6 +60,9 @@ pub struct ClusterConfig {
     /// recorders. `Exact` (the default) keeps every sample; `Sketch`
     /// bounds memory and adds a TLA sketch summary to the report.
     pub telemetry: TelemetryMode,
+    /// Overload-resilience policy stamped onto every index box (`None` =
+    /// the classic cluster with no admission control or retries).
+    pub resilience: Option<std::sync::Arc<workloads::ResiliencePolicy>>,
 }
 
 impl ClusterConfig {
@@ -80,6 +83,7 @@ impl ClusterConfig {
             threads: 0,
             fault: None,
             telemetry: TelemetryMode::Exact,
+            resilience: None,
         }
     }
 }
@@ -172,6 +176,7 @@ impl ClusterSim {
                         .and_then(|p| p.slice_for_box(i as usize, n_index as usize))
                         .map(std::sync::Arc::new),
                     telemetry: cfg.telemetry,
+                    resilience: cfg.resilience.clone(),
                     seed: cfg.seed ^ (0x9E37 * (i as u64 + 1)),
                 })
             })
@@ -293,6 +298,7 @@ impl ClusterSim {
             agg.merge(&b.breakdown().since(w));
         }
         let mut faults = Vec::new();
+        let mut resilience = telemetry::ResilienceStats::default();
         for (i, b) in self.boxes.iter_mut().enumerate() {
             let records = b.take_fault_records();
             if !records.is_empty() {
@@ -300,6 +306,9 @@ impl ClusterSim {
                     box_index: i as u32,
                     faults: records,
                 });
+            }
+            if let Some(r) = b.resilience_report() {
+                resilience.merge(&r);
             }
         }
         ClusterReport {
@@ -312,6 +321,7 @@ impl ClusterSim {
             mean_utilization: agg.utilization(),
             breakdown: agg,
             faults,
+            resilience: (!resilience.is_empty()).then_some(resilience),
         }
     }
 

@@ -33,8 +33,10 @@ use perfiso::PerfIsoConfig;
 use qtrace::{DiurnalCurve, OpenLoopClient, QuerySpec, TraceConfig, TraceGenerator};
 use simcore::{SimDuration, SimTime};
 use simcpu::MachineConfig;
-use telemetry::{LatencyRecorder, Sketch, SketchSummary, TelemetryMode, TimeSeries};
-use workloads::MlTrainer;
+use telemetry::{
+    LatencyRecorder, ResilienceStats, Sketch, SketchSummary, TelemetryMode, TimeSeries,
+};
+use workloads::{MlTrainer, ResiliencePolicy};
 
 /// Fleet experiment parameters.
 #[derive(Clone, Debug)]
@@ -76,6 +78,9 @@ pub struct FleetConfig {
     /// at production scale and adds a fleet-wide merged percentile sketch
     /// to the report.
     pub telemetry: TelemetryMode,
+    /// Overload-resilience policy stamped onto every sampled box (`None`
+    /// = the classic fleet with no box-level admission control).
+    pub resilience: Option<Arc<ResiliencePolicy>>,
 }
 
 impl Default for FleetConfig {
@@ -99,6 +104,7 @@ impl Default for FleetConfig {
             shapes: vec![MachineConfig::paper_server()],
             churn: false,
             telemetry: TelemetryMode::Exact,
+            resilience: None,
         }
     }
 }
@@ -130,6 +136,11 @@ pub struct FleetReport {
     /// pre-sketch fleet reports are byte-identical.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub latency_sketch: Option<SketchSummary>,
+    /// Resilience counters merged across every sampled slice (admission
+    /// sheds, retries, hedges, breaker trips). Present only when a
+    /// mechanism fired, so pre-resilience fleet reports are byte-stable.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub resilience: Option<ResilienceStats>,
 }
 
 impl FleetReport {
@@ -152,6 +163,7 @@ impl FleetReport {
             && self.max_p99 == other.max_p99
             && self.slices == other.slices
             && self.sim_events == other.sim_events
+            && self.resilience == other.resilience
             && match (&self.latency_sketch, &other.latency_sketch) {
                 (None, None) => true,
                 (Some(a), Some(b)) => a.bits_eq(b),
@@ -174,6 +186,8 @@ struct SliceResult {
     /// Merged tree-wise in the reduction; counter addition commutes, so
     /// the merged sketch is independent of worker scheduling.
     sketch: Option<Sketch>,
+    /// The slice's resilience counters, when any mechanism fired.
+    resilience: Option<ResilienceStats>,
 }
 
 /// Immutable inputs shared by every slice (and every worker thread).
@@ -306,9 +320,11 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
         slices: n_slices as u64,
         sim_events: 0,
         latency_sketch: None,
+        resilience: None,
     };
     let mut util_acc = 0.0;
     let mut sketches: Vec<Sketch> = Vec::new();
+    let mut resilience = ResilienceStats::default();
     let mut results = results.into_iter();
     for m in 0..cfg.minutes {
         let qps = cfg.curve.qps_at_minute(m * stride);
@@ -325,6 +341,9 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
             if let Some(sk) = r.sketch.take() {
                 sketches.push(sk);
             }
+            if let Some(rs) = r.resilience {
+                resilience.merge(&rs);
+            }
         }
         report.qps.record(stamp, qps);
         report.p99_ms.record(stamp, minute_p99.as_millis_f64());
@@ -335,6 +354,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
     }
     report.mean_utilization = util_acc / cfg.minutes as f64;
     report.latency_sketch = Sketch::merge_tree(sketches).map(|s| s.summary());
+    report.resilience = (!resilience.is_empty()).then_some(resilience);
     report
 }
 
@@ -372,6 +392,7 @@ fn run_fleet_slice(cfg: &FleetConfig, shared: &FleetShared, m: u32, s: u32) -> S
         secondary: SecondaryKind::none(),
         perfiso: Some(Arc::clone(&shared.perfiso)),
         telemetry: cfg.telemetry,
+        resilience: cfg.resilience.clone(),
         seed,
         fault: None,
     };
@@ -426,16 +447,39 @@ fn run_fleet_slice(cfg: &FleetConfig, shared: &FleetShared, m: u32, s: u32) -> S
     }
     sim.advance_to(end);
     record_events(&mut sim, &mut events, &mut recorder);
+    // Snapshot the measurement window before the tail drain so the extra
+    // simulated time never leaks into utilization or event counts.
     let warm = warm_snapshot.unwrap_or_else(|| sim.breakdown());
     let window = sim.breakdown().since(&warm);
     let stats = sim.machine_stats();
     let progress = handle.as_ref().map_or(0, |h| h.minibatches()) - prog_at_warm;
+    // Stragglers still in flight at the slice end carry deadline events
+    // past `end`; without this drain a query that times out there simply
+    // vanishes and the sketch undercounts drops. Only drops are recorded
+    // from the tail — completions past the slice end stay unrecorded,
+    // exactly as before, so drop-free slices are byte-identical.
+    let drain_end = end + sim.max_timeout();
+    while sim.services_in_flight() > 0 {
+        match sim.next_event_time() {
+            Some(t) if t <= drain_end => sim.advance_to(t),
+            _ => break,
+        }
+        sim.drain_events_into(&mut events);
+        for ev in events.drain(..) {
+            if let BoxEvent::QueryDone(out) = ev {
+                if out.dropped && out.arrival >= warmup_end {
+                    recorder.record_dropped();
+                }
+            }
+        }
+    }
     SliceResult {
         utilization: window.utilization(),
         p99: recorder.percentile(0.99),
         minibatches_per_min: progress as f64 / cfg.slice.as_secs_f64() * 60.0,
         events: stats.dispatches + stats.ctx_switches + stats.ipis + stats.spawns + stats.exits,
         sketch: recorder.take_sketch(),
+        resilience: sim.resilience_report(),
     }
 }
 
@@ -501,7 +545,7 @@ mod tests {
         // its error bound.
         let sk = serial.latency_sketch.expect("sketch telemetry on");
         assert!(sk.count > 0);
-        assert!((sk.relative_error - telemetry::sketch::RELATIVE_ERROR).abs() < 1e-12);
+        assert!((sk.relative_error - telemetry::Sketch::RELATIVE_ERROR).abs() < 1e-12);
         assert!(sk.p99 >= sk.p50 && sk.max >= sk.p99);
         // Churn must actually vary the trainer mix: with 12 slices at
         // least one should run trainer-free (probability of none being
@@ -512,7 +556,7 @@ mod tests {
                 let m = i / 3;
                 let s = i % 3;
                 let h = mix64(mix64(base.seed) ^ 0xC0FFEE ^ ((m as u64) << 20) ^ ((s as u64) << 2));
-                h % 8 == 0
+                h.is_multiple_of(8)
             })
             .count();
         assert!(evicted > 0, "seed 99 should evict at least one trainer");

@@ -4,7 +4,7 @@ use indexserve::FaultRecord;
 use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 use telemetry::recorder::PercentileSummary;
-use telemetry::{CpuBreakdown, LatencyRecorder, SketchSummary};
+use telemetry::{CpuBreakdown, LatencyRecorder, ResilienceStats, SketchSummary};
 
 /// Latency statistics for one aggregation layer (Fig 9's bar groups).
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -57,6 +57,12 @@ pub struct ClusterReport {
     /// pre-sketch reports are unchanged.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub latency_sketch: Option<SketchSummary>,
+    /// Resilience counters merged across every index box (admission
+    /// sheds, retries, hedges, breaker trips). Present only when a
+    /// resilience mechanism fired somewhere, so pre-resilience cluster
+    /// reports serialize unchanged.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub resilience: Option<ResilienceStats>,
 }
 
 /// The fault records one index box executed during a cluster run.

@@ -30,12 +30,14 @@ use simdisk::{
     AccessPattern, DiskSim, IoKind, IoPriority, OwnerId, RateLimit, VolumeId, VolumeSpec,
 };
 use telemetry::recorder::PercentileSummary;
-use telemetry::{CpuBreakdown, LatencyRecorder, SketchSummary, TelemetryMode, TenantClass};
+use telemetry::{
+    CpuBreakdown, LatencyRecorder, ResilienceStats, SketchSummary, TelemetryMode, TenantClass,
+};
 use workloads::cpu_bully::{CpuBully, CpuBullyHandle};
 use workloads::disk_bully::{DiskBully, DISK_BULLY_TAG_BASE};
 use workloads::hdfs::{HdfsCpuProgram, HdfsNode, HDFS_TAG_BASE};
 use workloads::service_graph::{GraphEngine, GraphWorkload};
-use workloads::BullyIntensity;
+use workloads::{BullyIntensity, ResiliencePolicy};
 
 use crate::chaos::{FaultPlan, FaultRecord, PlannedFaultKind};
 use crate::port::{BlockedAction, GraphPort, ServicePort};
@@ -150,6 +152,10 @@ pub struct BoxConfig {
     /// sample; `Sketch` bounds memory for production-scale runs and adds
     /// a `latency_sketch` summary (with its error bound) to the report.
     pub telemetry: TelemetryMode,
+    /// Overload-resilience policy (`None` = no admission control, no
+    /// retries/hedging, no breakers — bit-identical to the pre-resilience
+    /// box). Shared so cluster drivers stamp one policy across boxes.
+    pub resilience: Option<Arc<ResiliencePolicy>>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -165,6 +171,7 @@ impl BoxConfig {
             perfiso: perfiso.map(Arc::new),
             fault: None,
             telemetry: TelemetryMode::Exact,
+            resilience: None,
             seed,
         }
     }
@@ -199,6 +206,8 @@ enum AppEvent {
     SecondaryUp,
     /// The IndexServe process finishes restarting.
     PrimaryUp,
+    /// One synthetic arrival of an in-flight connection flood.
+    FloodTick,
 }
 
 /// Service names (as configured through `PerfIsoConfig::tenant_limits`)
@@ -280,6 +289,22 @@ struct ChaosState {
     primary_down_until: Option<SimTime>,
     /// In-flight primary downtime (record index).
     primary_record: Option<usize>,
+    /// While `Some`, a connection flood injects synthetic arrivals.
+    flood_until: Option<SimTime>,
+    /// Inter-arrival gap of the active flood's synthetic load.
+    flood_interval: SimDuration,
+    /// An in-flight quota-exhaustion episode, when one is active.
+    io_surge: Option<IoSurge>,
+}
+
+/// A quota-exhaustion episode: one batch I/O tenant's operations are
+/// inflated until `until`, driving it into its throttle.
+struct IoSurge {
+    until: SimTime,
+    /// [`IoTenant`] index (0 = disk-bully, 1 = hdfs-replication,
+    /// 2 = hdfs-client).
+    tenant: u8,
+    multiplier: f64,
 }
 
 impl ChaosState {
@@ -302,6 +327,9 @@ impl ChaosState {
             secondary_record: None,
             primary_down_until: None,
             primary_record: None,
+            flood_until: None,
+            flood_interval: SimDuration::ZERO,
+            io_surge: None,
         }
     }
 
@@ -350,6 +378,12 @@ pub struct BoxSim {
     events: Vec<BoxEvent>,
     now: SimTime,
     secondary_killed: bool,
+    /// Box-level resilience counters (admission sheds); per-service
+    /// engine counters merge in at report time.
+    resilience: ResilienceStats,
+    /// The arrival spec a connection flood replays as synthetic load:
+    /// the first externally injected slot-0 spec (chaos runs only).
+    flood_spec: Option<QuerySpec>,
     /// Tracks secondary threads for kill-on-memory-pressure.
     secondary_tids: Vec<ThreadId>,
     /// Reusable buffers for the settle loop (machine outputs, disk
@@ -419,7 +453,13 @@ impl BoxSim {
                     }
                     HostedSpec::Graph { graph, .. } => Box::new(GraphPort::new(
                         name.clone(),
-                        GraphEngine::new(graph, job, PRIMARY_BIT | service_bits(i as u8), seed),
+                        GraphEngine::with_policy(
+                            graph,
+                            job,
+                            PRIMARY_BIT | service_bits(i as u8),
+                            seed,
+                            cfg.resilience.clone(),
+                        ),
                         i as u8,
                     )),
                 };
@@ -453,6 +493,8 @@ impl BoxSim {
             events: Vec::new(),
             now: SimTime::ZERO,
             secondary_killed: false,
+            resilience: ResilienceStats::default(),
+            flood_spec: None,
             secondary_tids: Vec::new(),
             scratch_outputs: Vec::with_capacity(64),
             scratch_completions: Vec::with_capacity(64),
@@ -679,6 +721,12 @@ impl BoxSim {
             .expect("at least one service")
     }
 
+    /// Requests outstanding (admitted plus queued) across every hosted
+    /// service — zero once all stragglers have retired.
+    pub fn services_in_flight(&self) -> u64 {
+        self.services.iter().map(|s| s.port.in_flight()).sum()
+    }
+
     /// The primary tenant's job id on the machine.
     pub fn primary_job(&self) -> JobId {
         self.primary_job
@@ -832,6 +880,11 @@ impl BoxSim {
     /// Injects a query arriving now at service slot `service`.
     pub fn inject_query_for(&mut self, service: usize, now: SimTime, spec: QuerySpec) -> u64 {
         self.advance_to(now);
+        if service == 0 && self.flood_spec.is_none() && self.chaos.is_some() {
+            // Remember one representative arrival for a connection flood
+            // to replay as synthetic load.
+            self.flood_spec = Some(spec.clone());
+        }
         if self
             .chaos
             .as_ref()
@@ -839,6 +892,15 @@ impl BoxSim {
         {
             // The primary process is restarting: the connection is
             // refused and the query counts as dropped immediately.
+            let qidx = self.services[service].port.refuse_arrival(now, spec);
+            self.settle();
+            return qidx;
+        }
+        if self.admission_sheds(service) {
+            // Box-level load shedding: the service is already holding its
+            // configured concurrency plus queue depth, so the arrival is
+            // refused deterministically and counted as a dropped query.
+            self.resilience.sheds += 1;
             let qidx = self.services[service].port.refuse_arrival(now, spec);
             self.settle();
             return qidx;
@@ -853,6 +915,31 @@ impl BoxSim {
         );
         self.settle();
         qidx
+    }
+
+    /// True when the box-level admission policy sheds an arrival at slot
+    /// `service` (its outstanding load already covers the configured
+    /// concurrency plus queue depth).
+    fn admission_sheds(&self, service: usize) -> bool {
+        self.cfg
+            .resilience
+            .as_ref()
+            .and_then(|p| p.admission)
+            .is_some_and(|adm| !adm.admits(self.services[service].port.in_flight()))
+    }
+
+    /// Merged resilience counters: box-level admission sheds plus every
+    /// hosted service's engine counters. `None` when nothing ever fired,
+    /// so policy-free reports serialize byte-identically to before the
+    /// subsystem existed.
+    pub fn resilience_report(&self) -> Option<ResilienceStats> {
+        let mut total = self.resilience;
+        for s in &self.services {
+            if let Some(st) = s.port.resilience_stats() {
+                total.merge(st);
+            }
+        }
+        (!total.is_empty()).then_some(total)
     }
 
     /// Spawns an auxiliary primary-tenant compute thread (MLA aggregation
@@ -1035,12 +1122,13 @@ impl BoxSim {
                         .as_ref()
                         .expect("disk bully configured")
                         .sample_op(&mut self.rng);
+                    let bytes = self.surge_bytes(0, op.bytes);
                     self.disk.submit(
                         self.now,
                         self.hdd,
                         self.owners.disk_bully,
                         op.kind,
-                        op.bytes,
+                        bytes,
                         op.access,
                         wake_token(tid),
                     );
@@ -1119,14 +1207,16 @@ impl BoxSim {
             AppEvent::ControllerUp => self.controller_up(),
             AppEvent::SecondaryUp => self.secondary_up(),
             AppEvent::PrimaryUp => self.primary_up(),
+            AppEvent::FloodTick => self.flood_tick(),
             AppEvent::HdfsReplication => {
                 let (next, op) = self.hdfs_repl.next_submission(self.now, &mut self.rng);
+                let bytes = self.surge_bytes(1, op.bytes);
                 self.disk.submit(
                     self.now,
                     self.hdd,
                     self.owners.hdfs_repl,
                     op.kind,
-                    op.bytes,
+                    bytes,
                     op.access,
                     FIRE_AND_FORGET,
                 );
@@ -1134,17 +1224,67 @@ impl BoxSim {
             }
             AppEvent::HdfsClient => {
                 let (next, op) = self.hdfs_client.next_submission(self.now, &mut self.rng);
+                let bytes = self.surge_bytes(2, op.bytes);
                 self.disk.submit(
                     self.now,
                     self.hdd,
                     self.owners.hdfs_client,
                     op.kind,
-                    op.bytes,
+                    bytes,
                     op.access,
                     FIRE_AND_FORGET,
                 );
                 self.app.push(next, AppEvent::HdfsClient);
             }
+        }
+    }
+
+    /// One synthetic arrival of a connection flood, re-armed until the
+    /// flood window closes. Runs inside `handle_app_event` — already at
+    /// `self.now`, mid-`advance_to` — so the arrival is inlined here
+    /// rather than re-entering `inject_query_for`.
+    fn flood_tick(&mut self) {
+        let (until, interval) = match self.chaos.as_ref() {
+            Some(ch) => match ch.flood_until {
+                Some(u) => (u, ch.flood_interval),
+                None => return,
+            },
+            None => return,
+        };
+        if self.now >= until {
+            self.chaos.as_mut().expect("checked above").flood_until = None;
+            return;
+        }
+        if let Some(spec) = self.flood_spec.clone() {
+            let down = self
+                .chaos
+                .as_ref()
+                .is_some_and(|c| c.primary_down_until.is_some());
+            if down || self.admission_sheds(0) {
+                if !down {
+                    self.resilience.sheds += 1;
+                }
+                self.services[0].port.refuse_arrival(self.now, spec);
+            } else {
+                let qidx = self.services[0]
+                    .port
+                    .on_arrival(self.now, spec, &mut self.machine);
+                let deadline = self.now + self.services[0].port.timeout();
+                self.app.push(deadline, AppEvent::Timeout(qidx));
+            }
+        }
+        self.app.push(self.now + interval, AppEvent::FloodTick);
+    }
+
+    /// Applies an active quota-exhaustion surge to I/O tenant `tenant`'s
+    /// operation size. The inflation happens *after* sampling, so the RNG
+    /// stream is untouched and surge-free runs stay bit-identical.
+    fn surge_bytes(&self, tenant: u8, bytes: u64) -> u64 {
+        match self.chaos.as_ref().and_then(|c| c.io_surge.as_ref()) {
+            Some(s) if s.tenant == tenant && self.now < s.until => {
+                ((bytes as f64) * s.multiplier).round() as u64
+            }
+            _ => bytes,
         }
     }
 
@@ -1216,7 +1356,8 @@ impl BoxSim {
                     }
                 }
             }
-            PlannedFaultKind::SecondaryRestart { downtime } => {
+            PlannedFaultKind::SecondaryRestart { downtime }
+            | PlannedFaultKind::ServiceChurn { downtime } => {
                 if ch.registry.get("secondary").is_some()
                     && ch.secondary_record.is_none()
                     && !self.secondary_killed
@@ -1278,6 +1419,38 @@ impl BoxSim {
                     key: key.clone(),
                     record: ridx,
                     rollback: *rollback_p99,
+                });
+            }
+            PlannedFaultKind::ConnectionFlood {
+                duration,
+                extra_qps,
+            } => {
+                ch.records.push(FaultRecord::fired(&fault.kind, self.now));
+                let ridx = ch.records.len() - 1;
+                ch.records[ridx].downtime_ms = duration.as_millis_f64();
+                ch.flood_until = Some(self.now + *duration);
+                ch.flood_interval =
+                    SimDuration::from_nanos(1_000_000_000 / u64::from((*extra_qps).max(1)));
+                self.app
+                    .push(self.now + ch.flood_interval, AppEvent::FloodTick);
+            }
+            PlannedFaultKind::QuotaExhaustion {
+                duration,
+                tenant,
+                multiplier,
+            } => {
+                ch.records.push(FaultRecord::fired(&fault.kind, self.now));
+                let ridx = ch.records.len() - 1;
+                ch.records[ridx].downtime_ms = duration.as_millis_f64();
+                let t = match tenant.as_str() {
+                    "disk-bully" => 0u8,
+                    "hdfs-replication" => 1,
+                    _ => 2,
+                };
+                ch.io_surge = Some(IoSurge {
+                    until: self.now + *duration,
+                    tenant: t,
+                    multiplier: *multiplier,
                 });
             }
         }
@@ -1626,6 +1799,11 @@ pub struct BoxReport {
     /// fixture) omit the key, so their JSON is unchanged.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub latency_sketch: Option<SketchSummary>,
+    /// Resilience-mechanism counters (admission sheds, retries, hedges,
+    /// breaker trips, deadline cancels). Present only when a mechanism
+    /// actually fired, so pre-resilience reports serialize unchanged.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub resilience: Option<ResilienceStats>,
 }
 
 impl BoxReport {
@@ -1779,6 +1957,7 @@ pub fn run_standalone(cfg: BoxConfig, plan: &RunPlan) -> BoxReport {
         controller: sim.controller_stats(),
         faults: sim.take_fault_records(),
         services,
+        resilience: sim.resilience_report(),
     }
 }
 
@@ -1836,7 +2015,7 @@ pub fn run_multi(
         let mut best: Option<(usize, SimTime)> = None;
         for (i, c) in clients.iter_mut().enumerate() {
             if let Some(at) = c.next_arrival_time() {
-                if at <= end && best.map_or(true, |(_, b)| at < b) {
+                if at <= end && best.is_none_or(|(_, b)| at < b) {
                     best = Some((i, at));
                 }
             }
@@ -1884,6 +2063,7 @@ pub fn run_multi(
         controller: sim.controller_stats(),
         faults: sim.take_fault_records(),
         services,
+        resilience: sim.resilience_report(),
     }
 }
 

@@ -62,6 +62,36 @@ pub enum PlannedFaultKind {
         /// observation window exceeds this, the previous config returns.
         rollback_p99: Option<SimDuration>,
     },
+    /// One lifecycle cycle of a churn storm: kill and respawn the
+    /// secondary, exactly like [`PlannedFaultKind::SecondaryRestart`] but
+    /// tagged separately. The spec layer expands a churn-storm event into
+    /// many of these in rapid succession.
+    ServiceChurn {
+        /// How long the secondary stays down this cycle.
+        downtime: SimDuration,
+    },
+    /// An arrival-rate flood on the primary: for `duration` the box
+    /// injects `extra_qps` additional synthetic arrivals per second on
+    /// top of the external client load, to be absorbed (or shed) by
+    /// admission control.
+    ConnectionFlood {
+        /// How long the flood lasts.
+        duration: SimDuration,
+        /// Additional arrivals per second while flooding.
+        extra_qps: u32,
+    },
+    /// An I/O tenant exhausting its quota: for `duration` every operation
+    /// the tenant submits is inflated by `multiplier`, driving it into
+    /// its IOPS cap so the throttle (not the spindle) bounds the damage.
+    QuotaExhaustion {
+        /// How long the exhaustion episode lasts.
+        duration: SimDuration,
+        /// The I/O tenant (`disk-bully`, `hdfs-replication`, or
+        /// `hdfs-client`).
+        tenant: String,
+        /// Byte-size inflation applied to the tenant's operations (> 1).
+        multiplier: f64,
+    },
 }
 
 impl PlannedFaultKind {
@@ -71,8 +101,18 @@ impl PlannedFaultKind {
             PlannedFaultKind::ControllerCrash { .. } | PlannedFaultKind::ConfigRollout { .. } => {
                 "perfiso"
             }
-            PlannedFaultKind::SecondaryRestart { .. } => "secondary",
-            PlannedFaultKind::BoxRestart { .. } => "indexserve",
+            PlannedFaultKind::SecondaryRestart { .. } | PlannedFaultKind::ServiceChurn { .. } => {
+                "secondary"
+            }
+            PlannedFaultKind::BoxRestart { .. } | PlannedFaultKind::ConnectionFlood { .. } => {
+                "indexserve"
+            }
+            PlannedFaultKind::QuotaExhaustion { tenant, .. } => match tenant.as_str() {
+                "disk-bully" => "disk-bully",
+                "hdfs-replication" => "hdfs-replication",
+                "hdfs-client" => "hdfs-client",
+                _ => "secondary",
+            },
         }
     }
 
@@ -83,6 +123,9 @@ impl PlannedFaultKind {
             PlannedFaultKind::SecondaryRestart { .. } => "secondary-restart",
             PlannedFaultKind::BoxRestart { .. } => "box-restart",
             PlannedFaultKind::ConfigRollout { .. } => "config-rollout",
+            PlannedFaultKind::ServiceChurn { .. } => "service-churn",
+            PlannedFaultKind::ConnectionFlood { .. } => "connection-flood",
+            PlannedFaultKind::QuotaExhaustion { .. } => "quota-exhaustion",
         }
     }
 }

@@ -37,6 +37,7 @@ pub mod tags;
 
 pub use boxsim::{
     BoxConfig, BoxEvent, BoxReport, BoxSim, HostedSpec, SecondaryKind, ServicePlan, ServiceReport,
+    IO_TENANT_SERVICES,
 };
 pub use cache::CacheModel;
 pub use chaos::{FaultPlan, FaultRecord, PlannedFault, PlannedFaultKind};

@@ -18,6 +18,7 @@
 use qtrace::QuerySpec;
 use simcore::{SimDuration, SimTime};
 use simcpu::{Machine, ThreadId};
+use telemetry::ResilienceStats;
 use workloads::service_graph::{GraphEngine, GraphOutcome};
 
 use crate::service::{IndexServe, QueryOutcome};
@@ -87,6 +88,16 @@ pub trait ServicePort: Send {
 
     /// Total worker/stage threads spawned (fan-out statistics).
     fn workers_spawned(&self) -> u64;
+
+    /// Requests currently outstanding (admitted plus queued) — the load
+    /// signal box-level admission control sheds against.
+    fn in_flight(&self) -> u64;
+
+    /// Resilience counters, for services executing a policy internally
+    /// (retries, hedges, breakers); `None` for services without one.
+    fn resilience_stats(&self) -> Option<&ResilienceStats> {
+        None
+    }
 
     /// Next internal timer, if the service keeps its own event source.
     fn next_timer_at(&self) -> Option<SimTime> {
@@ -163,6 +174,10 @@ impl ServicePort for IndexServe {
 
     fn workers_spawned(&self) -> u64 {
         self.workers_spawned
+    }
+
+    fn in_flight(&self) -> u64 {
+        u64::from(IndexServe::in_flight(self)) + self.admission_queue_len() as u64
     }
 
     fn as_indexserve(&self) -> Option<&IndexServe> {
@@ -259,6 +274,14 @@ impl ServicePort for GraphPort {
 
     fn workers_spawned(&self) -> u64 {
         self.engine.workers_spawned
+    }
+
+    fn in_flight(&self) -> u64 {
+        self.engine.in_flight() as u64
+    }
+
+    fn resilience_stats(&self) -> Option<&ResilienceStats> {
+        Some(self.engine.resilience_stats())
     }
 
     fn next_timer_at(&self) -> Option<SimTime> {

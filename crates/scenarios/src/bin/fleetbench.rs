@@ -494,6 +494,101 @@ fn fleet_production_probe(smoke: bool) -> Value {
     })
 }
 
+/// Resilience-counter probe: runs the registry's two resilience-heavy
+/// scenarios — `chaos-connection-flood` (admission shedding under a
+/// synthetic arrival flood) and `graph-hedged` (retries, hedging, and
+/// per-edge breakers on a fan-out graph) — and reports the merged
+/// counters. Both runs are deterministic, so the counters are exact
+/// figures, not samples; any drift against the committed baseline means
+/// the resilience subsystem changed behaviour (surfaced by the warn-only
+/// `RESILIENCE-DRIFT WARNING` annotation, same policy as the alloc
+/// check). `--smoke` shrinks the hedged-graph window; the flood scenario
+/// keeps its registered window because its fault times are absolute.
+fn resilience_probe(smoke: bool) -> Value {
+    let flood = scenarios::spec::named("chaos-connection-flood").expect("registered scenario");
+    let mut hedged = scenarios::spec::named("graph-hedged").expect("registered scenario");
+    if smoke {
+        hedged.scale = scenarios::spec::ScaleSpec::Custom {
+            warmup_ms: 150,
+            measure_ms: 400,
+        };
+        hedged.validate().expect("still a valid spec");
+    }
+    let mut merged = telemetry::ResilienceStats::default();
+    for spec in [&flood, &hedged] {
+        let report = run_spec(spec, &RunOptions::serial()).expect("runnable scenario");
+        for run in &report.runs {
+            if let Some(stats) = &run.as_single_box().expect("single box").resilience {
+                merged.merge(stats);
+            }
+        }
+    }
+    println!(
+        "resilience probe: {} sheds, {} retries, {} hedges ({} won / {} lost), \
+         {} breaker opens ({} fast-fails), {} deadline cancels",
+        merged.sheds,
+        merged.retries,
+        merged.hedges_launched,
+        merged.hedges_won,
+        merged.hedges_lost,
+        merged.breaker_opens,
+        merged.breaker_fast_fails,
+        merged.deadline_cancels,
+    );
+    json!({
+        "smoke": smoke,
+        "scenarios": ["chaos-connection-flood", "graph-hedged"],
+        "sheds": merged.sheds,
+        "retries": merged.retries,
+        "hedges_launched": merged.hedges_launched,
+        "hedges_won": merged.hedges_won,
+        "hedges_lost": merged.hedges_lost,
+        "breaker_opens": merged.breaker_opens,
+        "breaker_fast_fails": merged.breaker_fast_fails,
+        "deadline_cancels": merged.deadline_cancels
+    })
+}
+
+/// Warn-only drift check for the resilience counters: they are fully
+/// deterministic, so a baseline produced by the same scenario windows
+/// must match exactly; any difference is a behaviour change worth a CI
+/// annotation (but never a gate — re-bless by committing the new
+/// `BENCH_fleet.json`).
+fn resilience_drift(baseline: &Value, probe: &Value) -> bool {
+    let base = &baseline["resilience"];
+    if base["smoke"].as_bool() != probe["smoke"].as_bool() {
+        println!("baseline resilience block missing or ran a different mode; skipping drift check");
+        return false;
+    }
+    let keys = [
+        "sheds",
+        "retries",
+        "hedges_launched",
+        "hedges_won",
+        "hedges_lost",
+        "breaker_opens",
+        "breaker_fast_fails",
+        "deadline_cancels",
+    ];
+    let mut drifted = false;
+    for k in keys {
+        let (b, p) = (base[k].as_u64(), probe[k].as_u64());
+        if b != p {
+            println!(
+                "RESILIENCE-DRIFT WARNING: {k} {} -> {} vs committed baseline \
+                 (deterministic counter; behaviour changed)",
+                b.map_or("absent".into(), |v| v.to_string()),
+                p.map_or("absent".into(), |v| v.to_string()),
+            );
+            drifted = true;
+        }
+    }
+    if !drifted {
+        println!("resilience counters match the committed baseline exactly");
+    }
+    drifted
+}
+
 /// Bit-exact comparison of the two reports; parallelism must not change a
 /// single ULP anywhere.
 fn assert_identical(serial: &FleetReport, parallel: &FleetReport) {
@@ -560,9 +655,14 @@ fn main() {
     );
 
     let production = fleet_production_probe(smoke);
+    let resilience = resilience_probe(smoke);
 
     let path = std::env::var("PERFISO_BENCH_OUT").unwrap_or_else(|_| "BENCH_fleet.json".into());
     let baseline = baseline_delta(&path, &alloc_profile, smoke, &serial);
+    let resilience_drifted = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|raw| serde_json::from_str::<Value>(&raw).ok())
+        .is_some_and(|base| resilience_drift(&base, &resilience));
 
     let out = json!({
         "bench": "fleet",
@@ -576,6 +676,8 @@ fn main() {
         "arena": arena,
         "queue": queue,
         "fleet_production": production,
+        "resilience": resilience,
+        "resilience_drifted": resilience_drifted,
         "baseline_delta": baseline,
         "runs": [
             fleet_run_json("serial", 1, &serial),

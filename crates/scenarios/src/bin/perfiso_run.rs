@@ -132,6 +132,22 @@ fn cmd_show(name: &str) -> Result<(), String> {
             println!("  {}", ev.describe());
         }
     }
+    println!(
+        "\ntelemetry: {}",
+        match s.telemetry {
+            spec::TelemetrySpec::Exact => "exact (every sample kept)".to_string(),
+            spec::TelemetrySpec::Sketch => format!(
+                "sketch (bounded memory, ±{:.1}% guaranteed)",
+                telemetry::Sketch::RELATIVE_ERROR * 100.0
+            ),
+        }
+    );
+    if !s.resilience.is_disabled() {
+        println!("\nresilience policy:");
+        for line in s.resilience.describe() {
+            println!("  {line}");
+        }
+    }
     if s.sweep.is_some() {
         let cells = s.expand_sweep().map_err(|e| e.to_string())?;
         println!("\nsweep grid ({} cells, run with --sweep):", cells.len());
@@ -285,6 +301,22 @@ fn print_sweep(sweep: &SweepReport) {
     print!("{}", t.render());
 }
 
+/// Resilience counters as one summary line.
+fn resilience_line(rs: &telemetry::ResilienceStats) -> String {
+    format!(
+        "sheds {}  retries {}  hedges {} ({} won / {} lost)  breaker opens {} \
+         (fast-fails {})  deadline cancels {}",
+        rs.sheds,
+        rs.retries,
+        rs.hedges_launched,
+        rs.hedges_won,
+        rs.hedges_lost,
+        rs.breaker_opens,
+        rs.breaker_fast_fails,
+        rs.deadline_cancels,
+    )
+}
+
 /// One executed fault record as a timeline line.
 fn fault_line(f: &indexserve::FaultRecord) -> String {
     let mut s = format!("t={:.0}ms {} ({})", f.fired_at_ms, f.kind, f.service);
@@ -357,6 +389,9 @@ fn print_report(report: &Report) {
                 for f in &r.faults {
                     println!("seed {seed} fault: {}", fault_line(f));
                 }
+                if let Some(rs) = &r.resilience {
+                    println!("seed {seed} resilience: {}", resilience_line(rs));
+                }
             }
             SeedReport::Cluster(r) => {
                 for bf in &r.faults {
@@ -364,8 +399,14 @@ fn print_report(report: &Report) {
                         println!("seed {seed} box {} fault: {}", bf.box_index, fault_line(f));
                     }
                 }
+                if let Some(rs) = &r.resilience {
+                    println!("seed {seed} resilience: {}", resilience_line(rs));
+                }
             }
             SeedReport::Fleet(r) => {
+                if let Some(rs) = &r.resilience {
+                    println!("seed {seed} resilience: {}", resilience_line(rs));
+                }
                 if let Some(sk) = &r.latency_sketch {
                     println!(
                         "seed {seed} fleet sketch: p50 {} ms  p99 {} ms  max {} ms \

@@ -63,6 +63,43 @@ pub enum FaultEvent {
         /// this threshold (milliseconds).
         rollback_p99_ms: Option<u64>,
     },
+    /// A rapid service-lifecycle churn storm: `cycles` kill-and-respawn
+    /// rounds of the secondary, `period_ms` apart, starting at `at_ms`.
+    ChurnStorm {
+        /// Storm start in simulation milliseconds.
+        at_ms: u64,
+        /// Number of churn cycles.
+        cycles: u32,
+        /// Spacing between cycle starts in milliseconds.
+        period_ms: u64,
+        /// Minimum downtime per cycle in milliseconds.
+        downtime_ms: u64,
+    },
+    /// An arrival-rate flood: for `duration_ms` the box injects
+    /// `extra_qps` extra synthetic arrivals per second on top of the
+    /// external load, for admission control to absorb.
+    ConnectionFlood {
+        /// Fire time in simulation milliseconds.
+        at_ms: u64,
+        /// Flood duration in milliseconds.
+        duration_ms: u64,
+        /// Additional arrivals per second while flooding.
+        extra_qps: u32,
+    },
+    /// An I/O tenant exhausting its quota: for `duration_ms` the tenant's
+    /// operations are inflated by `multiplier`, driving it into its IOPS
+    /// cap under the scenario's per-tenant limits.
+    QuotaExhaustion {
+        /// Fire time in simulation milliseconds.
+        at_ms: u64,
+        /// Episode duration in milliseconds.
+        duration_ms: u64,
+        /// The I/O tenant (`disk-bully`, `hdfs-replication`, or
+        /// `hdfs-client`).
+        tenant: String,
+        /// Byte-size inflation applied while the episode lasts (> 1).
+        multiplier: f64,
+    },
 }
 
 impl FaultEvent {
@@ -72,7 +109,10 @@ impl FaultEvent {
             FaultEvent::ControllerCrash { at_ms, .. }
             | FaultEvent::SecondaryRestart { at_ms, .. }
             | FaultEvent::BoxRestart { at_ms, .. }
-            | FaultEvent::ConfigRollout { at_ms, .. } => *at_ms,
+            | FaultEvent::ConfigRollout { at_ms, .. }
+            | FaultEvent::ChurnStorm { at_ms, .. }
+            | FaultEvent::ConnectionFlood { at_ms, .. }
+            | FaultEvent::QuotaExhaustion { at_ms, .. } => *at_ms,
         }
     }
 
@@ -83,6 +123,9 @@ impl FaultEvent {
             FaultEvent::SecondaryRestart { .. } => "secondary-restart",
             FaultEvent::BoxRestart { .. } => "box-restart",
             FaultEvent::ConfigRollout { .. } => "config-rollout",
+            FaultEvent::ChurnStorm { .. } => "churn-storm",
+            FaultEvent::ConnectionFlood { .. } => "connection-flood",
+            FaultEvent::QuotaExhaustion { .. } => "quota-exhaustion",
         }
     }
 
@@ -112,6 +155,27 @@ impl FaultEvent {
                 };
                 format!("t={at_ms}ms config-rollout key={key:?} staged={staged_pct}%{rb}")
             }
+            FaultEvent::ChurnStorm {
+                at_ms,
+                cycles,
+                period_ms,
+                downtime_ms,
+            } => format!(
+                "t={at_ms}ms churn-storm ({cycles} cycles every {period_ms}ms, ≥{downtime_ms}ms down each)"
+            ),
+            FaultEvent::ConnectionFlood {
+                at_ms,
+                duration_ms,
+                extra_qps,
+            } => format!("t={at_ms}ms connection-flood (+{extra_qps} qps for {duration_ms}ms)"),
+            FaultEvent::QuotaExhaustion {
+                at_ms,
+                duration_ms,
+                tenant,
+                multiplier,
+            } => format!(
+                "t={at_ms}ms quota-exhaustion ({tenant} ops ×{multiplier} for {duration_ms}ms)"
+            ),
         }
     }
 }
@@ -189,24 +253,74 @@ impl FaultSpec {
             return Err("restart policy needs at least one allowed failure".into());
         }
         for ev in &self.events {
-            if let FaultEvent::ConfigRollout {
-                key,
-                staged_pct,
-                rollback_p99_ms,
-                ..
-            } = ev
-            {
-                if key.is_empty() {
-                    return Err("config rollout needs a non-empty document key".into());
+            match ev {
+                FaultEvent::ConfigRollout {
+                    key,
+                    staged_pct,
+                    rollback_p99_ms,
+                    ..
+                } => {
+                    if key.is_empty() {
+                        return Err("config rollout needs a non-empty document key".into());
+                    }
+                    if !(1..=100).contains(staged_pct) {
+                        return Err(format!(
+                            "config rollout stage must be in 1..=100 %, got {staged_pct}"
+                        ));
+                    }
+                    if rollback_p99_ms == &Some(0) {
+                        return Err("rollback threshold must be positive".into());
+                    }
                 }
-                if !(1..=100).contains(staged_pct) {
-                    return Err(format!(
-                        "config rollout stage must be in 1..=100 %, got {staged_pct}"
-                    ));
+                FaultEvent::ChurnStorm {
+                    cycles, period_ms, ..
+                } => {
+                    if *cycles == 0 {
+                        return Err("churn storm needs at least one cycle".into());
+                    }
+                    if *cycles > 64 {
+                        return Err(format!("churn storm capped at 64 cycles, got {cycles}"));
+                    }
+                    if *period_ms == 0 {
+                        return Err("churn storm period must be at least 1 ms".into());
+                    }
                 }
-                if rollback_p99_ms == &Some(0) {
-                    return Err("rollback threshold must be positive".into());
+                FaultEvent::ConnectionFlood {
+                    duration_ms,
+                    extra_qps,
+                    ..
+                } => {
+                    if *duration_ms == 0 {
+                        return Err("connection flood duration must be at least 1 ms".into());
+                    }
+                    if *extra_qps == 0 {
+                        return Err("connection flood needs at least 1 extra qps".into());
+                    }
                 }
+                FaultEvent::QuotaExhaustion {
+                    duration_ms,
+                    tenant,
+                    multiplier,
+                    ..
+                } => {
+                    if *duration_ms == 0 {
+                        return Err("quota exhaustion duration must be at least 1 ms".into());
+                    }
+                    if !indexserve::IO_TENANT_SERVICES.contains(&tenant.as_str()) {
+                        return Err(format!(
+                            "quota exhaustion tenant must be one of {:?}, got {tenant:?}",
+                            indexserve::IO_TENANT_SERVICES
+                        ));
+                    }
+                    if !multiplier.is_finite() || *multiplier <= 1.0 {
+                        return Err(format!(
+                            "quota exhaustion multiplier must be finite and > 1, got {multiplier}"
+                        ));
+                    }
+                }
+                FaultEvent::ControllerCrash { .. }
+                | FaultEvent::SecondaryRestart { .. }
+                | FaultEvent::BoxRestart { .. } => {}
             }
         }
         Ok(())
@@ -220,10 +334,28 @@ impl FaultSpec {
         if self.is_empty() {
             return None;
         }
-        let faults = self
-            .events
-            .iter()
-            .map(|ev| PlannedFault {
+        let mut faults = Vec::new();
+        for ev in &self.events {
+            // Churn storms expand into one planned fault per cycle; every
+            // other event compiles 1:1.
+            if let FaultEvent::ChurnStorm {
+                at_ms,
+                cycles,
+                period_ms,
+                downtime_ms,
+            } = ev
+            {
+                for k in 0..*cycles {
+                    faults.push(PlannedFault {
+                        at: SimTime::from_millis(at_ms + k as u64 * period_ms),
+                        kind: PlannedFaultKind::ServiceChurn {
+                            downtime: SimDuration::from_millis(*downtime_ms),
+                        },
+                    });
+                }
+                continue;
+            }
+            faults.push(PlannedFault {
                 at: SimTime::from_millis(ev.at_ms()),
                 kind: match ev {
                     FaultEvent::ControllerCrash { downtime_polls, .. } => {
@@ -253,9 +385,28 @@ impl FaultSpec {
                         staged_pct: *staged_pct,
                         rollback_p99: rollback_p99_ms.map(SimDuration::from_millis),
                     },
+                    FaultEvent::ConnectionFlood {
+                        duration_ms,
+                        extra_qps,
+                        ..
+                    } => PlannedFaultKind::ConnectionFlood {
+                        duration: SimDuration::from_millis(*duration_ms),
+                        extra_qps: *extra_qps,
+                    },
+                    FaultEvent::QuotaExhaustion {
+                        duration_ms,
+                        tenant,
+                        multiplier,
+                        ..
+                    } => PlannedFaultKind::QuotaExhaustion {
+                        duration: SimDuration::from_millis(*duration_ms),
+                        tenant: tenant.clone(),
+                        multiplier: *multiplier,
+                    },
+                    FaultEvent::ChurnStorm { .. } => unreachable!("expanded above"),
                 },
-            })
-            .collect();
+            });
+        }
         Some(FaultPlan {
             faults,
             restart: self.restart.to_policy(),

@@ -170,6 +170,9 @@ pub enum WorkloadSpec {
     ServiceGraph(ServiceGraphSpec),
 }
 
+// Manual rather than derived: the vendored serde_derive shim cannot
+// parse a `#[default]` variant attribute alongside its own derives.
+#[allow(clippy::derivable_impls)]
 impl Default for WorkloadSpec {
     fn default() -> Self {
         WorkloadSpec::IndexServe

@@ -49,6 +49,7 @@ mod controller;
 mod fault;
 mod graph;
 mod registry;
+mod resilience;
 mod runner;
 
 pub use controller::{
@@ -57,6 +58,7 @@ pub use controller::{
 pub use fault::{FaultEvent, FaultSpec, RestartSpec};
 pub use graph::{EdgeSpec, ServiceGraphSpec, StageSpec, WorkloadSpec};
 pub use registry::{named, names, registry};
+pub use resilience::{AdmissionSpec, BreakerSpec, HedgeSpec, ResilienceSpec, RetrySpec};
 pub use runner::{
     run_spec, run_sweep, Report, RunOptions, SeedReport, Summary, SweepCellReport, SweepReport,
     SweepRow,
@@ -129,6 +131,9 @@ pub enum SpecError {
     /// The primary workload declaration (service graph or multi-box
     /// roster) is malformed or incompatible with the target.
     InvalidWorkload(String),
+    /// The overload-resilience policy is degenerate or incompatible with
+    /// the workload.
+    InvalidResilience(String),
     /// No scenario with this name in the registry.
     UnknownScenario(String),
     /// A JSON spec file failed to load or parse.
@@ -175,6 +180,7 @@ impl std::fmt::Display for SpecError {
             }
             SpecError::InvalidFault(m) => write!(f, "invalid fault timeline: {m}"),
             SpecError::InvalidWorkload(m) => write!(f, "invalid workload: {m}"),
+            SpecError::InvalidResilience(m) => write!(f, "invalid resilience policy: {m}"),
             SpecError::UnknownScenario(n) => write!(f, "unknown scenario {n:?} (try `list`)"),
             SpecError::InvalidSpecFile(m) => write!(f, "cannot load spec file: {m}"),
         }
@@ -443,6 +449,11 @@ pub struct ScenarioSpec {
     /// byte-stable).
     #[serde(default, skip_serializing_if = "TelemetrySpec::is_exact")]
     pub telemetry: TelemetrySpec,
+    /// Overload-resilience policy (absent in older spec files = none; a
+    /// disabled spec is never serialized, keeping pre-resilience fixtures
+    /// byte-stable).
+    #[serde(default, skip_serializing_if = "ResilienceSpec::is_disabled")]
+    pub resilience: ResilienceSpec,
     /// Measurement window.
     pub scale: ScaleSpec,
     /// Base RNG seed; repetition `i` runs with `seed + i`.
@@ -468,6 +479,7 @@ impl ScenarioSpec {
                 sweep: None,
                 fault: FaultSpec::default(),
                 telemetry: TelemetrySpec::default(),
+                resilience: ResilienceSpec::default(),
                 scale: ScaleSpec::Quick,
                 seed: 42,
                 seeds: 1,
@@ -551,6 +563,24 @@ impl ScenarioSpec {
                 .validate(PAPER_CORES)
                 .map_err(SpecError::InvalidController)?;
         }
+        if !self.resilience.is_disabled() {
+            self.resilience
+                .check_shape()
+                .map_err(SpecError::InvalidResilience)?;
+            if self.resilience.hedge.is_some() {
+                if let WorkloadSpec::ServiceGraph(g) = &self.workload {
+                    // The hedge bit halves the per-stage worker-index
+                    // space; a wider stage could not tag its hedges.
+                    let cap = workloads::service_graph::MAX_HEDGED_FAN_OUT;
+                    if let Some(s) = g.stages.iter().find(|s| s.fan_out > cap) {
+                        return Err(SpecError::InvalidResilience(format!(
+                            "hedging caps stage fan-out at {cap}; stage {:?} declares {}",
+                            s.name, s.fan_out
+                        )));
+                    }
+                }
+            }
+        }
         if !self.fault.is_empty() {
             self.fault.check_shape().map_err(SpecError::InvalidFault)?;
             if matches!(self.target, TargetSpec::Fleet { .. }) {
@@ -572,6 +602,11 @@ impl ScenarioSpec {
                     {
                         return Err(SpecError::InvalidFault(
                             "secondary restart needs a secondary tenant".into(),
+                        ));
+                    }
+                    FaultEvent::ChurnStorm { .. } if self.secondary == SecondaryKind::none() => {
+                        return Err(SpecError::InvalidFault(
+                            "churn storm needs a secondary tenant to churn".into(),
                         ));
                     }
                     FaultEvent::ConfigRollout { doc, .. } => {
@@ -828,6 +863,7 @@ impl ScenarioSpec {
         cfg.fault = fault;
         cfg.hosted = self.hosted_roster()?;
         cfg.telemetry = self.telemetry.mode();
+        cfg.resilience = self.resilience.to_policy();
         Ok(cfg)
     }
 
@@ -922,6 +958,7 @@ impl ScenarioSpec {
             perfiso: effective,
             threads,
             telemetry: self.telemetry.mode(),
+            resilience: self.resilience.to_policy(),
             ..ClusterConfig::paper_cluster(self.secondary.clone(), seed)
         })
     }
@@ -985,6 +1022,7 @@ impl ScenarioSpec {
             },
             churn: production.is_some_and(|p| p.tenant_churn),
             telemetry: self.telemetry.mode(),
+            resilience: self.resilience.to_policy(),
         })
     }
 
@@ -1213,6 +1251,18 @@ impl ScenarioBuilder {
     /// Selects the latency-recording backend.
     pub fn telemetry(mut self, t: TelemetrySpec) -> Self {
         self.spec.telemetry = t;
+        self
+    }
+
+    /// Sets the overload-resilience policy wholesale.
+    pub fn resilience(mut self, r: ResilienceSpec) -> Self {
+        self.spec.resilience = r;
+        self
+    }
+
+    /// Edits the overload-resilience policy in place.
+    pub fn resilient(mut self, f: impl FnOnce(&mut ResilienceSpec)) -> Self {
+        f(&mut self.spec.resilience);
         self
     }
 

@@ -11,8 +11,9 @@ use cluster::Topology;
 use workloads::{BullyIntensity, DiskBully};
 
 use super::{
-    ControllerSpec, CurveSpec, EdgeSpec, FaultEvent, FleetProductionSpec, RestartSpec, ScaleSpec,
-    ScenarioSpec, ServiceGraphSpec, StageSpec, SweepAxis, TelemetrySpec,
+    AdmissionSpec, BreakerSpec, ControllerSpec, CurveSpec, EdgeSpec, FaultEvent,
+    FleetProductionSpec, HedgeSpec, RestartSpec, RetrySpec, ScaleSpec, ScenarioSpec,
+    ServiceGraphSpec, StageSpec, SweepAxis, TelemetrySpec,
 };
 use crate::Policy;
 
@@ -330,6 +331,81 @@ pub fn registry() -> Vec<ScenarioSpec> {
             .custom_scale(300, 1_200)
             .build()
             .expect("registry spec"),
+        b("chaos-churn-storm")
+            .describe("rapid secondary kill/respawn storm: five churn cycles in half a second under blind isolation")
+            .single_box(2_000.0)
+            .cpu_bully(BullyIntensity::High)
+            .policy(Policy::Blind { buffer_cores: 8 })
+            .fault_event(FaultEvent::ChurnStorm {
+                at_ms: 400,
+                cycles: 5,
+                period_ms: 100,
+                downtime_ms: 40,
+            })
+            .restart(RestartSpec {
+                base_backoff_ms: 20,
+                multiplier: 2,
+                max_failures: 8,
+            })
+            .custom_scale(300, 1_200)
+            .build()
+            .expect("registry spec"),
+        b("chaos-connection-flood")
+            .describe("arrival flood (+3000 qps for 300 ms) absorbed by admission control: excess is shed, admitted tail survives")
+            .single_box(2_000.0)
+            .cpu_bully(BullyIntensity::High)
+            .policy(Policy::Blind { buffer_cores: 8 })
+            .fault_event(FaultEvent::ConnectionFlood {
+                at_ms: 400,
+                duration_ms: 300,
+                extra_qps: 10_000,
+            })
+            .resilient(|r| {
+                r.admission = Some(AdmissionSpec {
+                    max_in_flight: 32,
+                    queue_depth: 8,
+                })
+            })
+            .custom_scale(300, 1_200)
+            .build()
+            .expect("registry spec"),
+        b("chaos-quota-exhaustion")
+            .describe("HDFS client blows its I/O quota (ops x4 for 400 ms); per-tenant caps hold the primary's tail")
+            .single_box(2_000.0)
+            .disk_bully(DiskBully::default())
+            .hdfs()
+            .policy(Policy::FullPerfIso)
+            .fault_event(FaultEvent::QuotaExhaustion {
+                at_ms: 400,
+                duration_ms: 400,
+                tenant: "hdfs-client".into(),
+                multiplier: 4.0,
+            })
+            .custom_scale(300, 1_500)
+            .build()
+            .expect("registry spec"),
+        b("graph-hedged")
+            .describe("scatter-gather graph with the full resilience policy: hedged stragglers, retries, breakers, deadline propagation")
+            .single_box(1_000.0)
+            .graph(fanout_graph())
+            .policy(Policy::Standalone)
+            .resilient(|r| {
+                r.retry = Some(RetrySpec {
+                    base_backoff_ms: 2,
+                    multiplier: 2,
+                    budget: 2,
+                    jitter_ms: 1,
+                });
+                r.hedge = Some(HedgeSpec { percentile: 0.9 });
+                r.breaker = Some(BreakerSpec {
+                    threshold: 8,
+                    cooldown_ms: 100,
+                });
+                r.propagate_deadlines = true;
+            })
+            .custom_scale(400, 1_600)
+            .build()
+            .expect("registry spec"),
         b("graph-chain")
             .describe("four-stage microservice chain under a high CPU bully, blind isolation")
             .single_box(1_500.0)
@@ -404,10 +480,24 @@ mod tests {
             "chaos-crash-loop",
             "chaos-config-rollout",
             "chaos-secondary-churn",
+            "chaos-churn-storm",
+            "chaos-connection-flood",
+            "chaos-quota-exhaustion",
         ] {
             let spec = named(chaos).unwrap_or_else(|_| panic!("{chaos} missing"));
             assert!(!spec.fault.is_empty(), "{chaos} should inject faults");
         }
+        let flood = named("chaos-connection-flood").expect("flood missing");
+        assert!(
+            flood.resilience.admission.is_some(),
+            "the flood scenario sheds through admission control"
+        );
+        let hedged = named("graph-hedged").expect("graph-hedged missing");
+        assert!(
+            hedged.resilience.hedge.is_some() && hedged.resilience.propagate_deadlines,
+            "graph-hedged runs the full resilience policy"
+        );
+        assert_eq!(hedged.workload.class_label(), "service-graph");
         for sweep in ["poll-sensitivity", "mem-kill", "tenant-io-limits"] {
             let spec = named(sweep).unwrap_or_else(|_| panic!("{sweep} missing"));
             let cells = spec.expand_sweep().expect("sweep expands");

@@ -1,0 +1,268 @@
+//! Spec-expressible overload-resilience policies.
+//!
+//! [`ResilienceSpec`] is the declarative face of
+//! [`workloads::ResiliencePolicy`]: admission control, retries, hedging,
+//! circuit breakers, and deadline propagation, each independently
+//! optional. A disabled spec (`ResilienceSpec::default()`) serializes to
+//! nothing and compiles to no policy at all, so pre-resilience spec files
+//! and golden fixtures stay valid byte for byte; an enabled spec is
+//! validated at build time ([`ResilienceSpec::check_shape`]) and handed to
+//! the drivers as one shared [`ResiliencePolicy`].
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+use workloads::{AdmissionPolicy, BreakerPolicy, HedgePolicy, ResiliencePolicy, RetryPolicy};
+
+/// Spec-side admission control: shed arrivals past a concurrency +
+/// queue-depth cap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionSpec {
+    /// Requests allowed to run concurrently (≥ 1).
+    pub max_in_flight: u64,
+    /// Additional arrivals allowed to queue beyond the concurrency limit.
+    pub queue_depth: u64,
+}
+
+/// Spec-side retry policy: exponential backoff with deterministic jitter
+/// and a hard attempt budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetrySpec {
+    /// Delay before the first retry, milliseconds (≥ 1).
+    pub base_backoff_ms: u64,
+    /// Backoff multiplier per additional retry (≥ 1).
+    pub multiplier: u32,
+    /// Maximum retries per request, `1..=`[`RetryPolicy::MAX_BUDGET`].
+    pub budget: u32,
+    /// Upper bound on the deterministic per-attempt jitter, milliseconds.
+    pub jitter_ms: u64,
+}
+
+/// Spec-side hedging: duplicate a straggling stage once its runtime
+/// passes this percentile of its own compute distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HedgeSpec {
+    /// Hedge-trigger percentile, strictly inside `(0, 1)` (e.g. 0.95
+    /// hedges the slowest 5 % of stage executions).
+    pub percentile: f64,
+}
+
+/// Spec-side circuit breaker: open after `threshold` consecutive
+/// failures, half-open after `cooldown_ms`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerSpec {
+    /// Consecutive failures that trip the breaker open (≥ 1).
+    pub threshold: u32,
+    /// Cooldown before a half-open probe, milliseconds (≥ 1).
+    pub cooldown_ms: u64,
+}
+
+/// A scenario's overload-resilience policy.
+///
+/// Every mechanism is independently optional; the default enables none of
+/// them, is never serialized (the spec layer uses
+/// [`ResilienceSpec::is_disabled`] as its skip predicate), and compiles to
+/// `None` so unconfigured runs take the exact pre-resilience code paths.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceSpec {
+    /// Admission control / load shedding.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub admission: Option<AdmissionSpec>,
+    /// Retries with exponential backoff.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub retry: Option<RetrySpec>,
+    /// Stage hedging.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub hedge: Option<HedgeSpec>,
+    /// Per-edge circuit breakers.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub breaker: Option<BreakerSpec>,
+    /// Cancel downstream stages whose inherited deadline budget is
+    /// already spent.
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub propagate_deadlines: bool,
+}
+
+impl ResilienceSpec {
+    /// True when no mechanism is enabled (serde skip predicate: disabled
+    /// specs are never serialized, keeping pre-resilience files stable).
+    pub fn is_disabled(&self) -> bool {
+        *self == ResilienceSpec::default()
+    }
+
+    /// Structural checks that do not need the surrounding scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn check_shape(&self) -> Result<(), String> {
+        if let Some(a) = &self.admission {
+            if a.max_in_flight == 0 {
+                return Err("admission control needs max_in_flight >= 1".into());
+            }
+        }
+        if let Some(r) = &self.retry {
+            if r.base_backoff_ms == 0 {
+                return Err("retry base backoff must be at least 1 ms".into());
+            }
+            if r.multiplier == 0 {
+                return Err("retry multiplier must be at least 1".into());
+            }
+            if r.budget == 0 || r.budget > RetryPolicy::MAX_BUDGET {
+                return Err(format!(
+                    "retry budget must be in 1..={}, got {}",
+                    RetryPolicy::MAX_BUDGET,
+                    r.budget
+                ));
+            }
+        }
+        if let Some(h) = &self.hedge {
+            if !(h.percentile.is_finite() && h.percentile > 0.0 && h.percentile < 1.0) {
+                return Err(format!(
+                    "hedge percentile must be strictly inside (0, 1), got {}",
+                    h.percentile
+                ));
+            }
+        }
+        if let Some(b) = &self.breaker {
+            if b.threshold == 0 {
+                return Err("breaker threshold must be at least 1 failure".into());
+            }
+            if b.cooldown_ms == 0 {
+                return Err("breaker cooldown must be at least 1 ms".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Compiles the spec into the runtime policy the drivers share, or
+    /// `None` when disabled (so unconfigured boxes stay bit-identical to
+    /// pre-resilience builds).
+    pub fn to_policy(&self) -> Option<Arc<ResiliencePolicy>> {
+        if self.is_disabled() {
+            return None;
+        }
+        Some(Arc::new(ResiliencePolicy {
+            admission: self.admission.map(|a| AdmissionPolicy {
+                max_in_flight: a.max_in_flight,
+                queue_depth: a.queue_depth,
+            }),
+            retry: self.retry.map(|r| RetryPolicy {
+                base_backoff: SimDuration::from_millis(r.base_backoff_ms),
+                multiplier: r.multiplier,
+                budget: r.budget,
+                jitter: SimDuration::from_millis(r.jitter_ms),
+            }),
+            hedge: self.hedge.map(|h| HedgePolicy {
+                percentile: h.percentile,
+            }),
+            breaker: self.breaker.map(|b| BreakerPolicy {
+                threshold: b.threshold,
+                cooldown: SimDuration::from_millis(b.cooldown_ms),
+            }),
+            propagate_deadlines: self.propagate_deadlines,
+        }))
+    }
+
+    /// Multi-line description for `perfiso-run show` (one line per
+    /// enabled mechanism; empty when disabled).
+    pub fn describe(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        if let Some(a) = &self.admission {
+            lines.push(format!(
+                "admission: shed past {} in flight + {} queued",
+                a.max_in_flight, a.queue_depth
+            ));
+        }
+        if let Some(r) = &self.retry {
+            lines.push(format!(
+                "retry: {} attempts, {}ms backoff x{} (+<= {}ms jitter)",
+                r.budget, r.base_backoff_ms, r.multiplier, r.jitter_ms
+            ));
+        }
+        if let Some(h) = &self.hedge {
+            lines.push(format!(
+                "hedge: duplicate stages past p{:.0}",
+                h.percentile * 100.0
+            ));
+        }
+        if let Some(b) = &self.breaker {
+            lines.push(format!(
+                "breaker: open after {} consecutive failures, {}ms cooldown",
+                b.threshold, b.cooldown_ms
+            ));
+        }
+        if self.propagate_deadlines {
+            lines.push("deadlines: propagate and cancel hopeless work".into());
+        }
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full() -> ResilienceSpec {
+        ResilienceSpec {
+            admission: Some(AdmissionSpec {
+                max_in_flight: 64,
+                queue_depth: 32,
+            }),
+            retry: Some(RetrySpec {
+                base_backoff_ms: 2,
+                multiplier: 2,
+                budget: 3,
+                jitter_ms: 1,
+            }),
+            hedge: Some(HedgeSpec { percentile: 0.95 }),
+            breaker: Some(BreakerSpec {
+                threshold: 5,
+                cooldown_ms: 50,
+            }),
+            propagate_deadlines: true,
+        }
+    }
+
+    #[test]
+    fn default_is_disabled_and_compiles_to_none() {
+        let d = ResilienceSpec::default();
+        assert!(d.is_disabled());
+        assert!(d.check_shape().is_ok());
+        assert!(d.to_policy().is_none());
+        assert!(d.describe().is_empty());
+    }
+
+    #[test]
+    fn full_spec_compiles_to_matching_policy() {
+        let s = full();
+        assert!(!s.is_disabled());
+        s.check_shape().unwrap();
+        let p = s.to_policy().unwrap();
+        assert_eq!(p.admission.unwrap().max_in_flight, 64);
+        assert_eq!(p.retry.unwrap().base_backoff, SimDuration::from_millis(2));
+        assert_eq!(p.hedge.unwrap().percentile, 0.95);
+        assert_eq!(p.breaker.unwrap().cooldown, SimDuration::from_millis(50));
+        assert!(p.propagate_deadlines);
+        assert_eq!(s.describe().len(), 5);
+    }
+
+    #[test]
+    fn shape_checks_reject_degenerate_specs() {
+        let bads: [&dyn Fn(&mut ResilienceSpec); 7] = [
+            &|s| s.admission.as_mut().unwrap().max_in_flight = 0,
+            &|s| s.retry.as_mut().unwrap().base_backoff_ms = 0,
+            &|s| s.retry.as_mut().unwrap().multiplier = 0,
+            &|s| s.retry.as_mut().unwrap().budget = 0,
+            &|s| s.retry.as_mut().unwrap().budget = RetryPolicy::MAX_BUDGET + 1,
+            &|s| s.hedge.as_mut().unwrap().percentile = 1.0,
+            &|s| s.breaker.as_mut().unwrap().cooldown_ms = 0,
+        ];
+        for bad in bads {
+            let mut s = full();
+            bad(&mut s);
+            assert!(s.check_shape().is_err(), "{s:?}");
+        }
+    }
+}

@@ -18,6 +18,7 @@
 pub mod accounting;
 pub mod histogram;
 pub mod recorder;
+pub mod resilience;
 pub mod runstats;
 pub mod series;
 pub mod sketch;
@@ -27,6 +28,7 @@ pub mod table;
 pub use accounting::{CpuBreakdown, TenantClass};
 pub use histogram::LogHistogram;
 pub use recorder::{LatencyRecorder, TelemetryMode};
+pub use resilience::ResilienceStats;
 pub use runstats::RunStats;
 pub use series::TimeSeries;
 pub use sketch::{Sketch, SketchSummary};

@@ -1,0 +1,105 @@
+//! Counters for the overload-resilience subsystem.
+//!
+//! Every resilience mechanism — admission shedding, retries, hedging,
+//! circuit breakers, deadline propagation — increments a counter here so
+//! reports can show *why* requests were dropped or duplicated, not just
+//! that latency moved. The struct is all-`u64`, serde-defaulted, and
+//! merges by addition so box-level stats reduce into cluster and fleet
+//! reports the same way latency recorders do.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate counters for one run's resilience mechanisms.
+///
+/// All fields default to zero and the whole struct is skipped from
+/// serialized reports when [`ResilienceStats::is_empty`] — runs without a
+/// resilience policy produce byte-identical JSON to before the subsystem
+/// existed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResilienceStats {
+    /// Arrivals refused by admission control (concurrency + queue cap).
+    #[serde(default)]
+    pub sheds: u64,
+    /// Retry attempts launched after a failed attempt.
+    #[serde(default)]
+    pub retries: u64,
+    /// Hedge duplicates launched for straggling stages.
+    #[serde(default)]
+    pub hedges_launched: u64,
+    /// Hedges that finished before the original attempt.
+    #[serde(default)]
+    pub hedges_won: u64,
+    /// Hedges cancelled because the original finished first.
+    #[serde(default)]
+    pub hedges_lost: u64,
+    /// Circuit-breaker transitions from closed to open.
+    #[serde(default)]
+    pub breaker_opens: u64,
+    /// Stage activations fast-failed by an open breaker.
+    #[serde(default)]
+    pub breaker_fast_fails: u64,
+    /// Stages cancelled because the propagated deadline already passed.
+    #[serde(default)]
+    pub deadline_cancels: u64,
+}
+
+impl ResilienceStats {
+    /// True when every counter is zero (serde skip predicate).
+    pub fn is_empty(&self) -> bool {
+        *self == ResilienceStats::default()
+    }
+
+    /// Adds another stats block into this one (fleet/cluster reduction).
+    pub fn merge(&mut self, other: &ResilienceStats) {
+        self.sheds += other.sheds;
+        self.retries += other.retries;
+        self.hedges_launched += other.hedges_launched;
+        self.hedges_won += other.hedges_won;
+        self.hedges_lost += other.hedges_lost;
+        self.breaker_opens += other.breaker_opens;
+        self.breaker_fast_fails += other.breaker_fast_fails;
+        self.deadline_cancels += other.deadline_cancels;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_empty_and_merge_adds() {
+        let mut a = ResilienceStats::default();
+        assert!(a.is_empty());
+        let b = ResilienceStats {
+            sheds: 1,
+            retries: 2,
+            hedges_launched: 3,
+            hedges_won: 2,
+            hedges_lost: 1,
+            breaker_opens: 4,
+            breaker_fast_fails: 5,
+            deadline_cancels: 6,
+        };
+        a.merge(&b);
+        a.merge(&b);
+        assert!(!a.is_empty());
+        assert_eq!(a.sheds, 2);
+        assert_eq!(a.retries, 4);
+        assert_eq!(a.hedges_launched, 6);
+        assert_eq!(a.breaker_fast_fails, 10);
+        assert_eq!(a.deadline_cancels, 12);
+    }
+
+    #[test]
+    fn serde_round_trip_and_defaults() {
+        let s: ResilienceStats = serde_json::from_str("{}").unwrap();
+        assert!(s.is_empty());
+        let b = ResilienceStats {
+            retries: 7,
+            ..Default::default()
+        };
+        let j = serde_json::to_string(&b).unwrap();
+        let back: ResilienceStats = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, b);
+    }
+}

@@ -24,10 +24,15 @@ pub mod cpu_bully;
 pub mod disk_bully;
 pub mod hdfs;
 pub mod ml_trainer;
+pub mod resilience;
 pub mod service_graph;
 
 pub use cpu_bully::{BullyIntensity, CpuBully, CpuBullyHandle};
 pub use disk_bully::{DiskBully, DiskOp};
 pub use hdfs::{HdfsNode, HdfsTrafficKind};
 pub use ml_trainer::MlTrainer;
+pub use resilience::{
+    AdmissionPolicy, BreakerPolicy, BreakerState, CircuitBreaker, HedgePolicy, ResiliencePolicy,
+    RetryPolicy,
+};
 pub use service_graph::{GraphEdge, GraphEngine, GraphOutcome, GraphStage, GraphWorkload};

@@ -165,6 +165,49 @@ fn chaos_parallel_equals_serial() {
     );
 }
 
+/// The overload chaos storms — churn storm, connection flood, quota
+/// exhaustion — layer resilience machinery (admission control, retry
+/// backoff, breaker timers) on top of fault injection, and none of it
+/// may cost determinism: each scenario's full JSON report, resilience
+/// counters included, is byte-identical between the serial runner, an
+/// 8-thread seed fan-out, and a fresh rerun.
+#[test]
+fn chaos_storms_parallel_equal_serial_and_rerun() {
+    for name in [
+        "chaos-churn-storm",
+        "chaos-connection-flood",
+        "chaos-quota-exhaustion",
+    ] {
+        let mut spec = spec::named(name).expect("registered scenario");
+        spec.seeds = 4; // fan out so the parallel runner actually engages
+        let serial = run_spec(&spec, &RunOptions::serial()).expect("runnable");
+        let parallel = run_spec(
+            &spec,
+            &RunOptions {
+                seeds: None,
+                threads: 8,
+            },
+        )
+        .expect("runnable");
+        let rerun = run_spec(&spec, &RunOptions::serial()).expect("runnable");
+
+        for run in &serial.runs {
+            let r = run.as_single_box().expect("single box");
+            assert!(!r.faults.is_empty(), "{name}: fault plan executed");
+        }
+        assert_eq!(
+            serial.to_json(),
+            parallel.to_json(),
+            "{name}: report diverged across thread counts"
+        );
+        assert_eq!(
+            serial.to_json(),
+            rerun.to_json(),
+            "{name}: report unstable across reruns"
+        );
+    }
+}
+
 /// Multi-service boxes must be as deterministic as classic ones: for the
 /// service-graph scenarios and the dual-primary roster, the full JSON
 /// report — per-service breakdowns included — is byte-identical between

@@ -184,6 +184,26 @@ fn golden_chaos_secondary_churn() {
 }
 
 #[test]
+fn golden_chaos_churn_storm() {
+    check_golden("chaos-churn-storm");
+}
+
+#[test]
+fn golden_chaos_connection_flood() {
+    check_golden("chaos-connection-flood");
+}
+
+#[test]
+fn golden_chaos_quota_exhaustion() {
+    check_golden("chaos-quota-exhaustion");
+}
+
+#[test]
+fn golden_graph_hedged() {
+    check_golden("graph-hedged");
+}
+
+#[test]
 fn golden_graph_chain() {
     check_golden("graph-chain");
 }
@@ -274,8 +294,12 @@ fn golden_fixtures_parse_as_reports() {
         "chaos-crash-loop",
         "chaos-config-rollout",
         "chaos-secondary-churn",
+        "chaos-churn-storm",
+        "chaos-connection-flood",
+        "chaos-quota-exhaustion",
         "graph-chain",
         "graph-fanout",
+        "graph-hedged",
         "dual-primary-arbitration",
     ] {
         let path = golden_dir().join(format!("{name}.json"));

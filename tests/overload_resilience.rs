@@ -1,0 +1,233 @@
+//! Overload-resilience acceptance tests.
+//!
+//! Headline claims from the resilience subsystem, checked end to end
+//! through the spec runner:
+//!
+//! 1. Under a 3× arrival surge, admission control sheds the excess so the
+//!    *admitted* requests' p99 stays within 25 % of the steady-state p99,
+//!    while the same surge with no resilience policy drives the box past
+//!    its deadline (timeout drops plus a blown tail).
+//! 2. Hedging straggling graph stages measurably cuts the service-graph
+//!    p99 versus the identical spec with hedging disabled.
+//!
+//! Plus property tests over the pure policy layer: the retry schedule is
+//! deterministic, monotone, and budget-bounded, and the circuit breaker
+//! opens exactly at its failure threshold and always half-opens after the
+//! cooldown (no stuck-open state).
+
+use proptest::prelude::*;
+use scenarios::spec::{
+    self, run_spec, AdmissionSpec, FaultEvent, FaultSpec, RunOptions, ScenarioSpec,
+};
+use simcore::{SimDuration, SimTime};
+use workloads::{BreakerPolicy, BreakerState, CircuitBreaker, RetryPolicy};
+
+/// Base single-box scenario for the surge experiment: primary alone at a
+/// moderate external load, fixed window, fixed seed.
+fn surge_base(name: &str) -> scenarios::spec::ScenarioBuilder {
+    ScenarioSpec::builder(name)
+        .single_box(4_000.0)
+        .cpu_bully(workloads::BullyIntensity::High)
+        .policy(scenarios::Policy::Blind { buffer_cores: 8 })
+        .custom_scale(200, 1_300)
+        .seed(7)
+}
+
+/// A connection flood worth 2× the external load — 3× total arrivals —
+/// covering the whole measurement window. With a high-intensity bully
+/// contending for the box, 12,000 arrivals/s is well past what the
+/// primary can serve (~8,000 qps), so unprotected queues grow for the
+/// duration until queries blow their 360 ms deadline.
+fn surge_fault() -> FaultSpec {
+    FaultSpec {
+        events: vec![FaultEvent::ConnectionFlood {
+            at_ms: 250,
+            duration_ms: 1_200,
+            extra_qps: 8_000,
+        }],
+        ..FaultSpec::default()
+    }
+}
+
+#[test]
+fn shedding_holds_admitted_p99_through_3x_surge() {
+    let steady = run_spec(
+        &surge_base("surge-steady").build().expect("valid spec"),
+        &RunOptions::serial(),
+    )
+    .expect("steady run");
+    let shed = run_spec(
+        &surge_base("surge-shed")
+            .fault(surge_fault())
+            .resilient(|r| {
+                r.admission = Some(AdmissionSpec {
+                    max_in_flight: 32,
+                    queue_depth: 8,
+                })
+            })
+            .build()
+            .expect("valid spec"),
+        &RunOptions::serial(),
+    )
+    .expect("shedding run");
+    let bare = run_spec(
+        &surge_base("surge-bare")
+            .fault(surge_fault())
+            .build()
+            .expect("valid spec"),
+        &RunOptions::serial(),
+    )
+    .expect("baseline run");
+
+    let steady = steady.runs[0].as_single_box().expect("single box");
+    let shed = shed.runs[0].as_single_box().expect("single box");
+    let bare = bare.runs[0].as_single_box().expect("single box");
+
+    // The policy actually engaged: the surge produced deterministic sheds.
+    let stats = shed.resilience.as_ref().expect("resilience counters");
+    assert!(stats.sheds > 0, "3x surge must trip admission control");
+
+    // Admitted-request p99 holds within 25 % of steady state.
+    let p99_steady = steady.latency.p99.as_micros_f64();
+    let p99_shed = shed.latency.p99.as_micros_f64();
+    assert!(
+        p99_shed <= p99_steady * 1.25,
+        "admitted p99 {p99_shed:.0}us blew the 25% envelope over steady {p99_steady:.0}us"
+    );
+
+    // The no-resilience baseline blows its deadline: queues grow until
+    // queries hit the 360 ms timeout, so the run both drops traffic to
+    // deadline expiry and lands its completed-request tail far outside
+    // the envelope the shedding run holds.
+    assert!(
+        bare.latency.dropped > 0,
+        "unprotected surge must drive queries past their deadline"
+    );
+    let p99_bare = bare.latency.p99.as_micros_f64();
+    assert!(
+        p99_bare > p99_steady * 1.25,
+        "baseline p99 {p99_bare:.0}us unexpectedly inside the envelope \
+         (steady {p99_steady:.0}us) — surge too weak to prove the claim"
+    );
+    assert!(
+        p99_bare > p99_shed,
+        "shedding must beat the unprotected baseline tail"
+    );
+    // Shedding converts deadline blowups into cheap refusals, never the
+    // other way around: the protected run keeps more of its admitted
+    // traffic inside the deadline than the baseline keeps overall.
+    assert!(
+        shed.latency.count > 0 && steady.latency.count > 0,
+        "both runs completed traffic"
+    );
+}
+
+#[test]
+fn hedging_cuts_graph_p99() {
+    let mut hedged = spec::named("graph-hedged").expect("registered scenario");
+    hedged.scale = spec::ScaleSpec::Custom {
+        warmup_ms: 150,
+        measure_ms: 600,
+    };
+    hedged.validate().expect("shrunk spec stays valid");
+    let mut unhedged = hedged.clone();
+    unhedged.name = "graph-unhedged".into();
+    unhedged.resilience.hedge = None;
+    unhedged.validate().expect("hedge-free spec stays valid");
+
+    let hedged = run_spec(&hedged, &RunOptions::serial()).expect("hedged run");
+    let unhedged = run_spec(&unhedged, &RunOptions::serial()).expect("unhedged run");
+    let hedged = hedged.runs[0].as_single_box().expect("single box");
+    let unhedged = unhedged.runs[0].as_single_box().expect("single box");
+
+    let stats = hedged.resilience.as_ref().expect("resilience counters");
+    assert!(stats.hedges_launched > 0, "stragglers must trigger hedges");
+    assert!(stats.hedges_won > 0, "some hedges must beat the original");
+
+    let p99_hedged = hedged.latency.p99.as_micros_f64();
+    let p99_unhedged = unhedged.latency.p99.as_micros_f64();
+    assert!(
+        p99_hedged < p99_unhedged,
+        "hedging must cut the graph p99: hedged {p99_hedged:.0}us vs \
+         unhedged {p99_unhedged:.0}us"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The retry-delay schedule is a pure function of (policy, seed,
+    /// request): recomputing it yields the same delays, the delays never
+    /// decrease across attempts, every delay is at least its un-jittered
+    /// backoff, and the schedule never exceeds the attempt budget.
+    #[test]
+    fn prop_retry_schedule_deterministic_monotone_bounded(
+        base_ms in 1u64..50,
+        multiplier in 1u32..5,
+        budget in 1u32..=RetryPolicy::MAX_BUDGET,
+        jitter_ms in 0u64..10,
+        seed in any::<u64>(),
+        ridx in any::<u64>(),
+    ) {
+        let r = RetryPolicy {
+            base_backoff: SimDuration::from_millis(base_ms),
+            multiplier,
+            budget,
+            jitter: SimDuration::from_millis(jitter_ms),
+        };
+        let s = r.schedule(seed, ridx);
+        prop_assert_eq!(&s, &r.schedule(seed, ridx), "schedule not deterministic");
+        prop_assert!(s.len() as u32 <= budget, "schedule exceeds budget");
+        prop_assert!(s.len() as u32 <= RetryPolicy::MAX_BUDGET);
+        for (i, w) in s.windows(2).enumerate() {
+            prop_assert!(w[1] >= w[0], "delay shrank at attempt {}", i + 2);
+        }
+        for (i, d) in s.iter().enumerate() {
+            let k = (i + 1) as u32;
+            prop_assert!(*d >= r.backoff(k), "attempt {k} waits less than its backoff");
+            prop_assert!(
+                *d <= r.backoff(budget) + SimDuration::from_millis(jitter_ms),
+                "attempt {k} overshoots max backoff + jitter"
+            );
+        }
+    }
+
+    /// The breaker opens on exactly the K-th consecutive failure — never
+    /// earlier — and an open breaker always half-opens once the cooldown
+    /// elapses, at any probe time, so it can never get stuck open.
+    #[test]
+    fn prop_breaker_opens_at_k_and_always_half_opens(
+        threshold in 1u32..12,
+        cooldown_ms in 1u64..100,
+        probe_extra_ms in 0u64..10_000,
+    ) {
+        let mut b = CircuitBreaker::new(&BreakerPolicy {
+            threshold,
+            cooldown: SimDuration::from_millis(cooldown_ms),
+        });
+        let t0 = SimTime::ZERO;
+        for k in 1..threshold {
+            prop_assert!(!b.on_failure(t0), "opened early at failure {k}");
+            prop_assert!(b.allow(t0), "closed breaker must admit traffic");
+        }
+        prop_assert!(b.on_failure(t0), "failure {threshold} must open the breaker");
+        prop_assert_eq!(b.state_at(t0), BreakerState::Open);
+
+        // Strictly inside the cooldown the breaker fast-fails...
+        if cooldown_ms > 1 {
+            prop_assert!(!b.allow(SimTime::from_millis(cooldown_ms - 1)));
+        }
+        // ...and at (or any time past) the cooldown it half-opens and
+        // admits the probe — no stuck-open state.
+        let probe = SimTime::from_millis(cooldown_ms + probe_extra_ms);
+        prop_assert!(b.allow(probe), "breaker stuck open past its cooldown");
+        prop_assert_eq!(b.state_at(probe), BreakerState::HalfOpen);
+
+        // A failed probe re-opens (counted), then the cycle repeats.
+        prop_assert!(b.on_failure(probe), "failed probe must re-open");
+        let again = SimTime::from_millis(cooldown_ms + probe_extra_ms + cooldown_ms);
+        prop_assert!(b.allow(again), "re-opened breaker stuck after second cooldown");
+        b.on_success();
+        prop_assert_eq!(b.state_at(again), BreakerState::Closed);
+    }
+}

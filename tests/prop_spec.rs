@@ -5,9 +5,10 @@
 
 use proptest::prelude::*;
 use scenarios::spec::{
-    ControllerSpec, CurveSpec, EdgeSpec, FaultEvent, FaultSpec, FleetProductionSpec, RestartSpec,
-    ScaleSpec, ScenarioSpec, ServiceGraphSpec, ServiceLoadSpec, SpecError, StageSpec, SweepAxis,
-    SweepSpec, TargetSpec, TelemetrySpec, TenantLimitSpec, WorkloadSpec,
+    AdmissionSpec, BreakerSpec, ControllerSpec, CurveSpec, EdgeSpec, FaultEvent, FaultSpec,
+    FleetProductionSpec, HedgeSpec, ResilienceSpec, RestartSpec, RetrySpec, ScaleSpec,
+    ScenarioSpec, ServiceGraphSpec, ServiceLoadSpec, SpecError, StageSpec, SweepAxis, SweepSpec,
+    TargetSpec, TelemetrySpec, TenantLimitSpec, WorkloadSpec,
 };
 use scenarios::Policy;
 use workloads::BullyIntensity;
@@ -300,6 +301,49 @@ fn fault_strategy() -> impl Strategy<Value = FaultSpec> {
         )
 }
 
+/// Resilience policies straddling validity: zero admission caps, zero
+/// backoff, over-budget retries, and hedge percentiles at and outside
+/// the open (0, 1) interval must all be rejected with an error, never a
+/// panic; the valid combinations must round-trip.
+fn resilience_strategy() -> impl Strategy<Value = ResilienceSpec> {
+    (
+        proptest::option::of(
+            (0u64..64, 0u64..16).prop_map(|(max_in_flight, queue_depth)| AdmissionSpec {
+                max_in_flight,
+                queue_depth,
+            }),
+        ),
+        proptest::option::of((0u64..10, 0u32..4, 0u32..24, 0u64..4).prop_map(
+            |(base_backoff_ms, multiplier, budget, jitter_ms)| RetrySpec {
+                base_backoff_ms,
+                multiplier,
+                budget,
+                jitter_ms,
+            },
+        )),
+        proptest::option::of(
+            prop_oneof![Just(0.0f64), Just(0.5), Just(0.99), Just(1.0)]
+                .prop_map(|percentile| HedgeSpec { percentile }),
+        ),
+        proptest::option::of((0u32..8, 0u64..200).prop_map(|(threshold, cooldown_ms)| {
+            BreakerSpec {
+                threshold,
+                cooldown_ms,
+            }
+        })),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(admission, retry, hedge, breaker, propagate_deadlines)| ResilienceSpec {
+                admission,
+                retry,
+                hedge,
+                breaker,
+                propagate_deadlines,
+            },
+        )
+}
+
 fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
     (
         (
@@ -327,12 +371,14 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
             fault_strategy(),
             prop_oneof![Just(TelemetrySpec::Exact), Just(TelemetrySpec::Sketch)],
         ),
+        resilience_strategy(),
     )
         .prop_map(
             |(
                 (name, target, workload, secondary),
                 (policy, controller, sweep),
                 (scale, seed, seeds, fault, telemetry),
+                resilience,
             )| {
                 ScenarioSpec {
                     name,
@@ -348,6 +394,7 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
                     seeds,
                     fault,
                     telemetry,
+                    resilience,
                 }
             },
         )
