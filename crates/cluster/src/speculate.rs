@@ -1,0 +1,212 @@
+//! Speculative cluster synchronization: optimistic box advance with
+//! checkpoint/rollback.
+//!
+//! The conservative main loop advances every box only to the global
+//! minimum event time — each box pays a scheduling rendezvous per event
+//! even though cross-box interactions (fabric deliveries) are orders of
+//! magnitude rarer than box-internal events. Speculation lets a box run
+//! *ahead* of the delivery barrier inside a bounded window:
+//!
+//! 1. **Checkpoint** — snapshot the box ([`BoxSim::snapshot`]) at its
+//!    committed instant, plus every `checkpoint_stride` micro-steps.
+//! 2. **Run ahead** — advance the box event-by-event up to the window
+//!    horizon, recording each internal step time and stashing the events
+//!    it produced (tagged with their production time) instead of routing
+//!    them.
+//! 3. **Release** — as the global clock reaches each recorded step time,
+//!    the stashed events are routed exactly where the conservative drain
+//!    would have routed them. Because the global loop visits every
+//!    recorded step time (they feed the next-event scan), the released
+//!    sequence is identical to the conservative one.
+//! 4. **Rollback** — a fabric delivery landing at `t` before the box's
+//!    speculative frontier invalidates the run-ahead: restore the latest
+//!    checkpoint older than `t`, silently replay the already-released
+//!    steps (the box is deterministic, so they regenerate byte-identical
+//!    events, which are discarded), and hand the box back to the
+//!    conservative path at its committed state.
+//!
+//! Determinism is the correctness oracle: with speculation on, every
+//! report is byte-identical to the serial conservative run — rollbacks
+//! cost time, never accuracy.
+
+use std::collections::VecDeque;
+
+use indexserve::{BoxEvent, BoxSim, BoxSnapshot};
+use serde::Serialize;
+use simcore::{SimDuration, SimTime};
+
+/// Speculative-sync tuning knobs on [`crate::ClusterConfig`].
+#[derive(Clone, Copy, Debug)]
+pub struct SpeculationConfig {
+    /// Master switch; `false` (the default) keeps the conservative
+    /// lock-step loop untouched.
+    pub enabled: bool,
+    /// How far past the committed clock a box may run ahead. Larger
+    /// windows amortize the checkpoint over more steps but make a
+    /// rollback replay longer.
+    pub window: SimDuration,
+    /// Micro-steps between mid-window checkpoints; smaller strides cut
+    /// replay length at the cost of more snapshot copies.
+    pub checkpoint_stride: u32,
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> Self {
+        SpeculationConfig {
+            enabled: false,
+            window: SimDuration::from_micros(500),
+            checkpoint_stride: 16,
+        }
+    }
+}
+
+/// What speculation actually did during a run (reported honestly even
+/// when the rollback ratio says it was a net loss).
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct SpeculationStats {
+    /// Speculation sessions started (one per checkpoint-and-run-ahead).
+    pub sessions: u64,
+    /// Box snapshots taken (window starts plus mid-window strides).
+    pub checkpoints: u64,
+    /// Sessions killed by a fabric delivery landing before the frontier.
+    pub rollbacks: u64,
+    /// Sessions unwound administratively (warm-up capture, end of run).
+    pub unwinds: u64,
+    /// Sessions fully released: every speculated step was used as-is.
+    pub commits: u64,
+    /// Speculated micro-steps released without rework.
+    pub released_steps: u64,
+    /// Micro-steps re-executed while replaying after a rollback/unwind.
+    pub replayed_steps: u64,
+}
+
+impl SpeculationStats {
+    /// Fraction of sessions that ended in a rollback (administrative
+    /// unwinds excluded); above ~0.5 the speculation is thrashing.
+    pub fn rollback_ratio(&self) -> f64 {
+        if self.sessions == 0 {
+            0.0
+        } else {
+            self.rollbacks as f64 / self.sessions as f64
+        }
+    }
+}
+
+/// One recorded run-ahead step: the instant the box processed its
+/// internal events, and the events it produced there.
+pub(crate) struct SpecStep {
+    pub(crate) at: SimTime,
+    pub(crate) events: Vec<BoxEvent>,
+}
+
+/// Per-box speculation session. Inactive (default) between sessions; a
+/// box with an active session has its real clock at the frontier while
+/// the cluster loop sees only the unreleased step times.
+#[derive(Default)]
+pub(crate) struct SpecState {
+    /// Unreleased run-ahead steps, strictly ascending in time.
+    pub(crate) steps: VecDeque<SpecStep>,
+    /// Restore points: the session-start state plus one per stride.
+    pub(crate) checkpoints: Vec<(SimTime, BoxSnapshot)>,
+    /// Events released at the current global step, awaiting the drain
+    /// phase (kept out of the box so its buffer stays speculation-clean).
+    pub(crate) released: Vec<BoxEvent>,
+}
+
+impl SpecState {
+    /// True while a run-ahead session holds unreleased steps.
+    pub(crate) fn active(&self) -> bool {
+        !self.checkpoints.is_empty()
+    }
+
+    /// Time of the first unreleased step, if a session is active.
+    pub(crate) fn front_at(&self) -> Option<SimTime> {
+        self.steps.front().map(|s| s.at)
+    }
+
+    /// Retires a fully-released session: the box's real clock at the
+    /// frontier *is* the committed state, so only restore points drop.
+    pub(crate) fn commit(&mut self) {
+        debug_assert!(self.steps.is_empty(), "commit with unreleased steps");
+        self.checkpoints.clear();
+    }
+
+    /// Discards the session after a rollback restored the box.
+    pub(crate) fn reset(&mut self) {
+        self.steps.clear();
+        self.checkpoints.clear();
+    }
+}
+
+/// Starts a run-ahead session: checkpoint, then advance the box through
+/// its own events up to `horizon`, recording each step. A box with
+/// nothing due inside the window, or one that cannot snapshot (a hosted
+/// program without `ThreadProgram::clone_box`), is left untouched on the
+/// conservative path.
+pub(crate) fn speculate_box(b: &mut BoxSim, spec: &mut SpecState, horizon: SimTime, stride: u32) {
+    debug_assert!(!spec.active(), "re-speculating an active session");
+    debug_assert!(spec.released.is_empty(), "unrouted released events");
+    if b.next_event_time().is_none_or(|u| u > horizon) {
+        return;
+    }
+    let Some(snap) = b.snapshot() else {
+        return;
+    };
+    spec.checkpoints.push((b.now(), snap));
+    let stride = stride.max(1);
+    let mut since_ckpt = 0u32;
+    while let Some(u) = b.next_event_time().filter(|&u| u <= horizon) {
+        b.advance_to(u);
+        let mut events = Vec::new();
+        b.drain_events_into(&mut events);
+        spec.steps.push_back(SpecStep { at: u, events });
+        since_ckpt += 1;
+        // A mid-window restore point, but only if more steps are coming —
+        // a checkpoint at the frontier could never be restored to.
+        if since_ckpt >= stride && b.next_event_time().is_some_and(|n| n <= horizon) {
+            if let Some(s) = b.snapshot() {
+                spec.checkpoints.push((u, s));
+            }
+            since_ckpt = 0;
+        }
+    }
+    debug_assert!(!spec.steps.is_empty(), "session started with no steps");
+}
+
+/// Unwinds a session so the box observes `target` exactly as the serial
+/// simulation would: restore the newest checkpoint older than `target`,
+/// then replay the box's own steps up to (but excluding) `target`,
+/// discarding the regenerated events — they were already routed when the
+/// global clock released them. Returns the number of replayed steps.
+///
+/// Steps at exactly `target` are deliberately *not* replayed: the
+/// injection that triggered this rollback advances the box to `target`
+/// itself, processing those events in serial order and leaving their
+/// output in the box buffer for the caller's drain.
+pub(crate) fn rollback_box(
+    b: &mut BoxSim,
+    spec: &mut SpecState,
+    target: SimTime,
+    scratch: &mut Vec<BoxEvent>,
+) -> u64 {
+    debug_assert!(
+        spec.released.is_empty(),
+        "rollback with unrouted released events"
+    );
+    let k = spec
+        .checkpoints
+        .iter()
+        .rposition(|(at, _)| *at < target)
+        .expect("session checkpoints start strictly before any later global step");
+    b.restore(&spec.checkpoints[k].1);
+    let mut replayed = 0u64;
+    while let Some(u) = b.next_event_time().filter(|&u| u < target) {
+        b.advance_to(u);
+        scratch.clear();
+        b.drain_events_into(scratch);
+        replayed += 1;
+    }
+    scratch.clear();
+    spec.reset();
+    replayed
+}

@@ -122,7 +122,7 @@ pub struct QueryOutcome {
     pub service: u8,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct QueryState {
     spec: QuerySpec,
     arrival: SimTime,
@@ -133,7 +133,11 @@ struct QueryState {
 }
 
 /// The per-machine IndexServe instance.
-#[derive(Debug)]
+///
+/// `Clone` deep-copies the full query-tracking state (the shared config
+/// `Arc` is refcounted) — the box checkpoint/rollback path relies on a
+/// clone behaving identically to the original from the clone point on.
+#[derive(Clone, Debug)]
 pub struct IndexServe {
     cfg: Arc<ServiceConfig>,
     job: JobId,

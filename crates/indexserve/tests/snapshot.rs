@@ -1,0 +1,136 @@
+//! Box-level checkpoint/rollback: snapshot → speculate → restore must be
+//! observationally identical to a box that never speculated. This is the
+//! whole-box guarantee speculative cluster sync rests on; the per-layer
+//! halves live in `simcore` and `simcpu` property tests.
+
+use indexserve::boxsim::{BoxConfig, BoxEvent, BoxSim, SecondaryKind};
+use perfiso::PerfIsoConfig;
+use qtrace::{TraceConfig, TraceGenerator};
+use simcore::{SimDuration, SimTime};
+use workloads::disk_bully::DiskBully;
+use workloads::BullyIntensity;
+
+/// The busiest paper box: CPU bully + disk bully + HDFS under PerfIso —
+/// exercises machine, disk, controller, and RNG state in the snapshot.
+fn busy_box(seed: u64) -> BoxSim {
+    let cfg = BoxConfig::paper_box(
+        SecondaryKind {
+            cpu_bully: Some(BullyIntensity::Mid),
+            disk_bully: Some(DiskBully::default()),
+            hdfs: true,
+        },
+        Some(PerfIsoConfig::paper_cluster()),
+        seed,
+    );
+    BoxSim::new(cfg)
+}
+
+/// Comparable record of one drained box event.
+type Obs = Vec<(u8, u64, u64, u64, bool)>;
+
+fn flatten(events: Vec<BoxEvent>) -> Obs {
+    events
+        .into_iter()
+        .map(|e| match e {
+            BoxEvent::QueryDone(o) => (
+                0u8,
+                o.qidx,
+                o.arrival.since(SimTime::ZERO).as_nanos(),
+                o.latency.as_nanos(),
+                o.dropped,
+            ),
+            BoxEvent::AuxDone(u) => (1u8, u, 0, 0, false),
+        })
+        .collect()
+}
+
+#[test]
+fn snapshot_restore_replays_identically() {
+    let trace = TraceGenerator::new(TraceConfig {
+        queries: 400,
+        ..TraceConfig::default()
+    })
+    .generate(0x7ACE);
+    // Deterministic arrival schedule: 2000 QPS uniform.
+    let arrivals: Vec<(SimTime, qtrace::QuerySpec)> = trace
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (SimTime::from_micros(500 * (i as u64 + 1)), s.clone()))
+        .collect();
+
+    let mut live = busy_box(77);
+    let mut control = busy_box(77);
+
+    let (head, tail) = arrivals.split_at(150);
+    for (at, spec) in head {
+        live.inject_query(*at, spec.clone());
+        control.inject_query(*at, spec.clone());
+    }
+    let a = flatten(live.drain_events());
+    let b = flatten(control.drain_events());
+    assert_eq!(a, b, "identical boxes diverged before the snapshot");
+
+    let snap = live.snapshot().expect("paper box is snapshotable");
+
+    // Speculate: feed the tail early and run far ahead, then roll back.
+    for (at, spec) in tail.iter().take(100) {
+        live.inject_query(*at, spec.clone());
+    }
+    live.advance_to(SimTime::from_millis(400));
+    live.drain_events();
+    live.restore(&snap);
+    assert_eq!(live.now(), control.now());
+
+    // Replay the real schedule on both; every observable must match.
+    for (at, spec) in tail {
+        live.inject_query(*at, spec.clone());
+        control.inject_query(*at, spec.clone());
+    }
+    let end =
+        arrivals.last().expect("nonempty").0 + live.max_timeout() + SimDuration::from_millis(50);
+    live.advance_to(end);
+    control.advance_to(end);
+    let x = flatten(live.drain_events());
+    let y = flatten(control.drain_events());
+    assert!(!x.is_empty(), "no events observed");
+    assert_eq!(x, y, "post-restore event stream diverged");
+    assert_eq!(live.breakdown(), control.breakdown());
+    assert_eq!(live.machine_stats(), control.machine_stats());
+    assert_eq!(live.secondary_cpu_time(), control.secondary_cpu_time());
+    assert_eq!(
+        live.controller_stats().map(|s| s.affinity_updates),
+        control.controller_stats().map(|s| s.affinity_updates)
+    );
+    let (lp, cp) = (
+        live.cpu_bully().expect("bully").progress_chunks(),
+        control.cpu_bully().expect("bully").progress_chunks(),
+    );
+    assert_eq!(lp, cp, "bully progress did not roll back");
+}
+
+#[test]
+fn snapshot_is_reusable() {
+    let trace = TraceGenerator::new(TraceConfig {
+        queries: 120,
+        ..TraceConfig::default()
+    })
+    .generate(0x7ACE);
+    let mut b = busy_box(31);
+    for (i, spec) in trace.iter().take(60).enumerate() {
+        b.inject_query(SimTime::from_micros(700 * (i as u64 + 1)), spec.clone());
+    }
+    b.drain_events();
+    let snap = b.snapshot().expect("snapshotable");
+
+    let end = SimTime::from_millis(300);
+    let mut first: Option<Obs> = None;
+    for _ in 0..3 {
+        b.restore(&snap);
+        b.advance_to(end);
+        let got = flatten(b.drain_events());
+        match &first {
+            None => first = Some(got),
+            Some(f) => assert_eq!(&got, f, "restores of one snapshot diverged"),
+        }
+    }
+}

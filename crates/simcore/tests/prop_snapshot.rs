@@ -1,0 +1,128 @@
+//! Property tests for the `simcore` Snapshot capability: for any
+//! interleaving of operations, snapshot → mutate → restore must leave a
+//! component observationally identical to one that was never mutated.
+//!
+//! This is the foundational guarantee speculative cluster sync stands on —
+//! a rolled-back box replays the exact event order and RNG stream of a
+//! conservative run.
+
+use proptest::prelude::*;
+use simcore::{EventQueue, SimRng, SimTime, Snapshot};
+
+/// One scripted queue operation. Pops use `pop_before` with a bounded
+/// horizon so the due/not-due branch is exercised too.
+#[derive(Clone, Debug)]
+enum Op {
+    Push(u64),
+    PopBefore(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..5_000_000).prop_map(Op::Push),
+        (0u64..5_000_000).prop_map(Op::Push),
+        (0u64..5_000_000).prop_map(Op::Push),
+        (0u64..5_000_000).prop_map(Op::PopBefore),
+        (0u64..5_000_000).prop_map(Op::PopBefore),
+    ]
+}
+
+fn apply(q: &mut EventQueue<u64>, ops: &[Op], mut tag: u64) -> Vec<(SimTime, u64)> {
+    let mut popped = Vec::new();
+    for op in ops {
+        match op {
+            Op::Push(t) => {
+                q.push(SimTime::from_nanos(*t), tag);
+                tag += 1;
+            }
+            Op::PopBefore(t) => {
+                if let Some(ev) = q.pop_before(SimTime::from_nanos(*t)) {
+                    popped.push(ev);
+                }
+            }
+        }
+    }
+    popped
+}
+
+fn drain(q: &mut EventQueue<u64>) -> Vec<(SimTime, u64)> {
+    std::iter::from_fn(|| q.pop()).collect()
+}
+
+proptest! {
+    /// snapshot → arbitrary mutation → restore ≡ never mutated: the
+    /// restored queue's full pop order (and its tie-break behaviour for
+    /// events pushed *after* the restore) matches a queue that stopped at
+    /// the snapshot point.
+    #[test]
+    fn prop_queue_restore_equals_never_mutated(
+        prefix in proptest::collection::vec(op_strategy(), 0..120),
+        noise in proptest::collection::vec(op_strategy(), 1..120),
+        suffix in proptest::collection::vec(op_strategy(), 0..60),
+    ) {
+        let mut live = EventQueue::new();
+        let mut control = EventQueue::new();
+        apply(&mut live, &prefix, 0);
+        apply(&mut control, &prefix, 0);
+
+        let snap = live.save();
+        // Mutate past the snapshot, then roll back.
+        apply(&mut live, &noise, 1_000_000);
+        live.restore(&snap);
+
+        // Post-restore operations must behave exactly like the control's.
+        let a = apply(&mut live, &suffix, 2_000_000);
+        let b = apply(&mut control, &suffix, 2_000_000);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(live.len(), control.len());
+        prop_assert_eq!(drain(&mut live), drain(&mut control));
+    }
+
+    /// A single saved state supports repeated restores (rollback loops
+    /// re-restore the same checkpoint), each yielding the same pop order.
+    #[test]
+    fn prop_queue_state_is_reusable(
+        prefix in proptest::collection::vec(op_strategy(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        apply(&mut q, &prefix, 0);
+        let snap = q.save();
+        let first = drain(&mut q);
+        for _ in 0..3 {
+            q.restore(&snap);
+            prop_assert_eq!(drain(&mut q), first.clone());
+        }
+    }
+
+    /// Restoring into a *fresh* queue reproduces the source exactly —
+    /// checkpoints are position-independent deep copies.
+    #[test]
+    fn prop_queue_restore_into_fresh(
+        prefix in proptest::collection::vec(op_strategy(), 1..100),
+    ) {
+        let mut src = EventQueue::new();
+        apply(&mut src, &prefix, 0);
+        let snap = src.save();
+        let mut fresh = EventQueue::new();
+        fresh.restore(&snap);
+        prop_assert_eq!(drain(&mut fresh), drain(&mut src));
+    }
+
+    /// RNG snapshot: the stream after a restore is the stream that would
+    /// have followed the save, regardless of intervening draws.
+    #[test]
+    fn prop_rng_restore_replays_stream(seed in any::<u64>(), burn in 0usize..64, noise in 1usize..64) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        for _ in 0..burn {
+            rng.next_u64();
+        }
+        let snap = rng.save();
+        let expect: Vec<u64> = (0..16).map(|_| rng.next_u64()).collect();
+        for _ in 0..noise {
+            rng.next_u64();
+        }
+        rng.restore(&snap);
+        let replay: Vec<u64> = (0..16).map(|_| rng.next_u64()).collect();
+        prop_assert_eq!(expect, replay);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests for `Machine` checkpoint/rollback: snapshot → mutate →
+//! restore must leave the machine observationally identical to one that
+//! was never mutated — same exits, same breakdown, same scheduler
+//! counters, same arena recycling, same RNG stream.
+//!
+//! This is the box-level half of the guarantee speculative cluster sync
+//! relies on (the queue/RNG half lives in `simcore/tests/prop_snapshot.rs`).
+
+use proptest::prelude::*;
+use simcore::{SimDuration, SimTime};
+use simcpu::programs::Script;
+use simcpu::{Machine, MachineConfig, MachineOutput, Step};
+use telemetry::TenantClass;
+
+#[derive(Debug, Clone)]
+struct SpawnPlan {
+    at_us: u64,
+    steps: Vec<Step>,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1u64..3_000).prop_map(|us| Step::Compute(SimDuration::from_micros(us))),
+        (1u64..1_500).prop_map(|us| Step::Sleep(SimDuration::from_micros(us))),
+    ]
+}
+
+fn plan_strategy(horizon_us: u64) -> impl Strategy<Value = SpawnPlan> {
+    (
+        0u64..horizon_us,
+        proptest::collection::vec(step_strategy(), 1..5),
+    )
+        .prop_map(|(at_us, steps)| SpawnPlan { at_us, steps })
+}
+
+fn machine(cores: u32) -> Machine {
+    let cfg = MachineConfig {
+        cores,
+        quantum: SimDuration::from_millis(5),
+        dispatch_cost: SimDuration::from_micros(1),
+        ctx_switch_cost: SimDuration::from_micros(2),
+        ipi_cost: SimDuration::from_micros(1),
+        io_interrupt_cost: SimDuration::from_micros(1),
+        memory_bytes: 1 << 30,
+    };
+    Machine::with_seed(cfg, 42)
+}
+
+/// Comparable trace entry for one drained output.
+fn flatten(outputs: Vec<MachineOutput>) -> Vec<(u8, u64, u64)> {
+    outputs
+        .into_iter()
+        .map(|o| match o {
+            MachineOutput::ThreadBlocked { tag, token, .. } => (0u8, tag, token),
+            MachineOutput::ThreadExited { tag, killed, .. } => (1u8, tag, killed as u64),
+        })
+        .collect()
+}
+
+/// Spawns `plans` (sorted by time) into `m`, advancing as it goes, then
+/// advances to `end`; returns the comparable observable trace.
+fn run_plans(
+    m: &mut Machine,
+    job: simcore::JobId,
+    plans: &[SpawnPlan],
+    end: SimTime,
+    tag0: u64,
+) -> Vec<(u8, u64, u64)> {
+    for (tag, p) in (tag0..).zip(plans.iter()) {
+        m.spawn_thread(
+            SimTime::from_micros(p.at_us).max(m.now()),
+            job,
+            Box::new(Script::new(p.steps.clone())),
+            tag,
+        );
+    }
+    m.advance_to(end);
+    flatten(m.drain_outputs())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// snapshot → arbitrary extra work → restore ≡ never mutated: the
+    /// restored machine replays the identical exit trace, breakdown,
+    /// stats, and arena counters as a control machine that stopped at the
+    /// snapshot point, including for work spawned *after* the restore.
+    #[test]
+    fn prop_machine_restore_equals_never_mutated(
+        prefix in proptest::collection::vec(plan_strategy(30_000), 1..12),
+        noise in proptest::collection::vec(plan_strategy(60_000), 1..12),
+        suffix in proptest::collection::vec(plan_strategy(90_000), 0..12),
+        cores in 1u32..5,
+    ) {
+        let mut sorted_prefix = prefix;
+        sorted_prefix.sort_by_key(|p| p.at_us);
+        let mut sorted_noise = noise;
+        sorted_noise.sort_by_key(|p| p.at_us);
+        let mut sorted_suffix = suffix;
+        sorted_suffix.sort_by_key(|p| p.at_us);
+
+        let mut live = machine(cores);
+        let mut control = machine(cores);
+        let job_l = live.create_job(TenantClass::Primary, simcore::CoreMask::all(cores));
+        let job_c = control.create_job(TenantClass::Primary, simcore::CoreMask::all(cores));
+
+        let mid = SimTime::from_micros(35_000);
+        let a = run_plans(&mut live, job_l, &sorted_prefix, mid, 0);
+        let b = run_plans(&mut control, job_c, &sorted_prefix, mid, 0);
+        prop_assert_eq!(a, b, "identical builds diverged before the snapshot");
+
+        let snap = live.snapshot().expect("scripts are clonable");
+
+        // Speculate: extra spawns and a long advance, then roll back.
+        let _ = run_plans(&mut live, job_l, &sorted_noise, SimTime::from_micros(70_000), 500);
+        live.restore(&snap);
+        prop_assert_eq!(live.now(), control.now());
+
+        // Post-restore behaviour must match the control exactly.
+        let end = SimTime::from_micros(120_000);
+        let x = run_plans(&mut live, job_l, &sorted_suffix, end, 1000);
+        let y = run_plans(&mut control, job_c, &sorted_suffix, end, 1000);
+        prop_assert_eq!(x, y, "post-restore trace diverged");
+        prop_assert_eq!(live.breakdown(), control.breakdown());
+        prop_assert_eq!(live.stats(), control.stats());
+        prop_assert_eq!(live.live_thread_count(), control.live_thread_count());
+        prop_assert_eq!(live.arena_stats(), control.arena_stats());
+        prop_assert_eq!(live.idle_core_mask().0, control.idle_core_mask().0);
+    }
+
+    /// One snapshot restores correctly any number of times (rollback
+    /// loops re-restore the same checkpoint).
+    #[test]
+    fn prop_machine_state_is_reusable(
+        prefix in proptest::collection::vec(plan_strategy(20_000), 1..10),
+        cores in 1u32..4,
+    ) {
+        let mut sorted = prefix;
+        sorted.sort_by_key(|p| p.at_us);
+        let mut m = machine(cores);
+        let job = m.create_job(TenantClass::Primary, simcore::CoreMask::all(cores));
+        run_plans(&mut m, job, &sorted, SimTime::from_micros(25_000), 0);
+        let snap = m.snapshot().expect("scripts are clonable");
+
+        let end = SimTime::from_secs(1);
+        m.advance_to(end);
+        let first = (flatten(m.drain_outputs()), m.breakdown(), m.stats());
+        for _ in 0..3 {
+            m.restore(&snap);
+            m.advance_to(end);
+            let again = (flatten(m.drain_outputs()), m.breakdown(), m.stats());
+            prop_assert_eq!(&again, &first);
+        }
+    }
+}
